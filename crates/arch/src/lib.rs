@@ -1,0 +1,399 @@
+#![warn(missing_docs)]
+
+//! Accelerator architecture descriptions for SecureLoop.
+//!
+//! An [`Architecture`] captures everything the scheduler needs about the
+//! hardware (paper Fig. 1b): a 2-D array of processing elements with
+//! per-PE register files, a shared on-chip global buffer (GLB), an
+//! off-chip DRAM interface, a dataflow constraint set, and — for secure
+//! designs — an attached cryptographic-engine configuration.
+//!
+//! The paper's base configuration (§5, "Base Architecture
+//! Configuration") is an Eyeriss-derived row-stationary design with
+//! 14×12 PEs and a 131 kB global buffer, clocked at 100 MHz against
+//! LPDDR4 at 64 B/cycle; [`Architecture::eyeriss_base`] reproduces it.
+//!
+//! # Example
+//!
+//! ```
+//! use secureloop_arch::Architecture;
+//! use secureloop_crypto::{CryptoConfig, EngineClass};
+//!
+//! let base = Architecture::eyeriss_base();
+//! assert_eq!(base.num_pes(), 168);
+//!
+//! let secure = base.with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+//! // One parallel engine per datatype throttles the off-chip interface.
+//! assert!(secure.effective_dram_bytes_per_cycle() < 64.0);
+//! ```
+
+pub mod dataflow;
+pub mod dram;
+
+pub use dataflow::{Dataflow, DataflowConstraints};
+pub use dram::DramSpec;
+
+use secureloop_crypto::CryptoConfig;
+
+/// The three storage levels of the modelled hierarchy, outermost first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemLevel {
+    /// Off-chip DRAM (untrusted in the TEE threat model).
+    Dram,
+    /// On-chip global buffer (SRAM).
+    Glb,
+    /// Per-PE register file.
+    Rf,
+}
+
+impl MemLevel {
+    /// All levels, outermost first.
+    pub const ALL: [MemLevel; 3] = [MemLevel::Dram, MemLevel::Glb, MemLevel::Rf];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemLevel::Dram => "DRAM",
+            MemLevel::Glb => "GLB",
+            MemLevel::Rf => "RF",
+        }
+    }
+}
+
+impl std::fmt::Display for MemLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete accelerator design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Architecture {
+    name: String,
+    pe_x: usize,
+    pe_y: usize,
+    rf_bytes_per_pe: u64,
+    rf_partition: Option<[u64; 3]>,
+    glb_bytes: u64,
+    glb_bytes_per_cycle: f64,
+    noc_bytes_per_cycle: f64,
+    dram: DramSpec,
+    clock_mhz: f64,
+    word_bits: u32,
+    dataflow: Dataflow,
+    crypto: Option<CryptoConfig>,
+}
+
+impl Architecture {
+    /// The paper's base configuration: row-stationary, 14×12 PEs,
+    /// 131 kB GLB, LPDDR4 at 64 B/cycle, 100 MHz, 8-bit words, no
+    /// cryptographic engine (the *unsecure baseline*).
+    pub fn eyeriss_base() -> Self {
+        Architecture {
+            name: "eyeriss-base".into(),
+            pe_x: 14,
+            pe_y: 12,
+            rf_bytes_per_pe: 512,
+            rf_partition: None,
+            glb_bytes: 131 * 1024,
+            glb_bytes_per_cycle: 128.0,
+            noc_bytes_per_cycle: 32.0,
+            dram: DramSpec::lpddr4_64(),
+            clock_mhz: 100.0,
+            word_bits: 8,
+            dataflow: Dataflow::RowStationary,
+            crypto: None,
+        }
+    }
+
+    /// A TPU-class datacenter design point (paper §3.1: prior secure
+    /// accelerators targeted "power-hungry accelerators, such as TPU,
+    /// with large silicon area"): a 32×32 weight-stationary array with
+    /// a 4 MB unified buffer and HBM2.
+    ///
+    /// Secure variants of this class absorb even pipelined AES-GCM
+    /// engines at negligible relative area — which is exactly why their
+    /// design choices "are not transferable to low-power and
+    /// energy-efficient accelerators".
+    pub fn tpu_like() -> Self {
+        Architecture {
+            name: "tpu-like".into(),
+            pe_x: 32,
+            pe_y: 32,
+            rf_bytes_per_pe: 256,
+            rf_partition: None,
+            glb_bytes: 4 * 1024 * 1024,
+            glb_bytes_per_cycle: 512.0,
+            noc_bytes_per_cycle: 128.0,
+            dram: DramSpec::hbm2_64(),
+            clock_mhz: 700.0,
+            word_bits: 8,
+            dataflow: Dataflow::WeightStationary,
+            crypto: None,
+        }
+    }
+
+    /// Architecture name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the design point.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Replace the PE array shape (`x × y`).
+    pub fn with_pe_array(mut self, x: usize, y: usize) -> Self {
+        self.pe_x = x;
+        self.pe_y = y;
+        self
+    }
+
+    /// Replace the global buffer capacity (in kB, 1 kB = 1024 B).
+    pub fn with_glb_kb(mut self, kb: u64) -> Self {
+        self.glb_bytes = kb * 1024;
+        self
+    }
+
+    /// Replace the DRAM interface.
+    pub fn with_dram(mut self, dram: DramSpec) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// Replace the dataflow (and thereby the mapper's constraint set).
+    pub fn with_dataflow(mut self, dataflow: Dataflow) -> Self {
+        self.dataflow = dataflow;
+        self
+    }
+
+    /// Attach a cryptographic-engine configuration, making the design a
+    /// *secure* accelerator.
+    pub fn with_crypto(mut self, crypto: CryptoConfig) -> Self {
+        self.crypto = Some(crypto);
+        self
+    }
+
+    /// Remove any cryptographic engine (unsecure baseline).
+    pub fn without_crypto(mut self) -> Self {
+        self.crypto = None;
+        self
+    }
+
+    /// PE array width.
+    pub fn pe_x(&self) -> usize {
+        self.pe_x
+    }
+
+    /// PE array height.
+    pub fn pe_y(&self) -> usize {
+        self.pe_y
+    }
+
+    /// Total number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.pe_x * self.pe_y
+    }
+
+    /// Register-file capacity per PE, in bytes.
+    pub fn rf_bytes_per_pe(&self) -> u64 {
+        self.rf_bytes_per_pe
+    }
+
+    /// Per-datatype register-file partition (bytes per PE, indexed
+    /// like `Datatype::ALL`: weight/ifmap/ofmap), when the PE uses
+    /// separate scratchpads as Eyeriss does. `None` means a unified
+    /// register file bounded only by [`Architecture::rf_bytes_per_pe`].
+    pub fn rf_partition(&self) -> Option<[u64; 3]> {
+        self.rf_partition
+    }
+
+    /// Partition the register file per datatype (weight/ifmap/ofmap
+    /// bytes per PE). The total capacity becomes the partition sum.
+    pub fn with_rf_partition(mut self, partition: [u64; 3]) -> Self {
+        assert!(partition.iter().all(|&b| b > 0), "partitions must be positive");
+        self.rf_bytes_per_pe = partition.iter().sum();
+        self.rf_partition = Some(partition);
+        self
+    }
+
+    /// The Eyeriss-style partitioned-scratchpad variant of the base
+    /// configuration: 384 B weights, 48 B ifmap, 80 B partial sums per
+    /// PE (byte-scaled from the original 16-bit spads).
+    pub fn eyeriss_partitioned() -> Self {
+        Architecture::eyeriss_base()
+            .with_name("eyeriss-partitioned")
+            .with_rf_partition([384, 48, 80])
+    }
+
+    /// Global-buffer capacity in bytes.
+    pub fn glb_bytes(&self) -> u64 {
+        self.glb_bytes
+    }
+
+    /// Global-buffer bandwidth in bytes per cycle.
+    pub fn glb_bytes_per_cycle(&self) -> f64 {
+        self.glb_bytes_per_cycle
+    }
+
+    /// On-chip network injection bandwidth between the GLB and the PE
+    /// array, in bytes per cycle (multicast counts once).
+    pub fn noc_bytes_per_cycle(&self) -> f64 {
+        self.noc_bytes_per_cycle
+    }
+
+    /// Replace the NoC injection bandwidth.
+    pub fn with_noc_bytes_per_cycle(mut self, bw: f64) -> Self {
+        assert!(bw > 0.0, "NoC bandwidth must be positive");
+        self.noc_bytes_per_cycle = bw;
+        self
+    }
+
+    /// The DRAM interface.
+    pub fn dram(&self) -> &DramSpec {
+        &self.dram
+    }
+
+    /// Clock frequency in MHz (the paper evaluates at 100 MHz).
+    pub fn clock_mhz(&self) -> f64 {
+        self.clock_mhz
+    }
+
+    /// Data word size in bits.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// The dataflow and its mapping constraints.
+    pub fn dataflow(&self) -> Dataflow {
+        self.dataflow
+    }
+
+    /// The attached cryptographic configuration, if the design is secure.
+    pub fn crypto(&self) -> Option<&CryptoConfig> {
+        self.crypto.as_ref()
+    }
+
+    /// Whether this is a secure (TEE-enabled) design.
+    pub fn is_secure(&self) -> bool {
+        self.crypto.is_some()
+    }
+
+    /// The *effective* off-chip bandwidth in bytes/cycle (paper §4.1):
+    /// every off-chip access traverses both the DRAM interface and the
+    /// cryptographic engine, so the slower of the two limits the supply.
+    pub fn effective_dram_bytes_per_cycle(&self) -> f64 {
+        match &self.crypto {
+            None => self.dram.bytes_per_cycle(),
+            Some(c) => self.dram.bytes_per_cycle().min(c.total_bytes_per_cycle()),
+        }
+    }
+
+    /// Descriptive one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {}x{} PEs, GLB {} kB, {}, {}",
+            self.name,
+            self.pe_x,
+            self.pe_y,
+            self.glb_bytes / 1024,
+            self.dram.name(),
+            match &self.crypto {
+                None => "unsecure".to_string(),
+                Some(c) => c.label(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secureloop_crypto::EngineClass;
+
+    #[test]
+    fn base_matches_paper() {
+        let a = Architecture::eyeriss_base();
+        assert_eq!(a.num_pes(), 14 * 12);
+        assert_eq!(a.glb_bytes(), 131 * 1024);
+        assert_eq!(a.dram().bytes_per_cycle(), 64.0);
+        assert!(!a.is_secure());
+        assert_eq!(a.effective_dram_bytes_per_cycle(), 64.0);
+    }
+
+    #[test]
+    fn parallel_engines_throttle_bandwidth() {
+        let a = Architecture::eyeriss_base()
+            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        // 3 engines x 16B/11cyc = 4.36 B/cycle << 64.
+        let bw = a.effective_dram_bytes_per_cycle();
+        assert!((bw - 48.0 / 11.0).abs() < 1e-9, "bw = {bw}");
+    }
+
+    #[test]
+    fn pipelined_engines_do_not_throttle_much() {
+        let a = Architecture::eyeriss_base()
+            .with_crypto(CryptoConfig::new(EngineClass::Pipelined, 3));
+        assert_eq!(a.effective_dram_bytes_per_cycle(), 48.0);
+        let a4 = Architecture::eyeriss_base()
+            .with_crypto(CryptoConfig::new(EngineClass::Pipelined, 4));
+        // 4 pipelined engines exceed the DRAM: DRAM becomes the limit.
+        assert_eq!(a4.effective_dram_bytes_per_cycle(), 64.0);
+    }
+
+    #[test]
+    fn builder_methods_update_fields() {
+        let a = Architecture::eyeriss_base()
+            .with_pe_array(28, 24)
+            .with_glb_kb(16)
+            .with_dram(DramSpec::hbm2_64())
+            .with_name("big");
+        assert_eq!(a.num_pes(), 672);
+        assert_eq!(a.glb_bytes(), 16384);
+        assert_eq!(a.name(), "big");
+        assert!(a.summary().contains("28x24"));
+    }
+
+    #[test]
+    fn without_crypto_restores_baseline_bw() {
+        let a = Architecture::eyeriss_base()
+            .with_crypto(CryptoConfig::new(EngineClass::Serial, 1))
+            .without_crypto();
+        assert!(!a.is_secure());
+        assert_eq!(a.effective_dram_bytes_per_cycle(), 64.0);
+    }
+
+    #[test]
+    fn rf_partition_sums_to_capacity() {
+        let a = Architecture::eyeriss_partitioned();
+        assert_eq!(a.rf_bytes_per_pe(), 384 + 48 + 80);
+        assert_eq!(a.rf_partition(), Some([384, 48, 80]));
+        assert!(Architecture::eyeriss_base().rf_partition().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "partitions must be positive")]
+    fn zero_partition_rejected() {
+        let _ = Architecture::eyeriss_base().with_rf_partition([0, 48, 80]);
+    }
+
+    #[test]
+    fn tpu_like_dwarfs_edge_crypto_overhead() {
+        let tpu = Architecture::tpu_like();
+        assert_eq!(tpu.num_pes(), 1024);
+        assert_eq!(tpu.dataflow(), crate::Dataflow::WeightStationary);
+        // Even pipelined engines barely dent the effective bandwidth of
+        // the datacenter part, unlike the edge design.
+        let secure =
+            tpu.with_crypto(CryptoConfig::new(EngineClass::Pipelined, 3));
+        assert_eq!(secure.effective_dram_bytes_per_cycle(), 48.0);
+    }
+
+    #[test]
+    fn mem_level_ordering_outermost_first() {
+        assert!(MemLevel::Dram < MemLevel::Glb && MemLevel::Glb < MemLevel::Rf);
+        assert_eq!(MemLevel::Glb.to_string(), "GLB");
+    }
+}

@@ -1,0 +1,204 @@
+//! Geometric primitives: regions, tiles, and block lattices.
+
+use std::fmt;
+
+/// A 2-D data region (`h` rows × `w` columns) over which AuthBlocks are
+/// laid out. For DNN tensors this is one channel plane of a feature map,
+/// or a producer tile when blocks are aligned per tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Rows.
+    pub h: u64,
+    /// Columns.
+    pub w: u64,
+}
+
+impl Region {
+    /// Create a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is zero.
+    pub fn new(h: u64, w: u64) -> Self {
+        assert!(h > 0 && w > 0, "region extents must be positive");
+        Region { h, w }
+    }
+
+    /// Total elements.
+    pub fn elems(&self) -> u64 {
+        self.h * self.w
+    }
+}
+
+/// A rectangular tile within a region (what one off-chip access fetches
+/// for DNN computation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileRect {
+    /// First row.
+    pub row0: u64,
+    /// First column.
+    pub col0: u64,
+    /// Row extent.
+    pub rows: u64,
+    /// Column extent.
+    pub cols: u64,
+}
+
+impl TileRect {
+    /// Create a tile rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is zero.
+    pub fn new(row0: u64, col0: u64, rows: u64, cols: u64) -> Self {
+        assert!(rows > 0 && cols > 0, "tile extents must be positive");
+        TileRect {
+            row0,
+            col0,
+            rows,
+            cols,
+        }
+    }
+
+    /// Element count.
+    pub fn elems(&self) -> u64 {
+        self.rows * self.cols
+    }
+
+    /// Whether the tile lies entirely inside `region`.
+    pub fn fits_in(&self, region: Region) -> bool {
+        self.row0 + self.rows <= region.h && self.col0 + self.cols <= region.w
+    }
+
+    /// Intersect with another rectangle; `None` if disjoint.
+    pub fn intersect(&self, other: &TileRect) -> Option<TileRect> {
+        let r0 = self.row0.max(other.row0);
+        let c0 = self.col0.max(other.col0);
+        let r1 = (self.row0 + self.rows).min(other.row0 + other.rows);
+        let c1 = (self.col0 + self.cols).min(other.col0 + other.cols);
+        if r0 < r1 && c0 < c1 {
+            Some(TileRect::new(r0, c0, r1 - r0, c1 - c0))
+        } else {
+            None
+        }
+    }
+}
+
+/// The linearisation direction of the AuthBlock lattice (paper Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Row-major: blocks run along a row and wrap to the next row.
+    Horizontal,
+    /// Column-major: blocks run down a column and wrap to the next
+    /// column.
+    Vertical,
+}
+
+impl Orientation {
+    /// Both orientations.
+    pub const ALL: [Orientation; 2] = [Orientation::Horizontal, Orientation::Vertical];
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Orientation::Horizontal => "horizontal",
+            Orientation::Vertical => "vertical",
+        })
+    }
+}
+
+/// An AuthBlock assignment: orientation plus block size in elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockAssignment {
+    /// Linearisation direction.
+    pub orientation: Orientation,
+    /// Elements per block (`u` in the paper).
+    pub size: u64,
+}
+
+impl BlockAssignment {
+    /// Create an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(orientation: Orientation, size: u64) -> Self {
+        assert!(size > 0, "block size must be positive");
+        BlockAssignment { orientation, size }
+    }
+
+    /// Number of blocks covering a region (the last block may be short).
+    pub fn blocks_in(&self, region: Region) -> u64 {
+        region.elems().div_ceil(self.size)
+    }
+
+    /// Transpose a (region, tile) pair so that vertical counting can
+    /// reuse the horizontal (row-major) machinery.
+    pub fn to_row_major(&self, region: Region, tile: TileRect) -> (Region, TileRect) {
+        match self.orientation {
+            Orientation::Horizontal => (region, tile),
+            Orientation::Vertical => (
+                Region::new(region.w, region.h),
+                TileRect::new(tile.col0, tile.row0, tile.cols, tile.rows),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for BlockAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} u={}", self.orientation, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_and_tile_basics() {
+        let r = Region::new(30, 30);
+        assert_eq!(r.elems(), 900);
+        let t = TileRect::new(0, 10, 30, 20);
+        assert!(t.fits_in(r));
+        assert!(!TileRect::new(0, 11, 30, 20).fits_in(r));
+        assert_eq!(t.elems(), 600);
+    }
+
+    #[test]
+    fn intersection() {
+        let a = TileRect::new(0, 0, 10, 10);
+        let b = TileRect::new(5, 5, 10, 10);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, TileRect::new(5, 5, 5, 5));
+        assert!(a.intersect(&TileRect::new(10, 0, 2, 2)).is_none());
+        // Intersection is symmetric.
+        assert_eq!(a.intersect(&b), b.intersect(&a));
+    }
+
+    #[test]
+    fn block_count_rounds_up() {
+        let a = BlockAssignment::new(Orientation::Horizontal, 7);
+        assert_eq!(a.blocks_in(Region::new(3, 5)), 3); // 15 / 7 -> 3
+        let whole = BlockAssignment::new(Orientation::Vertical, 900);
+        assert_eq!(whole.blocks_in(Region::new(30, 30)), 1);
+    }
+
+    #[test]
+    fn transpose_for_vertical() {
+        let a = BlockAssignment::new(Orientation::Vertical, 3);
+        let (r, t) = a.to_row_major(Region::new(30, 20), TileRect::new(1, 2, 3, 4));
+        assert_eq!(r, Region::new(20, 30));
+        assert_eq!(t, TileRect::new(2, 1, 4, 3));
+        let h = BlockAssignment::new(Orientation::Horizontal, 3);
+        let (r2, t2) = h.to_row_major(Region::new(30, 20), TileRect::new(1, 2, 3, 4));
+        assert_eq!((r2, t2), (Region::new(30, 20), TileRect::new(1, 2, 3, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_panics() {
+        let _ = BlockAssignment::new(Orientation::Horizontal, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests: the closed-form congruence counter must agree with
+//! brute-force block enumeration on arbitrary geometry (the paper's
+//! central §4.2 claim is that the analytical formulation is exact, not
+//! approximate).
+
+use proptest::prelude::*;
+// The crate's `Strategy` enum shadows proptest's trait of the same name;
+// re-import the trait anonymously so combinator methods resolve.
+use proptest::strategy::Strategy as _;
+
+use secureloop_authblock::count::{count_blocks, count_blocks_brute, count_blocks_rows};
+use secureloop_authblock::{
+    evaluate_assignment, AccessPattern, AssignmentProblem, BlockAssignment, Orientation, Region,
+    Strategy, TileGrid, TileRect,
+};
+
+fn geometry() -> impl proptest::strategy::Strategy<
+    Value = (Region, TileRect, BlockAssignment),
+> {
+    (1u64..40, 1u64..40).prop_flat_map(|(h, w)| {
+        (
+            Just(Region::new(h, w)),
+            (0..h, 0..w).prop_flat_map(move |(r0, c0)| {
+                (1..=h - r0, 1..=w - c0)
+                    .prop_map(move |(rows, cols)| TileRect::new(r0, c0, rows, cols))
+            }),
+            (1u64..=h * w + 3, prop_oneof![
+                Just(Orientation::Horizontal),
+                Just(Orientation::Vertical)
+            ])
+                .prop_map(|(u, o)| BlockAssignment::new(o, u)),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn congruence_matches_brute_force((region, tile, assign) in geometry()) {
+        let brute = count_blocks_brute(region, tile, assign);
+        let rows = count_blocks_rows(region, tile, assign);
+        let fast = count_blocks(region, tile, assign);
+        prop_assert_eq!(brute, rows);
+        prop_assert_eq!(brute, fast);
+    }
+
+    #[test]
+    fn fetched_covers_tile((region, tile, assign) in geometry()) {
+        let c = count_blocks(region, tile, assign);
+        prop_assert!(c.fetched_elems >= tile.elems());
+        prop_assert!(c.fetched_elems <= region.elems());
+        prop_assert!(c.blocks >= 1);
+        prop_assert!(c.blocks <= assign.blocks_in(region));
+    }
+
+    #[test]
+    fn unit_blocks_are_exact((region, tile, _a) in geometry()) {
+        for o in Orientation::ALL {
+            let c = count_blocks(region, tile, BlockAssignment::new(o, 1));
+            prop_assert_eq!(c.blocks, tile.elems());
+            prop_assert_eq!(c.fetched_elems, tile.elems());
+        }
+    }
+
+    #[test]
+    fn block_count_monotone_in_size_inverse((region, tile, assign) in geometry()) {
+        // Doubling the block size cannot increase the number of blocks
+        // by more than it decreases the hash count: blocks(u) >= blocks(2u).
+        let a2 = BlockAssignment::new(assign.orientation, assign.size * 2);
+        let c1 = count_blocks(region, tile, assign);
+        let c2 = count_blocks(region, tile, a2);
+        prop_assert!(c2.blocks <= c1.blocks);
+    }
+}
+
+fn problem() -> impl proptest::strategy::Strategy<Value = AssignmentProblem> {
+    (2u64..24, 2u64..24).prop_flat_map(|(h, w)| {
+        (
+            1u64..=h,
+            1u64..=w,
+            1u64..=h,
+            1u64..=w,
+            1u64..4,
+        )
+            .prop_map(move |(pt_h, pt_w, rt_h, rt_w, sweeps)| {
+                let region = Region::new(h, w);
+                AssignmentProblem {
+                    region,
+                    producer_grid: TileGrid::covering(region, pt_h, pt_w),
+                    producer_write_sweeps: 1,
+                    readers: vec![AccessPattern {
+                        grid: TileGrid::covering(region, rt_h, rt_w),
+                        sweeps,
+                    }],
+                    word_bits: 8,
+                    tag_bits: 64,
+                }
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn optimizer_never_worse_than_baselines(p in problem()) {
+        let best = secureloop_authblock::optimize(&p);
+        let tile = evaluate_assignment(&p, Strategy::TileAsAuthBlock);
+        let rehash = evaluate_assignment(&p, Strategy::Rehash);
+        prop_assert!(best.overhead.total().total_bits() <= tile.total().total_bits());
+        prop_assert!(best.overhead.total().total_bits() <= rehash.total().total_bits());
+    }
+
+    #[test]
+    fn assigned_strategies_have_no_rehash_traffic(p in problem()) {
+        let o = evaluate_assignment(
+            &p,
+            Strategy::Assigned(BlockAssignment::new(Orientation::Horizontal, 4)),
+        );
+        prop_assert_eq!(o.total().rehash_bits, 0);
+    }
+}
+
+fn channel_request() -> impl proptest::strategy::Strategy<Value = (secureloop_authblock::ChannelRequest, u64)> {
+    use secureloop_authblock::ChannelRequest;
+    (2u64..8, 2u64..8, 2u64..24).prop_flat_map(|(rows, cols, ch)| {
+        (
+            (0..rows, 0..cols).prop_flat_map(move |(r0, c0)| {
+                (1..=rows - r0, 1..=cols - c0)
+                    .prop_map(move |(wr, wc)| TileRect::new(r0, c0, wr, wc))
+            }),
+            (0..ch).prop_flat_map(move |ch0| (Just(ch0), 1..=ch - ch0)),
+            1u64..=rows * cols * ch + 2,
+        )
+            .prop_map(move |(window, (chan0, chan_count), u)| {
+                (
+                    ChannelRequest {
+                        pixel_rows: rows,
+                        pixel_cols: cols,
+                        channels: ch,
+                        window,
+                        chan0,
+                        chan_count,
+                    },
+                    u,
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn channel_major_matches_brute_force((req, u) in channel_request()) {
+        use secureloop_authblock::channel::{count_channel_blocks, count_channel_blocks_brute};
+        let fast = count_channel_blocks(&req, u);
+        let brute = count_channel_blocks_brute(&req, u);
+        prop_assert_eq!(fast, brute, "req {:?} u {}", req, u);
+        prop_assert!(fast.fetched_elems >= req.needed_elems());
+    }
+}

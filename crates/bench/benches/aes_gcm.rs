@@ -1,0 +1,44 @@
+//! Software AES-GCM throughput of the functional substrate (sanity
+//! scale for the cycle-approximate engine simulator, not a competitor
+//! to hardware).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use secureloop_crypto::sim::{EngineSim, Request};
+use secureloop_crypto::{Aes128, AesGcm, EngineClass};
+
+fn primitives(c: &mut Criterion) {
+    let aes = Aes128::new(&[7u8; 16]);
+    c.bench_function("aes128_block", |b| {
+        let block = [0x5au8; 16];
+        b.iter(|| aes.encrypt(black_box(&block)))
+    });
+
+    let gcm = AesGcm::new(&[7u8; 16]);
+    let iv = [1u8; 12];
+    for size in [64usize, 1024, 16384] {
+        let data = vec![0xa5u8; size];
+        let mut g = c.benchmark_group("aes_gcm_encrypt");
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| gcm.encrypt(black_box(&iv), black_box(&data), b""))
+        });
+        g.finish();
+    }
+}
+
+fn engine_sim(c: &mut Criterion) {
+    let sim = EngineSim::new(EngineClass::Parallel.engine(), 3);
+    let trace: Vec<Request> = (0..3)
+        .map(|s| Request {
+            stream: s,
+            arrival: 0,
+            bytes: 1000 * 16,
+        })
+        .collect();
+    c.bench_function("engine_sim_3000_blocks", |b| {
+        b.iter(|| sim.run(black_box(&trace)))
+    });
+}
+
+criterion_group!(benches, primitives, engine_sim);
+criterion_main!(benches);

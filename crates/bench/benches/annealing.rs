@@ -1,0 +1,64 @@
+//! Cross-layer fine-tuning cost: segment evaluation (the inner loop of
+//! Algorithm 1) and a full annealing run on an AlexNet segment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use secureloop::annealing::anneal_segment;
+use secureloop::candidates::find_candidates;
+use secureloop::segment::{evaluate_segment, OverheadCache, StrategyMode};
+use secureloop::AnnealingConfig;
+use secureloop_arch::Architecture;
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_mapper::SearchConfig;
+use secureloop_workload::zoo;
+
+fn annealing(c: &mut Criterion) {
+    let net = zoo::alexnet_conv();
+    let arch = Architecture::eyeriss_base()
+        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let cfg = SearchConfig {
+        samples: 1500,
+        top_k: 6,
+        seed: 2,
+        threads: 1,
+    };
+    let cands = find_candidates(&net, &arch, &cfg);
+    let segs = net.segments();
+    let seg = &segs[2].layers; // conv3-conv5
+
+    let choices: Vec<_> = seg
+        .iter()
+        .map(|&li| cands.per_layer[li].best().clone())
+        .collect();
+    // Warm the cache so the benchmark isolates the steady-state cost.
+    let mut cache = OverheadCache::new();
+    evaluate_segment(&net, &arch, seg, &choices, StrategyMode::Optimal, &mut cache);
+    c.bench_function("segment_eval_cached", |b| {
+        b.iter(|| {
+            evaluate_segment(
+                black_box(&net),
+                &arch,
+                seg,
+                &choices,
+                StrategyMode::Optimal,
+                &mut cache,
+            )
+        })
+    });
+
+    c.bench_function("anneal_segment_100_iters", |b| {
+        b.iter(|| {
+            let mut cache = OverheadCache::new();
+            anneal_segment(
+                black_box(&net),
+                &arch,
+                seg,
+                &cands,
+                &AnnealingConfig::paper_default().with_iterations(100),
+                &mut cache,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, annealing);
+criterion_main!(benches);

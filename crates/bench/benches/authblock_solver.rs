@@ -1,0 +1,51 @@
+//! The paper's §4.2 scalability claim: the closed-form linear-congruence
+//! counter makes the exhaustive AuthBlock search tractable where
+//! enumeration does not. Compares the three counting back-ends and the
+//! full per-tensor optimiser.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use secureloop_authblock::count::{count_blocks, count_blocks_brute, count_blocks_rows};
+use secureloop_authblock::{
+    optimize, AccessPattern, AssignmentProblem, BlockAssignment, Orientation, Region, TileGrid,
+    TileRect,
+};
+
+fn counting(c: &mut Criterion) {
+    // A production-sized plane: 224x224 ifmap, 56x60 window tile.
+    let region = Region::new(224, 224);
+    let tile = TileRect::new(56, 112, 56, 60);
+    let assign = BlockAssignment::new(Orientation::Horizontal, 37);
+
+    let mut g = c.benchmark_group("count_blocks");
+    g.bench_function("brute_force", |b| {
+        b.iter(|| count_blocks_brute(black_box(region), black_box(tile), black_box(assign)))
+    });
+    g.bench_function("row_ranges", |b| {
+        b.iter(|| count_blocks_rows(black_box(region), black_box(tile), black_box(assign)))
+    });
+    g.bench_function("congruence_closed_form", |b| {
+        b.iter(|| count_blocks(black_box(region), black_box(tile), black_box(assign)))
+    });
+    g.finish();
+}
+
+fn optimizer(c: &mut Criterion) {
+    let region = Region::new(56, 56);
+    let problem = AssignmentProblem {
+        region,
+        producer_grid: TileGrid::covering(region, 14, 28),
+        producer_write_sweeps: 2,
+        readers: vec![AccessPattern {
+            grid: TileGrid::covering_with_halo(region, 16, 16, 14, 14),
+            sweeps: 3,
+        }],
+        word_bits: 8,
+        tag_bits: 64,
+    };
+    c.bench_function("optimize_tensor_assignment", |b| {
+        b.iter(|| optimize(black_box(&problem)))
+    });
+}
+
+criterion_group!(benches, counting, optimizer);
+criterion_main!(benches);

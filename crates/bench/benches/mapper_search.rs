@@ -1,0 +1,44 @@
+//! Mapper throughput: mappings evaluated per second and single-layer
+//! search latency (the step-1 cost that dominates SecureLoop runs).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use secureloop_arch::Architecture;
+use secureloop_loopnest::evaluate;
+use secureloop_mapper::{search, MappingSampler, SearchConfig};
+use secureloop_workload::zoo;
+
+fn evaluation(c: &mut Criterion) {
+    let net = zoo::resnet18();
+    let layer = net.layers()[5].clone();
+    let arch = Architecture::eyeriss_base();
+    let mut sampler = MappingSampler::new(&layer, &arch, 42);
+    // Pre-draw a valid mapping for the pure-evaluation benchmark.
+    let mapping = loop {
+        let m = sampler.sample();
+        if evaluate(&layer, &arch, &m).is_ok() {
+            break m;
+        }
+    };
+    c.bench_function("loopnest_evaluate", |b| {
+        b.iter(|| evaluate(black_box(&layer), black_box(&arch), black_box(&mapping)))
+    });
+    c.bench_function("sampler_draw", |b| b.iter(|| sampler.sample()));
+}
+
+fn layer_search(c: &mut Criterion) {
+    let net = zoo::alexnet_conv();
+    let layer = net.layers()[2].clone();
+    let arch = Architecture::eyeriss_base();
+    let cfg = SearchConfig {
+        samples: 1000,
+        top_k: 6,
+        seed: 9,
+        threads: 1,
+    };
+    c.bench_function("mapper_search_1k_samples", |b| {
+        b.iter(|| search(black_box(&layer), black_box(&arch), black_box(&cfg)))
+    });
+}
+
+criterion_group!(benches, evaluation, layer_search);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Batch-size sensitivity: the paper evaluates batch 1 (edge
+//! inference); batching multiplies weight reuse, which changes which
+//! datatype stream bottlenecks the cryptographic engines.
+
+use secureloop::{Algorithm, Scheduler};
+use secureloop_bench::{base_secure_arch, paper_annealing, write_results};
+use secureloop_mapper::SearchConfig;
+use secureloop_workload::zoo;
+
+fn main() {
+    let arch = base_secure_arch();
+    // Batched layers have a much larger mapping space; use a focused
+    // budget per batch point.
+    let search = SearchConfig {
+        samples: 3000,
+        top_k: 6,
+        seed: 21,
+        threads: 8,
+    };
+    let base_net = zoo::mobilenet_v2();
+
+    println!("MobileNetV2, Crypt-Opt-Cross vs batch size\n");
+    println!(
+        "{:>6} {:>14} {:>16} {:>14} {:>10}",
+        "batch", "unsec cycles", "secure cycles", "cyc/inference", "slowdown"
+    );
+    let mut csv = String::from("batch,unsecure_cycles,secure_cycles,secure_per_inference,slowdown\n");
+    for n in [1u64, 4, 16] {
+        let net = if n == 1 { base_net.clone() } else { base_net.with_batch(n) };
+        let scheduler = Scheduler::new(arch.clone())
+            .with_search(search)
+            .with_annealing(paper_annealing().with_iterations(300));
+        let unsec = scheduler.schedule(&net, Algorithm::Unsecure);
+        let sec = scheduler.schedule(&net, Algorithm::CryptOptCross);
+        let per_inf = sec.total_latency_cycles / n;
+        let slowdown = sec.total_latency_cycles as f64 / unsec.total_latency_cycles as f64;
+        println!(
+            "{:>6} {:>14} {:>16} {:>14} {:>9.2}x",
+            n, unsec.total_latency_cycles, sec.total_latency_cycles, per_inf, slowdown
+        );
+        csv.push_str(&format!(
+            "{n},{},{},{per_inf},{slowdown:.4}\n",
+            unsec.total_latency_cycles, sec.total_latency_cycles
+        ));
+    }
+    println!("\nbatching amortises weight traffic across inferences: cycles per");
+    println!("inference and the secure slowdown both drop as N grows.");
+    write_results("batch_sweep.csv", &csv);
+}

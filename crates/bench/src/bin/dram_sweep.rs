@@ -1,0 +1,57 @@
+//! §5.2 "Different DRAM Technologies": LPDDR4 at 64 B/cycle, LPDDR4 at
+//! 128 B/cycle, and HBM2 at 64 B/cycle on the AlexNet workload.
+//!
+//! Paper shape: DRAM bandwidth does not change secure latency (the
+//! cryptographic engine is the bottleneck), but HBM2's lower energy per
+//! access reduces energy for both the unsecure and secure designs.
+
+use secureloop::dse::dram_configs;
+use secureloop::{Algorithm, Scheduler};
+use secureloop_arch::Architecture;
+use secureloop_bench::{paper_annealing, paper_search, write_results};
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_workload::zoo;
+
+fn main() {
+    let net = zoo::alexnet_conv();
+    let mut csv = String::from("dram,config,latency_cycles,energy_uj\n");
+    println!("AlexNet, base architecture, Crypt-Opt-Cross\n");
+    println!(
+        "{:<14} {:>10} {:>14} {:>12} | {:>10} {:>14} {:>12}",
+        "DRAM", "unsec cyc", "unsec uJ", "", "secure cyc", "secure uJ", ""
+    );
+    for dram in dram_configs() {
+        let base = Architecture::eyeriss_base().with_dram(dram.clone());
+        let unsecure = Scheduler::new(base.clone())
+            .with_search(paper_search())
+            .with_annealing(paper_annealing())
+            .schedule(&net, Algorithm::Unsecure);
+        let secure_arch = base.with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        let secure = Scheduler::new(secure_arch)
+            .with_search(paper_search())
+            .with_annealing(paper_annealing())
+            .schedule(&net, Algorithm::CryptOptCross);
+        println!(
+            "{:<14} {:>10} {:>14.1} {:>12} | {:>10} {:>14.1} {:>12}",
+            dram.name(),
+            unsecure.total_latency_cycles,
+            unsecure.total_energy_pj / 1e6,
+            "",
+            secure.total_latency_cycles,
+            secure.total_energy_pj / 1e6,
+            ""
+        );
+        csv.push_str(&format!(
+            "{},Unsecure,{},{:.3}\n{},Parallel x3,{},{:.3}\n",
+            dram.name(),
+            unsecure.total_latency_cycles,
+            unsecure.total_energy_pj / 1e6,
+            dram.name(),
+            secure.total_latency_cycles,
+            secure.total_energy_pj / 1e6,
+        ));
+    }
+    println!("\npaper: bandwidth changes neither secure latency nor energy; HBM2 cuts");
+    println!("energy for both unsecure and secure designs at unchanged latency.");
+    write_results("dram_sweep.csv", &csv);
+}

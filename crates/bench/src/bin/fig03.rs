@@ -1,0 +1,69 @@
+//! Fig. 3: the trade-off space for published AES implementations —
+//! area (kGates) vs average cycles per 128-bit block, log-log.
+
+use secureloop_bench::plot::{Plot, Series};
+use secureloop_bench::write_results;
+use secureloop_crypto::survey::{pareto_front, FIG3_SURVEY};
+
+fn main() {
+    println!("Fig. 3 — AES implementation survey (2001-2019)\n");
+    println!(
+        "{:<26} {:>6} {:>12} {:>16} {:>8}",
+        "design", "year", "area(kGates)", "cycles/block", "pareto"
+    );
+    let front = pareto_front(&FIG3_SURVEY);
+    let mut csv = String::from("design,year,area_kgates,cycles_per_block,pareto\n");
+    let mut points: Vec<_> = FIG3_SURVEY.to_vec();
+    points.sort_by(|a, b| a.area_kgates.partial_cmp(&b.area_kgates).unwrap());
+    for p in &points {
+        let on_front = front.iter().any(|f| f.name == p.name);
+        println!(
+            "{:<26} {:>6} {:>12.1} {:>16.0} {:>8}",
+            p.name,
+            p.year,
+            p.area_kgates,
+            p.cycles_per_block,
+            if on_front { "*" } else { "" }
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{}\n",
+            p.name, p.year, p.area_kgates, p.cycles_per_block, on_front
+        ));
+    }
+    println!(
+        "\ntrend: ~{:.0}x area buys ~{:.0}x fewer cycles per block",
+        points.last().unwrap().area_kgates / points[0].area_kgates,
+        points
+            .iter()
+            .map(|p| p.cycles_per_block)
+            .fold(0.0f64, f64::max)
+            / points
+                .iter()
+                .map(|p| p.cycles_per_block)
+                .fold(f64::INFINITY, f64::min)
+    );
+    write_results("fig03.csv", &csv);
+
+    let mut plot = Plot::new(
+        "Fig. 3: AES implementations, area vs cycles/block",
+        "area (kGates)",
+        "avg cycles per 128-bit block",
+    )
+    .with_log_x()
+    .with_log_y();
+    plot.push(Series::scatter(
+        "published designs",
+        points
+            .iter()
+            .map(|p| (p.area_kgates, p.cycles_per_block))
+            .collect(),
+    ));
+    plot.push(Series::scatter(
+        "pareto front",
+        front
+            .iter()
+            .map(|p| (p.area_kgates, p.cycles_per_block))
+            .collect(),
+    ));
+    write_results("fig03.svg", &plot.to_svg());
+}

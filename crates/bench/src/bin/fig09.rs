@@ -1,0 +1,80 @@
+//! Fig. 9: off-chip traffic for accessing the misaligned tile of the
+//! §4.2 worked example (h = 30, wᵢ = 30, wⱼ = 20) as a function of
+//! AuthBlock orientation and size.
+//!
+//! The paper's observations to reproduce:
+//! * hash traffic is inversely proportional to block size;
+//! * horizontal redundancy grows roughly linearly with local valleys,
+//!   with the best choice at u = 10;
+//! * vertical redundancy is irregular with exact zeros whenever the
+//!   size divides h × (wᵢ − wⱼ) = 300, and u = 300 is optimal.
+
+use secureloop_authblock::{count::count_blocks, BlockAssignment, Orientation, Region, TileRect};
+use secureloop_bench::plot::{Plot, Series};
+use secureloop_bench::write_results;
+
+fn main() {
+    let region = Region::new(30, 30);
+    // The misaligned consumer tile: 30 rows x 20 columns, offset by 10.
+    let tile = TileRect::new(0, 10, 30, 20);
+    let data_bits = tile.elems() * 8;
+
+    let mut csv = String::from("orientation,u,blocks,redundant_bits,tag_bits,total_bits\n");
+    let mut best: Option<(String, u64)> = None;
+    type Curve = Vec<(f64, f64)>;
+    let mut plots: Vec<(String, Curve, Curve, Curve)> = Vec::new();
+
+    for orientation in Orientation::ALL {
+        let max_u = match orientation {
+            Orientation::Horizontal => 30,
+            Orientation::Vertical => 900,
+        };
+        println!("\n{orientation} AuthBlocks (u = 1..={max_u}):");
+        let mut red_pts = Vec::new();
+        let mut tag_pts = Vec::new();
+        let mut tot_pts = Vec::new();
+        println!(
+            "{:>6} {:>8} {:>14} {:>10} {:>12}",
+            "u", "blocks", "redundant(b)", "tag(b)", "total(b)"
+        );
+        for u in 1..=max_u {
+            let c = count_blocks(region, tile, BlockAssignment::new(orientation, u));
+            let redundant = c.redundant_elems(tile) * 8;
+            let tag = c.blocks * 64;
+            let total = data_bits + redundant + tag;
+            csv.push_str(&format!(
+                "{orientation},{u},{},{redundant},{tag},{total}\n",
+                c.blocks
+            ));
+            // Print a readable subset; the CSV has every point.
+            let print = u <= 12 || u % (max_u / 15).max(1) == 0 || [30, 300, 900].contains(&u);
+            if print {
+                println!("{:>6} {:>8} {:>14} {:>10} {:>12}", u, c.blocks, redundant, tag, total);
+            }
+            if best.as_ref().is_none_or(|(_, t)| total < *t) {
+                best = Some((format!("{orientation} u={u}"), total));
+            }
+            red_pts.push((u as f64, redundant as f64));
+            tag_pts.push((u as f64, tag as f64));
+            tot_pts.push((u as f64, total as f64));
+        }
+        plots.push((orientation.to_string(), red_pts, tag_pts, tot_pts));
+    }
+
+    for (name, red, tag, tot) in plots {
+        let mut plot = Plot::new(
+            format!("Fig. 9 ({name}): off-chip traffic vs AuthBlock size"),
+            "AuthBlock size (# elements)",
+            "off-chip traffic (bits)",
+        );
+        plot.push(Series::line("redundant", red));
+        plot.push(Series::line("tag", tag));
+        plot.push(Series::line("total", tot));
+        write_results(&format!("fig09_{name}.svg"), &plot.to_svg());
+    }
+
+    let (label, total) = best.expect("sweep is nonempty");
+    println!("\noptimal assignment: {label} with {total} total bits");
+    println!("paper: horizontal valley at u=10, vertical optimum at u=300");
+    write_results("fig09.csv", &csv);
+}

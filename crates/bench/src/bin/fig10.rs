@@ -1,0 +1,55 @@
+//! Fig. 10: speedup from simulated annealing as a function of the
+//! neighbourhood size k (top-k schedules per layer), for 1000 and 5000
+//! iterations, on MobileNetV2 with the base secure configuration.
+//!
+//! The paper's observations: k = 2 already buys several percent, the
+//! curve saturates around k = 6, and more iterations help modestly.
+
+use secureloop::{Algorithm, Scheduler};
+use secureloop_bench::{base_secure_arch, paper_annealing, paper_search, write_results};
+use secureloop_workload::zoo;
+
+fn main() {
+    let net = zoo::mobilenet_v2();
+    let arch = base_secure_arch();
+    let search = {
+        let mut s = paper_search();
+        s.top_k = 10; // retain enough candidates for the k sweep
+        s
+    };
+
+    // Step-1 candidates are shared across the whole sweep.
+    let scheduler = Scheduler::new(arch.clone()).with_search(search);
+    let candidates = scheduler.candidates(&net, Algorithm::CryptOptCross);
+
+    // k = 1 is the no-fine-tuning baseline (best per layer).
+    let baseline = Scheduler::new(arch.clone())
+        .with_search(search)
+        .with_annealing(paper_annealing().with_k(1))
+        .schedule_with_candidates(&net, Algorithm::CryptOptCross, &candidates);
+    println!(
+        "MobileNetV2, base secure arch; k=1 latency = {} cycles\n",
+        baseline.total_latency_cycles
+    );
+
+    println!("{:>4} {:>22} {:>22}", "k", "speedup% (1000 iter)", "speedup% (5000 iter)");
+    let mut csv = String::from("k,speedup_pct_1000,speedup_pct_5000\n");
+    for k in 1..=10usize {
+        let mut row = vec![];
+        for iters in [1000usize, 5000] {
+            let s = Scheduler::new(arch.clone())
+                .with_search(search)
+                .with_annealing(paper_annealing().with_k(k).with_iterations(iters))
+                .schedule_with_candidates(&net, Algorithm::CryptOptCross, &candidates);
+            let speedup = (baseline.total_latency_cycles as f64
+                / s.total_latency_cycles as f64
+                - 1.0)
+                * 100.0;
+            row.push(speedup);
+        }
+        println!("{:>4} {:>22.2} {:>22.2}", k, row[0], row[1]);
+        csv.push_str(&format!("{k},{:.3},{:.3}\n", row[0], row[1]));
+    }
+    println!("\npaper: ~5% at k=2, saturating near k=6 (its operating point)");
+    write_results("fig10.csv", &csv);
+}

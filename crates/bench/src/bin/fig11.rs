@@ -1,0 +1,76 @@
+//! Fig. 11 (and Table 1): effect of the scheduling algorithm on secure
+//! accelerator performance and off-chip traffic.
+//!
+//! (a) latency normalised to the unsecure baseline, per workload, for
+//!     Crypt-Tile-Single / Crypt-Opt-Single / Crypt-Opt-Cross;
+//! (b) the additional off-chip traffic broken into hash reads,
+//!     redundant reads and rehash traffic.
+//!
+//! Paper shapes to reproduce: every step of the scheduler improves (or
+//! maintains) latency and traffic; the gains grow with workload depth
+//! (MobileNetV2 benefits most); Crypt-Tile-Single pays large rehash
+//! traffic that the optimal assignment eliminates.
+
+use secureloop::{Algorithm, Scheduler};
+use secureloop_bench::{base_secure_arch, paper_annealing, paper_search, write_results};
+use secureloop_bench::workloads;
+
+fn main() {
+    println!("Table 1 — scheduling algorithms:");
+    println!("  Crypt-Tile-Single : crypt-aware mapper, tile-as-an-AuthBlock, no cross-layer");
+    println!("  Crypt-Opt-Single  : + optimal AuthBlock assignment");
+    println!("  Crypt-Opt-Cross   : + simulated-annealing cross-layer fine-tuning\n");
+
+    let arch = base_secure_arch();
+    println!("architecture: {}\n", arch.summary());
+    let mut csv = String::from(
+        "workload,algorithm,latency_cycles,normalized_latency,edp_rel,hash_mbit,redundant_mbit,rehash_mbit\n",
+    );
+
+    for net in workloads() {
+        let scheduler = Scheduler::new(arch.clone())
+            .with_search(paper_search())
+            .with_annealing(paper_annealing());
+        let unsecure = scheduler.schedule(&net, Algorithm::Unsecure);
+        println!(
+            "== {} (unsecure baseline: {} cycles, EDP {:.3e})",
+            net.name(),
+            unsecure.total_latency_cycles,
+            unsecure.edp()
+        );
+        println!(
+            "{:<20} {:>12} {:>8} {:>8} | {:>10} {:>12} {:>10}",
+            "algorithm", "cycles", "norm", "EDPrel", "hash(Mb)", "redund(Mb)", "rehash(Mb)"
+        );
+        for algo in Algorithm::SECURE {
+            let s = scheduler.schedule(&net, algo);
+            let norm = s.total_latency_cycles as f64 / unsecure.total_latency_cycles as f64;
+            let edp_rel = s.edp() / unsecure.edp();
+            println!(
+                "{:<20} {:>12} {:>8.2} {:>8.2} | {:>10.2} {:>12.2} {:>10.2}",
+                algo.name(),
+                s.total_latency_cycles,
+                norm,
+                edp_rel,
+                s.overhead.hash_bits as f64 / 1e6,
+                s.overhead.redundant_bits as f64 / 1e6,
+                s.overhead.rehash_bits as f64 / 1e6,
+            );
+            csv.push_str(&format!(
+                "{},{},{},{:.4},{:.4},{:.3},{:.3},{:.3}\n",
+                net.name(),
+                algo.name(),
+                s.total_latency_cycles,
+                norm,
+                edp_rel,
+                s.overhead.hash_bits as f64 / 1e6,
+                s.overhead.redundant_bits as f64 / 1e6,
+                s.overhead.rehash_bits as f64 / 1e6,
+            ));
+        }
+        println!();
+    }
+    println!("paper Fig 11a (normalised latency): AlexNet 1.44/1.40/1.39,");
+    println!("ResNet18 2.37/2.28/2.25, MobileNetV2 14.77/10.35/9.86");
+    write_results("fig11.csv", &csv);
+}

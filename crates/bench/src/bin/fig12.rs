@@ -1,0 +1,72 @@
+//! Fig. 12: roofline model for secure accelerators.
+//!
+//! Left panel: the three workloads under the unsecure baseline vs the
+//! full secure scheduler, against the compute roof, the DRAM slope and
+//! the crypto-limited effective slope. Right panel: MobileNetV2 under
+//! each scheduling algorithm — each SecureLoop step raises the achieved
+//! computational intensity.
+
+use secureloop::roofline::{schedule_point, RooflineModel};
+use secureloop::{Algorithm, Scheduler};
+use secureloop_bench::{base_secure_arch, paper_annealing, paper_search, workloads, write_results};
+
+fn main() {
+    let arch = base_secure_arch();
+    let model = RooflineModel::of(&arch);
+    println!("machine lines (100 MHz):");
+    println!("  compute roof       : {:.1} GFLOPS", model.peak_gflops);
+    println!("  DRAM slope         : {:.1} GB/s", model.dram_gbps);
+    println!(
+        "  effective slope    : {:.2} GB/s (min of DRAM and crypto engines)",
+        model.effective_gbps
+    );
+    // The paper's dotted line assumes a single engine for all traffic.
+    let single = secureloop_crypto::EngineClass::Parallel.engine().bytes_per_cycle()
+        * arch.clock_mhz()
+        * 1e6
+        / 1e9;
+    println!("  single-engine slope: {single:.2} GB/s (the paper's dotted line)\n");
+
+    let scheduler = Scheduler::new(arch.clone())
+        .with_search(paper_search())
+        .with_annealing(paper_annealing());
+
+    let mut csv =
+        String::from("workload,algorithm,intensity_flop_per_byte,gflops,bound\n");
+    println!(
+        "{:<36} {:>12} {:>10} {:>16}",
+        "workload / algorithm", "FLOP/byte", "GFLOPS", "bound"
+    );
+    for net in workloads() {
+        for algo in [
+            Algorithm::Unsecure,
+            Algorithm::CryptTileSingle,
+            Algorithm::CryptOptSingle,
+            Algorithm::CryptOptCross,
+        ] {
+            let s = scheduler.schedule(&net, algo);
+            let p = schedule_point(&s, &arch);
+            let bound = if p.intensity >= model.ridge_intensity() {
+                "compute-bound"
+            } else {
+                "memory-bound"
+            };
+            println!(
+                "{:<36} {:>12.2} {:>10.2} {:>16}",
+                p.label, p.intensity, p.gflops, bound
+            );
+            csv.push_str(&format!(
+                "{},{},{:.4},{:.4},{}\n",
+                net.name(),
+                algo.name(),
+                p.intensity,
+                p.gflops,
+                bound
+            ));
+        }
+        println!();
+    }
+    println!("paper: unsecure points sit compute-bound; crypto throttling pushes secure");
+    println!("points toward the memory-bound region; each scheduler step raises intensity.");
+    write_results("fig12.csv", &csv);
+}

@@ -1,0 +1,64 @@
+//! Fig. 13: slowdown and area overhead for different cryptographic
+//! engine configurations (Parallel ×1/×5/×10, Pipelined ×1/×2,
+//! Serial ×30) on the base accelerator with Crypt-Opt-Cross.
+//!
+//! Paper shapes: 30 serial engines perform like 1 parallel engine at
+//! ~10x the area; pipelined engines remove nearly all slowdown; a
+//! moderate number of higher-throughput engines beats scaling out
+//! low-throughput ones.
+
+use secureloop::dse::fig13_engine_configs;
+use secureloop::{Algorithm, Scheduler};
+use secureloop_arch::Architecture;
+use secureloop_bench::{paper_annealing, paper_search, workloads, write_results};
+use secureloop_energy::AreaModel;
+
+fn main() {
+    let mut csv =
+        String::from("workload,engines,latency_cycles,slowdown,area_overhead_pct\n");
+    for net in workloads() {
+        let unsecure = Scheduler::new(Architecture::eyeriss_base())
+            .with_search(paper_search())
+            .with_annealing(paper_annealing())
+            .schedule(&net, Algorithm::Unsecure);
+        println!(
+            "== {} (unsecure: {} cycles)",
+            net.name(),
+            unsecure.total_latency_cycles
+        );
+        println!(
+            "{:<16} {:>12} {:>10} {:>18}",
+            "engines", "cycles", "slowdown", "area overhead (%)"
+        );
+        for cfg in fig13_engine_configs() {
+            let arch = Architecture::eyeriss_base().with_crypto(cfg.clone());
+            let area = AreaModel::of(&arch);
+            let s = Scheduler::new(arch)
+                .with_search(paper_search())
+                .with_annealing(paper_annealing())
+                .schedule(&net, Algorithm::CryptOptCross);
+            let slowdown =
+                s.total_latency_cycles as f64 / unsecure.total_latency_cycles as f64;
+            let overhead = area.crypto_overhead_fraction() * 100.0;
+            println!(
+                "{:<16} {:>12} {:>10.2} {:>18.1}",
+                cfg.label(),
+                s.total_latency_cycles,
+                slowdown,
+                overhead
+            );
+            csv.push_str(&format!(
+                "{},{},{},{:.4},{:.2}\n",
+                net.name(),
+                cfg.label(),
+                s.total_latency_cycles,
+                slowdown,
+                overhead
+            ));
+        }
+        println!();
+    }
+    println!("paper: Serial x30 ~ Parallel x1 performance at ~10x area overhead;");
+    println!("pipelined engines approach the unsecure baseline.");
+    write_results("fig13.csv", &csv);
+}

@@ -1,0 +1,66 @@
+//! Fig. 14: latency vs PE-array size (14×12, 14×24, 28×24) for the
+//! unsecure baseline and secure designs with pipelined / parallel
+//! AES-GCM engines.
+//!
+//! Paper shape: the unsecure baseline scales almost linearly with PE
+//! count; the parallel-engine design barely improves because the
+//! decrypted-data supply is the bottleneck.
+
+use secureloop::dse::FIG14_PE_ARRAYS;
+use secureloop::{Algorithm, Scheduler};
+use secureloop_arch::Architecture;
+use secureloop_bench::{paper_annealing, paper_search, workloads, write_results};
+use secureloop_crypto::{CryptoConfig, EngineClass};
+
+fn main() {
+    let mut csv = String::from("workload,pe_array,config,latency_cycles\n");
+    for net in workloads() {
+        println!("== {}", net.name());
+        println!(
+            "{:<8} {:>14} {:>16} {:>16}",
+            "PEs", "Unsecure", "Pipelined x3", "Parallel x3"
+        );
+        for &(x, y) in &FIG14_PE_ARRAYS {
+            let mut row = Vec::new();
+            for crypto in [
+                None,
+                Some(CryptoConfig::new(EngineClass::Pipelined, 3)),
+                Some(CryptoConfig::new(EngineClass::Parallel, 3)),
+            ] {
+                let mut arch = Architecture::eyeriss_base().with_pe_array(x, y);
+                let algo = match &crypto {
+                    None => Algorithm::Unsecure,
+                    Some(c) => {
+                        arch = arch.with_crypto(c.clone());
+                        Algorithm::CryptOptCross
+                    }
+                };
+                let s = Scheduler::new(arch)
+                    .with_search(paper_search())
+                    .with_annealing(paper_annealing())
+                    .schedule(&net, algo);
+                let label = crypto.map(|c| c.label()).unwrap_or("Unsecure".into());
+                csv.push_str(&format!(
+                    "{},{}x{},{},{}\n",
+                    net.name(),
+                    x,
+                    y,
+                    label,
+                    s.total_latency_cycles
+                ));
+                row.push(s.total_latency_cycles);
+            }
+            println!(
+                "{:<8} {:>14} {:>16} {:>16}",
+                format!("{x}x{y}"),
+                row[0],
+                row[1],
+                row[2]
+            );
+        }
+        println!();
+    }
+    println!("paper: unsecure latency ~halves per PE doubling; the parallel-engine");
+    println!("design is bandwidth-bound and gains little from more PEs.");
+    write_results("fig14.csv", &csv);
+}

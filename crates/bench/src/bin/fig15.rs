@@ -1,0 +1,65 @@
+//! Fig. 15: latency vs global-buffer capacity (16/32/131 kB) for the
+//! unsecure baseline and secure designs with pipelined / parallel
+//! AES-GCM engines.
+//!
+//! Paper shape: shrinking the buffer raises off-chip traffic; the
+//! unsecure design absorbs it (plenty of DRAM bandwidth), while the
+//! parallel-engine design is throttled further.
+
+use secureloop::dse::FIG15_GLB_KB;
+use secureloop::{Algorithm, Scheduler};
+use secureloop_arch::Architecture;
+use secureloop_bench::{paper_annealing, paper_search, workloads, write_results};
+use secureloop_crypto::{CryptoConfig, EngineClass};
+
+fn main() {
+    let mut csv = String::from("workload,glb_kb,config,latency_cycles\n");
+    for net in workloads() {
+        println!("== {}", net.name());
+        println!(
+            "{:<8} {:>14} {:>16} {:>16}",
+            "GLB", "Unsecure", "Pipelined x3", "Parallel x3"
+        );
+        for &kb in &FIG15_GLB_KB {
+            let mut row = Vec::new();
+            for crypto in [
+                None,
+                Some(CryptoConfig::new(EngineClass::Pipelined, 3)),
+                Some(CryptoConfig::new(EngineClass::Parallel, 3)),
+            ] {
+                let mut arch = Architecture::eyeriss_base().with_glb_kb(kb);
+                let algo = match &crypto {
+                    None => Algorithm::Unsecure,
+                    Some(c) => {
+                        arch = arch.with_crypto(c.clone());
+                        Algorithm::CryptOptCross
+                    }
+                };
+                let s = Scheduler::new(arch)
+                    .with_search(paper_search())
+                    .with_annealing(paper_annealing())
+                    .schedule(&net, algo);
+                let label = crypto.map(|c| c.label()).unwrap_or("Unsecure".into());
+                csv.push_str(&format!(
+                    "{},{},{},{}\n",
+                    net.name(),
+                    kb,
+                    label,
+                    s.total_latency_cycles
+                ));
+                row.push(s.total_latency_cycles);
+            }
+            println!(
+                "{:<8} {:>14} {:>16} {:>16}",
+                format!("{kb}kB"),
+                row[0],
+                row[1],
+                row[2]
+            );
+        }
+        println!();
+    }
+    println!("paper: small buffers -> larger off-chip traffic -> longer latency for the");
+    println!("bandwidth-limited secure designs; the unsecure baseline barely moves.");
+    write_results("fig15.csv", &csv);
+}

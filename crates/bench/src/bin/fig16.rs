@@ -1,0 +1,96 @@
+//! Fig. 16: the area vs performance trade-off of secure accelerator
+//! designs (PE array × GLB size × engine class) on AlexNet, with the
+//! Pareto front highlighted.
+//!
+//! Paper insights to reproduce: small-buffer + high-throughput-engine
+//! designs are often Pareto-optimal (trade SRAM area for crypto
+//! throughput); large PE arrays with low-throughput engines are
+//! dominated.
+
+use secureloop::dse::{evaluate_designs, fig16_design_space, pareto_front};
+use secureloop::Algorithm;
+use secureloop_bench::plot::{Plot, Series};
+use secureloop_bench::{paper_annealing, paper_search, write_results};
+use secureloop_workload::zoo;
+
+fn main() {
+    let net = zoo::alexnet_conv();
+    let designs = fig16_design_space();
+    println!(
+        "evaluating {} designs on {} with Crypt-Opt-Cross...\n",
+        designs.len(),
+        net.name()
+    );
+    let results = evaluate_designs(
+        &net,
+        &designs,
+        Algorithm::CryptOptCross,
+        &paper_search(),
+        &paper_annealing(),
+    );
+    let front = pareto_front(&results);
+
+    println!(
+        "{:<28} {:>10} {:>14} {:>8}",
+        "design", "area(mm2)", "cycles", "pareto"
+    );
+    let mut csv = String::from("design,area_mm2,latency_cycles,pareto\n");
+    let mut order: Vec<usize> = (0..results.len()).collect();
+    order.sort_by(|&a, &b| {
+        results[a]
+            .area_mm2()
+            .partial_cmp(&results[b].area_mm2())
+            .unwrap()
+    });
+    for i in order {
+        let r = &results[i];
+        let on = front.contains(&i);
+        println!(
+            "{:<28} {:>10.2} {:>14} {:>8}",
+            r.label,
+            r.area_mm2(),
+            r.latency(),
+            if on { "*" } else { "" }
+        );
+        csv.push_str(&format!(
+            "{},{:.3},{},{}\n",
+            r.label,
+            r.area_mm2(),
+            r.latency(),
+            on
+        ));
+    }
+    println!("\nPareto front:");
+    for &i in &front {
+        println!("  {}", results[i].label);
+    }
+    let small_glb_fast_engine = front.iter().any(|&i| {
+        results[i].label.contains("16kB") && results[i].label.contains("Pipelined")
+    });
+    println!(
+        "\npaper insight check — small-GLB + pipelined-engine design on the front: {}",
+        if small_glb_fast_engine { "yes" } else { "no" }
+    );
+    write_results("fig16.csv", &csv);
+
+    let mut plot = Plot::new(
+        "Fig. 16: area vs performance trade-off (AlexNet)",
+        "area (mm^2)",
+        "latency (cycles)",
+    );
+    plot.push(Series::scatter(
+        "designs",
+        results
+            .iter()
+            .map(|r| (r.area_mm2(), r.latency() as f64))
+            .collect(),
+    ));
+    plot.push(Series::line(
+        "pareto front",
+        front
+            .iter()
+            .map(|&i| (results[i].area_mm2(), results[i].latency() as f64))
+            .collect(),
+    ));
+    write_results("fig16.svg", &plot.to_svg());
+}

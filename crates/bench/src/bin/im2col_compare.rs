@@ -1,0 +1,104 @@
+//! Fig. 5's two accelerator styles, quantified: a convolution
+//! accelerator reads the compact ifmap with *halos* between tiles,
+//! while a matrix-multiply accelerator reads the im2col-lowered matrix
+//! with *duplicated* data but perfectly disjoint tiles.
+//!
+//! For each AlexNet/ResNet conv layer this harness compares the total
+//! secure ifmap traffic (data + AuthBlock overhead) of both styles:
+//! direct convolution pays the optimiser-minimised halo overhead;
+//! im2col pays the duplication factor up front but zero redundancy.
+
+use secureloop_authblock::{
+    optimize, AccessPattern, AssignmentProblem, Region, TileGrid,
+};
+use secureloop_bench::write_results;
+use secureloop_workload::{zoo, ConvLayer, Datatype, Dim};
+
+/// Direct-conv ifmap problem: window tiles with halos over one channel
+/// plane (a representative 4x4 grid of 14-output-row tiles).
+fn direct_problem(layer: &ConvLayer) -> (AssignmentProblem, u64) {
+    let region = Region::new(layer.ifmap_height(), layer.ifmap_width());
+    let p_tile = (layer.dim(Dim::P).div_ceil(4)).max(1);
+    let q_tile = (layer.dim(Dim::Q).div_ceil(4)).max(1);
+    let window_h = ((p_tile - 1) * layer.stride() + layer.dim(Dim::R)).min(region.h);
+    let window_w = ((q_tile - 1) * layer.stride() + layer.dim(Dim::S)).min(region.w);
+    let grid = TileGrid::covering_with_halo(
+        region,
+        window_h,
+        window_w,
+        p_tile * layer.stride(),
+        q_tile * layer.stride(),
+    );
+    (
+        AssignmentProblem {
+            region,
+            producer_grid: TileGrid::covering(region, region.h, region.w),
+            producer_write_sweeps: 0,
+            readers: vec![AccessPattern { grid, sweeps: 1 }],
+            word_bits: layer.word_bits(),
+            tag_bits: 64,
+        },
+        layer.ifmap_channels(),
+    )
+}
+
+fn main() {
+    println!("Direct convolution (halos) vs im2col (duplication), secure ifmap traffic\n");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} | {:>12} {:>12} | {:>8}",
+        "layer", "dup", "direct(Mb)", "ovh(Mb)", "im2col(Mb)", "tags(Mb)", "winner"
+    );
+    let mut csv = String::from(
+        "layer,duplication,direct_data_mbit,direct_overhead_mbit,im2col_data_mbit,im2col_tag_mbit,winner\n",
+    );
+    let nets = [zoo::alexnet_conv(), zoo::resnet18()];
+    for net in &nets {
+        for layer in net.layers().iter().filter(|l| l.dim(Dim::R) > 1) {
+            let (problem, planes) = direct_problem(layer);
+            let choice = optimize(&problem);
+            let direct_data = layer.tensor_bits(Datatype::Ifmap);
+            let direct_ovh = choice.overhead.total().total_bits() * planes;
+
+            // im2col: duplicated matrix read once; disjoint tiles mean
+            // tile-aligned blocks with zero redundancy — only tags.
+            let im2col_data =
+                layer.im2col_ifmap_elems() * u64::from(layer.word_bits());
+            let tiles = (layer.im2col_ifmap_elems()).div_ceil(
+                (problem.readers[0].grid.tile_h * problem.readers[0].grid.tile_w).max(1),
+            );
+            let im2col_tags = tiles * 64;
+
+            let direct_total = direct_data + direct_ovh;
+            let im2col_total = im2col_data + im2col_tags;
+            let winner = if direct_total <= im2col_total {
+                "direct"
+            } else {
+                "im2col"
+            };
+            println!(
+                "{:<10} {:>9.1}x {:>12.2} {:>12.3} | {:>12.2} {:>12.3} | {:>8}",
+                layer.name(),
+                layer.im2col_duplication(),
+                direct_data as f64 / 1e6,
+                direct_ovh as f64 / 1e6,
+                im2col_data as f64 / 1e6,
+                im2col_tags as f64 / 1e6,
+                winner
+            );
+            csv.push_str(&format!(
+                "{},{:.2},{:.3},{:.3},{:.3},{:.3},{}\n",
+                layer.name(),
+                layer.im2col_duplication(),
+                direct_data as f64 / 1e6,
+                direct_ovh as f64 / 1e6,
+                im2col_data as f64 / 1e6,
+                im2col_tags as f64 / 1e6,
+                winner
+            ));
+        }
+    }
+    println!("\npaper context (Fig. 5): halos make tile-as-an-AuthBlock unappealing for");
+    println!("direct conv, but the im2col alternative multiplies the data itself —");
+    println!("SecureLoop's optimal assignment keeps direct conv's footprint advantage.");
+    write_results("im2col_compare.csv", &csv);
+}

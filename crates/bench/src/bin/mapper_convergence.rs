@@ -1,0 +1,72 @@
+//! Methodology check: convergence of the random-pruned mapper
+//! (Timeloop's search mode, which the paper builds on) as a function of
+//! the sample budget, against the deterministic greedy construction.
+//!
+//! Informs the budget choice used by the experiment harnesses: the
+//! curve flattens well before the default 4000 samples/layer.
+
+use secureloop_arch::Architecture;
+use secureloop_bench::plot::{Plot, Series};
+use secureloop_bench::write_results;
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_mapper::{greedy_mapping, search, SearchConfig};
+use secureloop_workload::zoo;
+
+fn main() {
+    let arch = Architecture::eyeriss_base()
+        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let net = zoo::resnet18();
+    let layers = [1usize, 5, 9]; // representative shapes
+
+    let budgets = [50usize, 100, 250, 500, 1000, 2000, 4000, 8000];
+    let mut csv = String::from("layer,samples,best_latency_cycles,greedy_latency_cycles\n");
+    let mut plot = Plot::new(
+        "Mapper convergence (ResNet-18 layers, secure base arch)",
+        "samples",
+        "best latency (cycles)",
+    )
+    .with_log_x();
+
+    for &li in &layers {
+        let layer = &net.layers()[li];
+        let greedy = greedy_mapping(layer, &arch).expect("greedy works").1;
+        println!(
+            "{} (greedy seed: {} cycles)",
+            layer.name(),
+            greedy.latency_cycles
+        );
+        println!("{:>8} {:>14} {:>10}", "samples", "best cycles", "vs greedy");
+        let mut pts = Vec::new();
+        for &samples in &budgets {
+            let r = search(
+                layer,
+                &arch,
+                &SearchConfig {
+                    samples,
+                    top_k: 1,
+                    seed: 1,
+                    threads: 4,
+                },
+            );
+            let best = r.best().expect("nonempty").1.latency_cycles;
+            println!(
+                "{:>8} {:>14} {:>9.2}x",
+                samples,
+                best,
+                greedy.latency_cycles as f64 / best as f64
+            );
+            csv.push_str(&format!(
+                "{},{},{},{}\n",
+                layer.name(),
+                samples,
+                best,
+                greedy.latency_cycles
+            ));
+            pts.push((samples as f64, best as f64));
+        }
+        plot.push(Series::line(layer.name(), pts));
+        println!();
+    }
+    write_results("mapper_convergence.csv", &csv);
+    write_results("mapper_convergence.svg", &plot.to_svg());
+}

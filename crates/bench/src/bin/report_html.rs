@@ -1,0 +1,21 @@
+//! Assemble `results/index.html` from every CSV and SVG the experiment
+//! binaries have produced. Run after `run_all` and the fig/ablation
+//! harnesses.
+
+use std::path::Path;
+
+use secureloop_bench::html::build_report;
+
+fn main() {
+    let dir = Path::new("results");
+    match build_report(dir) {
+        Ok(html) => {
+            let path = dir.join("index.html");
+            match std::fs::write(&path, html) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+            }
+        }
+        Err(e) => eprintln!("cannot read {}: {e} — run the experiment binaries first", dir.display()),
+    }
+}

@@ -1,0 +1,55 @@
+//! The artifact's `run_all` workflow as a single binary: runs every
+//! scheduling experiment (the Fig. 11 core results) for all three
+//! workloads, dumps per-design stats, JSON reports and the summary CSV —
+//! mirroring `workspace/run_all.ipynb` of the original artifact.
+//!
+//! For the remaining figures run the dedicated binaries (`fig03`,
+//! `fig09`, `fig10`, `fig12`–`fig16`, `dram_sweep`, plus the ablations
+//! `treeless_ablation`, `im2col_compare`, `dataflow_sweep`,
+//! `edge_vs_cloud`).
+
+use secureloop::report;
+use secureloop::{Algorithm, Scheduler};
+use secureloop_bench::{base_secure_arch, paper_annealing, paper_search, workloads, write_results};
+
+fn main() {
+    let arch = base_secure_arch();
+    let scheduler = Scheduler::new(arch.clone())
+        .with_search(paper_search())
+        .with_annealing(paper_annealing());
+
+    let mut all = Vec::new();
+    for net in workloads() {
+        println!("== {} ==", net.name());
+        for algo in [
+            Algorithm::Unsecure,
+            Algorithm::CryptTileSingle,
+            Algorithm::CryptOptSingle,
+            Algorithm::CryptOptCross,
+        ] {
+            let s = scheduler.schedule(&net, algo);
+            println!(
+                "  {:<20} {:>12} cycles  {:>10.1} uJ  +{:.2} Mbit",
+                algo.name(),
+                s.total_latency_cycles,
+                s.total_energy_pj / 1e6,
+                s.overhead.total_bits() as f64 / 1e6
+            );
+            let slug = format!(
+                "{}_{}",
+                net.name().to_lowercase(),
+                algo.name().to_lowercase().replace('-', "_")
+            );
+            write_results(&format!("stats_{slug}.txt"), &report::layer_stats_text(&s));
+            write_results(&format!("stats_{slug}.json"), &report::to_json(&s));
+            all.push(s);
+        }
+    }
+    let mut csv = Vec::new();
+    report::write_summary_csv(&mut csv, &all).expect("in-memory write");
+    write_results(
+        "run_all_summary.csv",
+        &String::from_utf8(csv).expect("csv is utf-8"),
+    );
+    println!("\nwrote {} schedules under results/", all.len());
+}

@@ -1,0 +1,48 @@
+//! Table 2: specifications of the AES and Galois-field multiplier
+//! stages used to construct the three AES-GCM engine design points.
+
+use secureloop_bench::write_results;
+use secureloop_crypto::EngineClass;
+
+fn main() {
+    println!("Table 2 — AES-GCM engine design points\n");
+    println!(
+        "{:<10} | {:>6} {:>12} {:>10} | {:>6} {:>12} {:>10} | {:>10}",
+        "arch", "AES cy", "AES kGates", "AES pJ", "GF cy", "GF kGates", "GF pJ", "B/cycle"
+    );
+    let mut csv = String::from(
+        "arch,aes_cycles,aes_kgates,aes_pj,gf_cycles,gf_kgates,gf_pj,bytes_per_cycle\n",
+    );
+    for class in EngineClass::ALL {
+        let aes = class.aes();
+        let gf = class.gf_mult();
+        let engine = class.engine();
+        println!(
+            "{:<10} | {:>6} {:>12.1} {:>10.1} | {:>6} {:>12.1} {:>10.1} | {:>10.3}",
+            class.name(),
+            aes.cycles_per_block,
+            aes.area_kgates,
+            aes.energy_pj,
+            gf.cycles_per_block,
+            gf.area_kgates,
+            gf.energy_pj,
+            engine.bytes_per_cycle()
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            class.name(),
+            aes.cycles_per_block,
+            aes.area_kgates,
+            aes.energy_pj,
+            gf.cycles_per_block,
+            gf.area_kgates,
+            gf.energy_pj,
+            engine.bytes_per_cycle()
+        ));
+    }
+    println!(
+        "\n3x pipelined engines (one per datatype) = {:.1} kGates (paper: 416.7, ~35% of Eyeriss logic)",
+        3.0 * EngineClass::Pipelined.engine().area_kgates()
+    );
+    write_results("table2.csv", &csv);
+}

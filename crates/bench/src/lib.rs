@@ -1,0 +1,106 @@
+#![warn(missing_docs)]
+
+//! Shared harness utilities for the per-figure experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation (§5) has a binary
+//! under `src/bin/` that regenerates it (see `DESIGN.md` for the index):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig03` | AES implementation survey (area vs cycles/block) |
+//! | `table2` | AES-GCM engine design points |
+//! | `fig09` | AuthBlock orientation × size traffic sweep |
+//! | `fig10` | SA speedup vs top-k, 1000 & 5000 iterations |
+//! | `fig11` | Scheduling-algorithm latency + traffic breakdown |
+//! | `fig12` | Roofline model |
+//! | `fig13` | Engine configurations: slowdown + area overhead |
+//! | `fig14` | PE-array scaling |
+//! | `fig15` | GLB-size scaling |
+//! | `fig16` | Area vs performance Pareto front |
+//! | `dram_sweep` | §5.2 DRAM-technology study |
+//! | `run_all` | the artifact's run-everything workflow |
+//!
+//! Extended studies past the paper's figures: `treeless_ablation`,
+//! `im2col_compare`, `dataflow_sweep`, `edge_vs_cloud`,
+//! `fusion_ablation`, `tag_sweep`, `batch_sweep`, `rf_fidelity`,
+//! `mapper_convergence` (see `EXPERIMENTS.md`).
+//!
+//! Each binary prints the paper-style rows on stdout and drops a CSV
+//! (and, where useful, an SVG) under `results/`.
+
+pub mod html;
+pub mod plot;
+
+use std::fs;
+use std::path::PathBuf;
+
+use secureloop::{AnnealingConfig, Scheduler};
+use secureloop_arch::Architecture;
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_mapper::SearchConfig;
+use secureloop_workload::{zoo, Network};
+
+/// Mapper budget used by the experiment binaries: the paper's top-k = 6
+/// with a sample count that saturates quality on these workloads.
+pub fn paper_search() -> SearchConfig {
+    SearchConfig {
+        samples: 4000,
+        top_k: 6,
+        seed: 0x5ec0_4e10,
+        threads: 8,
+    }
+}
+
+/// The paper's annealing operating point (k = 6, 1000 iterations).
+pub fn paper_annealing() -> AnnealingConfig {
+    AnnealingConfig::paper_default()
+}
+
+/// The base secure configuration of §5.1: Eyeriss-like accelerator with
+/// one parallel AES-GCM engine per datatype.
+pub fn base_secure_arch() -> Architecture {
+    Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3))
+}
+
+/// A scheduler with the paper budgets on the given architecture.
+pub fn paper_scheduler(arch: Architecture) -> Scheduler {
+    Scheduler::new(arch)
+        .with_search(paper_search())
+        .with_annealing(paper_annealing())
+}
+
+/// The three evaluation workloads of §5.1.
+pub fn workloads() -> Vec<Network> {
+    vec![zoo::alexnet_conv(), zoo::resnet18(), zoo::mobilenet_v2()]
+}
+
+/// Write `contents` to `results/<name>` (creating the directory), and
+/// report the path on stdout.
+pub fn write_results(name: &str, contents: &str) {
+    let dir = PathBuf::from("results");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match fs::write(&path, contents) {
+        Ok(()) => println!("\n[wrote {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_configs_are_papers() {
+        assert_eq!(paper_search().top_k, 6);
+        assert_eq!(paper_annealing().iterations, 1000);
+        assert_eq!(paper_annealing().k, 6);
+        let arch = base_secure_arch();
+        assert!(arch.is_secure());
+        assert_eq!(arch.crypto().unwrap().label(), "Parallel x3");
+        assert_eq!(workloads().len(), 3);
+    }
+}

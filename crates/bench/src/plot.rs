@@ -1,0 +1,349 @@
+//! Minimal self-contained SVG charting for the figure harnesses.
+//!
+//! No external plotting dependency: [`Plot`] renders scatter/line
+//! series with linear or logarithmic axes to an SVG string, enough to
+//! eyeball each regenerated figure next to the paper's.
+
+use std::fmt::Write as _;
+
+/// How a series is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Style {
+    /// Connected polyline.
+    Line,
+    /// Discrete markers.
+    Scatter,
+}
+
+/// One named data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+    /// Drawing style.
+    pub style: Style,
+}
+
+impl Series {
+    /// A line series.
+    pub fn line(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+            style: Style::Line,
+        }
+    }
+
+    /// A scatter series.
+    pub fn scatter(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+            style: Style::Scatter,
+        }
+    }
+}
+
+/// A 2-D chart.
+#[derive(Debug, Clone)]
+pub struct Plot {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Logarithmic X axis.
+    pub log_x: bool,
+    /// Logarithmic Y axis.
+    pub log_y: bool,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+const W: f64 = 640.0;
+const H: f64 = 440.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+
+impl Plot {
+    /// Start an empty plot.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Plot {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Use a log-10 X axis.
+    pub fn with_log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Use a log-10 Y axis.
+    pub fn with_log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Add a series.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    fn tx(&self, v: f64) -> f64 {
+        if self.log_x {
+            v.log10()
+        } else {
+            v
+        }
+    }
+
+    fn ty(&self, v: f64) -> f64 {
+        if self.log_y {
+            v.log10()
+        } else {
+            v
+        }
+    }
+
+    /// Render to an SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series has any finite point, or if a log axis sees
+    /// a non-positive value.
+    pub fn to_svg(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|&(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        assert!(!pts.is_empty(), "plot has no data");
+        if self.log_x {
+            assert!(pts.iter().all(|&(x, _)| x > 0.0), "log-x needs positive values");
+        }
+        if self.log_y {
+            assert!(pts.iter().all(|&(_, y)| y > 0.0), "log-y needs positive values");
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            let (x, y) = (self.tx(x), self.ty(y));
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        // Pad degenerate ranges.
+        if (x1 - x0).abs() < 1e-12 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y0 -= 0.5;
+            y1 += 0.5;
+        }
+        let pad_x = (x1 - x0) * 0.05;
+        let pad_y = (y1 - y0) * 0.08;
+        let (x0, x1, y0, y1) = (x0 - pad_x, x1 + pad_x, y0 - pad_y, y1 + pad_y);
+
+        let px = |x: f64| MARGIN_L + (self.tx(x) - x0) / (x1 - x0) * (W - MARGIN_L - MARGIN_R);
+        let py = |y: f64| H - MARGIN_B - (self.ty(y) - y0) / (y1 - y0) * (H - MARGIN_T - MARGIN_B);
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = writeln!(svg, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+        // Frame.
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{}" height="{}" fill="none" stroke="#333"/>"##,
+            W - MARGIN_L - MARGIN_R,
+            H - MARGIN_T - MARGIN_B
+        );
+        // Title and axis labels.
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="22" text-anchor="middle" font-size="15">{}</text>"#,
+            W / 2.0,
+            xml(&self.title)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            W / 2.0,
+            H - 12.0,
+            xml(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            H / 2.0,
+            H / 2.0,
+            xml(&self.y_label)
+        );
+        // Ticks: 5 per axis, inverse-transformed labels.
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * f64::from(i) / 4.0;
+            let vx = if self.log_x { 10f64.powf(fx) } else { fx };
+            let sx = MARGIN_L + (fx - x0) / (x1 - x0) * (W - MARGIN_L - MARGIN_R);
+            let _ = writeln!(
+                svg,
+                r#"<text x="{sx:.1}" y="{}" text-anchor="middle" font-size="10">{}</text>"#,
+                H - MARGIN_B + 16.0,
+                fmt_tick(vx)
+            );
+            let fy = y0 + (y1 - y0) * f64::from(i) / 4.0;
+            let vy = if self.log_y { 10f64.powf(fy) } else { fy };
+            let sy = H - MARGIN_B - (fy - y0) / (y1 - y0) * (H - MARGIN_T - MARGIN_B);
+            let _ = writeln!(
+                svg,
+                r#"<text x="{}" y="{sy:.1}" text-anchor="end" font-size="10">{}</text>"#,
+                MARGIN_L - 6.0,
+                fmt_tick(vy)
+            );
+        }
+        // Series.
+        for (si, s) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            match s.style {
+                Style::Line => {
+                    let path: Vec<String> = s
+                        .points
+                        .iter()
+                        .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+                        .collect();
+                    let _ = writeln!(
+                        svg,
+                        r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                        path.join(" ")
+                    );
+                }
+                Style::Scatter => {
+                    for &(x, y) in &s.points {
+                        let _ = writeln!(
+                            svg,
+                            r#"<circle cx="{:.1}" cy="{:.1}" r="4" fill="{color}" fill-opacity="0.8"/>"#,
+                            px(x),
+                            py(y)
+                        );
+                    }
+                }
+            }
+            // Legend.
+            let ly = MARGIN_T + 14.0 + 16.0 * si as f64;
+            let _ = writeln!(
+                svg,
+                r#"<rect x="{}" y="{:.1}" width="10" height="10" fill="{color}"/><text x="{}" y="{:.1}">{}</text>"#,
+                MARGIN_L + 8.0,
+                ly - 9.0,
+                MARGIN_L + 22.0,
+                ly,
+                xml(&s.name)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn xml(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100_000.0 || v.abs() < 0.01 {
+        format!("{v:.1e}")
+    } else if v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Plot {
+        let mut p = Plot::new("t", "x", "y");
+        p.push(Series::line("a", vec![(1.0, 2.0), (2.0, 4.0), (3.0, 1.0)]));
+        p.push(Series::scatter("b", vec![(1.5, 3.0)]));
+        p
+    }
+
+    #[test]
+    fn svg_contains_structure() {
+        let svg = sample().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.matches("<text").count() >= 5); // title, labels, ticks, legend
+        assert!(svg.contains(">a</text>"));
+    }
+
+    #[test]
+    fn coordinates_stay_inside_viewbox() {
+        let svg = sample().to_svg();
+        for token in svg.split('"') {
+            if let Ok(v) = token.parse::<f64>() {
+                assert!((-1.0..=641.0).contains(&v) || (0.0..=440.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn log_axes_transform() {
+        let mut p = Plot::new("log", "x", "y").with_log_x().with_log_y();
+        p.push(Series::scatter("s", vec![(1.0, 1.0), (10.0, 100.0), (100.0, 10000.0)]));
+        let svg = p.to_svg();
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "log-x needs positive")]
+    fn log_axis_rejects_nonpositive() {
+        let mut p = Plot::new("bad", "x", "y").with_log_x();
+        p.push(Series::scatter("s", vec![(0.0, 1.0)]));
+        let _ = p.to_svg();
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_plot_panics() {
+        let _ = Plot::new("e", "x", "y").to_svg();
+    }
+
+    #[test]
+    fn degenerate_range_is_padded() {
+        let mut p = Plot::new("flat", "x", "y");
+        p.push(Series::line("s", vec![(1.0, 5.0), (2.0, 5.0)]));
+        let svg = p.to_svg(); // must not divide by zero
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn xml_escaping() {
+        let mut p = Plot::new("a<b & c>d", "x", "y");
+        p.push(Series::line("s", vec![(0.0, 0.0), (1.0, 1.0)]));
+        let svg = p.to_svg();
+        assert!(svg.contains("a&lt;b &amp; c&gt;d"));
+    }
+}

@@ -1,0 +1,361 @@
+//! Step 3: cross-layer fine-tuning with simulated annealing
+//! (paper §4.3, Algorithm 1).
+//!
+//! The state is one retained schedule index per layer of a segment;
+//! `GetNeighbor` re-samples one layer's index among its top-k
+//! candidates; the cost is the segment's total secure latency under the
+//! optimal AuthBlock assignment. Temperature decreases linearly and the
+//! best-seen state is kept, so fine-tuning can never end up worse than
+//! its initialisation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use secureloop_arch::Architecture;
+use secureloop_workload::Network;
+
+use crate::candidates::CandidateSet;
+use crate::segment::{evaluate_segment, OverheadCache, SegmentEvaluation, StrategyMode};
+
+/// Temperature schedule (Algorithm 1, line 13 — the paper decreases
+/// temperature linearly; geometric cooling is the common alternative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cooling {
+    /// Linear interpolation from `t_init` to `t_final` (the paper's).
+    Linear,
+    /// Geometric decay `t_init · r^n` reaching `t_final` at the last
+    /// iteration.
+    Geometric,
+}
+
+/// Simulated-annealing knobs (paper Fig. 10 sweeps `k` and the
+/// iteration count; the defaults are the paper's chosen operating
+/// point: k = 6, 1000 iterations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealingConfig {
+    /// Iterations (`N` in Algorithm 1).
+    pub iterations: usize,
+    /// Neighbourhood size: top-k candidates per layer.
+    pub k: usize,
+    /// Initial temperature, as a fraction of the initial cost.
+    pub t_init: f64,
+    /// Final temperature fraction.
+    pub t_final: f64,
+    /// Temperature schedule.
+    pub cooling: Cooling,
+    /// Independent restarts (best state across restarts wins); the
+    /// paper reports the mean of 5 independent runs — restarts instead
+    /// keep the best.
+    pub restarts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl AnnealingConfig {
+    /// The paper's operating point: k = 6, 1000 iterations.
+    pub fn paper_default() -> Self {
+        AnnealingConfig {
+            iterations: 1000,
+            k: 6,
+            t_init: 0.05,
+            t_final: 1e-4,
+            cooling: Cooling::Linear,
+            restarts: 1,
+            seed: 0xa11ea1,
+        }
+    }
+
+    /// A small budget for tests.
+    pub fn quick() -> Self {
+        AnnealingConfig {
+            iterations: 60,
+            k: 3,
+            ..AnnealingConfig::paper_default()
+        }
+    }
+
+    /// Replace the neighbourhood size.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Replace the iteration count.
+    pub fn with_iterations(mut self, n: usize) -> Self {
+        self.iterations = n;
+        self
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the cooling schedule.
+    pub fn with_cooling(mut self, cooling: Cooling) -> Self {
+        self.cooling = cooling;
+        self
+    }
+
+    /// Replace the restart count.
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Temperature fraction at iteration `it` of `n`.
+    pub fn temperature_fraction(&self, it: usize, n: usize) -> f64 {
+        let frac = it as f64 / n.max(1) as f64;
+        match self.cooling {
+            Cooling::Linear => self.t_init + (self.t_final - self.t_init) * frac,
+            Cooling::Geometric => {
+                self.t_init * (self.t_final / self.t_init).powf(frac)
+            }
+        }
+    }
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        AnnealingConfig::paper_default()
+    }
+}
+
+/// Result of annealing one segment.
+#[derive(Debug, Clone)]
+pub struct AnnealOutcome {
+    /// Chosen candidate index per segment layer.
+    pub choice: Vec<usize>,
+    /// The evaluation of the chosen state.
+    pub eval: SegmentEvaluation,
+    /// Cost (total latency) of the initial all-best state, for
+    /// reporting the fine-tuning gain.
+    pub initial_latency: u64,
+}
+
+fn eval_choice(
+    network: &Network,
+    arch: &Architecture,
+    seg: &[usize],
+    candidates: &CandidateSet,
+    choice: &[usize],
+    cache: &mut OverheadCache,
+) -> SegmentEvaluation {
+    let picks: Vec<_> = seg
+        .iter()
+        .zip(choice)
+        .map(|(&li, &ci)| candidates.per_layer[li].options[ci].clone())
+        .collect();
+    evaluate_segment(network, arch, seg, &picks, StrategyMode::Optimal, cache)
+}
+
+/// Algorithm 1: anneal the per-layer schedule choice of one segment.
+/// Runs `cfg.restarts` independent chains and keeps the best state.
+pub fn anneal_segment(
+    network: &Network,
+    arch: &Architecture,
+    seg: &[usize],
+    candidates: &CandidateSet,
+    cfg: &AnnealingConfig,
+    cache: &mut OverheadCache,
+) -> AnnealOutcome {
+    let mut best: Option<AnnealOutcome> = None;
+    for r in 0..cfg.restarts.max(1) {
+        let run = anneal_once(
+            network,
+            arch,
+            seg,
+            candidates,
+            cfg,
+            cfg.seed.wrapping_add(r as u64),
+            cache,
+        );
+        let better = best
+            .as_ref()
+            .is_none_or(|b| run.eval.total_latency < b.eval.total_latency);
+        if better {
+            best = Some(run);
+        }
+    }
+    best.expect("restarts >= 1")
+}
+
+fn anneal_once(
+    network: &Network,
+    arch: &Architecture,
+    seg: &[usize],
+    candidates: &CandidateSet,
+    cfg: &AnnealingConfig,
+    seed: u64,
+    cache: &mut OverheadCache,
+) -> AnnealOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k_of = |li: usize| candidates.per_layer[li].len().min(cfg.k).max(1);
+
+    let mut current: Vec<usize> = vec![0; seg.len()];
+    let mut current_eval = eval_choice(network, arch, seg, candidates, &current, cache);
+    let initial_latency = current_eval.total_latency;
+    let mut best = current.clone();
+    let mut best_eval = current_eval.clone();
+
+    // A single-layer segment with k = 1 everywhere has nothing to tune.
+    let tunable = seg.iter().any(|&li| k_of(li) > 1);
+    if tunable {
+        let cost0 = initial_latency.max(1) as f64;
+        for it in 0..cfg.iterations {
+            // Temperature decay (Algorithm 1, line 13).
+            let t = cfg.temperature_fraction(it, cfg.iterations) * cost0;
+
+            // GetNeighbor: re-sample one layer among its top-k.
+            let pos = rng.gen_range(0..seg.len());
+            let k = k_of(seg[pos]);
+            if k <= 1 {
+                continue;
+            }
+            let mut neighbor = current.clone();
+            neighbor[pos] = rng.gen_range(0..k);
+            if neighbor[pos] == current[pos] {
+                continue;
+            }
+            let neighbor_eval = eval_choice(network, arch, seg, candidates, &neighbor, cache);
+
+            let cost_diff = current_eval.total_latency as f64 - neighbor_eval.total_latency as f64;
+            if (cost_diff / t).exp() > rng.gen_range(0.0..1.0) {
+                current = neighbor;
+                current_eval = neighbor_eval;
+                if current_eval.total_latency < best_eval.total_latency {
+                    best = current.clone();
+                    best_eval = current_eval.clone();
+                }
+            }
+        }
+    }
+
+    AnnealOutcome {
+        choice: best,
+        eval: best_eval,
+        initial_latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::find_candidates;
+    use secureloop_crypto::{CryptoConfig, EngineClass};
+    use secureloop_mapper::SearchConfig;
+    use secureloop_workload::zoo;
+
+    fn setup() -> (Network, Architecture, CandidateSet) {
+        let net = zoo::alexnet_conv();
+        let arch = Architecture::eyeriss_base()
+            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        let cands = find_candidates(&net, &arch, &SearchConfig::quick().with_top_k(4));
+        (net, arch, cands)
+    }
+
+    #[test]
+    fn annealing_never_worse_than_initial() {
+        let (net, arch, cands) = setup();
+        let segs = net.segments();
+        let mut cache = OverheadCache::new();
+        for seg in &segs {
+            let out = anneal_segment(
+                &net,
+                &arch,
+                &seg.layers,
+                &cands,
+                &AnnealingConfig::quick(),
+                &mut cache,
+            );
+            assert!(
+                out.eval.total_latency <= out.initial_latency,
+                "annealing regressed: {} > {}",
+                out.eval.total_latency,
+                out.initial_latency
+            );
+        }
+    }
+
+    #[test]
+    fn annealing_is_seed_deterministic() {
+        let (net, arch, cands) = setup();
+        let seg = &net.segments()[2].layers;
+        let cfg = AnnealingConfig::quick().with_seed(5);
+        let mut c1 = OverheadCache::new();
+        let mut c2 = OverheadCache::new();
+        let a = anneal_segment(&net, &arch, seg, &cands, &cfg, &mut c1);
+        let b = anneal_segment(&net, &arch, seg, &cands, &cfg, &mut c2);
+        assert_eq!(a.choice, b.choice);
+        assert_eq!(a.eval.total_latency, b.eval.total_latency);
+    }
+
+    #[test]
+    fn k1_reduces_to_best_per_layer() {
+        let (net, arch, cands) = setup();
+        let seg = &net.segments()[2].layers;
+        let cfg = AnnealingConfig::quick().with_k(1);
+        let mut cache = OverheadCache::new();
+        let out = anneal_segment(&net, &arch, seg, &cands, &cfg, &mut cache);
+        assert!(out.choice.iter().all(|&c| c == 0));
+        assert_eq!(out.eval.total_latency, out.initial_latency);
+    }
+
+    #[test]
+    fn cooling_schedules_interpolate_correctly() {
+        let lin = AnnealingConfig::paper_default();
+        assert!((lin.temperature_fraction(0, 100) - 0.05).abs() < 1e-12);
+        assert!((lin.temperature_fraction(100, 100) - 1e-4).abs() < 1e-12);
+        let geo = lin.with_cooling(Cooling::Geometric);
+        assert!((geo.temperature_fraction(0, 100) - 0.05).abs() < 1e-12);
+        assert!((geo.temperature_fraction(100, 100) - 1e-4).abs() < 1e-10);
+        // Geometric drops faster in the middle.
+        assert!(geo.temperature_fraction(50, 100) < lin.temperature_fraction(50, 100));
+    }
+
+    #[test]
+    fn restarts_only_improve() {
+        let (net, arch, cands) = setup();
+        let seg = &net.segments()[2].layers;
+        let mut cache = OverheadCache::new();
+        let one = anneal_segment(&net, &arch, seg, &cands, &AnnealingConfig::quick(), &mut cache);
+        let five = anneal_segment(
+            &net, &arch, seg, &cands,
+            &AnnealingConfig::quick().with_restarts(5),
+            &mut cache,
+        );
+        assert!(five.eval.total_latency <= one.eval.total_latency);
+    }
+
+    #[test]
+    fn geometric_cooling_still_never_regresses() {
+        let (net, arch, cands) = setup();
+        let seg = &net.segments()[2].layers;
+        let mut cache = OverheadCache::new();
+        let out = anneal_segment(
+            &net, &arch, seg, &cands,
+            &AnnealingConfig::quick().with_cooling(Cooling::Geometric),
+            &mut cache,
+        );
+        assert!(out.eval.total_latency <= out.initial_latency);
+    }
+
+    #[test]
+    fn larger_k_explores_more() {
+        let (net, arch, cands) = setup();
+        let seg = &net.segments()[2].layers;
+        let mut cache = OverheadCache::new();
+        let k1 = anneal_segment(
+            &net, &arch, seg, &cands,
+            &AnnealingConfig::quick().with_k(1),
+            &mut cache,
+        );
+        let k4 = anneal_segment(
+            &net, &arch, seg, &cands,
+            &AnnealingConfig::quick().with_k(4).with_iterations(200),
+            &mut cache,
+        );
+        assert!(k4.eval.total_latency <= k1.eval.total_latency);
+    }
+}

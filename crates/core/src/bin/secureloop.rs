@@ -1,0 +1,27 @@
+//! The `secureloop` command-line tool.
+//!
+//! ```text
+//! secureloop schedule --workload mobilenet_v2 --algorithm crypt-opt-cross \
+//!     --engine parallel --engines 3 --pe 14x12 --glb-kb 131 [--json]
+//! secureloop dse --workload alexnet
+//! secureloop workloads
+//! ```
+
+use std::process::ExitCode;
+
+use secureloop::cli::{run, CliError};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            eprintln!("{}", secureloop::cli::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

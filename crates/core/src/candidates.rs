@@ -1,0 +1,126 @@
+//! Step 1: per-layer top-k loopnest candidates.
+//!
+//! Runs the crypt-aware mapper once per *distinct layer shape* (repeated
+//! blocks in ResNet/MobileNetV2 share their search) and exposes the
+//! retained candidates per layer index.
+
+use std::collections::HashMap;
+
+use secureloop_arch::Architecture;
+use secureloop_loopnest::{Evaluation, Mapping};
+use secureloop_mapper::{search, SearchConfig};
+use secureloop_workload::{ConvLayer, Network};
+
+/// One retained schedule for one layer.
+#[derive(Debug, Clone)]
+pub struct LayerCandidates {
+    /// `(mapping, evaluation)` pairs, best-latency first.
+    pub options: Vec<(Mapping, Evaluation)>,
+}
+
+impl LayerCandidates {
+    /// The single best schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapper found no valid schedule for the layer
+    /// (cannot happen for the shipped workloads and architectures).
+    pub fn best(&self) -> &(Mapping, Evaluation) {
+        self.options.first().expect("mapper found at least one schedule")
+    }
+
+    /// Number of retained options (≤ the search's top-k).
+    pub fn len(&self) -> usize {
+        self.options.len()
+    }
+
+    /// Whether no schedule was found.
+    pub fn is_empty(&self) -> bool {
+        self.options.is_empty()
+    }
+}
+
+/// Top-k candidates for every layer of a network.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// Indexed like `network.layers()`.
+    pub per_layer: Vec<LayerCandidates>,
+}
+
+/// Structural key for layer-shape deduplication.
+fn shape_key(layer: &ConvLayer) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, bool) {
+    let b = layer.bounds();
+    use secureloop_workload::Dim::*;
+    (
+        b[N], b[M], b[C], b[P], b[Q], b[R], b[S],
+        layer.stride(),
+        layer.pad(),
+        layer.depthwise(),
+    )
+}
+
+/// Run the step-1 search for every layer of `network`, deduplicating
+/// identical shapes.
+pub fn find_candidates(
+    network: &Network,
+    arch: &Architecture,
+    cfg: &SearchConfig,
+) -> CandidateSet {
+    let mut cache: HashMap<_, LayerCandidates> = HashMap::new();
+    let per_layer = network
+        .layers()
+        .iter()
+        .map(|layer| {
+            cache
+                .entry(shape_key(layer))
+                .or_insert_with(|| {
+                    let r = search(layer, arch, cfg);
+                    assert!(
+                        !r.candidates.is_empty(),
+                        "no valid mapping found for layer {} on {} — increase samples",
+                        layer.name(),
+                        arch.name()
+                    );
+                    LayerCandidates {
+                        options: r.candidates,
+                    }
+                })
+                .clone()
+        })
+        .collect();
+    CandidateSet { per_layer }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secureloop_workload::zoo;
+
+    #[test]
+    fn candidates_found_for_every_alexnet_layer() {
+        let net = zoo::alexnet_conv();
+        let set = find_candidates(&net, &Architecture::eyeriss_base(), &SearchConfig::quick());
+        assert_eq!(set.per_layer.len(), net.len());
+        for (i, c) in set.per_layer.iter().enumerate() {
+            assert!(!c.is_empty(), "layer {i}");
+            // Sorted best-first.
+            for w in c.options.windows(2) {
+                assert!(w[0].1.latency_cycles <= w[1].1.latency_cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_dedup_shares_results() {
+        // AlexNet conv3 and conv4 differ (256->384 vs 384->384), but
+        // ResNet's repeated 3x3 blocks are identical shapes.
+        let net = zoo::resnet18();
+        let set = find_candidates(&net, &Architecture::eyeriss_base(), &SearchConfig::quick());
+        let l1b1c2 = net.layers().iter().position(|l| l.name() == "l1b1c2").unwrap();
+        let l1b2c2 = net.layers().iter().position(|l| l.name() == "l1b2c2").unwrap();
+        assert_eq!(
+            set.per_layer[l1b1c2].best().1.latency_cycles,
+            set.per_layer[l1b2c2].best().1.latency_cycles
+        );
+    }
+}

@@ -1,0 +1,626 @@
+//! Command-line front end (used by the `secureloop` binary).
+//!
+//! Kept inside the library so the parser and command dispatch are unit
+//! testable; the binary is a thin wrapper around [`run`].
+
+use std::fmt::Write as _;
+
+use secureloop_arch::{Architecture, Dataflow, DramSpec};
+use serde::Deserialize;
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_mapper::SearchConfig;
+use secureloop_workload::{zoo, Network};
+
+use crate::annealing::AnnealingConfig;
+use crate::dse::{evaluate_designs, fig16_design_space, pareto_front};
+use crate::report;
+use crate::scheduler::{Algorithm, Scheduler};
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "\
+usage:
+  secureloop schedule --workload <name> [--algorithm <algo>] [options]
+  secureloop dse --workload <name> [options]
+  secureloop trace --workload <name> --layer <i> [options]
+  secureloop workloads
+
+workloads: alexnet | resnet18 | resnet50 | mobilenet_v2 | vgg16 | mlp
+algorithms: unsecure | crypt-tile-single | crypt-opt-single | crypt-opt-cross
+
+options:
+  --engine <pipelined|parallel|serial>   crypto engine class (default parallel)
+  --engines <n>                          engine count (default 3; 0 = unsecure)
+  --pe <XxY>                             PE array (default 14x12)
+  --glb-kb <n>                           global buffer in kB (default 131)
+  --dram <lpddr4|lpddr4-128|hbm2>        DRAM interface (default lpddr4)
+  --arch-file <path.json>                load the architecture from JSON
+                                         (overrides --pe/--glb-kb/--dram/...)
+  --samples <n>                          mapper samples per layer (default 3000)
+  --iterations <n>                       SA iterations (default 1000)
+  --seed <n>                             RNG seed (default 1)
+  --layer <i>                            layer index (trace command)
+  --json                                 emit JSON instead of a table";
+
+/// CLI failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad arguments; the message explains which.
+    Usage(String),
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Subcommand: `schedule`, `dse` or `workloads`.
+    pub command: String,
+    /// Workload name.
+    pub workload: Option<String>,
+    /// Algorithm.
+    pub algorithm: Algorithm,
+    /// Engine class.
+    pub engine: EngineClass,
+    /// Engine count (0 = no crypto).
+    pub engines: usize,
+    /// PE array.
+    pub pe: (usize, usize),
+    /// GLB capacity in kB.
+    pub glb_kb: u64,
+    /// DRAM interface name.
+    pub dram: String,
+    /// Mapper samples.
+    pub samples: usize,
+    /// SA iterations.
+    pub iterations: usize,
+    /// Seed.
+    pub seed: u64,
+    /// JSON output.
+    pub json: bool,
+    /// Layer index for the `trace` command.
+    pub layer: usize,
+    /// Optional JSON architecture file.
+    pub arch_file: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            command: String::new(),
+            workload: None,
+            algorithm: Algorithm::CryptOptCross,
+            engine: EngineClass::Parallel,
+            engines: 3,
+            pe: (14, 12),
+            glb_kb: 131,
+            dram: "lpddr4".into(),
+            samples: 3000,
+            iterations: 1000,
+            seed: 1,
+            json: false,
+            layer: 0,
+            arch_file: None,
+        }
+    }
+}
+
+/// Parse raw arguments.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on unknown commands, flags or malformed values.
+pub fn parse(args: &[String]) -> Result<Options, CliError> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    opts.command = it
+        .next()
+        .ok_or_else(|| usage("missing command"))?
+        .clone();
+    if !matches!(
+        opts.command.as_str(),
+        "schedule" | "dse" | "workloads" | "trace"
+    ) {
+        return Err(usage(format!("unknown command '{}'", opts.command)));
+    }
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| usage(format!("flag {flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--workload" => opts.workload = Some(value()?),
+            "--algorithm" => {
+                opts.algorithm = match value()?.as_str() {
+                    "unsecure" => Algorithm::Unsecure,
+                    "crypt-tile-single" => Algorithm::CryptTileSingle,
+                    "crypt-opt-single" => Algorithm::CryptOptSingle,
+                    "crypt-opt-cross" => Algorithm::CryptOptCross,
+                    other => return Err(usage(format!("unknown algorithm '{other}'"))),
+                }
+            }
+            "--engine" => {
+                opts.engine = match value()?.as_str() {
+                    "pipelined" => EngineClass::Pipelined,
+                    "parallel" => EngineClass::Parallel,
+                    "serial" => EngineClass::Serial,
+                    other => return Err(usage(format!("unknown engine '{other}'"))),
+                }
+            }
+            "--engines" => {
+                opts.engines = value()?
+                    .parse()
+                    .map_err(|_| usage("--engines expects an integer"))?
+            }
+            "--pe" => {
+                let v = value()?;
+                let (x, y) = v
+                    .split_once('x')
+                    .ok_or_else(|| usage("--pe expects XxY, e.g. 14x12"))?;
+                opts.pe = (
+                    x.parse().map_err(|_| usage("bad PE width"))?,
+                    y.parse().map_err(|_| usage("bad PE height"))?,
+                );
+            }
+            "--glb-kb" => {
+                opts.glb_kb = value()?
+                    .parse()
+                    .map_err(|_| usage("--glb-kb expects an integer"))?
+            }
+            "--dram" => opts.dram = value()?,
+            "--samples" => {
+                opts.samples = value()?
+                    .parse()
+                    .map_err(|_| usage("--samples expects an integer"))?
+            }
+            "--iterations" => {
+                opts.iterations = value()?
+                    .parse()
+                    .map_err(|_| usage("--iterations expects an integer"))?
+            }
+            "--seed" => {
+                opts.seed = value()?
+                    .parse()
+                    .map_err(|_| usage("--seed expects an integer"))?
+            }
+            "--json" => opts.json = true,
+            "--arch-file" => opts.arch_file = Some(value()?),
+            "--layer" => {
+                opts.layer = value()?
+                    .parse()
+                    .map_err(|_| usage("--layer expects an index"))?
+            }
+            other => return Err(usage(format!("unknown flag '{other}'"))),
+        }
+    }
+    Ok(opts)
+}
+
+fn workload(name: &str) -> Result<Network, CliError> {
+    match name {
+        "alexnet" => Ok(zoo::alexnet_conv()),
+        "resnet18" => Ok(zoo::resnet18()),
+        "resnet50" => Ok(zoo::resnet50()),
+        "mobilenet_v2" | "mobilenetv2" => Ok(zoo::mobilenet_v2()),
+        "vgg16" => Ok(zoo::vgg16()),
+        "mlp" => Ok(zoo::mlp(4, 4096)),
+        other => Err(usage(format!("unknown workload '{other}'"))),
+    }
+}
+
+/// JSON architecture description accepted by `--arch-file`.
+///
+/// ```json
+/// {
+///   "name": "my-edge-chip",
+///   "pe": [16, 16],
+///   "glb_kb": 64,
+///   "dram": "hbm2",
+///   "dataflow": "row-stationary",
+///   "engine": "pipelined",
+///   "engines": 3,
+///   "tag_bits": 64
+/// }
+/// ```
+///
+/// Omitted fields keep the Eyeriss-base defaults; `engines: 0` (or an
+/// omitted `engine`) gives the unsecure design.
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ArchFile {
+    /// Design name.
+    pub name: Option<String>,
+    /// PE array `[x, y]`.
+    pub pe: Option<[usize; 2]>,
+    /// Global buffer in kB.
+    pub glb_kb: Option<u64>,
+    /// NoC bandwidth in bytes/cycle.
+    pub noc_bytes_per_cycle: Option<f64>,
+    /// DRAM interface name.
+    pub dram: Option<String>,
+    /// Dataflow name.
+    pub dataflow: Option<String>,
+    /// Engine class name.
+    pub engine: Option<String>,
+    /// Engine count (0 = unsecure).
+    pub engines: Option<usize>,
+    /// Truncated tag bits.
+    pub tag_bits: Option<u32>,
+}
+
+fn dram_by_name(name: &str) -> Result<DramSpec, CliError> {
+    match name {
+        "lpddr4" => Ok(DramSpec::lpddr4_64()),
+        "lpddr4-128" => Ok(DramSpec::lpddr4_128()),
+        "hbm2" => Ok(DramSpec::hbm2_64()),
+        other => Err(usage(format!("unknown dram '{other}'"))),
+    }
+}
+
+fn engine_by_name(name: &str) -> Result<EngineClass, CliError> {
+    match name {
+        "pipelined" => Ok(EngineClass::Pipelined),
+        "parallel" => Ok(EngineClass::Parallel),
+        "serial" => Ok(EngineClass::Serial),
+        other => Err(usage(format!("unknown engine '{other}'"))),
+    }
+}
+
+/// Build an [`Architecture`] from a parsed [`ArchFile`].
+pub fn arch_from_file(f: &ArchFile) -> Result<Architecture, CliError> {
+    let mut arch = Architecture::eyeriss_base();
+    if let Some(name) = &f.name {
+        arch = arch.with_name(name.clone());
+    }
+    if let Some([x, y]) = f.pe {
+        arch = arch.with_pe_array(x, y);
+    }
+    if let Some(kb) = f.glb_kb {
+        arch = arch.with_glb_kb(kb);
+    }
+    if let Some(bw) = f.noc_bytes_per_cycle {
+        arch = arch.with_noc_bytes_per_cycle(bw);
+    }
+    if let Some(d) = &f.dram {
+        arch = arch.with_dram(dram_by_name(d)?);
+    }
+    if let Some(df) = &f.dataflow {
+        arch = arch.with_dataflow(match df.as_str() {
+            "row-stationary" => Dataflow::RowStationary,
+            "weight-stationary" => Dataflow::WeightStationary,
+            "output-stationary" => Dataflow::OutputStationary,
+            "unconstrained" => Dataflow::Unconstrained,
+            other => return Err(usage(format!("unknown dataflow '{other}'"))),
+        });
+    }
+    let count = f.engines.unwrap_or(if f.engine.is_some() { 3 } else { 0 });
+    if count > 0 {
+        let class = engine_by_name(f.engine.as_deref().unwrap_or("parallel"))?;
+        let mut cfg = CryptoConfig::new(class, count);
+        if let Some(tag) = f.tag_bits {
+            cfg.tag_bits = tag;
+        }
+        arch = arch.with_crypto(cfg);
+    }
+    Ok(arch)
+}
+
+fn architecture(opts: &Options) -> Result<Architecture, CliError> {
+    if let Some(path) = &opts.arch_file {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| usage(format!("cannot read {path}: {e}")))?;
+        let file: ArchFile = serde_json::from_str(&text)
+            .map_err(|e| usage(format!("bad architecture file {path}: {e}")))?;
+        return arch_from_file(&file);
+    }
+    let dram = match opts.dram.as_str() {
+        other => dram_by_name(other)?,
+    };
+    let mut arch = Architecture::eyeriss_base()
+        .with_pe_array(opts.pe.0, opts.pe.1)
+        .with_glb_kb(opts.glb_kb)
+        .with_dram(dram);
+    if opts.engines > 0 {
+        arch = arch.with_crypto(CryptoConfig::new(opts.engine, opts.engines));
+    }
+    Ok(arch)
+}
+
+fn scheduler(opts: &Options, arch: Architecture) -> Scheduler {
+    Scheduler::new(arch)
+        .with_search(SearchConfig {
+            samples: opts.samples,
+            top_k: 6,
+            seed: opts.seed,
+            threads: 4,
+        })
+        .with_annealing(
+            AnnealingConfig::paper_default()
+                .with_iterations(opts.iterations)
+                .with_seed(opts.seed),
+        )
+}
+
+/// Execute a parsed command and return its stdout payload.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for any argument problem; computation itself is
+/// infallible for the built-in workloads.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let opts = parse(args)?;
+    match opts.command.as_str() {
+        "workloads" => {
+            Ok("alexnet\nresnet18\nresnet50\nmobilenet_v2\nvgg16\nmlp".to_string())
+        }
+        "schedule" => {
+            let name = opts
+                .workload
+                .as_deref()
+                .ok_or_else(|| usage("schedule needs --workload"))?;
+            let net = workload(name)?;
+            let arch = architecture(&opts)?;
+            let sched = scheduler(&opts, arch).schedule(&net, opts.algorithm);
+            if opts.json {
+                Ok(report::to_json(&sched))
+            } else {
+                let mut out = String::new();
+                let _ = writeln!(out, "{} / {} on {}", sched.network, sched.algorithm, sched.arch_summary);
+                let _ = writeln!(
+                    out,
+                    "latency {} cycles | energy {:.1} uJ | EDP {:.3e} | overhead {:.2} Mbit (hash {:.2} / redundant {:.2} / rehash {:.2})",
+                    sched.total_latency_cycles,
+                    sched.total_energy_pj / 1e6,
+                    sched.edp(),
+                    sched.overhead.total_bits() as f64 / 1e6,
+                    sched.overhead.hash_bits as f64 / 1e6,
+                    sched.overhead.redundant_bits as f64 / 1e6,
+                    sched.overhead.rehash_bits as f64 / 1e6,
+                );
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>12} {:>12} {:>12} {:>6}",
+                    "layer", "cycles", "energy(nJ)", "auth bits", "util"
+                );
+                for l in &sched.layers {
+                    let _ = writeln!(
+                        out,
+                        "{:<16} {:>12} {:>12.1} {:>12} {:>5.0}%",
+                        l.name,
+                        l.latency_cycles,
+                        l.energy_pj / 1e3,
+                        l.extra_bits,
+                        l.utilization * 100.0
+                    );
+                }
+                Ok(out)
+            }
+        }
+        "trace" => {
+            let name = opts
+                .workload
+                .as_deref()
+                .ok_or_else(|| usage("trace needs --workload"))?;
+            let net = workload(name)?;
+            let layer = net
+                .layers()
+                .get(opts.layer)
+                .ok_or_else(|| usage(format!("--layer {} out of range (network has {} layers)", opts.layer, net.len())))?;
+            let arch = architecture(&opts)?;
+            let best = secureloop_mapper::search(
+                layer,
+                &arch,
+                &SearchConfig {
+                    samples: opts.samples,
+                    top_k: 1,
+                    seed: opts.seed,
+                    threads: 4,
+                },
+            )
+            .best()
+            .ok_or_else(|| usage("no valid schedule found; raise --samples"))?
+            .clone();
+            let trace = secureloop_sim::generate_trace(layer, &arch, &best.0)
+                .map_err(|e| usage(format!("cannot trace this schedule: {e}")))?;
+            let replayed = secureloop_sim::replay(&trace, &arch);
+            let (reads, writes) = trace.totals();
+            let mut out = String::new();
+            let _ = writeln!(out, "layer: {layer}");
+            let _ = writeln!(out, "chosen loopnest:\n{}", best.0);
+            let _ = writeln!(
+                out,
+                "trace: {} events over {} steps; reads w/i/o = {:?}, writes = {:?}",
+                trace.events.len(),
+                trace.steps,
+                reads,
+                writes
+            );
+            let _ = writeln!(
+                out,
+                "replay: {} cycles (analytical bound {}, pipeline efficiency {:.2})",
+                replayed.total_cycles,
+                replayed.analytical_bound(),
+                replayed.pipeline_efficiency()
+            );
+            Ok(out)
+        }
+        "dse" => {
+            let name = opts
+                .workload
+                .as_deref()
+                .ok_or_else(|| usage("dse needs --workload"))?;
+            let net = workload(name)?;
+            let designs = fig16_design_space();
+            let results = evaluate_designs(
+                &net,
+                &designs,
+                opts.algorithm,
+                &SearchConfig {
+                    samples: opts.samples,
+                    top_k: 4,
+                    seed: opts.seed,
+                    threads: 4,
+                },
+                &AnnealingConfig::paper_default().with_iterations(opts.iterations.min(300)),
+            );
+            let front = pareto_front(&results);
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10} {:>14} {:>8}",
+                "design", "area(mm2)", "cycles", "pareto"
+            );
+            for (i, r) in results.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>10.2} {:>14} {:>8}",
+                    r.label,
+                    r.area_mm2(),
+                    r.latency(),
+                    if front.contains(&i) { "*" } else { "" }
+                );
+            }
+            Ok(out)
+        }
+        _ => unreachable!("command validated in parse"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+
+    #[test]
+    fn parse_full_schedule_command() {
+        let o = parse(&argv(
+            "schedule --workload alexnet --algorithm crypt-opt-single \
+             --engine serial --engines 30 --pe 28x24 --glb-kb 16 \
+             --dram hbm2 --samples 100 --iterations 50 --seed 9 --json",
+        ))
+        .unwrap();
+        assert_eq!(o.command, "schedule");
+        assert_eq!(o.workload.as_deref(), Some("alexnet"));
+        assert_eq!(o.algorithm, Algorithm::CryptOptSingle);
+        assert_eq!(o.engine, EngineClass::Serial);
+        assert_eq!(o.engines, 30);
+        assert_eq!(o.pe, (28, 24));
+        assert_eq!(o.glb_kb, 16);
+        assert!(o.json);
+    }
+
+    #[test]
+    fn parse_rejects_unknowns() {
+        assert!(matches!(parse(&argv("frobnicate")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv("schedule --algorithm nonsense")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("schedule --pe 14by12")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("schedule --engines")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn workloads_command_lists_names() {
+        let out = run(&argv("workloads")).unwrap();
+        assert!(out.contains("alexnet"));
+        assert!(out.contains("mobilenet_v2"));
+        assert!(out.contains("vgg16"));
+    }
+
+    #[test]
+    fn schedule_command_runs_end_to_end() {
+        let out = run(&argv(
+            "schedule --workload alexnet --algorithm unsecure --engines 0 \
+             --samples 300 --iterations 10",
+        ))
+        .unwrap();
+        assert!(out.contains("AlexNet / Unsecure"));
+        assert!(out.contains("conv5"));
+    }
+
+    #[test]
+    fn schedule_json_output_parses() {
+        let out = run(&argv(
+            "schedule --workload alexnet --samples 300 --iterations 10 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["algorithm"], "Crypt-Opt-Cross");
+    }
+
+    #[test]
+    fn arch_file_parses_and_overrides() {
+        let f: ArchFile = serde_json::from_str(
+            r#"{"name":"edge","pe":[16,16],"glb_kb":64,"dram":"hbm2",
+                "dataflow":"weight-stationary","engine":"pipelined",
+                "engines":3,"tag_bits":128}"#,
+        )
+        .unwrap();
+        let arch = arch_from_file(&f).unwrap();
+        assert_eq!(arch.name(), "edge");
+        assert_eq!(arch.num_pes(), 256);
+        assert_eq!(arch.glb_bytes(), 64 * 1024);
+        assert_eq!(arch.dram().name(), "HBM2-64B");
+        assert_eq!(arch.crypto().unwrap().tag_bits, 128);
+    }
+
+    #[test]
+    fn arch_file_rejects_unknown_fields_and_values() {
+        assert!(serde_json::from_str::<ArchFile>(r#"{"frequency": 5}"#).is_err());
+        let f: ArchFile = serde_json::from_str(r#"{"dram":"ddr9"}"#).unwrap();
+        assert!(arch_from_file(&f).is_err());
+    }
+
+    #[test]
+    fn schedule_with_arch_file_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("slarch_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("arch.json");
+        std::fs::write(&path, r#"{"pe":[8,8],"engines":0}"#).unwrap();
+        let out = run(&argv(&format!(
+            "schedule --workload alexnet --algorithm unsecure              --samples 200 --iterations 5 --arch-file {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("8x8 PEs"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_command_runs() {
+        let out = run(&argv(
+            "trace --workload alexnet --layer 2 --samples 300",
+        ))
+        .unwrap();
+        assert!(out.contains("chosen loopnest"));
+        assert!(out.contains("replay:"));
+    }
+
+    #[test]
+    fn trace_rejects_bad_layer() {
+        let e = run(&argv("trace --workload alexnet --layer 99 --samples 50")).unwrap_err();
+        let CliError::Usage(msg) = e;
+        assert!(msg.contains("out of range"));
+    }
+
+    #[test]
+    fn missing_workload_reports_usage() {
+        let e = run(&argv("schedule")).unwrap_err();
+        let CliError::Usage(msg) = e;
+        assert!(msg.contains("--workload"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Design space exploration: the sweeps behind paper Figs. 13–16.
+
+use secureloop_arch::{Architecture, DramSpec};
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_energy::AreaModel;
+use secureloop_mapper::SearchConfig;
+use secureloop_workload::Network;
+
+use crate::annealing::AnnealingConfig;
+use crate::scheduler::{Algorithm, NetworkSchedule, Scheduler};
+
+/// One evaluated design point.
+#[derive(Debug, Clone)]
+pub struct DseResult {
+    /// Design label.
+    pub label: String,
+    /// Area model of the design.
+    pub area: AreaModel,
+    /// The resulting schedule.
+    pub schedule: NetworkSchedule,
+}
+
+impl DseResult {
+    /// Total die area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.area.total_mm2()
+    }
+
+    /// Latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.schedule.total_latency_cycles
+    }
+}
+
+/// The cryptographic-engine configurations of paper Fig. 13.
+pub fn fig13_engine_configs() -> Vec<CryptoConfig> {
+    vec![
+        CryptoConfig::new(EngineClass::Parallel, 1),
+        CryptoConfig::new(EngineClass::Parallel, 5),
+        CryptoConfig::new(EngineClass::Pipelined, 1),
+        CryptoConfig::new(EngineClass::Parallel, 10),
+        CryptoConfig::new(EngineClass::Serial, 30),
+        CryptoConfig::new(EngineClass::Pipelined, 2),
+    ]
+}
+
+/// The PE-array shapes of paper Fig. 14.
+pub const FIG14_PE_ARRAYS: [(usize, usize); 3] = [(14, 12), (14, 24), (28, 24)];
+
+/// The GLB capacities (kB) of paper Fig. 15.
+pub const FIG15_GLB_KB: [u64; 3] = [16, 32, 131];
+
+/// The DRAM interfaces of the paper's §5.2 DRAM-technology study.
+pub fn dram_configs() -> Vec<DramSpec> {
+    vec![
+        DramSpec::lpddr4_64(),
+        DramSpec::lpddr4_128(),
+        DramSpec::hbm2_64(),
+    ]
+}
+
+/// The Fig. 16 design space: PE array × GLB size × engine class
+/// (one engine per datatype), all scheduled with `Crypt-Opt-Cross`.
+pub fn fig16_design_space() -> Vec<Architecture> {
+    let mut designs = Vec::new();
+    for &(x, y) in &FIG14_PE_ARRAYS {
+        for &kb in &FIG15_GLB_KB {
+            for class in [EngineClass::Pipelined, EngineClass::Parallel] {
+                designs.push(
+                    Architecture::eyeriss_base()
+                        .with_pe_array(x, y)
+                        .with_glb_kb(kb)
+                        .with_crypto(CryptoConfig::new(class, 3))
+                        .with_name(format!("{x}x{y}/{kb}kB/{class}")),
+                );
+            }
+        }
+    }
+    designs
+}
+
+/// Evaluate a set of designs on one workload.
+pub fn evaluate_designs(
+    network: &Network,
+    designs: &[Architecture],
+    algorithm: Algorithm,
+    search: &SearchConfig,
+    annealing: &AnnealingConfig,
+) -> Vec<DseResult> {
+    designs
+        .iter()
+        .map(|arch| {
+            let scheduler = Scheduler::new(arch.clone())
+                .with_search(*search)
+                .with_annealing(*annealing);
+            DseResult {
+                label: arch.name().to_string(),
+                area: AreaModel::of(arch),
+                schedule: scheduler.schedule(network, algorithm),
+            }
+        })
+        .collect()
+}
+
+/// Indices of the area/latency Pareto front (lower is better on both
+/// axes), sorted by area.
+pub fn pareto_front(results: &[DseResult]) -> Vec<usize> {
+    let mut front: Vec<usize> = (0..results.len())
+        .filter(|&i| {
+            !results.iter().enumerate().any(|(j, r)| {
+                j != i
+                    && r.area_mm2() <= results[i].area_mm2()
+                    && r.latency() <= results[i].latency()
+                    && (r.area_mm2() < results[i].area_mm2()
+                        || r.latency() < results[i].latency())
+            })
+        })
+        .collect();
+    front.sort_by(|&a, &b| {
+        results[a]
+            .area_mm2()
+            .partial_cmp(&results[b].area_mm2())
+            .expect("areas are finite")
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secureloop_workload::zoo;
+
+    #[test]
+    fn fig13_configs_match_paper() {
+        let cfgs = fig13_engine_configs();
+        assert_eq!(cfgs.len(), 6);
+        assert_eq!(cfgs[4].label(), "Serial x30");
+    }
+
+    #[test]
+    fn fig16_space_has_18_designs() {
+        let d = fig16_design_space();
+        assert_eq!(d.len(), 18);
+        // All secure.
+        assert!(d.iter().all(|a| a.is_secure()));
+    }
+
+    #[test]
+    fn pareto_front_dominates() {
+        // Evaluate a tiny slice of the space with a small budget.
+        let net = zoo::alexnet_conv();
+        let designs: Vec<Architecture> = fig16_design_space().into_iter().take(4).collect();
+        let results = evaluate_designs(
+            &net,
+            &designs,
+            Algorithm::CryptOptSingle,
+            &SearchConfig::quick(),
+            &AnnealingConfig::quick(),
+        );
+        let front = pareto_front(&results);
+        assert!(!front.is_empty());
+        // No front member is dominated by any result.
+        for &i in &front {
+            for r in &results {
+                let dominated = r.area_mm2() < results[i].area_mm2()
+                    && r.latency() < results[i].latency();
+                assert!(!dominated);
+            }
+        }
+        // Front is sorted by area.
+        for w in front.windows(2) {
+            assert!(results[w[0]].area_mm2() <= results[w[1]].area_mm2());
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Machine-readable experiment output (JSON and CSV), mirroring the
+//! artifact's per-design stats files.
+
+use std::io::{self, Write};
+
+use serde::Serialize;
+
+use crate::scheduler::NetworkSchedule;
+
+/// Serialisable snapshot of a [`NetworkSchedule`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ScheduleReport {
+    /// Network name.
+    pub network: String,
+    /// Algorithm name as printed in the paper.
+    pub algorithm: String,
+    /// One-line architecture summary.
+    pub arch: String,
+    /// Total latency in cycles.
+    pub latency_cycles: u64,
+    /// Total energy in pJ.
+    pub energy_pj: f64,
+    /// Energy-delay product.
+    pub edp: f64,
+    /// Hash traffic in bits.
+    pub hash_bits: u64,
+    /// Redundant-read traffic in bits.
+    pub redundant_bits: u64,
+    /// Rehash traffic in bits.
+    pub rehash_bits: u64,
+    /// Per-layer rows.
+    pub layers: Vec<LayerReport>,
+}
+
+/// Serialisable per-layer row.
+#[derive(Debug, Clone, Serialize)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Latency in cycles.
+    pub latency_cycles: u64,
+    /// Energy in pJ.
+    pub energy_pj: f64,
+    /// Authentication overhead bits charged to this layer.
+    pub extra_bits: u64,
+    /// Data traffic bits.
+    pub data_dram_bits: u64,
+    /// PE utilisation.
+    pub utilization: f64,
+    /// The chosen loopnest, pretty-printed in the Fig. 1c style.
+    pub loopnest: String,
+    /// The same loopnest in the compact one-line map format
+    /// (parseable back via `str::parse::<Mapping>`).
+    pub mapping: String,
+}
+
+impl From<&NetworkSchedule> for ScheduleReport {
+    fn from(s: &NetworkSchedule) -> Self {
+        ScheduleReport {
+            network: s.network.clone(),
+            algorithm: s.algorithm.to_string(),
+            arch: s.arch_summary.clone(),
+            latency_cycles: s.total_latency_cycles,
+            energy_pj: s.total_energy_pj,
+            edp: s.edp(),
+            hash_bits: s.overhead.hash_bits,
+            redundant_bits: s.overhead.redundant_bits,
+            rehash_bits: s.overhead.rehash_bits,
+            layers: s
+                .layers
+                .iter()
+                .map(|l| LayerReport {
+                    name: l.name.clone(),
+                    latency_cycles: l.latency_cycles,
+                    energy_pj: l.energy_pj,
+                    extra_bits: l.extra_bits,
+                    data_dram_bits: l.data_dram_bits,
+                    utilization: l.utilization,
+                    loopnest: l.mapping.to_string(),
+                    mapping: secureloop_loopnest::CompactMapping(&l.mapping).to_string(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Pretty JSON for one schedule.
+pub fn to_json(schedule: &NetworkSchedule) -> String {
+    serde_json::to_string_pretty(&ScheduleReport::from(schedule))
+        .expect("report serialisation cannot fail")
+}
+
+/// Timeloop-style detailed per-layer stats text for one schedule: the
+/// human-readable stats file the artifact drops next to each run.
+pub fn layer_stats_text(schedule: &NetworkSchedule) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== {} / {} ===\narchitecture: {}\n",
+        schedule.network, schedule.algorithm, schedule.arch_summary
+    );
+    for l in &schedule.layers {
+        let _ = writeln!(out, "--- {} ---", l.name);
+        let _ = writeln!(out, "  macs             : {}", l.macs);
+        let _ = writeln!(out, "  latency          : {} cycles", l.latency_cycles);
+        let _ = writeln!(out, "  energy           : {:.1} nJ", l.energy_pj / 1e3);
+        let _ = writeln!(out, "  pe utilization   : {:.1} %", l.utilization * 100.0);
+        let _ = writeln!(
+            out,
+            "  dram traffic     : {:.2} KiB data + {:.2} KiB auth",
+            l.data_dram_bits as f64 / 8192.0,
+            l.extra_bits as f64 / 8192.0
+        );
+        let _ = writeln!(
+            out,
+            "  macs/cycle       : {:.2}",
+            l.macs as f64 / l.latency_cycles as f64
+        );
+    }
+    let _ = writeln!(
+        out,
+        "=== total: {} cycles, {:.1} uJ, EDP {:.3e} ===",
+        schedule.total_latency_cycles,
+        schedule.total_energy_pj / 1e6,
+        schedule.edp()
+    );
+    out
+}
+
+/// Write a summary CSV (one row per schedule).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_summary_csv<W: Write>(mut w: W, schedules: &[NetworkSchedule]) -> io::Result<()> {
+    writeln!(
+        w,
+        "network,algorithm,arch,latency_cycles,energy_pj,edp,hash_bits,redundant_bits,rehash_bits"
+    )?;
+    for s in schedules {
+        writeln!(
+            w,
+            "{},{},\"{}\",{},{:.1},{:.3e},{},{},{}",
+            s.network,
+            s.algorithm,
+            s.arch_summary,
+            s.total_latency_cycles,
+            s.total_energy_pj,
+            s.edp(),
+            s.overhead.hash_bits,
+            s.overhead.redundant_bits,
+            s.overhead.rehash_bits
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annealing::AnnealingConfig;
+    use crate::scheduler::{Algorithm, Scheduler};
+    use secureloop_arch::Architecture;
+    use secureloop_crypto::{CryptoConfig, EngineClass};
+    use secureloop_mapper::SearchConfig;
+    use secureloop_workload::zoo;
+
+    fn sample() -> NetworkSchedule {
+        let arch = Architecture::eyeriss_base()
+            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        Scheduler::new(arch)
+            .with_search(SearchConfig::quick())
+            .with_annealing(AnnealingConfig::quick())
+            .schedule(&zoo::alexnet_conv(), Algorithm::CryptOptSingle)
+    }
+
+    #[test]
+    fn json_roundtrips_key_fields() {
+        let s = sample();
+        let j = to_json(&s);
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["network"], "AlexNet");
+        assert_eq!(v["algorithm"], "Crypt-Opt-Single");
+        assert_eq!(v["layers"].as_array().unwrap().len(), 5);
+        assert_eq!(
+            v["latency_cycles"].as_u64().unwrap(),
+            s.total_latency_cycles
+        );
+        // The loopnest travels with the report.
+        assert!(v["layers"][0]["loopnest"]
+            .as_str()
+            .unwrap()
+            .contains("mac(w, i, o)"));
+    }
+
+    #[test]
+    fn stats_text_has_every_layer() {
+        let s = sample();
+        let text = layer_stats_text(&s);
+        for l in &s.layers {
+            assert!(text.contains(&format!("--- {} ---", l.name)));
+        }
+        assert!(text.contains("macs/cycle"));
+        assert!(text.contains("=== total:"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = sample();
+        let mut buf = Vec::new();
+        write_summary_csv(&mut buf, &[s.clone(), s]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("network,algorithm"));
+        assert!(lines[1].contains("AlexNet"));
+    }
+}

@@ -1,0 +1,124 @@
+//! The roofline analysis of paper Fig. 12.
+//!
+//! Performance (GFLOPS, counting one MAC as two floating-point-
+//! equivalent operations at 100 MHz) against computational intensity
+//! (ops per byte of DRAM traffic). Secure designs add a second, lower
+//! bandwidth roof: the *effective* bandwidth through the cryptographic
+//! engine.
+
+use secureloop_arch::Architecture;
+
+use crate::scheduler::NetworkSchedule;
+
+/// The machine model: compute roof and memory slopes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflineModel {
+    /// Horizontal roof: `2 · #PEs · f` in GFLOPS.
+    pub peak_gflops: f64,
+    /// DRAM-bandwidth slope in GB/s.
+    pub dram_gbps: f64,
+    /// Crypto-limited effective slope in GB/s (equals `dram_gbps` for
+    /// unsecure designs).
+    pub effective_gbps: f64,
+}
+
+impl RooflineModel {
+    /// Derive the machine lines from an architecture.
+    pub fn of(arch: &Architecture) -> Self {
+        let hz = arch.clock_mhz() * 1e6;
+        RooflineModel {
+            peak_gflops: 2.0 * arch.num_pes() as f64 * hz / 1e9,
+            dram_gbps: arch.dram().bytes_per_cycle() * hz / 1e9,
+            effective_gbps: arch.effective_dram_bytes_per_cycle() * hz / 1e9,
+        }
+    }
+
+    /// Attainable performance at a given intensity using the effective
+    /// (crypto-limited) slope.
+    pub fn attainable_gflops(&self, intensity_ops_per_byte: f64) -> f64 {
+        self.peak_gflops.min(self.effective_gbps * intensity_ops_per_byte)
+    }
+
+    /// The ridge point: intensity at which the design turns
+    /// compute-bound on the effective slope.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_gflops / self.effective_gbps
+    }
+}
+
+/// One workload/schedule point on the roofline plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// Label, e.g. `"MobilenetV2 / Crypt-Opt-Cross"`.
+    pub label: String,
+    /// Operations per byte of off-chip traffic (authentication overhead
+    /// included).
+    pub intensity: f64,
+    /// Achieved GFLOPS.
+    pub gflops: f64,
+}
+
+/// Place a schedule on the roofline of `arch`.
+pub fn schedule_point(schedule: &NetworkSchedule, arch: &Architecture) -> RooflinePoint {
+    let flops = 2.0 * schedule.total_macs() as f64;
+    let bytes = schedule.total_dram_bits() as f64 / 8.0;
+    let seconds = schedule.total_latency_cycles as f64 / (arch.clock_mhz() * 1e6);
+    RooflinePoint {
+        label: format!("{} / {}", schedule.network, schedule.algorithm),
+        intensity: flops / bytes,
+        gflops: flops / seconds / 1e9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annealing::AnnealingConfig;
+    use crate::scheduler::{Algorithm, Scheduler};
+    use secureloop_crypto::{CryptoConfig, EngineClass};
+    use secureloop_mapper::SearchConfig;
+    use secureloop_workload::zoo;
+
+    #[test]
+    fn machine_lines_match_base_config() {
+        let m = RooflineModel::of(&Architecture::eyeriss_base());
+        // 2 * 168 PEs * 100 MHz = 33.6 GFLOPS.
+        assert!((m.peak_gflops - 33.6).abs() < 1e-9);
+        // 64 B/cycle * 100 MHz = 6.4 GB/s.
+        assert!((m.dram_gbps - 6.4).abs() < 1e-9);
+        assert_eq!(m.dram_gbps, m.effective_gbps);
+    }
+
+    #[test]
+    fn crypto_lowers_the_effective_slope() {
+        let secure = Architecture::eyeriss_base()
+            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 1));
+        let m = RooflineModel::of(&secure);
+        assert!(m.effective_gbps < m.dram_gbps);
+        // The ridge moves right: more intensity needed to stay
+        // compute-bound (paper Fig. 12's dotted line).
+        let base = RooflineModel::of(&Architecture::eyeriss_base());
+        assert!(m.ridge_intensity() > base.ridge_intensity());
+    }
+
+    #[test]
+    fn schedule_points_lie_under_the_roof() {
+        let arch = Architecture::eyeriss_base()
+            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        let s = Scheduler::new(arch.clone())
+            .with_search(SearchConfig::quick())
+            .with_annealing(AnnealingConfig::quick());
+        let sched = s.schedule(&zoo::alexnet_conv(), Algorithm::CryptOptSingle);
+        let p = schedule_point(&sched, &arch);
+        let m = RooflineModel::of(&arch);
+        // Attained performance cannot exceed the attainable bound
+        // (allow 1% numeric slack from cycle rounding).
+        assert!(
+            p.gflops <= m.attainable_gflops(p.intensity) * 1.01,
+            "point {} GFLOPS above roof {}",
+            p.gflops,
+            m.attainable_gflops(p.intensity)
+        );
+        assert!(p.intensity > 0.0);
+    }
+}

@@ -1,0 +1,393 @@
+//! The end-to-end scheduler: Table 1's algorithms over whole networks.
+
+use std::fmt;
+
+use secureloop_arch::Architecture;
+use secureloop_authblock::OverheadBreakdown;
+use secureloop_loopnest::{EnergyBreakdown, Mapping};
+use secureloop_mapper::SearchConfig;
+use secureloop_workload::Network;
+
+use crate::annealing::{anneal_segment, AnnealingConfig};
+use crate::candidates::{find_candidates, CandidateSet};
+use crate::segment::{evaluate_segment, OverheadCache, StrategyMode};
+
+/// The scheduling algorithms of paper Table 1, plus the unsecure
+/// baseline used for normalisation in Figs. 11, 13–15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// No cryptographic engine: the plain accelerator (normalisation
+    /// baseline).
+    Unsecure,
+    /// Crypt-aware mapper + tile-as-an-AuthBlock + rehash between
+    /// coupled layers; no cross-layer tuning (prior work's strategy).
+    CryptTileSingle,
+    /// Crypt-aware mapper + optimal AuthBlock assignment per layer.
+    CryptOptSingle,
+    /// Optimal AuthBlock assignment + simulated-annealing cross-layer
+    /// fine-tuning — the full SecureLoop scheduler.
+    CryptOptCross,
+}
+
+impl Algorithm {
+    /// The three secure algorithms, in Table 1 order.
+    pub const SECURE: [Algorithm; 3] = [
+        Algorithm::CryptTileSingle,
+        Algorithm::CryptOptSingle,
+        Algorithm::CryptOptCross,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Unsecure => "Unsecure",
+            Algorithm::CryptTileSingle => "Crypt-Tile-Single",
+            Algorithm::CryptOptSingle => "Crypt-Opt-Single",
+            Algorithm::CryptOptCross => "Crypt-Opt-Cross",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-layer outcome within a [`NetworkSchedule`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerResult {
+    /// Layer name.
+    pub name: String,
+    /// Latency in cycles (crypto overheads applied).
+    pub latency_cycles: u64,
+    /// Energy in pJ.
+    pub energy_pj: f64,
+    /// Extra off-chip bits from authentication charged to this layer.
+    pub extra_bits: u64,
+    /// Off-chip data bits (without authentication overhead).
+    pub data_dram_bits: u64,
+    /// MACs.
+    pub macs: u64,
+    /// PE-array utilisation of the chosen schedule.
+    pub utilization: f64,
+    /// The chosen loopnest.
+    pub mapping: Mapping,
+    /// Component-wise energy.
+    pub energy: EnergyBreakdown,
+}
+
+/// A fully scheduled network.
+#[derive(Debug, Clone)]
+pub struct NetworkSchedule {
+    /// Network name.
+    pub network: String,
+    /// Algorithm that produced it.
+    pub algorithm: Algorithm,
+    /// One-line architecture summary.
+    pub arch_summary: String,
+    /// Per-layer results, in execution order.
+    pub layers: Vec<LayerResult>,
+    /// Total latency in cycles.
+    pub total_latency_cycles: u64,
+    /// Total energy in pJ.
+    pub total_energy_pj: f64,
+    /// Total additional off-chip traffic from authentication.
+    pub overhead: OverheadBreakdown,
+}
+
+impl NetworkSchedule {
+    /// Energy-delay product (pJ·cycles).
+    pub fn edp(&self) -> f64 {
+        self.total_energy_pj * self.total_latency_cycles as f64
+    }
+
+    /// Total MACs across layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Component-wise energy summed over layers.
+    pub fn energy_breakdown(&self) -> EnergyBreakdown {
+        let mut total = EnergyBreakdown::default();
+        for l in &self.layers {
+            total.mac_pj += l.energy.mac_pj;
+            total.rf_pj += l.energy.rf_pj;
+            total.glb_pj += l.energy.glb_pj;
+            total.noc_pj += l.energy.noc_pj;
+            total.dram_pj += l.energy.dram_pj;
+            total.crypto_pj += l.energy.crypto_pj;
+        }
+        total
+    }
+
+    /// Total off-chip traffic in bits, data + authentication overhead.
+    pub fn total_dram_bits(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.data_dram_bits + l.extra_bits)
+            .sum()
+    }
+}
+
+/// The SecureLoop scheduler: architecture + search budgets.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    arch: Architecture,
+    search: SearchConfig,
+    annealing: AnnealingConfig,
+}
+
+impl Scheduler {
+    /// A scheduler with the paper's default budgets (top-k = 6,
+    /// 1000 SA iterations).
+    pub fn new(arch: Architecture) -> Self {
+        Scheduler {
+            arch,
+            search: SearchConfig::paper_default(),
+            annealing: AnnealingConfig::paper_default(),
+        }
+    }
+
+    /// Replace the mapper budget.
+    pub fn with_search(mut self, search: SearchConfig) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Replace the annealing budget.
+    pub fn with_annealing(mut self, annealing: AnnealingConfig) -> Self {
+        self.annealing = annealing;
+        self
+    }
+
+    /// The architecture being scheduled.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// Step 1 only: the per-layer top-k candidates for `algorithm`
+    /// (the unsecure baseline searches without the crypto throttle).
+    pub fn candidates(&self, network: &Network, algorithm: Algorithm) -> CandidateSet {
+        let arch = self.arch_for(algorithm);
+        find_candidates(network, &arch, &self.search)
+    }
+
+    fn arch_for(&self, algorithm: Algorithm) -> Architecture {
+        match algorithm {
+            Algorithm::Unsecure => self.arch.clone().without_crypto(),
+            _ => self.arch.clone(),
+        }
+    }
+
+    /// Schedule `network` with `algorithm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapper finds no valid schedule for some layer
+    /// (increase [`SearchConfig::samples`]).
+    pub fn schedule(&self, network: &Network, algorithm: Algorithm) -> NetworkSchedule {
+        let arch = self.arch_for(algorithm);
+        let candidates = find_candidates(network, &arch, &self.search);
+        self.schedule_with_candidates(network, algorithm, &candidates)
+    }
+
+    /// Schedule every algorithm (the unsecure baseline plus Table 1's
+    /// three), sharing the step-1 mapper output within each family —
+    /// the secure algorithms reuse one candidate set; the unsecure
+    /// baseline searches without the crypto throttle.
+    pub fn schedule_all(&self, network: &Network) -> [NetworkSchedule; 4] {
+        let unsec_c = self.candidates(network, Algorithm::Unsecure);
+        let sec_c = self.candidates(network, Algorithm::CryptOptCross);
+        [
+            self.schedule_with_candidates(network, Algorithm::Unsecure, &unsec_c),
+            self.schedule_with_candidates(network, Algorithm::CryptTileSingle, &sec_c),
+            self.schedule_with_candidates(network, Algorithm::CryptOptSingle, &sec_c),
+            self.schedule_with_candidates(network, Algorithm::CryptOptCross, &sec_c),
+        ]
+    }
+
+    /// Schedule with precomputed step-1 candidates (reuses the mapper
+    /// output across algorithms — the candidates must come from
+    /// [`Scheduler::candidates`] for the same algorithm family).
+    pub fn schedule_with_candidates(
+        &self,
+        network: &Network,
+        algorithm: Algorithm,
+        candidates: &CandidateSet,
+    ) -> NetworkSchedule {
+        let arch = self.arch_for(algorithm);
+        let mut layers: Vec<Option<LayerResult>> = vec![None; network.len()];
+        let mut overhead = OverheadBreakdown::default();
+        let mut cache = OverheadCache::new();
+
+        for seg in network.segments() {
+            let (choice, seg_eval) = match algorithm {
+                Algorithm::Unsecure => {
+                    // No authentication: best candidate per layer, no
+                    // extra bits.
+                    let picks: Vec<_> = seg
+                        .layers
+                        .iter()
+                        .map(|&li| candidates.per_layer[li].best().clone())
+                        .collect();
+                    let evals: Vec<_> = picks.iter().map(|(_, e)| e.clone()).collect();
+                    (
+                        vec![0; seg.layers.len()],
+                        crate::segment::SegmentEvaluation {
+                            extra_bits: vec![0; seg.layers.len()],
+                            breakdown: OverheadBreakdown::default(),
+                            total_latency: evals.iter().map(|e| e.latency_cycles).sum(),
+                            total_energy: evals.iter().map(|e| e.energy_pj).sum(),
+                            layer_evals: evals,
+                        },
+                    )
+                }
+                Algorithm::CryptTileSingle | Algorithm::CryptOptSingle => {
+                    let mode = if algorithm == Algorithm::CryptTileSingle {
+                        StrategyMode::TileRehash
+                    } else {
+                        StrategyMode::Optimal
+                    };
+                    let picks: Vec<_> = seg
+                        .layers
+                        .iter()
+                        .map(|&li| candidates.per_layer[li].best().clone())
+                        .collect();
+                    let e = evaluate_segment(network, &arch, &seg.layers, &picks, mode, &mut cache);
+                    (vec![0; seg.layers.len()], e)
+                }
+                Algorithm::CryptOptCross => {
+                    let out = anneal_segment(
+                        network,
+                        &arch,
+                        &seg.layers,
+                        candidates,
+                        &self.annealing,
+                        &mut cache,
+                    );
+                    (out.choice, out.eval)
+                }
+            };
+
+            overhead.add(&seg_eval.breakdown);
+            for (pos, &li) in seg.layers.iter().enumerate() {
+                let layer = &network.layers()[li];
+                let eval = &seg_eval.layer_evals[pos];
+                let extra = seg_eval.extra_bits[pos];
+                let mapping = candidates.per_layer[li].options[choice[pos]].0.clone();
+                layers[li] = Some(LayerResult {
+                    name: layer.name().to_string(),
+                    latency_cycles: eval.latency_cycles,
+                    energy_pj: eval.energy_pj,
+                    extra_bits: extra,
+                    data_dram_bits: eval.dram_total_bits - extra,
+                    macs: layer.macs(),
+                    utilization: eval.utilization,
+                    mapping,
+                    energy: eval.energy,
+                });
+            }
+        }
+
+        let layers: Vec<LayerResult> = layers
+            .into_iter()
+            .map(|l| l.expect("every layer belongs to exactly one segment"))
+            .collect();
+        NetworkSchedule {
+            network: network.name().to_string(),
+            algorithm,
+            arch_summary: arch.summary(),
+            total_latency_cycles: layers.iter().map(|l| l.latency_cycles).sum(),
+            total_energy_pj: layers.iter().map(|l| l.energy_pj).sum(),
+            layers,
+            overhead,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secureloop_crypto::{CryptoConfig, EngineClass};
+    use secureloop_workload::zoo;
+
+    fn quick_scheduler(secure: bool) -> Scheduler {
+        let mut arch = Architecture::eyeriss_base();
+        if secure {
+            arch = arch.with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        }
+        Scheduler::new(arch)
+            .with_search(SearchConfig::quick())
+            .with_annealing(AnnealingConfig::quick())
+    }
+
+    #[test]
+    fn algorithm_ordering_on_alexnet() {
+        let net = zoo::alexnet_conv();
+        let s = quick_scheduler(true);
+        let unsec = s.schedule(&net, Algorithm::Unsecure);
+        let tile = s.schedule(&net, Algorithm::CryptTileSingle);
+        let opt = s.schedule(&net, Algorithm::CryptOptSingle);
+        let cross = s.schedule(&net, Algorithm::CryptOptCross);
+
+        // Secure designs are never faster than the unsecure baseline.
+        assert!(tile.total_latency_cycles >= unsec.total_latency_cycles);
+        // Each scheduler step improves (or maintains) the previous one
+        // (paper Fig. 11a ordering).
+        assert!(
+            opt.total_latency_cycles <= tile.total_latency_cycles,
+            "opt {} vs tile {}",
+            opt.total_latency_cycles,
+            tile.total_latency_cycles
+        );
+        assert!(cross.total_latency_cycles <= opt.total_latency_cycles);
+        // Traffic ordering too (Fig. 11b).
+        assert!(opt.overhead.total_bits() <= tile.overhead.total_bits());
+        // Unsecure has no overhead.
+        assert_eq!(unsec.overhead.total_bits(), 0);
+        assert!(unsec.layers.iter().all(|l| l.extra_bits == 0));
+    }
+
+    #[test]
+    fn schedule_reports_every_layer() {
+        let net = zoo::alexnet_conv();
+        let s = quick_scheduler(true);
+        let r = s.schedule(&net, Algorithm::CryptOptSingle);
+        assert_eq!(r.layers.len(), 5);
+        assert_eq!(
+            r.total_latency_cycles,
+            r.layers.iter().map(|l| l.latency_cycles).sum::<u64>()
+        );
+        assert_eq!(r.total_macs(), net.total_macs());
+        assert!(r.edp() > 0.0);
+        assert!(r.total_dram_bits() > 0);
+    }
+
+    #[test]
+    fn schedule_all_matches_individual_runs() {
+        let net = zoo::alexnet_conv();
+        let s = quick_scheduler(true);
+        let [u, t, o, c] = s.schedule_all(&net);
+        assert_eq!(u.algorithm, Algorithm::Unsecure);
+        assert_eq!(
+            t.total_latency_cycles,
+            s.schedule(&net, Algorithm::CryptTileSingle).total_latency_cycles
+        );
+        assert!(c.total_latency_cycles <= o.total_latency_cycles);
+    }
+
+    #[test]
+    fn unsecure_baseline_strips_crypto() {
+        let net = zoo::alexnet_conv();
+        let s = quick_scheduler(true);
+        let r = s.schedule(&net, Algorithm::Unsecure);
+        assert!(r.arch_summary.contains("unsecure"));
+    }
+
+    #[test]
+    fn algorithm_display_names() {
+        assert_eq!(Algorithm::CryptTileSingle.to_string(), "Crypt-Tile-Single");
+        assert_eq!(Algorithm::SECURE.len(), 3);
+    }
+}

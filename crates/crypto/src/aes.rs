@@ -1,0 +1,306 @@
+//! AES-128 block cipher (FIPS-197), implemented from first principles.
+//!
+//! The S-box is *computed* at compile time from the GF(2⁸) inverse and the
+//! affine transform rather than transcribed, eliminating table-typo risk;
+//! the known-answer test below pins the FIPS-197 Appendix C vector.
+
+/// Multiply two elements of GF(2⁸) modulo the AES polynomial x⁸+x⁴+x³+x+1.
+const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2⁸) (0 maps to 0), via a^254.
+const fn gf_inv(a: u8) -> u8 {
+    // a^254 = a^(2+4+8+16+32+64+128)
+    let a2 = gf_mul(a, a);
+    let a4 = gf_mul(a2, a2);
+    let a8 = gf_mul(a4, a4);
+    let a16 = gf_mul(a8, a8);
+    let a32 = gf_mul(a16, a16);
+    let a64 = gf_mul(a32, a32);
+    let a128 = gf_mul(a64, a64);
+    gf_mul(
+        a128,
+        gf_mul(a64, gf_mul(a32, gf_mul(a16, gf_mul(a8, gf_mul(a4, a2))))),
+    )
+}
+
+const fn affine(x: u8) -> u8 {
+    x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        t[i] = affine(gf_inv(i as u8));
+        i += 1;
+    }
+    t
+}
+
+/// The AES S-box, derived at compile time.
+pub const SBOX: [u8; 256] = build_sbox();
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Generic FIPS-197 key expansion: `NK` key words, `ROUNDS` rounds.
+fn expand_key<const NK: usize, const ROUNDS: usize>(key: &[u8]) -> Vec<[u8; 16]> {
+    debug_assert_eq!(key.len(), 4 * NK);
+    let words = 4 * (ROUNDS + 1);
+    let mut w = vec![[0u8; 4]; words];
+    for (i, word) in w.iter_mut().take(NK).enumerate() {
+        word.copy_from_slice(&key[4 * i..4 * i + 4]);
+    }
+    for i in NK..words {
+        let mut t = w[i - 1];
+        if i % NK == 0 {
+            t.rotate_left(1);
+            for b in &mut t {
+                *b = SBOX[*b as usize];
+            }
+            t[0] ^= RCON[i / NK - 1];
+        } else if NK > 6 && i % NK == 4 {
+            for b in &mut t {
+                *b = SBOX[*b as usize];
+            }
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - NK][j] ^ t[j];
+        }
+    }
+    (0..=ROUNDS)
+        .map(|r| {
+            let mut rk = [0u8; 16];
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+            rk
+        })
+        .collect()
+}
+
+fn encrypt_with(round_keys: &[[u8; 16]], block: &mut [u8; 16]) {
+    let rounds = round_keys.len() - 1;
+    add_round_key(block, &round_keys[0]);
+    for rk in &round_keys[1..rounds] {
+        sub_bytes(block);
+        shift_rows(block);
+        mix_columns(block);
+        add_round_key(block, rk);
+    }
+    sub_bytes(block);
+    shift_rows(block);
+    add_round_key(block, &round_keys[rounds]);
+}
+
+/// AES-128 with an expanded key schedule.
+///
+/// Only encryption is implemented: GCM (and CTR mode generally) never
+/// invokes the inverse cipher.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: Vec<[u8; 16]>,
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never leak key material through Debug output.
+        f.debug_struct("Aes128").finish_non_exhaustive()
+    }
+}
+
+impl Aes128 {
+    /// Expand a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        Aes128 {
+            round_keys: expand_key::<4, 10>(key),
+        }
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        encrypt_with(&self.round_keys, block);
+    }
+
+    /// Encrypt and return a copy.
+    pub fn encrypt(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut b = *block;
+        self.encrypt_block(&mut b);
+        b
+    }
+}
+
+/// AES-256 (14 rounds). Some TEE deployments mandate 256-bit keys; the
+/// GCM layer accepts either cipher.
+#[derive(Clone)]
+pub struct Aes256 {
+    round_keys: Vec<[u8; 16]>,
+}
+
+impl std::fmt::Debug for Aes256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Aes256").finish_non_exhaustive()
+    }
+}
+
+impl Aes256 {
+    /// Expand a 256-bit key.
+    pub fn new(key: &[u8; 32]) -> Self {
+        Aes256 {
+            round_keys: expand_key::<8, 14>(key),
+        }
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        encrypt_with(&self.round_keys, block);
+    }
+
+    /// Encrypt and return a copy.
+    pub fn encrypt(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut b = *block;
+        self.encrypt_block(&mut b);
+        b
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// State is column-major: byte `r + 4c` is row `r`, column `c`.
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_spot_values() {
+        // Well-known fixed points of the published table.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &v in SBOX.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expect: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(Aes128::new(&key).encrypt(&pt), expect);
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // The worked example from FIPS-197 Appendix B.
+        let key = *b"\x2b\x7e\x15\x16\x28\xae\xd2\xa6\xab\xf7\x15\x88\x09\xcf\x4f\x3c";
+        let pt = *b"\x32\x43\xf6\xa8\x88\x5a\x30\x8d\x31\x31\x98\xa2\xe0\x37\x07\x34";
+        let expect = *b"\x39\x25\x84\x1d\x02\xdc\x09\xfb\xdc\x11\x85\x97\x19\x6a\x0b\x32";
+        assert_eq!(Aes128::new(&key).encrypt(&pt), expect);
+    }
+
+    #[test]
+    fn fips197_appendix_c3_aes256_vector() {
+        let key: [u8; 32] = std::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expect: [u8; 16] = [
+            0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+            0x60, 0x89,
+        ];
+        assert_eq!(Aes256::new(&key).encrypt(&pt), expect);
+    }
+
+    #[test]
+    fn aes256_differs_from_aes128() {
+        let k128 = [0u8; 16];
+        let k256 = [0u8; 32];
+        let pt = [0u8; 16];
+        assert_ne!(Aes128::new(&k128).encrypt(&pt), Aes256::new(&k256).encrypt(&pt));
+    }
+
+    #[test]
+    fn gf_mul_matches_known_products() {
+        // {57} · {83} = {c1} from the FIPS-197 spec example.
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        // {57} · {13} = {fe}.
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn gf_inv_is_involutive() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a = {a:#x}");
+        }
+        assert_eq!(gf_inv(0), 0);
+    }
+
+    #[test]
+    fn debug_does_not_leak_keys() {
+        let aes = Aes128::new(&[0x42; 16]);
+        let dbg = format!("{aes:?}");
+        assert!(!dbg.contains("42"));
+    }
+}

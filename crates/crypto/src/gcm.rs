@@ -1,0 +1,357 @@
+//! AES-128-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! This is the protocol the modelled cryptographic engine implements
+//! (paper Fig. 2): the AES engine produces a one-time pad from the
+//! encryption seed (counter ‖ address ‖ IV), the pad is XOR-ed with the
+//! data, and the Galois-field multiplier digests the ciphertext into a
+//! hash (tag) stored off-chip next to the data.
+
+use std::fmt;
+
+use crate::aes::{Aes128, Aes256};
+use crate::ghash::Ghash;
+
+/// A 128-bit authentication tag.
+///
+/// SecureLoop's traffic model stores a truncated 64-bit tag per
+/// authentication block (see `secureloop-authblock`); truncation of GCM
+/// tags is standard (SP 800-38D §5.2.1.2) and [`Tag::truncated`] exposes
+/// it.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Tag(pub [u8; 16]);
+
+impl Tag {
+    /// The leading `n` bytes of the tag (`n ≤ 16`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 16`.
+    pub fn truncated(&self, n: usize) -> &[u8] {
+        &self.0[..n]
+    }
+}
+
+impl fmt::Debug for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tag(")?;
+        for b in self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Error returned when authentication fails during decryption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcmError;
+
+impl fmt::Display for GcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("authentication tag mismatch")
+    }
+}
+
+impl std::error::Error for GcmError {}
+
+/// The block cipher under GCM: AES-128 or AES-256.
+#[derive(Debug, Clone)]
+enum Cipher {
+    Aes128(Aes128),
+    Aes256(Aes256),
+}
+
+impl Cipher {
+    fn encrypt(&self, block: &[u8; 16]) -> [u8; 16] {
+        match self {
+            Cipher::Aes128(a) => a.encrypt(block),
+            Cipher::Aes256(a) => a.encrypt(block),
+        }
+    }
+}
+
+/// AES-GCM instance bound to one key (128- or 256-bit).
+#[derive(Debug, Clone)]
+pub struct AesGcm {
+    cipher: Cipher,
+    h: [u8; 16],
+}
+
+impl AesGcm {
+    /// Derive the GCM state (hash subkey `H = E_K(0)`) from a 128-bit
+    /// key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let cipher = Cipher::Aes128(Aes128::new(key));
+        let h = cipher.encrypt(&[0u8; 16]);
+        AesGcm { cipher, h }
+    }
+
+    /// AES-256-GCM.
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        let cipher = Cipher::Aes256(Aes256::new(key));
+        let h = cipher.encrypt(&[0u8; 16]);
+        AesGcm { cipher, h }
+    }
+
+    fn j0(&self, iv: &[u8; 12]) -> [u8; 16] {
+        let mut j0 = [0u8; 16];
+        j0[..12].copy_from_slice(iv);
+        j0[15] = 1;
+        j0
+    }
+
+    /// Pre-counter block for an arbitrary-length IV (SP 800-38D §7.1):
+    /// the 96-bit case appends `0^31 1`; otherwise
+    /// `J0 = GHASH(H; IV ∥ pad ∥ len64(IV))`.
+    fn j0_any(&self, iv: &[u8]) -> [u8; 16] {
+        if let Ok(iv12) = <&[u8; 12]>::try_from(iv) {
+            return self.j0(iv12);
+        }
+        let mut g = Ghash::new(self.h);
+        g.update_padded(iv);
+        g.update_lengths(0, iv.len() as u64 * 8);
+        g.finalize()
+    }
+
+    fn ctr_xor(&self, j0: &[u8; 16], data: &[u8], out: &mut Vec<u8>) {
+        let mut ctr = *j0;
+        for chunk in data.chunks(16) {
+            inc32(&mut ctr);
+            let pad = self.cipher.encrypt(&ctr);
+            for (i, &b) in chunk.iter().enumerate() {
+                out.push(b ^ pad[i]);
+            }
+        }
+    }
+
+    fn tag(&self, j0: &[u8; 16], aad: &[u8], ct: &[u8]) -> Tag {
+        let mut g = Ghash::new(self.h);
+        g.update_padded(aad);
+        g.update_padded(ct);
+        g.update_lengths(aad.len() as u64 * 8, ct.len() as u64 * 8);
+        let s = g.finalize();
+        let ek0 = self.cipher.encrypt(j0);
+        let mut t = [0u8; 16];
+        for i in 0..16 {
+            t[i] = s[i] ^ ek0[i];
+        }
+        Tag(t)
+    }
+
+    /// Encrypt `plaintext` with additional authenticated data `aad`.
+    ///
+    /// The 96-bit `iv` corresponds to the paper's encryption seed
+    /// (counter ‖ data address ‖ initialization vector, Fig. 2); the
+    /// caller must never reuse an IV under the same key.
+    pub fn encrypt(&self, iv: &[u8; 12], plaintext: &[u8], aad: &[u8]) -> (Vec<u8>, Tag) {
+        self.encrypt_iv(iv, plaintext, aad)
+    }
+
+    /// Encrypt with an arbitrary-length IV (SP 800-38D §7.1).
+    pub fn encrypt_iv(&self, iv: &[u8], plaintext: &[u8], aad: &[u8]) -> (Vec<u8>, Tag) {
+        let j0 = self.j0_any(iv);
+        let mut ct = Vec::with_capacity(plaintext.len());
+        self.ctr_xor(&j0, plaintext, &mut ct);
+        let tag = self.tag(&j0, aad, &ct);
+        (ct, tag)
+    }
+
+    /// Verify and decrypt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GcmError`] if the tag does not authenticate
+    /// `(iv, ciphertext, aad)`; no plaintext is released in that case.
+    pub fn decrypt(
+        &self,
+        iv: &[u8; 12],
+        ciphertext: &[u8],
+        aad: &[u8],
+        tag: &Tag,
+    ) -> Result<Vec<u8>, GcmError> {
+        self.decrypt_iv(iv, ciphertext, aad, tag)
+    }
+
+    /// Verify and decrypt with an arbitrary-length IV.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GcmError`] if the tag does not authenticate.
+    pub fn decrypt_iv(
+        &self,
+        iv: &[u8],
+        ciphertext: &[u8],
+        aad: &[u8],
+        tag: &Tag,
+    ) -> Result<Vec<u8>, GcmError> {
+        let j0 = self.j0_any(iv);
+        let expect = self.tag(&j0, aad, ciphertext);
+        // Constant-time comparison.
+        let mut diff = 0u8;
+        for i in 0..16 {
+            diff |= expect.0[i] ^ tag.0[i];
+        }
+        if diff != 0 {
+            return Err(GcmError);
+        }
+        let mut pt = Vec::with_capacity(ciphertext.len());
+        self.ctr_xor(&j0, ciphertext, &mut pt);
+        Ok(pt)
+    }
+}
+
+fn inc32(block: &mut [u8; 16]) {
+    let mut ctr = u32::from_be_bytes([block[12], block[13], block[14], block[15]]);
+    ctr = ctr.wrapping_add(1);
+    block[12..].copy_from_slice(&ctr.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn key16(s: &str) -> [u8; 16] {
+        hex(s).try_into().unwrap()
+    }
+
+    fn iv12(s: &str) -> [u8; 12] {
+        hex(s).try_into().unwrap()
+    }
+
+    #[test]
+    fn mcgrew_viega_case_1_empty() {
+        let gcm = AesGcm::new(&[0u8; 16]);
+        let (ct, tag) = gcm.encrypt(&[0u8; 12], b"", b"");
+        assert!(ct.is_empty());
+        assert_eq!(tag.0.to_vec(), hex("58e2fccefa7e3061367f1d57a4e7455a"));
+    }
+
+    #[test]
+    fn mcgrew_viega_case_2_one_block() {
+        let gcm = AesGcm::new(&[0u8; 16]);
+        let (ct, tag) = gcm.encrypt(&[0u8; 12], &[0u8; 16], b"");
+        assert_eq!(ct, hex("0388dace60b6a392f328c2b971b2fe78"));
+        assert_eq!(tag.0.to_vec(), hex("ab6e47d42cec13bdf53a67b21257bddf"));
+    }
+
+    #[test]
+    fn mcgrew_viega_case_3_four_blocks() {
+        let gcm = AesGcm::new(&key16("feffe9928665731c6d6a8f9467308308"));
+        let pt = hex(concat!(
+            "d9313225f88406e5a55909c5aff5269a",
+            "86a7a9531534f7da2e4c303d8a318a72",
+            "1c3c0c95956809532fcf0e2449a6b525",
+            "b16aedf5aa0de657ba637b39"
+        ));
+        let pt_full = {
+            let mut v = pt.clone();
+            v.extend_from_slice(&hex("1aafd255"));
+            v
+        };
+        let (ct, tag) = gcm.encrypt(&iv12("cafebabefacedbaddecaf888"), &pt_full, b"");
+        assert_eq!(
+            ct,
+            hex(concat!(
+                "42831ec2217774244b7221b784d0d49c",
+                "e3aa212f2c02a4e035c17e2329aca12e",
+                "21d514b25466931c7d8f6a5aac84aa05",
+                "1ba30b396a0aac973d58e091473f5985"
+            ))
+        );
+        assert_eq!(tag.0.to_vec(), hex("4d5c2af327cd64a62cf35abd2ba6fab4"));
+    }
+
+    #[test]
+    fn mcgrew_viega_case_4_with_aad() {
+        let gcm = AesGcm::new(&key16("feffe9928665731c6d6a8f9467308308"));
+        let pt = hex(concat!(
+            "d9313225f88406e5a55909c5aff5269a",
+            "86a7a9531534f7da2e4c303d8a318a72",
+            "1c3c0c95956809532fcf0e2449a6b525",
+            "b16aedf5aa0de657ba637b39"
+        ));
+        let aad = hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let (ct, tag) = gcm.encrypt(&iv12("cafebabefacedbaddecaf888"), &pt, &aad);
+        assert_eq!(
+            ct,
+            hex(concat!(
+                "42831ec2217774244b7221b784d0d49c",
+                "e3aa212f2c02a4e035c17e2329aca12e",
+                "21d514b25466931c7d8f6a5aac84aa05",
+                "1ba30b396a0aac973d58e091"
+            ))
+        );
+        assert_eq!(tag.0.to_vec(), hex("5bc94fbc3221a5db94fae95ae7121a47"));
+    }
+
+    #[test]
+    fn mcgrew_viega_case_14_aes256() {
+        let gcm = AesGcm::new_256(&[0u8; 32]);
+        let (ct, tag) = gcm.encrypt(&[0u8; 12], &[0u8; 16], b"");
+        assert_eq!(ct, hex("cea7403d4d606b6e074ec5d3baf39d18"));
+        assert_eq!(tag.0.to_vec(), hex("d0d1c8a799996bf0265b98b5d48ab919"));
+    }
+
+    #[test]
+    fn arbitrary_iv_roundtrip() {
+        let gcm = AesGcm::new(&[5u8; 16]);
+        for iv_len in [8usize, 12, 16, 60] {
+            let iv: Vec<u8> = (0..iv_len as u8).collect();
+            let (ct, tag) = gcm.encrypt_iv(&iv, b"tile", b"aad");
+            assert_eq!(gcm.decrypt_iv(&iv, &ct, b"aad", &tag).unwrap(), b"tile");
+            // Wrong IV fails.
+            let mut bad = iv.clone();
+            bad[0] ^= 1;
+            assert!(gcm.decrypt_iv(&bad, &ct, b"aad", &tag).is_err());
+        }
+        // The 12-byte path is identical through both APIs.
+        let iv = [9u8; 12];
+        let a = gcm.encrypt(&iv, b"x", b"");
+        let b = gcm.encrypt_iv(&iv, b"x", b"");
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn roundtrip_and_tamper_detection() {
+        let gcm = AesGcm::new(&[9u8; 16]);
+        let iv = [3u8; 12];
+        let msg = b"an ofmap tile heading to DRAM";
+        let (mut ct, tag) = gcm.encrypt(&iv, msg, b"addr=0x1000");
+        assert_eq!(
+            gcm.decrypt(&iv, &ct, b"addr=0x1000", &tag).unwrap(),
+            msg.to_vec()
+        );
+        // Ciphertext tamper.
+        ct[5] ^= 0x01;
+        assert_eq!(gcm.decrypt(&iv, &ct, b"addr=0x1000", &tag), Err(GcmError));
+        ct[5] ^= 0x01;
+        // AAD tamper (e.g. replay at a different address).
+        assert_eq!(gcm.decrypt(&iv, &ct, b"addr=0x2000", &tag), Err(GcmError));
+        // Tag tamper.
+        let mut bad = tag;
+        bad.0[0] ^= 0x80;
+        assert_eq!(gcm.decrypt(&iv, &ct, b"addr=0x1000", &bad), Err(GcmError));
+    }
+
+    #[test]
+    fn distinct_ivs_give_distinct_ciphertexts() {
+        let gcm = AesGcm::new(&[1u8; 16]);
+        let (a, _) = gcm.encrypt(&[0u8; 12], &[0u8; 32], b"");
+        let (b, _) = gcm.encrypt(&[1u8; 12], &[0u8; 32], b"");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn truncated_tag_is_prefix() {
+        let gcm = AesGcm::new(&[1u8; 16]);
+        let (_, tag) = gcm.encrypt(&[0u8; 12], b"x", b"");
+        assert_eq!(tag.truncated(8), &tag.0[..8]);
+    }
+}

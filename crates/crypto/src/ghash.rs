@@ -1,0 +1,185 @@
+//! GHASH: the universal hash of GCM over GF(2¹²⁸).
+//!
+//! GCM uses the "reflected" bit convention of NIST SP 800-38D: the
+//! polynomial is x¹²⁸ + x⁷ + x² + x + 1, with bit 0 of the first byte as
+//! the most significant coefficient. We store blocks as big-endian `u128`
+//! and use the standard shift-and-reduce multiplication.
+
+/// One 128-bit GHASH block, big-endian.
+pub type Block = [u8; 16];
+
+/// The reduction constant R = 11100001 || 0^120 (SP 800-38D §6.3).
+const R: u128 = 0xe1000000_00000000_00000000_00000000;
+
+fn to_u128(b: &Block) -> u128 {
+    u128::from_be_bytes(*b)
+}
+
+fn from_u128(v: u128) -> Block {
+    v.to_be_bytes()
+}
+
+/// Multiply two elements of GF(2¹²⁸) in the GCM convention.
+///
+/// Follows Algorithm 1 of SP 800-38D: process the bits of `x` from the
+/// most significant down, accumulating shifted copies of `y`.
+pub fn gf128_mul(x: &Block, y: &Block) -> Block {
+    let xv = to_u128(x);
+    let mut v = to_u128(y);
+    let mut z = 0u128;
+    for i in 0..128 {
+        if (xv >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    from_u128(z)
+}
+
+/// Incremental GHASH state keyed by `H = E_K(0¹²⁸)`.
+#[derive(Clone)]
+pub struct Ghash {
+    h: Block,
+    acc: u128,
+}
+
+impl std::fmt::Debug for Ghash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ghash").finish_non_exhaustive()
+    }
+}
+
+impl Ghash {
+    /// Create a GHASH instance with hash subkey `h`.
+    pub fn new(h: Block) -> Self {
+        Ghash { h, acc: 0 }
+    }
+
+    /// Absorb one full block.
+    pub fn update_block(&mut self, block: &Block) {
+        let x = from_u128(self.acc ^ to_u128(block));
+        self.acc = to_u128(&gf128_mul(&x, &self.h));
+    }
+
+    /// Absorb arbitrary bytes, zero-padding the final partial block
+    /// (exactly GCM's padding rule).
+    pub fn update_padded(&mut self, data: &[u8]) {
+        for chunk in data.chunks(16) {
+            let mut b = [0u8; 16];
+            b[..chunk.len()].copy_from_slice(chunk);
+            self.update_block(&b);
+        }
+    }
+
+    /// Absorb the GCM length block: `len(A) || len(C)` in bits.
+    pub fn update_lengths(&mut self, aad_bits: u64, ct_bits: u64) {
+        let mut b = [0u8; 16];
+        b[..8].copy_from_slice(&aad_bits.to_be_bytes());
+        b[8..].copy_from_slice(&ct_bits.to_be_bytes());
+        self.update_block(&b);
+    }
+
+    /// The current digest.
+    pub fn finalize(&self) -> Block {
+        from_u128(self.acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ONE: Block = {
+        // The multiplicative identity in the GCM convention is the block
+        // with only the x^0 coefficient set: 0x80 00 ... 00.
+        let mut b = [0u8; 16];
+        b[0] = 0x80;
+        b
+    };
+
+    #[test]
+    fn one_is_identity() {
+        let a: Block = [
+            0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a, 0x2c, 0x3b, 0x88, 0x4c, 0xfa, 0x59, 0xca, 0x34,
+            0x2b, 0x2e,
+        ];
+        assert_eq!(gf128_mul(&a, &ONE), a);
+        assert_eq!(gf128_mul(&ONE, &a), a);
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        let a = [0xabu8; 16];
+        assert_eq!(gf128_mul(&a, &[0u8; 16]), [0u8; 16]);
+    }
+
+    #[test]
+    fn multiplication_is_commutative() {
+        let a = [0x12u8; 16];
+        let mut b = [0u8; 16];
+        b[3] = 0x55;
+        b[15] = 0x9a;
+        assert_eq!(gf128_mul(&a, &b), gf128_mul(&b, &a));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_xor() {
+        let a = [0x0fu8; 16];
+        let b = [0xd3u8; 16];
+        let c = [0x71u8; 16];
+        let bc: Block = {
+            let mut t = [0u8; 16];
+            for i in 0..16 {
+                t[i] = b[i] ^ c[i];
+            }
+            t
+        };
+        let lhs = gf128_mul(&a, &bc);
+        let mut rhs = gf128_mul(&a, &b);
+        let rc = gf128_mul(&a, &c);
+        for i in 0..16 {
+            rhs[i] ^= rc[i];
+        }
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ghash_known_answer() {
+        // From McGrew-Viega test case 2: H = E_K(0) with K = 0 is
+        // 66e94bd4ef8a2c3b884cfa59ca342b2e; GHASH(H, {}, C) with
+        // C = 0388dace60b6a392f328c2b971b2fe78 gives
+        // f38cbb1ad69223dcc3457ae5b6b0f885.
+        let h: Block = [
+            0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a, 0x2c, 0x3b, 0x88, 0x4c, 0xfa, 0x59, 0xca, 0x34,
+            0x2b, 0x2e,
+        ];
+        let c: Block = [
+            0x03, 0x88, 0xda, 0xce, 0x60, 0xb6, 0xa3, 0x92, 0xf3, 0x28, 0xc2, 0xb9, 0x71, 0xb2,
+            0xfe, 0x78,
+        ];
+        let mut g = Ghash::new(h);
+        g.update_padded(&c);
+        g.update_lengths(0, 128);
+        let expect: Block = [
+            0xf3, 0x8c, 0xbb, 0x1a, 0xd6, 0x92, 0x23, 0xdc, 0xc3, 0x45, 0x7a, 0xe5, 0xb6, 0xb0,
+            0xf8, 0x85,
+        ];
+        assert_eq!(g.finalize(), expect);
+    }
+
+    #[test]
+    fn padding_rule_zero_extends() {
+        let h = [0x42u8; 16];
+        let mut a = Ghash::new(h);
+        a.update_padded(&[1, 2, 3]);
+        let mut b = Ghash::new(h);
+        let mut blk = [0u8; 16];
+        blk[..3].copy_from_slice(&[1, 2, 3]);
+        b.update_block(&blk);
+        assert_eq!(a.finalize(), b.finalize());
+    }
+}

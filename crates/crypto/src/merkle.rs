@@ -1,0 +1,270 @@
+//! Merkle (hash) tree integrity — the CPU-TEE baseline that secure DNN
+//! accelerators avoid.
+//!
+//! General-purpose TEEs protect counter/tag freshness with an integrity
+//! tree whose root lives on-chip (paper §2.2, §6 [9, 37, 51]): every
+//! off-chip read climbs the tree to a trusted level, every write
+//! updates the path. Tree-less designs [18, 19, 27] exploit the
+//! accelerator's deterministic access pattern to derive counters
+//! on-chip, paying no tree traffic — SecureLoop assumes exactly that.
+//!
+//! This module provides both:
+//!
+//! * [`MerkleTree`] — a functional arity-`k` hash tree over AuthBlock
+//!   tags (nodes are GHASH digests keyed by the tree key), with
+//!   verified reads, path updates, and tamper detection; and
+//! * [`tree_traffic_bits`] — the analytical per-access traffic a
+//!   CPU-style tree would add, used by the `treeless_ablation`
+//!   experiment harness to quantify what the paper's assumption saves.
+
+use crate::ghash::Ghash;
+
+/// A functional arity-`k` Merkle tree over 16-byte leaves.
+///
+/// Node digests use GHASH keyed by a tree key — a universal hash is
+/// sufficient here because every node is itself authenticated by its
+/// parent up to the on-chip root.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    arity: usize,
+    key: [u8; 16],
+    /// `levels[0]` = leaves, `levels.last()` = [root].
+    levels: Vec<Vec<[u8; 16]>>,
+}
+
+/// Error returned when verification fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityError {
+    /// Tree level at which the mismatch was detected (0 = leaf).
+    pub level: usize,
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "integrity check failed at tree level {}", self.level)
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+impl MerkleTree {
+    /// Build a tree of the given arity over `leaves`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity < 2` or `leaves` is empty.
+    pub fn build(key: [u8; 16], arity: usize, leaves: &[[u8; 16]]) -> Self {
+        assert!(arity >= 2, "tree arity must be at least 2");
+        assert!(!leaves.is_empty(), "tree needs at least one leaf");
+        let mut levels = vec![leaves.to_vec()];
+        while levels.last().expect("nonempty").len() > 1 {
+            let below = levels.last().expect("nonempty");
+            let mut above = Vec::with_capacity(below.len().div_ceil(arity));
+            for group in below.chunks(arity) {
+                above.push(digest(&key, group));
+            }
+            levels.push(above);
+        }
+        MerkleTree { arity, key, levels }
+    }
+
+    /// The on-chip root digest.
+    pub fn root(&self) -> [u8; 16] {
+        self.levels.last().expect("nonempty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Whether the tree is empty (never true — construction requires a
+    /// leaf).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Tree height in edges (0 for a single-leaf tree).
+    pub fn height(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Verify leaf `index` against the root by recomputing its path.
+    ///
+    /// # Errors
+    ///
+    /// [`IntegrityError`] naming the first level whose recomputed
+    /// digest mismatches the stored one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn verify(&self, index: usize, leaf: &[u8; 16]) -> Result<(), IntegrityError> {
+        assert!(index < self.len(), "leaf index out of range");
+        if &self.levels[0][index] != leaf {
+            return Err(IntegrityError { level: 0 });
+        }
+        let mut idx = index;
+        for level in 0..self.height() {
+            let parent = idx / self.arity;
+            let start = parent * self.arity;
+            let end = (start + self.arity).min(self.levels[level].len());
+            let recomputed = digest(&self.key, &self.levels[level][start..end]);
+            if recomputed != self.levels[level + 1][parent] {
+                return Err(IntegrityError { level: level + 1 });
+            }
+            idx = parent;
+        }
+        Ok(())
+    }
+
+    /// Replace leaf `index` and update its path to the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn update(&mut self, index: usize, leaf: [u8; 16]) {
+        assert!(index < self.len(), "leaf index out of range");
+        self.levels[0][index] = leaf;
+        let mut idx = index;
+        for level in 0..self.height() {
+            let parent = idx / self.arity;
+            let start = parent * self.arity;
+            let end = (start + self.arity).min(self.levels[level].len());
+            let d = digest(&self.key, &self.levels[level][start..end]);
+            self.levels[level + 1][parent] = d;
+            idx = parent;
+        }
+    }
+
+    /// Corrupt an internal node (test helper for tamper experiments).
+    #[doc(hidden)]
+    pub fn corrupt_node(&mut self, level: usize, index: usize) {
+        self.levels[level][index][0] ^= 0xff;
+    }
+}
+
+fn digest(key: &[u8; 16], children: &[[u8; 16]]) -> [u8; 16] {
+    let mut g = Ghash::new(*key);
+    for c in children {
+        g.update_block(c);
+    }
+    g.update_lengths(0, (children.len() * 128) as u64);
+    g.finalize()
+}
+
+/// Analytical tree traffic for `accesses` block touches against a tree
+/// of `total_blocks` leaves with the given arity, when the top
+/// `cached_levels` of the tree (including the root) are cached on-chip.
+///
+/// Each access moves one 128-bit node per uncached tree level (reads
+/// climb, writes climb and rewrite — pass `rmw = true` to double).
+pub fn tree_traffic_bits(
+    accesses: u64,
+    total_blocks: u64,
+    arity: u64,
+    cached_levels: u32,
+    rmw: bool,
+) -> u64 {
+    assert!(arity >= 2, "tree arity must be at least 2");
+    if total_blocks <= 1 {
+        return 0;
+    }
+    // Height in edges.
+    let mut height = 0u32;
+    let mut span = 1u64;
+    while span < total_blocks {
+        span = span.saturating_mul(arity);
+        height += 1;
+    }
+    let uncached = height.saturating_sub(cached_levels);
+    let per_access = u64::from(uncached) * 128 * if rmw { 2 } else { 1 };
+    accesses * per_access
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<[u8; 16]> {
+        (0..n)
+            .map(|i| {
+                let mut l = [0u8; 16];
+                l[..8].copy_from_slice(&(i as u64).to_be_bytes());
+                l
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_verify_roundtrip() {
+        let tree = MerkleTree::build([7; 16], 4, &leaves(100));
+        assert_eq!(tree.len(), 100);
+        // height: 100 -> 25 -> 7 -> 2 -> 1 = 4 edges.
+        assert_eq!(tree.height(), 4);
+        for (i, l) in leaves(100).iter().enumerate() {
+            tree.verify(i, l).unwrap();
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_is_rejected() {
+        let tree = MerkleTree::build([7; 16], 2, &leaves(16));
+        let mut bad = leaves(16)[3];
+        bad[5] ^= 1;
+        assert_eq!(tree.verify(3, &bad), Err(IntegrityError { level: 0 }));
+    }
+
+    #[test]
+    fn corrupted_internal_node_is_detected() {
+        let mut tree = MerkleTree::build([7; 16], 2, &leaves(32));
+        tree.corrupt_node(2, 1);
+        // Some leaf under that node must fail at or below level 3
+        // (where the corrupted digest no longer matches its parent).
+        let l = leaves(32);
+        let failures = (0..32).filter(|&i| tree.verify(i, &l[i]).is_err()).count();
+        assert!(failures > 0);
+    }
+
+    #[test]
+    fn update_restores_verification() {
+        let mut tree = MerkleTree::build([9; 16], 4, &leaves(64));
+        let root_before = tree.root();
+        let mut new_leaf = [0xabu8; 16];
+        new_leaf[15] = 1;
+        tree.update(17, new_leaf);
+        assert_ne!(tree.root(), root_before, "root must change");
+        tree.verify(17, &new_leaf).unwrap();
+        // Other leaves still verify against the new root.
+        tree.verify(0, &leaves(64)[0]).unwrap();
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let tree = MerkleTree::build([1; 16], 8, &leaves(1));
+        assert_eq!(tree.height(), 0);
+        assert_eq!(tree.root(), leaves(1)[0]);
+        tree.verify(0, &leaves(1)[0]).unwrap();
+    }
+
+    #[test]
+    fn traffic_model_scales_with_height_and_caching() {
+        // 4^5 = 1024 blocks, arity 4: height 5.
+        let full = tree_traffic_bits(10, 1024, 4, 0, false);
+        assert_eq!(full, 10 * 5 * 128);
+        // Caching 2 levels removes 2 node fetches per access.
+        let cached = tree_traffic_bits(10, 1024, 4, 2, false);
+        assert_eq!(cached, 10 * 3 * 128);
+        // Read-modify-write doubles.
+        assert_eq!(tree_traffic_bits(10, 1024, 4, 2, true), 2 * cached);
+        // Degenerate cases.
+        assert_eq!(tree_traffic_bits(10, 1, 4, 0, false), 0);
+        assert_eq!(tree_traffic_bits(10, 1024, 4, 99, false), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn unary_tree_rejected() {
+        let _ = tree_traffic_bits(1, 8, 1, 0, false);
+    }
+}

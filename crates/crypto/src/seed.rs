@@ -1,0 +1,147 @@
+//! Encryption-seed (counter) management.
+//!
+//! The engine's encryption seed is `counter ‖ address ‖ IV` (paper
+//! Fig. 2). The counter is a version number bumped every time the
+//! accelerator rewrites a block; tree-less designs derive it on-chip
+//! from the deterministic execution schedule instead of storing it in
+//! DRAM (paper §2.2, [18, 19, 27]). This module implements that
+//! derivation and enforces the one rule GCM security stands on:
+//! **a (key, seed) pair is never reused**.
+//!
+//! [`SeedGenerator`] produces 96-bit IVs from
+//! `(tensor id, block index, version)`; [`CounterTracker`] derives the
+//! version number per block from the write schedule, exactly the
+//! knowledge a tree-less accelerator has.
+
+use std::collections::HashMap;
+
+/// A 96-bit GCM IV derived from the seed components.
+pub type Iv = [u8; 12];
+
+/// Derives unique IVs from structured seed components.
+///
+/// Layout: 4 bytes tensor id ‖ 4 bytes block index ‖ 4 bytes version —
+/// distinct components always give distinct IVs, which the unit tests
+/// pin down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeedGenerator;
+
+impl SeedGenerator {
+    /// The IV for (tensor, block, version).
+    pub fn iv(tensor: u32, block: u32, version: u32) -> Iv {
+        let mut iv = [0u8; 12];
+        iv[..4].copy_from_slice(&tensor.to_be_bytes());
+        iv[4..8].copy_from_slice(&block.to_be_bytes());
+        iv[8..].copy_from_slice(&version.to_be_bytes());
+        iv
+    }
+}
+
+/// On-chip version tracking for the blocks of one tensor.
+///
+/// A tree-less accelerator knows, from the loopnest, how many times
+/// each block has been written; this structure reproduces that
+/// bookkeeping so the functional pipeline can be driven with correct,
+/// never-reused seeds — and so tests can prove that replayed (stale)
+/// versions fail authentication.
+#[derive(Debug, Clone, Default)]
+pub struct CounterTracker {
+    versions: HashMap<(u32, u32), u32>,
+}
+
+impl CounterTracker {
+    /// Fresh tracker: every block starts at version 0 (provisioning).
+    pub fn new() -> Self {
+        CounterTracker::default()
+    }
+
+    /// Current version of a block (0 if never rewritten).
+    pub fn version(&self, tensor: u32, block: u32) -> u32 {
+        self.versions.get(&(tensor, block)).copied().unwrap_or(0)
+    }
+
+    /// The IV to use for *reading* the block right now.
+    pub fn read_iv(&self, tensor: u32, block: u32) -> Iv {
+        SeedGenerator::iv(tensor, block, self.version(tensor, block))
+    }
+
+    /// Bump the version for a rewrite and return the IV to encrypt
+    /// the new contents with.
+    pub fn write_iv(&mut self, tensor: u32, block: u32) -> Iv {
+        let v = self.versions.entry((tensor, block)).or_insert(0);
+        *v += 1;
+        SeedGenerator::iv(tensor, block, *v)
+    }
+
+    /// Number of blocks that have been rewritten at least once.
+    pub fn rewritten_blocks(&self) -> usize {
+        self.versions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gcm::AesGcm;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ivs_are_unique_across_components() {
+        let mut seen = HashSet::new();
+        for tensor in 0..8u32 {
+            for block in 0..8u32 {
+                for version in 0..8u32 {
+                    assert!(seen.insert(SeedGenerator::iv(tensor, block, version)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 512);
+    }
+
+    #[test]
+    fn version_advances_only_on_writes() {
+        let mut t = CounterTracker::new();
+        assert_eq!(t.version(1, 5), 0);
+        let iv_r0 = t.read_iv(1, 5);
+        let iv_w1 = t.write_iv(1, 5);
+        assert_ne!(iv_r0, iv_w1);
+        assert_eq!(t.version(1, 5), 1);
+        assert_eq!(t.read_iv(1, 5), iv_w1, "reads use the last written version");
+        let iv_w2 = t.write_iv(1, 5);
+        assert_ne!(iv_w1, iv_w2);
+        assert_eq!(t.rewritten_blocks(), 1);
+    }
+
+    #[test]
+    fn stale_version_replay_fails_authentication() {
+        // A partial-sum block is written twice; an attacker replaying
+        // the first ciphertext+tag is caught because the accelerator
+        // derives version 2 for the read.
+        let gcm = AesGcm::new(&[3u8; 16]);
+        let mut t = CounterTracker::new();
+        let (tensor, block) = (7, 42);
+        let addr = b"block-42";
+
+        let iv1 = t.write_iv(tensor, block);
+        let (ct1, tag1) = gcm.encrypt(&iv1, b"partial sums v1", addr);
+        let iv2 = t.write_iv(tensor, block);
+        let (ct2, tag2) = gcm.encrypt(&iv2, b"partial sums v2", addr);
+
+        let read_iv = t.read_iv(tensor, block);
+        // Fresh data verifies...
+        assert_eq!(
+            gcm.decrypt(&read_iv, &ct2, addr, &tag2).unwrap(),
+            b"partial sums v2"
+        );
+        // ...replayed stale data does not.
+        assert!(gcm.decrypt(&read_iv, &ct1, addr, &tag1).is_err());
+    }
+
+    #[test]
+    fn distinct_tensors_never_collide() {
+        let mut t = CounterTracker::new();
+        let a = t.write_iv(1, 0);
+        let b = t.write_iv(2, 0);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,203 @@
+//! Cycle-approximate simulator for cryptographic engines.
+//!
+//! The scheduler's analytical model (paper §4.1) assumes each AES-GCM
+//! engine sustains one 128-bit block per initiation interval and that the
+//! effective off-chip bandwidth is `min(DRAM, engines)`. This module
+//! replays an actual request trace through a pipeline model — per-engine
+//! occupancy, round-robin arbitration across datatype streams — so tests
+//! can confirm the closed-form bandwidth is the correct steady-state
+//! limit and quantify the (bounded) start-up error.
+
+use crate::engine::{AesGcmEngine, BLOCK_BYTES};
+
+/// A burst of protected off-chip traffic belonging to one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Stream (e.g. datatype) index; used for round-robin arbitration.
+    pub stream: usize,
+    /// Cycle at which the data is available to the engine.
+    pub arrival: u64,
+    /// Number of bytes to encrypt/decrypt + authenticate.
+    pub bytes: u64,
+}
+
+/// Result of replaying a trace through [`EngineSim`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Cycle at which the last block drained.
+    pub finish_cycle: u64,
+    /// Total blocks processed.
+    pub blocks: u64,
+    /// Achieved throughput in bytes/cycle (measured from cycle 0).
+    pub bytes_per_cycle: f64,
+}
+
+/// A pool of identical AES-GCM engines fed from per-stream FIFOs with
+/// round-robin arbitration.
+#[derive(Debug, Clone)]
+pub struct EngineSim {
+    engine: AesGcmEngine,
+    count: usize,
+}
+
+impl EngineSim {
+    /// `count` identical engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn new(engine: AesGcmEngine, count: usize) -> Self {
+        assert!(count > 0, "need at least one engine");
+        EngineSim { engine, count }
+    }
+
+    /// Replay `requests` (any order; they are sorted by arrival) and
+    /// return the drain statistics.
+    pub fn run(&self, requests: &[Request]) -> SimResult {
+        let ii = self.engine.cycles_per_block();
+        // Expand each request into blocks, tagged by stream.
+        let mut queue: Vec<(u64, usize)> = Vec::new(); // (arrival, stream)
+        for r in requests {
+            for _ in 0..r.bytes.div_ceil(BLOCK_BYTES) {
+                queue.push((r.arrival, r.stream));
+            }
+        }
+        // Round-robin across streams at equal arrival: sort by (arrival,
+        // stream) then interleave per arrival group.
+        queue.sort_by_key(|&(a, s)| (a, s));
+
+        // Next-free cycle per engine.
+        let mut free = vec![0u64; self.count];
+        let mut finish = 0u64;
+        let mut blocks = 0u64;
+        for (arrival, _stream) in queue {
+            // Earliest-available engine (round-robin falls out of always
+            // picking the least-loaded engine for identical engines).
+            let (idx, &start) = free
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &f)| f)
+                .expect("count > 0");
+            let begin = start.max(arrival);
+            let done = begin + ii;
+            free[idx] = done;
+            finish = finish.max(done);
+            blocks += 1;
+        }
+        SimResult {
+            finish_cycle: finish,
+            blocks,
+            bytes_per_cycle: if finish == 0 {
+                0.0
+            } else {
+                (blocks * BLOCK_BYTES) as f64 / finish as f64
+            },
+        }
+    }
+
+    /// Closed-form steady-state throughput the scheduler assumes.
+    pub fn analytical_bytes_per_cycle(&self) -> f64 {
+        self.engine.bytes_per_cycle() * self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineClass;
+
+    fn saturating_trace(blocks: u64) -> Vec<Request> {
+        vec![Request {
+            stream: 0,
+            arrival: 0,
+            bytes: blocks * BLOCK_BYTES,
+        }]
+    }
+
+    #[test]
+    fn single_engine_matches_closed_form() {
+        for class in EngineClass::ALL {
+            let sim = EngineSim::new(class.engine(), 1);
+            let res = sim.run(&saturating_trace(1000));
+            let rel = res.bytes_per_cycle / sim.analytical_bytes_per_cycle();
+            assert!(
+                (rel - 1.0).abs() < 1e-6,
+                "{class}: measured {} vs analytical {}",
+                res.bytes_per_cycle,
+                sim.analytical_bytes_per_cycle()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_pool_scales_linearly() {
+        let one = EngineSim::new(EngineClass::Serial.engine(), 1)
+            .run(&saturating_trace(300))
+            .finish_cycle;
+        let thirty = EngineSim::new(EngineClass::Serial.engine(), 30)
+            .run(&saturating_trace(300))
+            .finish_cycle;
+        let speedup = one as f64 / thirty as f64;
+        assert!(
+            (speedup - 30.0).abs() < 0.5,
+            "30 engines should give ~30x: {speedup}"
+        );
+    }
+
+    #[test]
+    fn thirty_serial_matches_one_parallel() {
+        // Paper §5.2: 30x serial ≈ 1x parallel in throughput.
+        let serial = EngineSim::new(EngineClass::Serial.engine(), 30).run(&saturating_trace(5000));
+        let parallel =
+            EngineSim::new(EngineClass::Parallel.engine(), 1).run(&saturating_trace(5000));
+        let ratio = serial.bytes_per_cycle / parallel.bytes_per_cycle;
+        assert!(ratio > 0.9 && ratio < 1.12, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn arrival_gaps_stall_the_engine() {
+        let sim = EngineSim::new(EngineClass::Parallel.engine(), 1);
+        let res = sim.run(&[
+            Request {
+                stream: 0,
+                arrival: 0,
+                bytes: 16,
+            },
+            Request {
+                stream: 0,
+                arrival: 1000,
+                bytes: 16,
+            },
+        ]);
+        assert_eq!(res.finish_cycle, 1011);
+    }
+
+    #[test]
+    fn multiple_streams_share_fairly() {
+        let sim = EngineSim::new(EngineClass::Parallel.engine(), 3);
+        let reqs: Vec<Request> = (0..3)
+            .map(|s| Request {
+                stream: s,
+                arrival: 0,
+                bytes: 100 * BLOCK_BYTES,
+            })
+            .collect();
+        let res = sim.run(&reqs);
+        // 300 blocks on 3 engines at II=11: 100 * 11 cycles.
+        assert_eq!(res.finish_cycle, 1100);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let sim = EngineSim::new(EngineClass::Pipelined.engine(), 2);
+        let res = sim.run(&[]);
+        assert_eq!(res.blocks, 0);
+        assert_eq!(res.bytes_per_cycle, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one engine")]
+    fn zero_engines_panics() {
+        let _ = EngineSim::new(EngineClass::Pipelined.engine(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! The 40/45 nm technology table.
+//!
+//! These constants play the role of Accelergy's component library
+//! (paper §5.1 uses Accelergy "assuming 40/45nm technology"). Each value
+//! is a representative number from the public literature; the DSE
+//! experiments depend on relative ordering and scaling laws, not on the
+//! third significant digit.
+//!
+//! | Constant | Value | Provenance |
+//! |---|---|---|
+//! | [`MAC_8BIT_PJ`] | 0.2 pJ | 8-bit MAC at 40/45 nm (Eyeriss-class datapaths, scaled from the 65 nm ~1 pJ 16-bit MAC) |
+//! | [`RF_PJ_PER_BYTE`] | 0.08 pJ | small (≤512 B) register file access |
+//! | [`glb_pj_per_byte`] | 0.3·√(kB/16) pJ | SRAM access energy grows ~√capacity (bitline/wordline length) |
+//! | [`SRAM_MM2_PER_MBIT`] | 0.35 mm²/Mbit | dense 40 nm SRAM macro |
+//! | [`PE_AREA_MM2`] | 0.007 mm² | one PE incl. RF and control |
+//! | [`KGATES_PER_MM2`] | 650 | routed logic density at 40 nm |
+//! | [`FIXED_OVERHEAD_MM2`] | 0.5 mm² | NoC, controllers, PHY |
+//!
+//! DRAM energy per bit lives on
+//! [`DramSpec`](secureloop_arch::DramSpec) (LPDDR4 ≈ 16 pJ/bit,
+//! HBM2 ≈ 4 pJ/bit); AES/GF energies per block come from paper Table 2
+//! via [`secureloop_crypto::EngineClass`].
+
+/// Energy of one 8-bit multiply-accumulate, in pJ.
+pub const MAC_8BIT_PJ: f64 = 0.2;
+
+/// Register-file access energy per byte, in pJ.
+pub const RF_PJ_PER_BYTE: f64 = 0.08;
+
+/// SRAM area density, mm² per Mbit.
+pub const SRAM_MM2_PER_MBIT: f64 = 0.35;
+
+/// Area of one processing element (ALU + RF + control), mm².
+pub const PE_AREA_MM2: f64 = 0.007;
+
+/// Routed logic density, kGates per mm².
+pub const KGATES_PER_MM2: f64 = 650.0;
+
+/// Fixed non-scaling die overhead (NoC, control, I/O), mm².
+pub const FIXED_OVERHEAD_MM2: f64 = 0.5;
+
+/// On-chip network energy per byte per hop (array-scale wires at
+/// 40 nm), pJ.
+pub const NOC_PJ_PER_BYTE_PER_HOP: f64 = 0.03;
+
+/// Global-buffer access energy per byte, scaled by capacity.
+///
+/// Access energy of an SRAM grows roughly with the square root of its
+/// capacity (longer bitlines/wordlines): `0.3 · sqrt(kB / 16)` pJ/byte,
+/// anchored at 0.3 pJ/byte for a 16 kB macro.
+pub fn glb_pj_per_byte(capacity_bytes: u64) -> f64 {
+    let kb = capacity_bytes as f64 / 1024.0;
+    0.3 * (kb / 16.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glb_energy_scaling_anchored_at_16kb() {
+        assert!((glb_pj_per_byte(16 * 1024) - 0.3).abs() < 1e-12);
+        // 4x capacity => 2x energy.
+        let e64 = glb_pj_per_byte(64 * 1024);
+        assert!((e64 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchy_energy_ordering_holds_at_all_paper_sizes() {
+        for kb in [16u64, 32, 131] {
+            let glb = glb_pj_per_byte(kb * 1024);
+            assert!(RF_PJ_PER_BYTE < glb, "RF must be cheaper than {kb} kB GLB");
+            // LPDDR4 at 16 pJ/bit = 128 pJ/byte dwarfs any GLB.
+            assert!(glb < 128.0);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Tile footprints: how many words of each datatype live below a
+//! hierarchy boundary.
+
+use secureloop_workload::{ConvLayer, Datatype, Dim, DimMap};
+
+use crate::mapping::Mapping;
+
+/// A boundary in the hierarchy; `inner_products` multiplies all tiling
+/// factors strictly below it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boundary {
+    /// Everything below DRAM: the GLB-resident tile
+    /// (GLB × spatial × RF factors).
+    BelowDram,
+    /// Everything below the GLB: the PE-array-wide tile
+    /// (spatial × RF factors).
+    BelowGlb,
+    /// Everything below the spatial fan-out: one PE's tile (RF factors).
+    BelowSpatial,
+}
+
+/// Per-dimension extent of the tile below `boundary`.
+pub fn inner_products(mapping: &Mapping, boundary: Boundary) -> DimMap<u64> {
+    let mut out = DimMap::splat(1u64);
+    for d in Dim::ALL {
+        out[d] = match boundary {
+            Boundary::BelowDram => {
+                mapping.glb[d] * mapping.spatial_x[d] * mapping.spatial_y[d] * mapping.rf[d]
+            }
+            Boundary::BelowGlb => mapping.spatial_x[d] * mapping.spatial_y[d] * mapping.rf[d],
+            Boundary::BelowSpatial => mapping.rf[d],
+        };
+    }
+    out
+}
+
+/// Number of words of datatype `dt` covered by a tile whose per-dimension
+/// extents are `inner`.
+///
+/// The ifmap footprint uses the sliding-window relation
+/// `h = (p − 1)·stride + r` — overlapping windows are counted once,
+/// which is what makes spatial multicast and halo reuse fall out of the
+/// footprint computation.
+pub fn footprint_words(layer: &ConvLayer, dt: Datatype, inner: &DimMap<u64>) -> u64 {
+    match dt {
+        Datatype::Weight => inner[Dim::M] * inner[Dim::C] * inner[Dim::R] * inner[Dim::S],
+        Datatype::Ofmap => inner[Dim::N] * inner[Dim::M] * inner[Dim::P] * inner[Dim::Q],
+        Datatype::Ifmap => {
+            let h = (inner[Dim::P] - 1) * layer.stride() + inner[Dim::R];
+            let w = (inner[Dim::Q] - 1) * layer.stride() + inner[Dim::S];
+            let ch = if layer.depthwise() {
+                inner[Dim::M]
+            } else {
+                inner[Dim::C]
+            };
+            inner[Dim::N] * ch * h * w
+        }
+    }
+}
+
+/// The ifmap window extent (height, width) for a tile covering
+/// `p`/`q` output positions with `r`/`s` filter taps.
+pub fn ifmap_window(layer: &ConvLayer, p: u64, q: u64, r: u64, s: u64) -> (u64, u64) {
+    (
+        (p - 1) * layer.stride() + r,
+        (q - 1) * layer.stride() + s,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secureloop_workload::ConvLayer;
+
+    fn layer() -> ConvLayer {
+        ConvLayer::builder("t")
+            .input_hw(12, 12)
+            .channels(4, 8)
+            .kernel(3, 3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn untiled_footprints_cover_whole_tensors() {
+        let l = layer();
+        let m = Mapping::untiled(&l);
+        let inner = inner_products(&m, Boundary::BelowDram);
+        for dt in Datatype::ALL {
+            assert_eq!(footprint_words(&l, dt, &inner), l.tensor_elems(dt));
+        }
+    }
+
+    #[test]
+    fn ifmap_window_overlap_counted_once() {
+        let l = layer();
+        let mut inner = DimMap::splat(1u64);
+        inner[Dim::P] = 2;
+        inner[Dim::R] = 3;
+        // Two adjacent output rows with a 3-tap filter touch 4 input
+        // rows, not 6.
+        assert_eq!(footprint_words(&l, Datatype::Ifmap, &inner), 4);
+    }
+
+    #[test]
+    fn strided_window() {
+        let l = ConvLayer::builder("s")
+            .input_hw(11, 11)
+            .channels(1, 1)
+            .kernel(3, 3)
+            .stride(2)
+            .build()
+            .unwrap();
+        let (h, w) = ifmap_window(&l, 5, 5, 3, 3);
+        assert_eq!((h, w), (11, 11));
+    }
+
+    #[test]
+    fn depthwise_ifmap_scales_with_m() {
+        let l = ConvLayer::builder("dw")
+            .input_hw(8, 8)
+            .channels(16, 16)
+            .kernel(3, 3)
+            .pad(1)
+            .depthwise()
+            .build()
+            .unwrap();
+        let mut inner = DimMap::splat(1u64);
+        inner[Dim::M] = 16;
+        inner[Dim::R] = 3;
+        inner[Dim::S] = 3;
+        assert_eq!(footprint_words(&l, Datatype::Ifmap, &inner), 16 * 9);
+        // Weight tile also spans all 16 filters.
+        assert_eq!(footprint_words(&l, Datatype::Weight, &inner), 16 * 9);
+    }
+
+    #[test]
+    fn boundaries_nest() {
+        let l = layer();
+        let mut m = Mapping::untiled(&l);
+        // Move M: 2 at glb, 2 spatial-x, 2 at rf.
+        m.rf[Dim::M] = 2;
+        m.spatial_x[Dim::M] = 2;
+        m.glb[Dim::M] = 2;
+        let below_dram = inner_products(&m, Boundary::BelowDram);
+        let below_glb = inner_products(&m, Boundary::BelowGlb);
+        let below_sp = inner_products(&m, Boundary::BelowSpatial);
+        assert_eq!(below_dram[Dim::M], 8);
+        assert_eq!(below_glb[Dim::M], 4);
+        assert_eq!(below_sp[Dim::M], 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Compact textual mapping format, in the spirit of Timeloop's map
+//! files: serialise a [`Mapping`] to one line and parse it back, so
+//! schedules can be stored in experiment artifacts and replayed.
+//!
+//! Syntax (factors of 1 are omitted; empty levels keep their `;`):
+//!
+//! ```text
+//! dram[NMPQCRS]: M8 C16 P7 Q4; glb[NMPQCRS]: M8 P8; sx: Q14; sy: R3; rf: C4 S3
+//! ```
+//!
+//! The bracketed permutation after `dram`/`glb` is the loop order,
+//! outermost first.
+
+use std::fmt;
+use std::str::FromStr;
+
+use secureloop_workload::{Dim, DimMap};
+
+use crate::mapping::Mapping;
+
+/// Error from parsing the compact mapping format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMappingError(String);
+
+impl fmt::Display for ParseMappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse mapping: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseMappingError {}
+
+fn err(msg: impl Into<String>) -> ParseMappingError {
+    ParseMappingError(msg.into())
+}
+
+fn dim_of(c: char) -> Result<Dim, ParseMappingError> {
+    Dim::ALL
+        .iter()
+        .copied()
+        .find(|d| d.letter() == c.to_ascii_uppercase())
+        .ok_or_else(|| err(format!("unknown dimension '{c}'")))
+}
+
+fn write_factors(f: &mut fmt::Formatter<'_>, factors: &DimMap<u64>) -> fmt::Result {
+    let mut first = true;
+    for (d, v) in factors.iter() {
+        if v > 1 {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{}{v}", d.letter())?;
+            first = false;
+        }
+    }
+    Ok(())
+}
+
+/// Wrapper giving [`Mapping`] the compact one-line text form.
+///
+/// `Mapping`'s own `Display` is the multi-line Fig. 1c loopnest;
+/// `CompactMapping(&m)` is the single-line artifact form, and
+/// `str::parse::<Mapping>` accepts it back.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactMapping<'a>(pub &'a Mapping);
+
+impl fmt::Display for CompactMapping<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.0;
+        let order: String = m.dram_order.iter().map(|d| d.letter()).collect();
+        write!(f, "dram[{order}]: ")?;
+        write_factors(f, &m.dram)?;
+        let order: String = m.glb_order.iter().map(|d| d.letter()).collect();
+        write!(f, "; glb[{order}]: ")?;
+        write_factors(f, &m.glb)?;
+        write!(f, "; sx: ")?;
+        write_factors(f, &m.spatial_x)?;
+        write!(f, "; sy: ")?;
+        write_factors(f, &m.spatial_y)?;
+        write!(f, "; rf: ")?;
+        write_factors(f, &m.rf)
+    }
+}
+
+fn parse_factors(s: &str) -> Result<DimMap<u64>, ParseMappingError> {
+    let mut out = DimMap::splat(1u64);
+    for token in s.split_whitespace() {
+        let mut chars = token.chars();
+        let d = dim_of(chars.next().ok_or_else(|| err("empty factor token"))?)?;
+        let n: u64 = chars
+            .as_str()
+            .parse()
+            .map_err(|_| err(format!("bad factor '{token}'")))?;
+        if n == 0 {
+            return Err(err(format!("zero factor '{token}'")));
+        }
+        if out[d] != 1 {
+            return Err(err(format!("dimension {d} appears twice")));
+        }
+        out[d] = n;
+    }
+    Ok(out)
+}
+
+fn parse_order(s: &str) -> Result<[Dim; 7], ParseMappingError> {
+    let dims: Vec<Dim> = s.chars().map(dim_of).collect::<Result<_, _>>()?;
+    let arr: [Dim; 7] = dims
+        .try_into()
+        .map_err(|_| err("loop order must list all 7 dimensions"))?;
+    let mut seen = [false; 7];
+    for d in arr {
+        if std::mem::replace(&mut seen[d.index()], true) {
+            return Err(err("loop order repeats a dimension"));
+        }
+    }
+    Ok(arr)
+}
+
+impl FromStr for Mapping {
+    type Err = ParseMappingError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut dram = None;
+        let mut glb = None;
+        let mut sx = None;
+        let mut sy = None;
+        let mut rf = None;
+        let mut dram_order = None;
+        let mut glb_order = None;
+        for part in s.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (head, body) = part
+                .split_once(':')
+                .ok_or_else(|| err(format!("missing ':' in '{part}'")))?;
+            let head = head.trim();
+            let factors = parse_factors(body)?;
+            if let Some(rest) = head.strip_prefix("dram") {
+                dram = Some(factors);
+                dram_order = Some(parse_order(
+                    rest.trim().trim_start_matches('[').trim_end_matches(']'),
+                )?);
+            } else if let Some(rest) = head.strip_prefix("glb") {
+                glb = Some(factors);
+                glb_order = Some(parse_order(
+                    rest.trim().trim_start_matches('[').trim_end_matches(']'),
+                )?);
+            } else {
+                match head {
+                    "sx" => sx = Some(factors),
+                    "sy" => sy = Some(factors),
+                    "rf" => rf = Some(factors),
+                    other => return Err(err(format!("unknown level '{other}'"))),
+                }
+            }
+        }
+        Ok(Mapping {
+            dram: dram.ok_or_else(|| err("missing dram level"))?,
+            glb: glb.ok_or_else(|| err("missing glb level"))?,
+            spatial_x: sx.ok_or_else(|| err("missing sx level"))?,
+            spatial_y: sy.ok_or_else(|| err("missing sy level"))?,
+            rf: rf.ok_or_else(|| err("missing rf level"))?,
+            dram_order: dram_order.ok_or_else(|| err("missing dram order"))?,
+            glb_order: glb_order.ok_or_else(|| err("missing glb order"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secureloop_workload::ConvLayer;
+
+    fn fixture() -> Mapping {
+        let layer = ConvLayer::builder("t")
+            .input_hw(58, 58)
+            .channels(64, 64)
+            .kernel(3, 3)
+            .build()
+            .unwrap();
+        let mut m = Mapping::untiled(&layer);
+        m.rf = DimMap::splat(1);
+        m.rf[Dim::S] = 3;
+        m.rf[Dim::C] = 4;
+        m.spatial_y[Dim::R] = 3;
+        m.spatial_x[Dim::Q] = 14;
+        m.glb[Dim::M] = 8;
+        m.glb[Dim::P] = 8;
+        m.dram[Dim::M] = 8;
+        m.dram[Dim::C] = 16;
+        m.dram[Dim::P] = 7;
+        m.dram[Dim::Q] = 4;
+        m
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = fixture();
+        let text = CompactMapping(&m).to_string();
+        let parsed: Mapping = text.parse().unwrap();
+        assert_eq!(parsed, m, "parse(print(m)) != m for '{text}'");
+    }
+
+    #[test]
+    fn example_from_docs_parses() {
+        let m: Mapping =
+            "dram[NMPQCRS]: M8 C16 P7 Q4; glb[NMPQCRS]: M8 P8; sx: Q14; sy: R3; rf: C4 S3"
+                .parse()
+                .unwrap();
+        assert_eq!(m.dram[Dim::C], 16);
+        assert_eq!(m.spatial_x[Dim::Q], 14);
+        assert_eq!(m.dram_order[0], Dim::N);
+        assert_eq!(m.glb_order[6], Dim::S);
+    }
+
+    #[test]
+    fn lowercase_dims_accepted() {
+        let m: Mapping = "dram[nmpqcrs]: m2; glb[NMPQCRS]: ; sx: ; sy: ; rf: c2"
+            .parse()
+            .unwrap();
+        assert_eq!(m.dram[Dim::M], 2);
+        assert_eq!(m.rf[Dim::C], 2);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in [
+            "",                                                 // nothing
+            "dram[NMPQCRS]: M2",                                // missing levels
+            "dram[NMPQCR]: ; glb[NMPQCRS]: ; sx: ; sy: ; rf: ", // short order
+            "dram[NMPQCRR]: ; glb[NMPQCRS]: ; sx: ; sy: ; rf: ", // repeated order
+            "dram[NMPQCRS]: M0; glb[NMPQCRS]: ; sx: ; sy: ; rf: ", // zero
+            "dram[NMPQCRS]: M2 M3; glb[NMPQCRS]: ; sx: ; sy: ; rf: ", // dup dim
+            "dram[NMPQCRS]: X4; glb[NMPQCRS]: ; sx: ; sy: ; rf: ", // bad dim
+            "drem[NMPQCRS]: ; glb[NMPQCRS]: ; sx: ; sy: ; rf: ", // bad level
+        ] {
+            assert!(bad.parse::<Mapping>().is_err(), "accepted: '{bad}'");
+        }
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = "dram[NMPQCRS]: Z9; glb[NMPQCRS]: ; sx: ; sy: ; rf: "
+            .parse::<Mapping>()
+            .unwrap_err();
+        assert!(e.to_string().contains("unknown dimension"));
+    }
+}

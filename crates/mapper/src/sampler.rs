@@ -1,0 +1,193 @@
+//! Random mapping generation (Timeloop-style random pruning).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use secureloop_arch::{Architecture, DataflowConstraints};
+use secureloop_loopnest::Mapping;
+use secureloop_workload::{ConvLayer, Dim, DimMap};
+
+use crate::factors::{divisors, divisors_up_to};
+
+/// Draws random, structurally plausible mappings of one layer onto one
+/// architecture. Capacity feasibility is *not* guaranteed — the caller
+/// filters through [`evaluate`](secureloop_loopnest::evaluate) — but
+/// factor products always match the layer bounds and spatial factors
+/// always respect the dataflow constraints and PE-array extents.
+#[derive(Debug)]
+pub struct MappingSampler {
+    bounds: DimMap<u64>,
+    constraints: DataflowConstraints,
+    pe_x: u64,
+    pe_y: u64,
+    rng: StdRng,
+}
+
+impl MappingSampler {
+    /// Create a sampler with a deterministic seed.
+    pub fn new(layer: &ConvLayer, arch: &Architecture, seed: u64) -> Self {
+        MappingSampler {
+            bounds: layer.bounds(),
+            constraints: arch.dataflow().constraints(),
+            pe_x: arch.pe_x() as u64,
+            pe_y: arch.pe_y() as u64,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw one mapping.
+    pub fn sample(&mut self) -> Mapping {
+        let mut remaining = self.bounds;
+        let mut spatial_x = DimMap::splat(1u64);
+        let mut spatial_y = DimMap::splat(1u64);
+
+        // Spatial Y, then X: walk the allowed dims in random order and
+        // assign a random divisor within the remaining array capacity.
+        // Biasing toward the largest divisor keeps utilisation high.
+        let assign_axis = |rng: &mut StdRng,
+                               allowed: &[Dim],
+                               cap: u64,
+                               out: &mut DimMap<u64>,
+                               remaining: &mut DimMap<u64>| {
+            let mut dims: Vec<Dim> = allowed.to_vec();
+            dims.shuffle(rng);
+            let mut left = cap;
+            for d in dims {
+                if left <= 1 {
+                    break;
+                }
+                let choices = divisors_up_to(remaining[d], left);
+                let pick = if rng.gen_bool(0.5) {
+                    *choices.last().expect("1 always divides")
+                } else {
+                    *choices.choose(rng).expect("nonempty")
+                };
+                out[d] = pick;
+                remaining[d] /= pick;
+                left /= pick;
+            }
+        };
+        let y_allowed = self.constraints.spatial_y.clone();
+        let x_allowed = self.constraints.spatial_x.clone();
+        assign_axis(&mut self.rng, &y_allowed, self.pe_y, &mut spatial_y, &mut remaining);
+        assign_axis(&mut self.rng, &x_allowed, self.pe_x, &mut spatial_x, &mut remaining);
+
+        // Temporal split: RF gets a small factor (register files are
+        // tiny), GLB a random share, DRAM the rest.
+        let mut rf = DimMap::splat(1u64);
+        let mut glb = DimMap::splat(1u64);
+        let mut dram = DimMap::splat(1u64);
+        for d in Dim::ALL {
+            let b = remaining[d];
+            let rf_cap = match d {
+                Dim::R | Dim::S => b, // filter taps usually fit a PE
+                _ => 8,
+            };
+            let rf_f = *divisors_up_to(b, rf_cap)
+                .choose(&mut self.rng)
+                .expect("1 always divides");
+            let rest = b / rf_f;
+            // Bias toward large GLB tiles: maximal on-chip residency is
+            // where most good schedules live.
+            let glb_f = if self.rng.gen_bool(0.4) {
+                rest
+            } else {
+                *divisors(rest).choose(&mut self.rng).expect("nonempty")
+            };
+            rf[d] = rf_f;
+            glb[d] = glb_f;
+            dram[d] = rest / glb_f;
+        }
+
+        // Loop orders: half the time start from the reduction-innermost
+        // template (ofmap accumulates on-chip, the usual best order),
+        // otherwise explore a random permutation.
+        const REDUCTION_INNER: [Dim; 7] =
+            [Dim::N, Dim::M, Dim::P, Dim::Q, Dim::C, Dim::R, Dim::S];
+        let draw_order = |rng: &mut StdRng| {
+            if rng.gen_bool(0.5) {
+                REDUCTION_INNER
+            } else {
+                let mut o = Dim::ALL;
+                o.shuffle(rng);
+                o
+            }
+        };
+        let dram_order = draw_order(&mut self.rng);
+        let glb_order = draw_order(&mut self.rng);
+
+        Mapping {
+            dram,
+            glb,
+            spatial_x,
+            spatial_y,
+            rf,
+            dram_order,
+            glb_order,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secureloop_workload::zoo;
+
+    #[test]
+    fn samples_always_factorise_exactly() {
+        let net = zoo::resnet18();
+        let arch = Architecture::eyeriss_base();
+        for layer in net.layers().iter().take(6) {
+            let mut s = MappingSampler::new(layer, &arch, 42);
+            for _ in 0..200 {
+                let m = s.sample();
+                for d in Dim::ALL {
+                    assert_eq!(m.total_factor(d), layer.dim(d), "{} {d}", layer.name());
+                }
+                assert!(m.spatial_x_extent() <= 14);
+                assert!(m.spatial_y_extent() <= 12);
+            }
+        }
+    }
+
+    #[test]
+    fn samples_respect_dataflow() {
+        let net = zoo::alexnet_conv();
+        let arch = Architecture::eyeriss_base();
+        let constraints = arch.dataflow().constraints();
+        let mut s = MappingSampler::new(&net.layers()[1], &arch, 1);
+        for _ in 0..200 {
+            let m = s.sample();
+            for d in Dim::ALL {
+                if m.spatial_x[d] > 1 {
+                    assert!(constraints.allows_spatial_x(d));
+                }
+                if m.spatial_y[d] > 1 {
+                    assert!(constraints.allows_spatial_y(d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_is_seed_deterministic() {
+        let net = zoo::alexnet_conv();
+        let arch = Architecture::eyeriss_base();
+        let layer = &net.layers()[0];
+        let a: Vec<Mapping> = {
+            let mut s = MappingSampler::new(layer, &arch, 99);
+            (0..10).map(|_| s.sample()).collect()
+        };
+        let b: Vec<Mapping> = {
+            let mut s = MappingSampler::new(layer, &arch, 99);
+            (0..10).map(|_| s.sample()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<Mapping> = {
+            let mut s = MappingSampler::new(layer, &arch, 100);
+            (0..10).map(|_| s.sample()).collect()
+        };
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,273 @@
+//! Networks: chains of layers with post-processing operations.
+//!
+//! The paper (§4.3) distinguishes two kinds of post-processing between
+//! consecutive layers:
+//!
+//! * **Fusable** ops (BatchNorm, ReLU, zero-padding) are computed on the fly
+//!   while the ofmap is generated, so the producer's ofmap tensor is the
+//!   consumer's ifmap tensor and AuthBlock assignment couples the two
+//!   layers.
+//! * **Boundary** ops (pooling, residual addition) need a separate pass
+//!   over the data, which "inevitably triggers rehashing"; the network is
+//!   split into *segments* at those points, and cross-layer fine-tuning
+//!   runs within each segment independently.
+
+use std::fmt;
+
+use crate::layer::ConvLayer;
+
+/// A post-processing operation attached to the output of a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PostOp {
+    /// Batch normalisation — fusable (paper §4.3).
+    BatchNorm,
+    /// ReLU / ReLU6 activation — fusable.
+    Relu,
+    /// Zero padding for the next layer — fusable.
+    ZeroPad,
+    /// Max pooling — segment boundary.
+    MaxPool,
+    /// Average pooling — segment boundary.
+    AvgPool,
+    /// Residual (skip-connection) addition — segment boundary.
+    ResidualAdd,
+}
+
+impl PostOp {
+    /// Whether this op can be computed while the ofmap streams out
+    /// (fusable), or requires a separate pass (segment boundary).
+    pub fn is_fusable(self) -> bool {
+        matches!(self, PostOp::BatchNorm | PostOp::Relu | PostOp::ZeroPad)
+    }
+}
+
+impl fmt::Display for PostOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PostOp::BatchNorm => "bn",
+            PostOp::Relu => "relu",
+            PostOp::ZeroPad => "pad",
+            PostOp::MaxPool => "maxpool",
+            PostOp::AvgPool => "avgpool",
+            PostOp::ResidualAdd => "add",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A contiguous run of layer indices whose ofmap→ifmap tensors are shared
+/// without rehashing; cross-layer fine-tuning operates per segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Indices into [`Network::layers`], in execution order.
+    pub layers: Vec<usize>,
+}
+
+impl Segment {
+    /// Pairs `(producer, consumer)` of layer indices whose tensors are
+    /// coupled by AuthBlock assignment.
+    pub fn coupled_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.layers.windows(2).map(|w| (w[0], w[1]))
+    }
+}
+
+/// A DNN described as a topologically-ordered chain of conv layers with
+/// post-processing markers.
+///
+/// Residual branches are represented by their boundary [`PostOp`]s: the
+/// actual elementwise add always terminates a segment (paper §4.3), so a
+/// linear chain with boundary markers captures everything the scheduler
+/// needs.
+#[derive(Debug, Clone)]
+pub struct Network {
+    name: String,
+    layers: Vec<ConvLayer>,
+    /// `post_ops[i]` are applied to the output of `layers[i]`.
+    post_ops: Vec<Vec<PostOp>>,
+}
+
+impl Network {
+    /// Create an empty network.
+    pub fn new(name: impl Into<String>) -> Self {
+        Network {
+            name: name.into(),
+            layers: Vec::new(),
+            post_ops: Vec::new(),
+        }
+    }
+
+    /// Append a layer with the given post-processing ops on its output.
+    pub fn push(&mut self, layer: ConvLayer, post: &[PostOp]) {
+        self.layers.push(layer);
+        self.post_ops.push(post.to_vec());
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers in execution order.
+    pub fn layers(&self) -> &[ConvLayer] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Post-processing ops on the output of layer `i`.
+    pub fn post_ops(&self, i: usize) -> &[PostOp] {
+        &self.post_ops[i]
+    }
+
+    /// Whether the tensor between layer `i` and layer `i+1` is shared
+    /// without rehashing (all post-ops fusable).
+    pub fn is_coupled(&self, i: usize) -> bool {
+        i + 1 < self.layers.len() && self.post_ops[i].iter().all(|op| op.is_fusable())
+    }
+
+    /// Split into segments at non-fusable post-processing ops (paper §4.3).
+    ///
+    /// ```
+    /// use secureloop_workload::zoo;
+    /// let net = zoo::alexnet_conv();
+    /// // AlexNet conv1..conv5 has pools after conv1, conv2 and conv5:
+    /// // segments are [conv1], [conv2], [conv3, conv4, conv5].
+    /// let segs = net.segments();
+    /// assert_eq!(segs.len(), 3);
+    /// assert_eq!(segs[2].layers, vec![2, 3, 4]);
+    /// ```
+    pub fn segments(&self) -> Vec<Segment> {
+        let mut segs = Vec::new();
+        let mut cur = Vec::new();
+        for i in 0..self.layers.len() {
+            cur.push(i);
+            if !self.is_coupled(i) {
+                segs.push(Segment {
+                    layers: std::mem::take(&mut cur),
+                });
+            }
+        }
+        if !cur.is_empty() {
+            segs.push(Segment { layers: cur });
+        }
+        segs
+    }
+
+    /// Total MAC count over all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs()).sum()
+    }
+
+    /// A copy of the network with every layer at batch size `n`.
+    pub fn with_batch(&self, n: u64) -> Network {
+        Network {
+            name: format!("{}@N{n}", self.name),
+            layers: self.layers.iter().map(|l| l.with_batch(n)).collect(),
+            post_ops: self.post_ops.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} layers)", self.name, self.layers.len())?;
+        for (i, l) in self.layers.iter().enumerate() {
+            write!(f, "  {l}")?;
+            if !self.post_ops[i].is_empty() {
+                write!(f, " ->")?;
+                for op in &self.post_ops[i] {
+                    write!(f, " {op}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ConvLayer;
+
+    fn tiny(name: &str) -> ConvLayer {
+        ConvLayer::builder(name)
+            .input_hw(8, 8)
+            .channels(4, 4)
+            .kernel(3, 3)
+            .pad(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fusable_classification() {
+        assert!(PostOp::Relu.is_fusable());
+        assert!(PostOp::BatchNorm.is_fusable());
+        assert!(PostOp::ZeroPad.is_fusable());
+        assert!(!PostOp::MaxPool.is_fusable());
+        assert!(!PostOp::ResidualAdd.is_fusable());
+    }
+
+    #[test]
+    fn segments_split_at_boundaries() {
+        let mut net = Network::new("t");
+        net.push(tiny("a"), &[PostOp::Relu]);
+        net.push(tiny("b"), &[PostOp::MaxPool]);
+        net.push(tiny("c"), &[PostOp::Relu]);
+        net.push(tiny("d"), &[]);
+        let segs = net.segments();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].layers, vec![0, 1]);
+        assert_eq!(segs[1].layers, vec![2, 3]);
+        assert!(net.is_coupled(0));
+        assert!(!net.is_coupled(1));
+        assert!(net.is_coupled(2));
+        assert!(!net.is_coupled(3)); // last layer has no consumer
+    }
+
+    #[test]
+    fn coupled_pairs_within_segment() {
+        let seg = Segment {
+            layers: vec![3, 4, 5],
+        };
+        let pairs: Vec<_> = seg.coupled_pairs().collect();
+        assert_eq!(pairs, vec![(3, 4), (4, 5)]);
+    }
+
+    #[test]
+    fn display_lists_layers() {
+        let mut net = Network::new("t");
+        net.push(tiny("a"), &[PostOp::Relu]);
+        let s = net.to_string();
+        assert!(s.contains("a:"));
+        assert!(s.contains("relu"));
+    }
+
+    #[test]
+    fn with_batch_scales_macs() {
+        let mut net = Network::new("t");
+        net.push(tiny("a"), &[PostOp::Relu]);
+        net.push(tiny("b"), &[]);
+        let b4 = net.with_batch(4);
+        assert_eq!(b4.total_macs(), 4 * net.total_macs());
+        assert!(b4.name().contains("@N4"));
+        assert_eq!(b4.segments().len(), net.segments().len());
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = Network::new("empty");
+        assert!(net.is_empty());
+        assert_eq!(net.segments().len(), 0);
+        assert_eq!(net.total_macs(), 0);
+    }
+}

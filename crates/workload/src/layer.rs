@@ -1,0 +1,467 @@
+//! Convolutional layer shapes.
+
+use std::fmt;
+
+use crate::dims::{Datatype, Dim, DimMap};
+
+/// Error returned when a layer description is geometrically inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerShapeError(String);
+
+impl fmt::Display for LayerShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid layer shape: {}", self.0)
+    }
+}
+
+impl std::error::Error for LayerShapeError {}
+
+/// A convolutional (or fully-connected) layer (paper Fig. 1a).
+///
+/// The layer is stored as the seven loop bounds plus stride and padding.
+/// The input feature-map spatial extent is derived:
+/// `H_in = (P − 1)·stride + R − 2·pad` (and likewise for width), i.e. the
+/// usual relation `P = (H_in − R + 2·pad)/stride + 1` from the paper's
+/// footnote 1.
+///
+/// Fully-connected layers set `P = Q = R = S = 1` and use `M`/`C` as the
+/// output/input vector sizes (paper §2.1).
+///
+/// Depthwise layers (MobileNetV2) are marked with [`ConvLayer::depthwise`]:
+/// the loop bounds carry `C = 1` and `M` = channel count, and the ifmap is
+/// indexed by `M` instead of `C`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConvLayer {
+    name: String,
+    bounds: DimMap<u64>,
+    stride: u64,
+    pad: u64,
+    depthwise: bool,
+    /// Bits per data word (paper evaluation uses 8-bit words).
+    word_bits: u32,
+}
+
+impl ConvLayer {
+    /// Start building a layer with the given name.
+    pub fn builder(name: impl Into<String>) -> ConvLayerBuilder {
+        ConvLayerBuilder::new(name)
+    }
+
+    /// Layer name (unique within a [`Network`](crate::Network)).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The loop bound of dimension `d`.
+    #[inline]
+    pub fn dim(&self, d: Dim) -> u64 {
+        self.bounds[d]
+    }
+
+    /// All seven loop bounds.
+    pub fn bounds(&self) -> DimMap<u64> {
+        self.bounds
+    }
+
+    /// Convolution stride (same in both spatial axes).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Zero padding (same on all sides).
+    pub fn pad(&self) -> u64 {
+        self.pad
+    }
+
+    /// Whether this is a depthwise convolution.
+    pub fn depthwise(&self) -> bool {
+        self.depthwise
+    }
+
+    /// Bits per data word.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Input feature-map height `H_in = (P−1)·stride + R − 2·pad`.
+    pub fn ifmap_height(&self) -> u64 {
+        (self.dim(Dim::P) - 1) * self.stride + self.dim(Dim::R) - 2 * self.pad
+    }
+
+    /// Input feature-map width `W_in = (Q−1)·stride + S − 2·pad`.
+    pub fn ifmap_width(&self) -> u64 {
+        (self.dim(Dim::Q) - 1) * self.stride + self.dim(Dim::S) - 2 * self.pad
+    }
+
+    /// Number of input channels as seen by the ifmap tensor.
+    ///
+    /// For depthwise layers the loop-bound `C` is 1 but the ifmap actually
+    /// has `M` channels (one per group).
+    pub fn ifmap_channels(&self) -> u64 {
+        if self.depthwise {
+            self.dim(Dim::M)
+        } else {
+            self.dim(Dim::C)
+        }
+    }
+
+    /// Total multiply-accumulate operations.
+    pub fn macs(&self) -> u64 {
+        self.bounds.product()
+    }
+
+    /// Dimensions relevant to `dt` for *this* layer (accounts for
+    /// depthwise ifmap indexing).
+    pub fn relevant_dims(&self, dt: Datatype) -> Vec<Dim> {
+        let mut dims: Vec<Dim> = dt.relevant_dims().to_vec();
+        if self.depthwise && dt == Datatype::Ifmap {
+            dims.push(Dim::M);
+        }
+        dims
+    }
+
+    /// Whether `dim` indexes a distinct element of `dt` in this layer.
+    pub fn is_relevant(&self, dt: Datatype, dim: Dim) -> bool {
+        if self.depthwise && dt == Datatype::Ifmap && dim == Dim::M {
+            return true;
+        }
+        dt.is_relevant(dim)
+    }
+
+    /// Number of elements in the given tensor (padding excluded for the
+    /// ifmap: only real data is stored off-chip).
+    pub fn tensor_elems(&self, dt: Datatype) -> u64 {
+        match dt {
+            Datatype::Weight => {
+                self.dim(Dim::M) * self.dim(Dim::C) * self.dim(Dim::R) * self.dim(Dim::S)
+            }
+            Datatype::Ifmap => {
+                self.dim(Dim::N) * self.ifmap_channels() * self.ifmap_height() * self.ifmap_width()
+            }
+            Datatype::Ofmap => {
+                self.dim(Dim::N) * self.dim(Dim::M) * self.dim(Dim::P) * self.dim(Dim::Q)
+            }
+        }
+    }
+
+    /// Tensor size in bits.
+    pub fn tensor_bits(&self, dt: Datatype) -> u64 {
+        self.tensor_elems(dt) * u64::from(self.word_bits)
+    }
+
+    /// A copy of this layer with a different batch size (the paper
+    /// evaluates batch 1; batching multiplies weight reuse).
+    pub fn with_batch(&self, n: u64) -> ConvLayer {
+        assert!(n > 0, "batch must be positive");
+        let mut out = self.clone();
+        out.bounds[Dim::N] = n;
+        out
+    }
+
+    /// Elements of the im2col-expanded ifmap matrix: a matrix-multiply
+    /// accelerator (paper Fig. 5b) lowers the convolution to a
+    /// `(C·R·S) × (P·Q)` matrix in which every sliding-window element
+    /// is duplicated. Tiles of that matrix never overlap (no halos),
+    /// at the cost of an `R·S/stride²`-fold larger footprint.
+    pub fn im2col_ifmap_elems(&self) -> u64 {
+        self.dim(Dim::N)
+            * self.ifmap_channels()
+            * self.dim(Dim::R)
+            * self.dim(Dim::S)
+            * self.dim(Dim::P)
+            * self.dim(Dim::Q)
+    }
+
+    /// The im2col data-duplication factor relative to the direct-conv
+    /// ifmap footprint.
+    pub fn im2col_duplication(&self) -> f64 {
+        self.im2col_ifmap_elems() as f64 / self.tensor_elems(Datatype::Ifmap) as f64
+    }
+
+    /// Arithmetic intensity against compulsory off-chip traffic:
+    /// `2·MACs / bytes(weight + ifmap + ofmap)` — used by the roofline
+    /// model (paper Fig. 12).
+    pub fn ideal_intensity(&self) -> f64 {
+        let bytes: u64 = Datatype::ALL
+            .iter()
+            .map(|&dt| self.tensor_bits(dt) / 8)
+            .sum();
+        (2 * self.macs()) as f64 / bytes as f64
+    }
+}
+
+impl fmt::Display for ConvLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: N{} M{} C{} P{} Q{} R{} S{} stride{} pad{}{}",
+            self.name,
+            self.dim(Dim::N),
+            self.dim(Dim::M),
+            self.dim(Dim::C),
+            self.dim(Dim::P),
+            self.dim(Dim::Q),
+            self.dim(Dim::R),
+            self.dim(Dim::S),
+            self.stride,
+            self.pad,
+            if self.depthwise { " (dw)" } else { "" },
+        )
+    }
+}
+
+/// Builder for [`ConvLayer`] starting from the *input* geometry, the way
+/// model definitions are usually written.
+#[derive(Debug, Clone)]
+pub struct ConvLayerBuilder {
+    name: String,
+    input_h: u64,
+    input_w: u64,
+    in_channels: u64,
+    out_channels: u64,
+    r: u64,
+    s: u64,
+    stride: u64,
+    pad: u64,
+    batch: u64,
+    depthwise: bool,
+    word_bits: u32,
+}
+
+impl ConvLayerBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        ConvLayerBuilder {
+            name: name.into(),
+            input_h: 1,
+            input_w: 1,
+            in_channels: 1,
+            out_channels: 1,
+            r: 1,
+            s: 1,
+            stride: 1,
+            pad: 0,
+            batch: 1,
+            depthwise: false,
+            word_bits: 8,
+        }
+    }
+
+    /// Input feature-map spatial extent.
+    pub fn input_hw(mut self, h: u64, w: u64) -> Self {
+        self.input_h = h;
+        self.input_w = w;
+        self
+    }
+
+    /// Input and output channel counts.
+    pub fn channels(mut self, cin: u64, cout: u64) -> Self {
+        self.in_channels = cin;
+        self.out_channels = cout;
+        self
+    }
+
+    /// Filter extent `R × S`.
+    pub fn kernel(mut self, r: u64, s: u64) -> Self {
+        self.r = r;
+        self.s = s;
+        self
+    }
+
+    /// Convolution stride.
+    pub fn stride(mut self, st: u64) -> Self {
+        self.stride = st;
+        self
+    }
+
+    /// Zero padding on every side.
+    pub fn pad(mut self, p: u64) -> Self {
+        self.pad = p;
+        self
+    }
+
+    /// Batch size (default 1).
+    pub fn batch(mut self, n: u64) -> Self {
+        self.batch = n;
+        self
+    }
+
+    /// Mark as depthwise: `channels(c, c)` with each output channel reading
+    /// only its own input channel.
+    pub fn depthwise(mut self) -> Self {
+        self.depthwise = true;
+        self
+    }
+
+    /// Bits per data word (default 8).
+    pub fn word_bits(mut self, bits: u32) -> Self {
+        self.word_bits = bits;
+        self
+    }
+
+    /// Build a fully-connected layer: `P=Q=R=S=1`.
+    pub fn fully_connected(name: impl Into<String>, cin: u64, cout: u64) -> ConvLayer {
+        ConvLayerBuilder::new(name)
+            .channels(cin, cout)
+            .build()
+            .expect("FC layer shapes are always valid")
+    }
+
+    /// Validate and produce the layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayerShapeError`] when the geometry is inconsistent, e.g.
+    /// the padded input is smaller than the kernel, the stride does not
+    /// evenly produce an integral output size, or a depthwise layer has
+    /// mismatched channel counts.
+    pub fn build(self) -> Result<ConvLayer, LayerShapeError> {
+        if self.stride == 0 {
+            return Err(LayerShapeError("stride must be positive".into()));
+        }
+        let padded_h = self.input_h + 2 * self.pad;
+        let padded_w = self.input_w + 2 * self.pad;
+        if padded_h < self.r || padded_w < self.s {
+            return Err(LayerShapeError(format!(
+                "kernel {}x{} larger than padded input {}x{}",
+                self.r, self.s, padded_h, padded_w
+            )));
+        }
+        // Output size uses floor division, as in real frameworks; when the
+        // stride does not evenly tile the input, the trailing rows/columns
+        // are simply never read and the *effective* ifmap extent derived by
+        // [`ConvLayer::ifmap_height`] is what the accelerator fetches.
+        if self.depthwise && self.in_channels != self.out_channels {
+            return Err(LayerShapeError(format!(
+                "depthwise layer must have cin == cout, got {} != {}",
+                self.in_channels, self.out_channels
+            )));
+        }
+        let p = (padded_h - self.r) / self.stride + 1;
+        let q = (padded_w - self.s) / self.stride + 1;
+        let mut bounds = DimMap::splat(1u64);
+        bounds[Dim::N] = self.batch;
+        bounds[Dim::M] = self.out_channels;
+        bounds[Dim::C] = if self.depthwise { 1 } else { self.in_channels };
+        bounds[Dim::P] = p;
+        bounds[Dim::Q] = q;
+        bounds[Dim::R] = self.r;
+        bounds[Dim::S] = self.s;
+        if bounds.0.contains(&0) {
+            return Err(LayerShapeError("all loop bounds must be positive".into()));
+        }
+        Ok(ConvLayer {
+            name: self.name,
+            bounds,
+            stride: self.stride,
+            pad: self.pad,
+            depthwise: self.depthwise,
+            word_bits: self.word_bits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alexnet_conv1() -> ConvLayer {
+        ConvLayer::builder("conv1")
+            .input_hw(227, 227)
+            .channels(3, 96)
+            .kernel(11, 11)
+            .stride(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn alexnet_conv1_shape() {
+        let l = alexnet_conv1();
+        assert_eq!(l.dim(Dim::P), 55);
+        assert_eq!(l.dim(Dim::Q), 55);
+        assert_eq!(l.ifmap_height(), 227);
+        assert_eq!(l.tensor_elems(Datatype::Weight), 96 * 3 * 11 * 11);
+        assert_eq!(l.tensor_elems(Datatype::Ofmap), 96 * 55 * 55);
+        assert_eq!(l.tensor_elems(Datatype::Ifmap), 3 * 227 * 227);
+        assert_eq!(l.macs(), 96 * 3 * 55 * 55 * 11 * 11);
+    }
+
+    #[test]
+    fn padded_layer_derives_input() {
+        // ResNet 3x3 pad-1 conv keeps spatial size.
+        let l = ConvLayer::builder("c")
+            .input_hw(56, 56)
+            .channels(64, 64)
+            .kernel(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        assert_eq!(l.dim(Dim::P), 56);
+        assert_eq!(l.ifmap_height(), 56);
+    }
+
+    #[test]
+    fn fc_layer_is_matrix_vector() {
+        let l = ConvLayerBuilder::fully_connected("fc", 512, 1000);
+        assert_eq!(l.dim(Dim::P), 1);
+        assert_eq!(l.dim(Dim::R), 1);
+        assert_eq!(l.macs(), 512 * 1000);
+        assert_eq!(l.tensor_elems(Datatype::Weight), 512 * 1000);
+    }
+
+    #[test]
+    fn depthwise_ifmap_indexed_by_m() {
+        let l = ConvLayer::builder("dw")
+            .input_hw(112, 112)
+            .channels(32, 32)
+            .kernel(3, 3)
+            .pad(1)
+            .depthwise()
+            .build()
+            .unwrap();
+        assert_eq!(l.dim(Dim::C), 1);
+        assert_eq!(l.ifmap_channels(), 32);
+        assert!(l.is_relevant(Datatype::Ifmap, Dim::M));
+        assert!(!l.is_relevant(Datatype::Ofmap, Dim::C));
+        assert_eq!(l.macs(), 32 * 112 * 112 * 9);
+    }
+
+    #[test]
+    fn invalid_shapes_are_rejected() {
+        assert!(ConvLayer::builder("bad")
+            .input_hw(5, 5)
+            .kernel(7, 7)
+            .build()
+            .is_err());
+        // Uneven strides are allowed (floor division), matching frameworks.
+        let l = ConvLayer::builder("ok")
+            .input_hw(6, 6)
+            .kernel(3, 3)
+            .stride(2)
+            .build()
+            .unwrap();
+        assert_eq!(l.dim(Dim::P), 2);
+        assert!(ConvLayer::builder("bad")
+            .input_hw(8, 8)
+            .channels(4, 8)
+            .kernel(3, 3)
+            .depthwise()
+            .build()
+            .is_err());
+        assert!(ConvLayer::builder("bad").stride(0).build().is_err());
+    }
+
+    #[test]
+    fn intensity_is_positive_and_finite() {
+        let l = alexnet_conv1();
+        let i = l.ideal_intensity();
+        assert!(i > 1.0 && i.is_finite());
+    }
+
+    #[test]
+    fn display_contains_dims() {
+        let s = alexnet_conv1().to_string();
+        assert!(s.contains("M96"));
+        assert!(s.contains("stride4"));
+    }
+}

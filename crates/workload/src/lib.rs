@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! DNN workload descriptions for SecureLoop.
+//!
+//! This crate defines the shapes that the SecureLoop scheduler operates on:
+//!
+//! * [`ConvLayer`] — a single convolutional (or fully-connected) layer
+//!   described by the seven canonical loop bounds `N, M, C, P, Q, R, S`
+//!   plus stride and padding (paper §2.1, Fig. 1a).
+//! * [`Network`] — a chain of layers with the post-processing operations
+//!   between them ([`PostOp`]), which determines how the network is split
+//!   into *segments* for cross-layer fine-tuning (paper §4.3).
+//! * [`zoo`] — the paper's three evaluation workloads (the
+//!   convolutional front of AlexNet, ResNet-18, MobileNetV2) plus
+//!   ResNet-50, VGG-16 and parametric MLP chains for wider DSE use.
+//!
+//! # Example
+//!
+//! ```
+//! use secureloop_workload::{ConvLayer, Dim};
+//!
+//! // AlexNet conv1: 227x227x3 input, 96 11x11 filters, stride 4.
+//! let l = ConvLayer::builder("conv1")
+//!     .input_hw(227, 227)
+//!     .channels(3, 96)
+//!     .kernel(11, 11)
+//!     .stride(4)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(l.dim(Dim::P), 55);
+//! assert_eq!(l.macs(), 55 * 55 * 96 * 11 * 11 * 3);
+//! ```
+
+pub mod dims;
+pub mod graph;
+pub mod layer;
+pub mod zoo;
+
+pub use dims::{Datatype, Dim, DimMap};
+pub use graph::{Network, PostOp, Segment};
+pub use layer::{ConvLayer, ConvLayerBuilder, LayerShapeError};

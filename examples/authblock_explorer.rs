@@ -1,0 +1,71 @@
+//! AuthBlock explorer: reproduce the paper's Fig. 9 trade-off study on
+//! the worked example of §4.2 (h = 30, wᵢ = 30, wⱼ = 20) and show what
+//! the optimiser picks.
+//!
+//! ```sh
+//! cargo run --release --example authblock_explorer
+//! ```
+
+use secureloop_authblock::{
+    count::count_blocks, evaluate_assignment, optimize, AccessPattern, AssignmentProblem,
+    BlockAssignment, Orientation, Region, Strategy, TileGrid, TileRect,
+};
+
+fn main() {
+    // The producing layer wrote a 30x30 tile; the consuming layer reads
+    // a misaligned 30x20 tile (the paper's Fig. 8 geometry).
+    let region = Region::new(30, 30);
+    let tile_j = TileRect::new(0, 10, 30, 20);
+
+    println!("Fig. 9 sweep: off-chip traffic to access the misaligned tile");
+    println!("(data word = 8 bits, tag = 64 bits)\n");
+    for orientation in Orientation::ALL {
+        println!("{orientation} AuthBlocks:");
+        println!("{:>6} {:>8} {:>12} {:>10} {:>10}", "u", "blocks", "redundant", "tag", "total");
+        let sizes: Vec<u64> = match orientation {
+            Orientation::Horizontal => (1..=30).collect(),
+            Orientation::Vertical => vec![1, 2, 3, 5, 10, 30, 50, 100, 150, 300, 450, 900],
+        };
+        for u in sizes {
+            let c = count_blocks(region, tile_j, BlockAssignment::new(orientation, u));
+            let redundant = c.redundant_elems(tile_j) * 8;
+            let tag = c.blocks * 64;
+            let data = tile_j.elems() * 8;
+            println!(
+                "{:>6} {:>8} {:>12} {:>10} {:>10}",
+                u,
+                c.blocks,
+                redundant,
+                tag,
+                data + redundant + tag
+            );
+        }
+        println!();
+    }
+
+    // Whole-tensor view: what the optimiser chooses once hash reads and
+    // redundant reads are both in play.
+    let problem = AssignmentProblem {
+        region,
+        producer_grid: TileGrid::covering(region, 30, 30),
+        producer_write_sweeps: 1,
+        readers: vec![AccessPattern {
+            grid: TileGrid::covering(region, 30, 20),
+            sweeps: 1,
+        }],
+        word_bits: 8,
+        tag_bits: 64,
+    };
+    let tile_baseline = evaluate_assignment(&problem, Strategy::TileAsAuthBlock);
+    let best = optimize(&problem);
+    println!("tile-as-an-AuthBlock baseline: {} overhead bits", tile_baseline.total().total_bits());
+    match best.strategy {
+        Strategy::Assigned(a) => println!(
+            "optimiser chose {a}: {} overhead bits ({:.1}% of baseline)",
+            best.overhead.total().total_bits(),
+            100.0 * best.overhead.total().total_bits() as f64
+                / tile_baseline.total().total_bits() as f64
+        ),
+        other => println!("optimiser chose {other:?}"),
+    }
+}

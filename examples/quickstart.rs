@@ -1,0 +1,77 @@
+//! Quickstart: schedule MobileNetV2 on a secure Eyeriss-class
+//! accelerator and print what each SecureLoop step buys — MobileNetV2
+//! is the paper's headline workload, where the optimal AuthBlock
+//! assignment and cross-layer tuning matter most.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use secureloop::{Algorithm, AnnealingConfig, Scheduler};
+use secureloop_arch::Architecture;
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_mapper::SearchConfig;
+use secureloop_workload::zoo;
+
+fn main() {
+    // The paper's base secure configuration: Eyeriss-like accelerator
+    // with one parallel AES-GCM engine per datatype (§5.1).
+    let arch = Architecture::eyeriss_base()
+        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    println!("architecture: {}", arch.summary());
+    println!(
+        "effective off-chip bandwidth: {:.2} B/cycle (DRAM {:.0} B/cycle)",
+        arch.effective_dram_bytes_per_cycle(),
+        arch.dram().bytes_per_cycle()
+    );
+    println!();
+
+    let net = zoo::mobilenet_v2();
+    let scheduler = Scheduler::new(arch.clone())
+        .with_search(SearchConfig {
+            samples: 2000,
+            top_k: 6,
+            seed: 1,
+            threads: 4,
+        })
+        .with_annealing(AnnealingConfig::paper_default().with_iterations(400));
+
+    let unsecure = scheduler.schedule(&net, Algorithm::Unsecure);
+    println!(
+        "{:<18} {:>12} cycles  {:>9.1} uJ",
+        "Unsecure",
+        unsecure.total_latency_cycles,
+        unsecure.total_energy_pj / 1e6
+    );
+
+    for algo in Algorithm::SECURE {
+        let s = scheduler.schedule(&net, algo);
+        println!(
+            "{:<18} {:>12} cycles  {:>9.1} uJ  (x{:.2} slowdown, +{:.1} Mbit auth traffic)",
+            algo.name(),
+            s.total_latency_cycles,
+            s.total_energy_pj / 1e6,
+            s.total_latency_cycles as f64 / unsecure.total_latency_cycles as f64,
+            s.overhead.total_bits() as f64 / 1e6
+        );
+    }
+
+    println!();
+    println!("per-layer detail for the full SecureLoop scheduler:");
+    let best = scheduler.schedule(&net, Algorithm::CryptOptCross);
+    println!(
+        "{:<14} {:>12} {:>12} {:>14} {:>8}",
+        "layer", "cycles", "energy(nJ)", "auth bits", "util"
+    );
+    for l in best.layers.iter().take(12) {
+        println!(
+            "{:<14} {:>12} {:>12.1} {:>14} {:>7.0}%",
+            l.name,
+            l.latency_cycles,
+            l.energy_pj / 1e3,
+            l.extra_bits,
+            l.utilization * 100.0
+        );
+    }
+    println!("... ({} more layers)", best.layers.len().saturating_sub(12));
+}

@@ -1,0 +1,59 @@
+//! Roofline report (paper Fig. 12): where do the three workloads land
+//! relative to the compute roof and the crypto-limited bandwidth
+//! slope, for the unsecure baseline and each scheduling algorithm?
+//!
+//! ```sh
+//! cargo run --release --example roofline_report
+//! ```
+
+use secureloop::roofline::{schedule_point, RooflineModel};
+use secureloop::{Algorithm, AnnealingConfig, Scheduler};
+use secureloop_arch::Architecture;
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_mapper::SearchConfig;
+use secureloop_workload::zoo;
+
+fn main() {
+    let secure = Architecture::eyeriss_base()
+        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let model = RooflineModel::of(&secure);
+    println!("machine model @ {} MHz:", secure.clock_mhz());
+    println!("  compute roof        : {:.1} GFLOPS", model.peak_gflops);
+    println!("  DRAM slope          : {:.1} GB/s", model.dram_gbps);
+    println!("  effective slope     : {:.2} GB/s (crypto-limited)", model.effective_gbps);
+    println!("  ridge intensity     : {:.1} FLOP/byte\n", model.ridge_intensity());
+
+    let scheduler = Scheduler::new(secure.clone())
+        .with_search(SearchConfig {
+            samples: 1500,
+            top_k: 6,
+            seed: 3,
+            threads: 4,
+        })
+        .with_annealing(AnnealingConfig::paper_default().with_iterations(300));
+
+    println!(
+        "{:<34} {:>14} {:>10} {:>12}",
+        "workload / algorithm", "FLOP/byte", "GFLOPS", "% of roof"
+    );
+    for net in [zoo::alexnet_conv(), zoo::resnet18(), zoo::mobilenet_v2()] {
+        for algo in [
+            Algorithm::Unsecure,
+            Algorithm::CryptTileSingle,
+            Algorithm::CryptOptSingle,
+            Algorithm::CryptOptCross,
+        ] {
+            let s = scheduler.schedule(&net, algo);
+            let p = schedule_point(&s, &secure);
+            let attainable = model.attainable_gflops(p.intensity);
+            println!(
+                "{:<34} {:>14.2} {:>10.2} {:>11.0}%",
+                p.label,
+                p.intensity,
+                p.gflops,
+                100.0 * p.gflops / attainable
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,56 @@
+//! Design-space exploration for a low-power edge accelerator: which
+//! combination of PE array, buffer size and AES-GCM engine should a
+//! resource-constrained secure inference chip use?
+//!
+//! This is the workload the paper's introduction motivates — securing
+//! Eyeriss-class edge designs where a pipelined engine is 35% of the
+//! logic budget (§3.1) — condensed into one runnable scenario.
+//!
+//! ```sh
+//! cargo run --release --example secure_edge_dse
+//! ```
+
+use secureloop::dse::{evaluate_designs, pareto_front, fig16_design_space};
+use secureloop::{Algorithm, AnnealingConfig};
+use secureloop_mapper::SearchConfig;
+use secureloop_workload::zoo;
+
+fn main() {
+    let net = zoo::alexnet_conv();
+    let designs = fig16_design_space();
+    println!(
+        "evaluating {} secure designs on {} with Crypt-Opt-Cross...\n",
+        designs.len(),
+        net.name()
+    );
+
+    let search = SearchConfig {
+        samples: 1200,
+        top_k: 4,
+        seed: 11,
+        threads: 4,
+    };
+    let annealing = AnnealingConfig::paper_default().with_iterations(200);
+    let results = evaluate_designs(&net, &designs, Algorithm::CryptOptCross, &search, &annealing);
+    let front = pareto_front(&results);
+
+    println!(
+        "{:<26} {:>10} {:>12} {:>10} {:>7}",
+        "design", "area(mm2)", "cycles", "energy(uJ)", "pareto"
+    );
+    for (i, r) in results.iter().enumerate() {
+        println!(
+            "{:<26} {:>10.2} {:>12} {:>10.1} {:>7}",
+            r.label,
+            r.area_mm2(),
+            r.latency(),
+            r.schedule.total_energy_pj / 1e6,
+            if front.contains(&i) { "*" } else { "" }
+        );
+    }
+
+    println!("\nPareto-optimal designs (area vs latency):");
+    for &i in &front {
+        println!("  {}", results[i].label);
+    }
+}

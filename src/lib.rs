@@ -1,0 +1,7 @@
+//! Umbrella package for the SecureLoop reproduction workspace.
+//!
+//! This package only hosts the runnable [examples](https://github.com/secureloop-rs/secureloop/tree/main/examples)
+//! and the cross-crate integration tests in `tests/`. The actual library
+//! surface lives in the `secureloop` crate and its substrates.
+
+pub use secureloop;

@@ -1,0 +1,143 @@
+//! End-to-end integration: the full three-step scheduler against the
+//! whole crate stack, with small search budgets.
+
+use secureloop::{Algorithm, AnnealingConfig, Scheduler};
+use secureloop::report;
+use secureloop_arch::Architecture;
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_mapper::SearchConfig;
+use secureloop_workload::zoo;
+
+fn quick_scheduler(arch: Architecture) -> Scheduler {
+    Scheduler::new(arch)
+        .with_search(SearchConfig {
+            samples: 600,
+            top_k: 4,
+            seed: 77,
+            threads: 2,
+        })
+        .with_annealing(AnnealingConfig::quick())
+}
+
+#[test]
+fn full_pipeline_on_alexnet() {
+    let secure = Architecture::eyeriss_base()
+        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let s = quick_scheduler(secure);
+
+    let unsecure = s.schedule(&zoo::alexnet_conv(), Algorithm::Unsecure);
+    let tile = s.schedule(&zoo::alexnet_conv(), Algorithm::CryptTileSingle);
+    let opt = s.schedule(&zoo::alexnet_conv(), Algorithm::CryptOptSingle);
+    let cross = s.schedule(&zoo::alexnet_conv(), Algorithm::CryptOptCross);
+
+    // Table 1 ordering: each scheduler step only helps.
+    assert!(unsecure.total_latency_cycles <= tile.total_latency_cycles);
+    assert!(opt.total_latency_cycles <= tile.total_latency_cycles);
+    assert!(cross.total_latency_cycles <= opt.total_latency_cycles);
+    assert!(opt.overhead.total_bits() <= tile.overhead.total_bits());
+
+    // Energy always grows when crypto is attached.
+    assert!(opt.total_energy_pj > unsecure.total_energy_pj);
+
+    // Report layer accounting is self-consistent.
+    for sched in [&unsecure, &tile, &opt, &cross] {
+        assert_eq!(sched.layers.len(), 5);
+        let total: u64 = sched.layers.iter().map(|l| l.latency_cycles).sum();
+        assert_eq!(total, sched.total_latency_cycles);
+    }
+}
+
+#[test]
+fn workload_slowdown_ordering_matches_paper() {
+    // Fig. 11a's qualitative shape: MobileNetV2 suffers the most from
+    // the crypto engine, AlexNet the least.
+    let secure = Architecture::eyeriss_base()
+        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let s = quick_scheduler(secure);
+    let mut slowdowns = Vec::new();
+    for net in [zoo::alexnet_conv(), zoo::resnet18(), zoo::mobilenet_v2()] {
+        let unsec = s.schedule(&net, Algorithm::Unsecure);
+        let sec = s.schedule(&net, Algorithm::CryptOptCross);
+        slowdowns.push(
+            sec.total_latency_cycles as f64 / unsec.total_latency_cycles as f64,
+        );
+    }
+    let (alexnet, resnet, mobilenet) = (slowdowns[0], slowdowns[1], slowdowns[2]);
+    assert!(alexnet >= 1.0 && resnet >= 1.0 && mobilenet >= 1.0);
+    assert!(
+        mobilenet > resnet && resnet >= alexnet,
+        "expected mobilenet > resnet >= alexnet, got {slowdowns:?}"
+    );
+    assert!(mobilenet > 2.0, "MobileNetV2 must be heavily throttled");
+}
+
+#[test]
+fn pipelined_engines_nearly_remove_the_overhead() {
+    // Fig. 13's headline: high-throughput engines approach the
+    // unsecure baseline.
+    let net = zoo::mobilenet_v2();
+    let base = quick_scheduler(Architecture::eyeriss_base());
+    let unsec = base.schedule(&net, Algorithm::Unsecure);
+
+    let pipe = quick_scheduler(
+        Architecture::eyeriss_base()
+            .with_crypto(CryptoConfig::new(EngineClass::Pipelined, 3)),
+    )
+    .schedule(&net, Algorithm::CryptOptCross);
+    let par = quick_scheduler(
+        Architecture::eyeriss_base()
+            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3)),
+    )
+    .schedule(&net, Algorithm::CryptOptCross);
+
+    let pipe_slow = pipe.total_latency_cycles as f64 / unsec.total_latency_cycles as f64;
+    let par_slow = par.total_latency_cycles as f64 / unsec.total_latency_cycles as f64;
+    assert!(pipe_slow < par_slow, "pipelined must beat parallel engines");
+    assert!(pipe_slow < 1.6, "pipelined slowdown {pipe_slow} too large");
+    assert!(par_slow > 2.0, "parallel engines must visibly throttle");
+}
+
+#[test]
+fn reports_serialize() {
+    let secure = Architecture::eyeriss_base()
+        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let s = quick_scheduler(secure);
+    let sched = s.schedule(&zoo::alexnet_conv(), Algorithm::CryptOptSingle);
+    let json = report::to_json(&sched);
+    assert!(json.contains("\"network\": \"AlexNet\""));
+    let mut csv = Vec::new();
+    report::write_summary_csv(&mut csv, std::slice::from_ref(&sched)).unwrap();
+    assert!(String::from_utf8(csv).unwrap().contains("Crypt-Opt-Single"));
+}
+
+#[test]
+fn fc_chain_schedules_cleanly() {
+    // The MLP workload exercises the FC path of the tensor bridge:
+    // coupled tensors are channel vectors, not feature-map planes.
+    let secure = Architecture::eyeriss_base()
+        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let s = quick_scheduler(secure);
+    let net = zoo::mlp(4, 512);
+    let tile = s.schedule(&net, Algorithm::CryptTileSingle);
+    let opt = s.schedule(&net, Algorithm::CryptOptCross);
+    assert!(opt.total_latency_cycles <= tile.total_latency_cycles);
+    assert!(opt.overhead.total_bits() <= tile.overhead.total_bits());
+    // FC tensors are tiny vectors: the hash overhead must stay small
+    // relative to the weight traffic.
+    let data: u64 = opt.layers.iter().map(|l| l.data_dram_bits).sum();
+    assert!(opt.overhead.total_bits() < data / 4);
+}
+
+#[test]
+fn vgg16_deep_segments_schedule() {
+    let secure = Architecture::eyeriss_base()
+        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let s = quick_scheduler(secure);
+    let net = zoo::vgg16();
+    let r = s.schedule(&net, Algorithm::CryptOptSingle);
+    assert_eq!(r.layers.len(), 16);
+    // Rehash remains a legal fallback, but the optimal assignment must
+    // beat the prior-work baseline overall.
+    let tile = s.schedule(&net, Algorithm::CryptTileSingle);
+    assert!(r.overhead.total_bits() <= tile.overhead.total_bits());
+}

@@ -1,0 +1,150 @@
+//! Golden qualitative-shape tests: the paper's headline evaluation
+//! claims, asserted end-to-end with modest search budgets. These are
+//! the regressions that matter most — if one fails, the reproduction
+//! no longer tells the paper's story.
+
+use secureloop::dse::{evaluate_designs, fig16_design_space, pareto_front};
+use secureloop::{Algorithm, AnnealingConfig, Scheduler};
+use secureloop_arch::{Architecture, DramSpec};
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_mapper::SearchConfig;
+use secureloop_workload::zoo;
+
+fn search() -> SearchConfig {
+    SearchConfig {
+        samples: 800,
+        top_k: 4,
+        seed: 0xf16,
+        threads: 4,
+    }
+}
+
+fn sched(arch: Architecture) -> Scheduler {
+    Scheduler::new(arch)
+        .with_search(search())
+        .with_annealing(AnnealingConfig::quick())
+}
+
+/// Fig. 13: Serial ×30 performs like Parallel ×1 at ~10× the crypto
+/// area; pipelined engines approach the unsecure baseline.
+#[test]
+fn fig13_shape_engine_configurations() {
+    let net = zoo::mobilenet_v2();
+    let unsec = sched(Architecture::eyeriss_base()).schedule(&net, Algorithm::Unsecure);
+    let run = |cfg: CryptoConfig| {
+        sched(Architecture::eyeriss_base().with_crypto(cfg))
+            .schedule(&net, Algorithm::CryptOptCross)
+            .total_latency_cycles as f64
+            / unsec.total_latency_cycles as f64
+    };
+    let par1 = run(CryptoConfig::new(EngineClass::Parallel, 1));
+    let ser30 = run(CryptoConfig::new(EngineClass::Serial, 30));
+    let pipe1 = run(CryptoConfig::new(EngineClass::Pipelined, 1));
+    assert!(
+        (ser30 / par1 - 1.0).abs() < 0.25,
+        "Serial x30 ({ser30:.2}) must track Parallel x1 ({par1:.2})"
+    );
+    assert!(pipe1 < 1.3, "Pipelined x1 slowdown {pipe1:.2} must be small");
+    assert!(par1 > 2.0, "Parallel x1 must throttle MobileNetV2");
+    let area = |cfg: CryptoConfig| cfg.total_area_kgates();
+    let ratio = area(CryptoConfig::new(EngineClass::Serial, 30))
+        / area(CryptoConfig::new(EngineClass::Parallel, 1));
+    assert!((9.0..11.0).contains(&ratio), "area ratio {ratio:.1} ~ 10x");
+}
+
+/// Fig. 14: more PEs help the unsecure design almost linearly but
+/// barely move the parallel-engine design.
+#[test]
+fn fig14_shape_pe_scaling() {
+    let net = zoo::mobilenet_v2();
+    let lat = |x: usize, y: usize, secure: bool| {
+        let mut arch = Architecture::eyeriss_base().with_pe_array(x, y);
+        let algo = if secure {
+            arch = arch.with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+            Algorithm::CryptOptCross
+        } else {
+            Algorithm::Unsecure
+        };
+        sched(arch).schedule(&net, algo).total_latency_cycles as f64
+    };
+    let unsec_gain = lat(14, 12, false) / lat(28, 24, false);
+    let sec_gain = lat(14, 12, true) / lat(28, 24, true);
+    assert!(unsec_gain > 2.0, "unsecure 4x PEs must give >2x ({unsec_gain:.2})");
+    assert!(sec_gain < 1.3, "secure design is supply-bound ({sec_gain:.2})");
+}
+
+/// Fig. 15: shrinking the GLB hurts the throttled secure design but
+/// not the unsecure baseline.
+#[test]
+fn fig15_shape_glb_scaling() {
+    let net = zoo::alexnet_conv();
+    let lat = |kb: u64, secure: bool| {
+        let mut arch = Architecture::eyeriss_base().with_glb_kb(kb);
+        let algo = if secure {
+            arch = arch.with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+            Algorithm::CryptOptCross
+        } else {
+            Algorithm::Unsecure
+        };
+        sched(arch).schedule(&net, algo).total_latency_cycles as f64
+    };
+    let unsec_ratio = lat(16, false) / lat(131, false);
+    let sec_ratio = lat(16, true) / lat(131, true);
+    assert!(unsec_ratio < 1.15, "unsecure barely moves ({unsec_ratio:.2})");
+    assert!(
+        sec_ratio > unsec_ratio,
+        "secure must suffer more from small buffers ({sec_ratio:.2} vs {unsec_ratio:.2})"
+    );
+}
+
+/// §5.2 DRAM study: bandwidth does not change secure latency; HBM2
+/// cuts energy at unchanged latency.
+#[test]
+fn dram_shape_technology_study() {
+    let net = zoo::alexnet_conv();
+    let run = |dram: DramSpec| {
+        sched(
+            Architecture::eyeriss_base()
+                .with_dram(dram)
+                .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3)),
+        )
+        .schedule(&net, Algorithm::CryptOptCross)
+    };
+    let lp64 = run(DramSpec::lpddr4_64());
+    let lp128 = run(DramSpec::lpddr4_128());
+    let hbm = run(DramSpec::hbm2_64());
+    assert_eq!(lp64.total_latency_cycles, lp128.total_latency_cycles);
+    assert_eq!(lp64.total_latency_cycles, hbm.total_latency_cycles);
+    assert!(hbm.total_energy_pj < 0.8 * lp64.total_energy_pj);
+    assert!((lp64.total_energy_pj - lp128.total_energy_pj).abs() < 1.0);
+}
+
+/// Fig. 16: the Pareto front exists and the large-array +
+/// low-throughput-engine corner is dominated.
+#[test]
+fn fig16_shape_pareto_front() {
+    let net = zoo::alexnet_conv();
+    let designs = fig16_design_space();
+    let results = evaluate_designs(
+        &net,
+        &designs,
+        Algorithm::CryptOptSingle,
+        &search(),
+        &AnnealingConfig::quick(),
+    );
+    let front = pareto_front(&results);
+    assert!(front.len() >= 4, "front has {} members", front.len());
+    // The biggest array with the slowest engine and smallest buffer
+    // must not be the fastest design (paper: parallelism wasted when
+    // the engine bottlenecks).
+    let corner = results
+        .iter()
+        .position(|r| r.label == "28x24/16kB/Parallel")
+        .expect("design exists");
+    let fastest = results
+        .iter()
+        .map(|r| r.latency())
+        .min()
+        .expect("nonempty");
+    assert!(results[corner].latency() > fastest);
+}

@@ -1,0 +1,148 @@
+//! Property tests over the analytical cost model: invariants that must
+//! hold for *every* valid mapping of random layers.
+
+use proptest::prelude::*;
+
+use secureloop_arch::Architecture;
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_loopnest::{evaluate, Mapping};
+use secureloop_mapper::MappingSampler;
+use secureloop_workload::{ConvLayer, Datatype};
+
+fn random_layer() -> impl Strategy<Value = ConvLayer> {
+    (
+        4u64..40,   // input hw
+        1u64..24,   // cin
+        1u64..24,   // cout
+        prop_oneof![Just(1u64), Just(3), Just(5)],
+        1u64..3,    // stride
+        0u64..2,    // pad
+    )
+        .prop_filter_map("geometry must be valid", |(hw, cin, cout, k, s, p)| {
+            ConvLayer::builder("prop")
+                .input_hw(hw, hw)
+                .channels(cin, cout)
+                .kernel(k, k)
+                .stride(s)
+                .pad(p.min(k / 2))
+                .build()
+                .ok()
+        })
+}
+
+/// Draw up to 40 samples and return the valid ones with evaluations.
+fn valid_mappings(
+    layer: &ConvLayer,
+    arch: &Architecture,
+    seed: u64,
+) -> Vec<(Mapping, secureloop_loopnest::Evaluation)> {
+    let mut sampler = MappingSampler::new(layer, arch, seed);
+    (0..40)
+        .filter_map(|_| {
+            let m = sampler.sample();
+            evaluate(layer, arch, &m).ok().map(|e| (m, e))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn macs_are_conserved((layer, seed) in (random_layer(), any::<u64>())) {
+        let arch = Architecture::eyeriss_base();
+        for (m, e) in valid_mappings(&layer, &arch, seed) {
+            prop_assert_eq!(e.counts.macs, layer.macs());
+            prop_assert_eq!(e.compute_cycles * m.pes_used(), layer.macs());
+        }
+    }
+
+    #[test]
+    fn dram_traffic_covers_compulsory((layer, seed) in (random_layer(), any::<u64>())) {
+        let arch = Architecture::eyeriss_base();
+        for (_, e) in valid_mappings(&layer, &arch, seed) {
+            // Reads must cover each input tensor at least once; the
+            // ofmap must be written at least once.
+            prop_assert!(
+                e.counts.dram_read_words[0] >= layer.tensor_elems(Datatype::Weight)
+            );
+            // When the stride exceeds the kernel, some input pixels are
+            // never touched: the compulsory bound is the *covered*
+            // window area, not the full derived extent.
+            let p = layer.bounds()[secureloop_workload::Dim::P];
+            let q = layer.bounds()[secureloop_workload::Dim::Q];
+            let r = layer.bounds()[secureloop_workload::Dim::R];
+            let s = layer.bounds()[secureloop_workload::Dim::S];
+            let covered = layer.bounds()[secureloop_workload::Dim::N]
+                * layer.ifmap_channels()
+                * layer.ifmap_height().min(p * r)
+                * layer.ifmap_width().min(q * s);
+            prop_assert!(e.counts.dram_read_words[1] >= covered);
+            prop_assert!(
+                e.counts.dram_write_words[2] >= layer.tensor_elems(Datatype::Ofmap)
+            );
+        }
+    }
+
+    #[test]
+    fn latency_is_max_of_bottlenecks((layer, seed) in (random_layer(), any::<u64>())) {
+        let arch = Architecture::eyeriss_base();
+        for (_, e) in valid_mappings(&layer, &arch, seed) {
+            prop_assert_eq!(
+                e.latency_cycles,
+                e.compute_cycles
+                    .max(e.dram_cycles)
+                    .max(e.glb_cycles)
+                    .max(e.noc_cycles)
+            );
+            prop_assert!(e.energy_pj > 0.0);
+            prop_assert!(e.utilization > 0.0 && e.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn crypto_never_speeds_things_up((layer, seed) in (random_layer(), any::<u64>())) {
+        let base = Architecture::eyeriss_base();
+        let secure = base.clone().with_crypto(CryptoConfig::new(EngineClass::Serial, 3));
+        for (m, e) in valid_mappings(&layer, &base, seed) {
+            // Same mapping evaluated on the secure architecture cannot
+            // be faster or cheaper.
+            let es = evaluate(&layer, &secure, &m).unwrap();
+            prop_assert!(es.latency_cycles >= e.latency_cycles);
+            prop_assert!(es.energy_pj >= e.energy_pj);
+            // Traffic itself is unchanged: crypto moves no extra data
+            // until AuthBlocks are assigned.
+            prop_assert_eq!(es.dram_total_bits, e.dram_total_bits);
+        }
+    }
+
+    #[test]
+    fn extra_bits_monotone((layer, seed) in (random_layer(), any::<u64>())) {
+        let arch = Architecture::eyeriss_base()
+            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        for (_, e) in valid_mappings(&layer, &arch, seed) {
+            let e1 = e.with_extra_dram_bits(&arch, [1000, 0, 0]);
+            let e2 = e.with_extra_dram_bits(&arch, [1000, 50_000, 0]);
+            prop_assert!(e1.latency_cycles >= e.latency_cycles);
+            prop_assert!(e2.latency_cycles >= e1.latency_cycles);
+            prop_assert!(e2.energy_pj > e1.energy_pj);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compact_mapping_text_roundtrips((layer, seed) in (random_layer(), any::<u64>())) {
+        use secureloop_loopnest::CompactMapping;
+        let arch = Architecture::eyeriss_base();
+        let mut sampler = MappingSampler::new(&layer, &arch, seed);
+        for _ in 0..10 {
+            let m = sampler.sample();
+            let text = CompactMapping(&m).to_string();
+            let parsed: Mapping = text.parse().expect("print always parses");
+            prop_assert_eq!(parsed, m, "roundtrip failed for '{}'", text);
+        }
+    }
+}

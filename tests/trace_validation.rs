@@ -1,0 +1,87 @@
+//! Model validation: for schedules the mapper actually emits on real
+//! workloads, the program-order tile trace must reproduce the
+//! analytical access counts exactly, and the double-buffered replay
+//! must bracket the analytical latency.
+
+use secureloop_arch::Architecture;
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_loopnest::evaluate;
+use secureloop_mapper::{search, SearchConfig};
+use secureloop_sim::{generate_trace, replay, TraceError};
+use secureloop_workload::zoo;
+
+#[test]
+fn traces_match_analytical_counts_on_real_schedules() {
+    let arch = Architecture::eyeriss_base()
+        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let cfg = SearchConfig {
+        samples: 300,
+        top_k: 3,
+        seed: 13,
+        threads: 1,
+    };
+    let mut validated = 0;
+    for net in [zoo::alexnet_conv(), zoo::mobilenet_v2()] {
+        for layer in net.layers().iter().step_by(7) {
+            let result = search(layer, &arch, &cfg);
+            for (mapping, eval) in &result.candidates {
+                match generate_trace(layer, &arch, mapping) {
+                    Ok(trace) => {
+                        let (reads, writes) = trace.totals();
+                        assert_eq!(
+                            reads, eval.counts.dram_read_words,
+                            "{}: read trace diverges",
+                            layer.name()
+                        );
+                        assert_eq!(
+                            writes, eval.counts.dram_write_words,
+                            "{}: write trace diverges",
+                            layer.name()
+                        );
+                        let r = replay(&trace, &arch);
+                        assert!(r.total_cycles >= r.analytical_bound());
+                        validated += 1;
+                    }
+                    Err(TraceError::TooLarge { .. }) => {} // fine: cap hit
+                    Err(e) => panic!("{}: {e}", layer.name()),
+                }
+            }
+        }
+    }
+    assert!(validated >= 10, "only {validated} schedules validated");
+}
+
+#[test]
+fn pipelining_assumption_is_reasonable_for_best_schedules() {
+    // The paper's latency model assumes perfect pipelining. For the
+    // *best* schedule of a representative layer the replayed efficiency
+    // should be high.
+    let arch = Architecture::eyeriss_base()
+        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let net = zoo::alexnet_conv();
+    let layer = &net.layers()[3];
+    let best = search(
+        layer,
+        &arch,
+        &SearchConfig {
+            samples: 1500,
+            top_k: 1,
+            seed: 4,
+            threads: 2,
+        },
+    )
+    .best()
+    .expect("found")
+    .clone();
+    let eval = evaluate(layer, &arch, &best.0).unwrap();
+    let trace = generate_trace(layer, &arch, &best.0).expect("traceable");
+    let r = replay(&trace, &arch);
+    let eff = r.pipeline_efficiency();
+    assert!(
+        eff > 0.5,
+        "best schedule replays at only {eff:.2} of the analytical bound"
+    );
+    // Analytical dram_cycles and replayed transfer agree closely.
+    let rel = r.transfer_cycles as f64 / eval.dram_cycles.max(1) as f64;
+    assert!((0.8..1.25).contains(&rel), "transfer ratio {rel}");
+}
