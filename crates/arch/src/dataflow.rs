@@ -69,7 +69,10 @@ pub struct DataflowConstraints {
 impl DataflowConstraints {
     /// Whether `dt` bypasses the global buffer.
     pub fn bypasses_glb(&self, dt: Datatype) -> bool {
-        let idx = Datatype::ALL.iter().position(|&d| d == dt).expect("all datatypes listed");
+        let idx = Datatype::ALL
+            .iter()
+            .position(|&d| d == dt)
+            .expect("all datatypes listed");
         self.glb_bypass[idx]
     }
 

@@ -213,7 +213,10 @@ impl Architecture {
     /// Partition the register file per datatype (weight/ifmap/ofmap
     /// bytes per PE). The total capacity becomes the partition sum.
     pub fn with_rf_partition(mut self, partition: [u64; 3]) -> Self {
-        assert!(partition.iter().all(|&b| b > 0), "partitions must be positive");
+        assert!(
+            partition.iter().all(|&b| b > 0),
+            "partitions must be positive"
+        );
         self.rf_bytes_per_pe = partition.iter().sum();
         self.rf_partition = Some(partition);
         self
@@ -325,8 +328,8 @@ mod tests {
 
     #[test]
     fn parallel_engines_throttle_bandwidth() {
-        let a = Architecture::eyeriss_base()
-            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        let a =
+            Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
         // 3 engines x 16B/11cyc = 4.36 B/cycle << 64.
         let bw = a.effective_dram_bytes_per_cycle();
         assert!((bw - 48.0 / 11.0).abs() < 1e-9, "bw = {bw}");
@@ -334,11 +337,11 @@ mod tests {
 
     #[test]
     fn pipelined_engines_do_not_throttle_much() {
-        let a = Architecture::eyeriss_base()
-            .with_crypto(CryptoConfig::new(EngineClass::Pipelined, 3));
+        let a =
+            Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Pipelined, 3));
         assert_eq!(a.effective_dram_bytes_per_cycle(), 48.0);
-        let a4 = Architecture::eyeriss_base()
-            .with_crypto(CryptoConfig::new(EngineClass::Pipelined, 4));
+        let a4 =
+            Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Pipelined, 4));
         // 4 pipelined engines exceed the DRAM: DRAM becomes the limit.
         assert_eq!(a4.effective_dram_bytes_per_cycle(), 64.0);
     }
@@ -386,8 +389,7 @@ mod tests {
         assert_eq!(tpu.dataflow(), crate::Dataflow::WeightStationary);
         // Even pipelined engines barely dent the effective bandwidth of
         // the datacenter part, unlike the edge design.
-        let secure =
-            tpu.with_crypto(CryptoConfig::new(EngineClass::Pipelined, 3));
+        let secure = tpu.with_crypto(CryptoConfig::new(EngineClass::Pipelined, 3));
         assert_eq!(secure.effective_dram_bytes_per_cycle(), 48.0);
     }
 

@@ -60,7 +60,8 @@ impl ChannelRequest {
 pub fn count_channel_blocks(req: &ChannelRequest, u: u64) -> BlockCount {
     assert!(u > 0, "block size must be positive");
     assert!(
-        req.window.fits_in(Region::new(req.pixel_rows, req.pixel_cols)),
+        req.window
+            .fits_in(Region::new(req.pixel_rows, req.pixel_cols)),
         "window exceeds the pixel grid"
     );
     assert!(
@@ -81,7 +82,11 @@ pub fn count_channel_blocks(req: &ChannelRequest, u: u64) -> BlockCount {
             req.window.rows * req.pixel_cols,
             req.chan_count,
         );
-        return count_blocks(region, tile, BlockAssignment::new(Orientation::Horizontal, u));
+        return count_blocks(
+            region,
+            tile,
+            BlockAssignment::new(Orientation::Horizontal, u),
+        );
     }
 
     // General case: one rectangle per window row; adjacent rows may
@@ -94,16 +99,17 @@ pub fn count_channel_blocks(req: &ChannelRequest, u: u64) -> BlockCount {
     for r in 0..req.window.rows {
         let pixel0 = (req.window.row0 + r) * req.pixel_cols + req.window.col0;
         let tile = TileRect::new(pixel0, req.chan0, req.window.cols, req.chan_count);
-        let c = count_blocks(region, tile, BlockAssignment::new(Orientation::Horizontal, u));
+        let c = count_blocks(
+            region,
+            tile,
+            BlockAssignment::new(Orientation::Horizontal, u),
+        );
         blocks += c.blocks;
         fetched += c.fetched_elems;
         // First block of this row == last block of the previous row?
         let first_block = (pixel0 * req.channels + req.chan0) / u;
-        let last_block = ((pixel0 + req.window.cols - 1) * req.channels
-            + req.chan0
-            + req.chan_count
-            - 1)
-            / u;
+        let last_block =
+            ((pixel0 + req.window.cols - 1) * req.channels + req.chan0 + req.chan_count - 1) / u;
         if prev_last_block == Some(first_block) {
             blocks -= 1;
             fetched -= u.min(pixel_region_elems - first_block * u);
@@ -188,7 +194,7 @@ mod tests {
         let mut req = full_request();
         req.chan0 = 0;
         req.chan_count = 48; // half the channels of every pixel
-        // u = 48 aligns with the halves: zero redundancy.
+                             // u = 48 aligns with the halves: zero redundancy.
         let aligned = count_channel_blocks(&req, 48);
         assert_eq!(aligned.fetched_elems, req.needed_elems());
         // u = 96 forces fetching the other half too.
@@ -244,7 +250,11 @@ mod tests {
             chan_count: 96,
         };
         let cm = count_channel_blocks(&req, 96);
-        assert_eq!(cm.fetched_elems, req.needed_elems(), "per-pixel blocks align");
+        assert_eq!(
+            cm.fetched_elems,
+            req.needed_elems(),
+            "per-pixel blocks align"
+        );
         // Equivalent in-plane assignment: 7x(7*96) plane, horizontal
         // u=96 blocks start at pixel-row boundaries, not channel runs —
         // a 3-pixel-wide window misaligns (each row needs channels
@@ -252,7 +262,11 @@ mod tests {
         // here; shift the window to force misalignment).
         let plane = Region::new(7, 7 * 96);
         let shifted = TileRect::new(0, 96 * 2 + 48, 7, 96 * 3); // half-channel offset
-        let ip = count_blocks(plane, shifted, BlockAssignment::new(Orientation::Horizontal, 96));
+        let ip = count_blocks(
+            plane,
+            shifted,
+            BlockAssignment::new(Orientation::Horizontal, 96),
+        );
         assert!(ip.fetched_elems > shifted.elems(), "in-plane misaligns");
     }
 

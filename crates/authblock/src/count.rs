@@ -188,13 +188,21 @@ mod tests {
         let tile = TileRect::new(0, 0, 2, 2);
 
         // (c) horizontal, size 1: one hash per element, no redundancy.
-        let c = all_three(region, tile, BlockAssignment::new(Orientation::Horizontal, 1));
+        let c = all_three(
+            region,
+            tile,
+            BlockAssignment::new(Orientation::Horizontal, 1),
+        );
         assert_eq!(c.blocks, 4);
         assert_eq!(c.redundant_elems(tile), 0);
 
         // (d) horizontal, size 2: fewer hashes, no redundancy for this
         // tile (blocks [0,1] and [6,7] align with columns 0-1).
-        let d = all_three(region, tile, BlockAssignment::new(Orientation::Horizontal, 2));
+        let d = all_three(
+            region,
+            tile,
+            BlockAssignment::new(Orientation::Horizontal, 2),
+        );
         assert_eq!(d.blocks, 2);
         assert_eq!(d.redundant_elems(tile), 0);
 
@@ -222,18 +230,30 @@ mod tests {
 
         // Vertical u = 300 = h * (w_i - w_j): zero redundant reads
         // (paper: "the optimal AuthBlock size is 300").
-        let v = all_three(region, tile, BlockAssignment::new(Orientation::Vertical, 300));
+        let v = all_three(
+            region,
+            tile,
+            BlockAssignment::new(Orientation::Vertical, 300),
+        );
         assert_eq!(v.redundant_elems(tile), 0);
         assert_eq!(v.blocks, 2);
 
         // Horizontal u = 10 hits a local redundancy minimum: blocks of
         // 10 align with the 10-column offset.
-        let h10 = all_three(region, tile, BlockAssignment::new(Orientation::Horizontal, 10));
+        let h10 = all_three(
+            region,
+            tile,
+            BlockAssignment::new(Orientation::Horizontal, 10),
+        );
         assert_eq!(h10.redundant_elems(tile), 0);
         assert_eq!(h10.blocks, 60);
 
         // Horizontal u = 7 misaligns: some rows fetch extra elements.
-        let h7 = all_three(region, tile, BlockAssignment::new(Orientation::Horizontal, 7));
+        let h7 = all_three(
+            region,
+            tile,
+            BlockAssignment::new(Orientation::Horizontal, 7),
+        );
         assert!(h7.redundant_elems(tile) > 0);
     }
 
@@ -241,7 +261,11 @@ mod tests {
     fn whole_region_as_one_block() {
         let region = Region::new(30, 30);
         let tile = TileRect::new(5, 5, 10, 10);
-        let c = all_three(region, tile, BlockAssignment::new(Orientation::Horizontal, 900));
+        let c = all_three(
+            region,
+            tile,
+            BlockAssignment::new(Orientation::Horizontal, 900),
+        );
         assert_eq!(c.blocks, 1);
         assert_eq!(c.fetched_elems, 900);
         assert_eq!(c.redundant_elems(tile), 800);
@@ -252,7 +276,11 @@ mod tests {
         // 3x5 region, u = 4: blocks are 4,4,4,3 elements.
         let region = Region::new(3, 5);
         let tile = TileRect::new(2, 0, 1, 5); // last row: elems 10..15
-        let c = all_three(region, tile, BlockAssignment::new(Orientation::Horizontal, 4));
+        let c = all_three(
+            region,
+            tile,
+            BlockAssignment::new(Orientation::Horizontal, 4),
+        );
         // Row covers linear 10..=14 -> blocks 2 (8..11) and 3 (12..14).
         assert_eq!(c.blocks, 2);
         assert_eq!(c.fetched_elems, 4 + 3);

@@ -47,7 +47,13 @@ impl TileGrid {
 
     /// An overlapping grid (halo tiles): same construction but with an
     /// explicit step smaller than the tile extent.
-    pub fn covering_with_halo(region: Region, tile_h: u64, tile_w: u64, step_h: u64, step_w: u64) -> Self {
+    pub fn covering_with_halo(
+        region: Region,
+        tile_h: u64,
+        tile_w: u64,
+        step_h: u64,
+        step_w: u64,
+    ) -> Self {
         assert!(step_h > 0 && step_w > 0, "steps must be positive");
         let span = |extent: u64, tile: u64, step: u64| {
             if extent <= tile {

@@ -224,8 +224,7 @@ pub fn evaluate_assignment(problem: &AssignmentProblem, strategy: Strategy) -> S
             let region_bits = problem.region.elems() * word;
             out.consumer.rehash_bits += region_bits + producers.len() as u64 * tag;
             for reader in &problem.readers {
-                let rewrite_elems: u64 =
-                    reader.grid.tiles(problem.region).map(|t| t.elems()).sum();
+                let rewrite_elems: u64 = reader.grid.tiles(problem.region).map(|t| t.elems()).sum();
                 let tiles = reader.grid.tiles(problem.region).count() as u64;
                 out.consumer.rehash_bits += rewrite_elems * word + tiles * tag;
                 // Subsequent reads are perfectly aligned: hash only.
@@ -508,11 +507,7 @@ mod tests {
             Strategy::Assigned(BlockAssignment::new(Orientation::Horizontal, 121)),
         );
         let fetched_total = 9 * 121 * 8;
-        let needed: u64 = p.readers[0]
-            .grid
-            .tiles(region)
-            .map(|t| t.elems() * 8)
-            .sum();
+        let needed: u64 = p.readers[0].grid.tiles(region).map(|t| t.elems() * 8).sum();
         assert_eq!(whole.consumer.redundant_bits, fetched_total - needed);
         // The optimiser must find something at least as good as either.
         let best = optimize(&p);
@@ -584,10 +579,12 @@ mod tests {
         // (unless a non-Assigned strategy won).
         if let Strategy::Assigned(a) = best.strategy {
             let curve = sweep(&p, a.orientation);
-            assert!(curve
-                .iter()
-                .any(|&(u, o)| u == a.size
-                    && o.total_bits() == best.overhead.total().total_bits()));
+            assert!(
+                curve
+                    .iter()
+                    .any(|&(u, o)| u == a.size
+                        && o.total_bits() == best.overhead.total().total_bits())
+            );
         }
     }
 

@@ -14,9 +14,7 @@ use secureloop_authblock::{
     Strategy, TileGrid, TileRect,
 };
 
-fn geometry() -> impl proptest::strategy::Strategy<
-    Value = (Region, TileRect, BlockAssignment),
-> {
+fn geometry() -> impl proptest::strategy::Strategy<Value = (Region, TileRect, BlockAssignment)> {
     (1u64..40, 1u64..40).prop_flat_map(|(h, w)| {
         (
             Just(Region::new(h, w)),
@@ -24,10 +22,10 @@ fn geometry() -> impl proptest::strategy::Strategy<
                 (1..=h - r0, 1..=w - c0)
                     .prop_map(move |(rows, cols)| TileRect::new(r0, c0, rows, cols))
             }),
-            (1u64..=h * w + 3, prop_oneof![
-                Just(Orientation::Horizontal),
-                Just(Orientation::Vertical)
-            ])
+            (
+                1u64..=h * w + 3,
+                prop_oneof![Just(Orientation::Horizontal), Just(Orientation::Vertical)],
+            )
                 .prop_map(|(u, o)| BlockAssignment::new(o, u)),
         )
     })
@@ -76,14 +74,8 @@ proptest! {
 
 fn problem() -> impl proptest::strategy::Strategy<Value = AssignmentProblem> {
     (2u64..24, 2u64..24).prop_flat_map(|(h, w)| {
-        (
-            1u64..=h,
-            1u64..=w,
-            1u64..=h,
-            1u64..=w,
-            1u64..4,
-        )
-            .prop_map(move |(pt_h, pt_w, rt_h, rt_w, sweeps)| {
+        (1u64..=h, 1u64..=w, 1u64..=h, 1u64..=w, 1u64..4).prop_map(
+            move |(pt_h, pt_w, rt_h, rt_w, sweeps)| {
                 let region = Region::new(h, w);
                 AssignmentProblem {
                     region,
@@ -96,7 +88,8 @@ fn problem() -> impl proptest::strategy::Strategy<Value = AssignmentProblem> {
                     word_bits: 8,
                     tag_bits: 64,
                 }
-            })
+            },
+        )
     })
 }
 
@@ -122,7 +115,8 @@ proptest! {
     }
 }
 
-fn channel_request() -> impl proptest::strategy::Strategy<Value = (secureloop_authblock::ChannelRequest, u64)> {
+fn channel_request(
+) -> impl proptest::strategy::Strategy<Value = (secureloop_authblock::ChannelRequest, u64)> {
     use secureloop_authblock::ChannelRequest;
     (2u64..8, 2u64..8, 2u64..24).prop_flat_map(|(rows, cols, ch)| {
         (

@@ -13,13 +13,14 @@ use secureloop_workload::zoo;
 
 fn annealing(c: &mut Criterion) {
     let net = zoo::alexnet_conv();
-    let arch = Architecture::eyeriss_base()
-        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let arch =
+        Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
     let cfg = SearchConfig {
         samples: 1500,
         top_k: 6,
         seed: 2,
         threads: 1,
+        deadline: None,
     };
     let cands = find_candidates(&net, &arch, &cfg);
     let segs = net.segments();
@@ -27,11 +28,18 @@ fn annealing(c: &mut Criterion) {
 
     let choices: Vec<_> = seg
         .iter()
-        .map(|&li| cands.per_layer[li].best().clone())
+        .map(|&li| cands.per_layer[li].best().expect("has candidates").clone())
         .collect();
     // Warm the cache so the benchmark isolates the steady-state cost.
     let mut cache = OverheadCache::new();
-    evaluate_segment(&net, &arch, seg, &choices, StrategyMode::Optimal, &mut cache);
+    evaluate_segment(
+        &net,
+        &arch,
+        seg,
+        &choices,
+        StrategyMode::Optimal,
+        &mut cache,
+    );
     c.bench_function("segment_eval_cached", |b| {
         b.iter(|| {
             evaluate_segment(

@@ -34,6 +34,7 @@ fn layer_search(c: &mut Criterion) {
         top_k: 6,
         seed: 9,
         threads: 1,
+        deadline: None,
     };
     c.bench_function("mapper_search_1k_samples", |b| {
         b.iter(|| search(black_box(&layer), black_box(&arch), black_box(&cfg)))

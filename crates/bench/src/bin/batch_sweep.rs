@@ -16,6 +16,7 @@ fn main() {
         top_k: 6,
         seed: 21,
         threads: 8,
+        deadline: None,
     };
     let base_net = zoo::mobilenet_v2();
 
@@ -24,14 +25,23 @@ fn main() {
         "{:>6} {:>14} {:>16} {:>14} {:>10}",
         "batch", "unsec cycles", "secure cycles", "cyc/inference", "slowdown"
     );
-    let mut csv = String::from("batch,unsecure_cycles,secure_cycles,secure_per_inference,slowdown\n");
+    let mut csv =
+        String::from("batch,unsecure_cycles,secure_cycles,secure_per_inference,slowdown\n");
     for n in [1u64, 4, 16] {
-        let net = if n == 1 { base_net.clone() } else { base_net.with_batch(n) };
+        let net = if n == 1 {
+            base_net.clone()
+        } else {
+            base_net.with_batch(n)
+        };
         let scheduler = Scheduler::new(arch.clone())
             .with_search(search)
             .with_annealing(paper_annealing().with_iterations(300));
-        let unsec = scheduler.schedule(&net, Algorithm::Unsecure);
-        let sec = scheduler.schedule(&net, Algorithm::CryptOptCross);
+        let unsec = scheduler
+            .schedule(&net, Algorithm::Unsecure)
+            .expect("schedule");
+        let sec = scheduler
+            .schedule(&net, Algorithm::CryptOptCross)
+            .expect("schedule");
         let per_inf = sec.total_latency_cycles / n;
         let slowdown = sec.total_latency_cycles as f64 / unsec.total_latency_cycles as f64;
         println!(

@@ -8,9 +8,7 @@
 //! swept over block sizes with 8-bit words and 64-bit tags.
 
 use secureloop_authblock::channel::{channel_overhead_bits, ChannelRequest};
-use secureloop_authblock::{
-    sweep, AccessPattern, AssignmentProblem, Region, TileGrid, TileRect,
-};
+use secureloop_authblock::{sweep, AccessPattern, AssignmentProblem, Region, TileGrid, TileRect};
 use secureloop_bench::write_results;
 
 fn main() {
@@ -25,9 +23,8 @@ fn main() {
         "{:<26} {:>10} {:>16} {:>16} {:>10}",
         "transition", "needed", "in-plane best", "chan-major best", "winner"
     );
-    let mut csv = String::from(
-        "transition,needed_bits,inplane_best_bits,channel_best_bits,winner\n",
-    );
+    let mut csv =
+        String::from("transition,needed_bits,inplane_best_bits,channel_best_bits,winner\n");
     for (name, hw, channels, chunk) in cases {
         // In-plane: the tensor as `channels` planes of hw x hw; the
         // consumer reads the whole plane once per channel chunk (1x1

@@ -29,15 +29,15 @@ fn main() {
             let unsec = Scheduler::new(base.clone())
                 .with_search(paper_search())
                 .with_annealing(paper_annealing())
-                .schedule(&net, Algorithm::Unsecure);
-            let secure = Scheduler::new(
-                base.with_crypto(CryptoConfig::new(EngineClass::Parallel, 3)),
-            )
-            .with_search(paper_search())
-            .with_annealing(paper_annealing())
-            .schedule(&net, Algorithm::CryptOptCross);
-            let slowdown =
-                secure.total_latency_cycles as f64 / unsec.total_latency_cycles as f64;
+                .schedule(&net, Algorithm::Unsecure)
+                .expect("schedule");
+            let secure =
+                Scheduler::new(base.with_crypto(CryptoConfig::new(EngineClass::Parallel, 3)))
+                    .with_search(paper_search())
+                    .with_annealing(paper_annealing())
+                    .schedule(&net, Algorithm::CryptOptCross)
+                    .expect("schedule");
+            let slowdown = secure.total_latency_cycles as f64 / unsec.total_latency_cycles as f64;
             println!(
                 "{:<20} {:>14} {:>14} {:>9.2}x",
                 name, unsec.total_latency_cycles, secure.total_latency_cycles, slowdown

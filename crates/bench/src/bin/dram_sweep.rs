@@ -25,12 +25,14 @@ fn main() {
         let unsecure = Scheduler::new(base.clone())
             .with_search(paper_search())
             .with_annealing(paper_annealing())
-            .schedule(&net, Algorithm::Unsecure);
+            .schedule(&net, Algorithm::Unsecure)
+            .expect("schedule");
         let secure_arch = base.with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
         let secure = Scheduler::new(secure_arch)
             .with_search(paper_search())
             .with_annealing(paper_annealing())
-            .schedule(&net, Algorithm::CryptOptCross);
+            .schedule(&net, Algorithm::CryptOptCross)
+            .expect("schedule");
         println!(
             "{:<14} {:>10} {:>14.1} {:>12} | {:>10} {:>14.1} {:>12}",
             dram.name(),

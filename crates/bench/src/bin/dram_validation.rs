@@ -23,7 +23,9 @@ fn main() {
     let mut csv = String::from("layer,bytes,bus_efficiency,row_hit_rate,bytes_per_cycle\n");
     let mut worst: f64 = 1.0;
     for net in [zoo::alexnet_conv(), zoo::resnet18()] {
-        let sched = scheduler.schedule(&net, Algorithm::Unsecure);
+        let sched = scheduler
+            .schedule(&net, Algorithm::Unsecure)
+            .expect("schedule");
         for (layer, res) in net.layers().iter().zip(&sched.layers) {
             let Ok(trace) = generate_trace(layer, &arch.clone().without_crypto(), &res.mapping)
             else {

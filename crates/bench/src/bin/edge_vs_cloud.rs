@@ -25,7 +25,8 @@ fn main() {
         let unsec = Scheduler::new(base.clone())
             .with_search(paper_search())
             .with_annealing(paper_annealing())
-            .schedule(&net, Algorithm::Unsecure);
+            .schedule(&net, Algorithm::Unsecure)
+            .expect("schedule");
         for cfg in [
             CryptoConfig::new(EngineClass::Parallel, 3),
             CryptoConfig::new(EngineClass::Pipelined, 3),
@@ -35,9 +36,9 @@ fn main() {
             let sec = Scheduler::new(arch)
                 .with_search(paper_search())
                 .with_annealing(paper_annealing())
-                .schedule(&net, Algorithm::CryptOptCross);
-            let slowdown =
-                sec.total_latency_cycles as f64 / unsec.total_latency_cycles as f64;
+                .schedule(&net, Algorithm::CryptOptCross)
+                .expect("schedule");
+            let slowdown = sec.total_latency_cycles as f64 / unsec.total_latency_cycles as f64;
             let area_pct = area.crypto_overhead_fraction() * 100.0;
             println!(
                 "{:<12} {:<14} {:>9.2}x {:>18.2}",

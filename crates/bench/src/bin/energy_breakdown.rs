@@ -18,12 +18,10 @@ fn main() {
         "{:<14} {:<18} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}",
         "workload", "algorithm", "mac%", "rf%", "glb%", "noc%", "dram%", "crypto%", "total(uJ)"
     );
-    let mut csv = String::from(
-        "workload,algorithm,mac_pj,rf_pj,glb_pj,noc_pj,dram_pj,crypto_pj\n",
-    );
+    let mut csv = String::from("workload,algorithm,mac_pj,rf_pj,glb_pj,noc_pj,dram_pj,crypto_pj\n");
     for net in workloads() {
         for algo in [Algorithm::Unsecure, Algorithm::CryptOptCross] {
-            let s = scheduler.schedule(&net, algo);
+            let s = scheduler.schedule(&net, algo).expect("schedule");
             let e = s.energy_breakdown();
             let t = e.total_pj();
             println!(

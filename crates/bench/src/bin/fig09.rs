@@ -49,7 +49,10 @@ fn main() {
             // Print a readable subset; the CSV has every point.
             let print = u <= 12 || u % (max_u / 15).max(1) == 0 || [30, 300, 900].contains(&u);
             if print {
-                println!("{:>6} {:>8} {:>14} {:>10} {:>12}", u, c.blocks, redundant, tag, total);
+                println!(
+                    "{:>6} {:>8} {:>14} {:>10} {:>12}",
+                    u, c.blocks, redundant, tag, total
+                );
             }
             if best.as_ref().is_none_or(|(_, t)| total < *t) {
                 best = Some((format!("{orientation} u={u}"), total));

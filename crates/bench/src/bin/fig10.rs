@@ -26,13 +26,17 @@ fn main() {
     let baseline = Scheduler::new(arch.clone())
         .with_search(search)
         .with_annealing(paper_annealing().with_k(1))
-        .schedule_with_candidates(&net, Algorithm::CryptOptCross, &candidates);
+        .schedule_with_candidates(&net, Algorithm::CryptOptCross, &candidates)
+        .expect("schedule");
     println!(
         "MobileNetV2, base secure arch; k=1 latency = {} cycles\n",
         baseline.total_latency_cycles
     );
 
-    println!("{:>4} {:>22} {:>22}", "k", "speedup% (1000 iter)", "speedup% (5000 iter)");
+    println!(
+        "{:>4} {:>22} {:>22}",
+        "k", "speedup% (1000 iter)", "speedup% (5000 iter)"
+    );
     let mut csv = String::from("k,speedup_pct_1000,speedup_pct_5000\n");
     for k in 1..=10usize {
         let mut row = vec![];
@@ -40,9 +44,9 @@ fn main() {
             let s = Scheduler::new(arch.clone())
                 .with_search(search)
                 .with_annealing(paper_annealing().with_k(k).with_iterations(iters))
-                .schedule_with_candidates(&net, Algorithm::CryptOptCross, &candidates);
-            let speedup = (baseline.total_latency_cycles as f64
-                / s.total_latency_cycles as f64
+                .schedule_with_candidates(&net, Algorithm::CryptOptCross, &candidates)
+                .expect("schedule");
+            let speedup = (baseline.total_latency_cycles as f64 / s.total_latency_cycles as f64
                 - 1.0)
                 * 100.0;
             row.push(speedup);

@@ -12,8 +12,8 @@
 //! traffic that the optimal assignment eliminates.
 
 use secureloop::{Algorithm, Scheduler};
-use secureloop_bench::{base_secure_arch, paper_annealing, paper_search, write_results};
 use secureloop_bench::workloads;
+use secureloop_bench::{base_secure_arch, paper_annealing, paper_search, write_results};
 
 fn main() {
     println!("Table 1 — scheduling algorithms:");
@@ -31,7 +31,9 @@ fn main() {
         let scheduler = Scheduler::new(arch.clone())
             .with_search(paper_search())
             .with_annealing(paper_annealing());
-        let unsecure = scheduler.schedule(&net, Algorithm::Unsecure);
+        let unsecure = scheduler
+            .schedule(&net, Algorithm::Unsecure)
+            .expect("schedule");
         println!(
             "== {} (unsecure baseline: {} cycles, EDP {:.3e})",
             net.name(),
@@ -43,7 +45,7 @@ fn main() {
             "algorithm", "cycles", "norm", "EDPrel", "hash(Mb)", "redund(Mb)", "rehash(Mb)"
         );
         for algo in Algorithm::SECURE {
-            let s = scheduler.schedule(&net, algo);
+            let s = scheduler.schedule(&net, algo).expect("schedule");
             let norm = s.total_latency_cycles as f64 / unsecure.total_latency_cycles as f64;
             let edp_rel = s.edp() / unsecure.edp();
             println!(

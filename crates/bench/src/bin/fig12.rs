@@ -21,7 +21,9 @@ fn main() {
         model.effective_gbps
     );
     // The paper's dotted line assumes a single engine for all traffic.
-    let single = secureloop_crypto::EngineClass::Parallel.engine().bytes_per_cycle()
+    let single = secureloop_crypto::EngineClass::Parallel
+        .engine()
+        .bytes_per_cycle()
         * arch.clock_mhz()
         * 1e6
         / 1e9;
@@ -31,8 +33,7 @@ fn main() {
         .with_search(paper_search())
         .with_annealing(paper_annealing());
 
-    let mut csv =
-        String::from("workload,algorithm,intensity_flop_per_byte,gflops,bound\n");
+    let mut csv = String::from("workload,algorithm,intensity_flop_per_byte,gflops,bound\n");
     println!(
         "{:<36} {:>12} {:>10} {:>16}",
         "workload / algorithm", "FLOP/byte", "GFLOPS", "bound"
@@ -44,7 +45,7 @@ fn main() {
             Algorithm::CryptOptSingle,
             Algorithm::CryptOptCross,
         ] {
-            let s = scheduler.schedule(&net, algo);
+            let s = scheduler.schedule(&net, algo).expect("schedule");
             let p = schedule_point(&s, &arch);
             let bound = if p.intensity >= model.ridge_intensity() {
                 "compute-bound"

@@ -14,13 +14,13 @@ use secureloop_bench::{paper_annealing, paper_search, workloads, write_results};
 use secureloop_energy::AreaModel;
 
 fn main() {
-    let mut csv =
-        String::from("workload,engines,latency_cycles,slowdown,area_overhead_pct\n");
+    let mut csv = String::from("workload,engines,latency_cycles,slowdown,area_overhead_pct\n");
     for net in workloads() {
         let unsecure = Scheduler::new(Architecture::eyeriss_base())
             .with_search(paper_search())
             .with_annealing(paper_annealing())
-            .schedule(&net, Algorithm::Unsecure);
+            .schedule(&net, Algorithm::Unsecure)
+            .expect("schedule");
         println!(
             "== {} (unsecure: {} cycles)",
             net.name(),
@@ -36,9 +36,9 @@ fn main() {
             let s = Scheduler::new(arch)
                 .with_search(paper_search())
                 .with_annealing(paper_annealing())
-                .schedule(&net, Algorithm::CryptOptCross);
-            let slowdown =
-                s.total_latency_cycles as f64 / unsecure.total_latency_cycles as f64;
+                .schedule(&net, Algorithm::CryptOptCross)
+                .expect("schedule");
+            let slowdown = s.total_latency_cycles as f64 / unsecure.total_latency_cycles as f64;
             let overhead = area.crypto_overhead_fraction() * 100.0;
             println!(
                 "{:<16} {:>12} {:>10.2} {:>18.1}",

@@ -38,7 +38,8 @@ fn main() {
                 let s = Scheduler::new(arch)
                     .with_search(paper_search())
                     .with_annealing(paper_annealing())
-                    .schedule(&net, algo);
+                    .schedule(&net, algo)
+                    .expect("schedule");
                 let label = crypto.map(|c| c.label()).unwrap_or("Unsecure".into());
                 csv.push_str(&format!(
                     "{},{}x{},{},{}\n",

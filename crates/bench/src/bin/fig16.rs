@@ -64,9 +64,9 @@ fn main() {
     for &i in &front {
         println!("  {}", results[i].label);
     }
-    let small_glb_fast_engine = front.iter().any(|&i| {
-        results[i].label.contains("16kB") && results[i].label.contains("Pipelined")
-    });
+    let small_glb_fast_engine = front
+        .iter()
+        .any(|&i| results[i].label.contains("16kB") && results[i].label.contains("Pipelined"));
     println!(
         "\npaper insight check — small-GLB + pipelined-engine design on the front: {}",
         if small_glb_fast_engine { "yes" } else { "no" }

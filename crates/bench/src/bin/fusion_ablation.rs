@@ -29,13 +29,15 @@ fn main() {
         let mappings: Vec<Mapping> = cands
             .per_layer
             .iter()
-            .map(|c| c.best().0.clone())
+            .map(|c| c.best().expect("has candidates").0.clone())
             .collect();
         let coupled: usize = net.segments().iter().map(|s| s.layers.len() - 1).sum();
         let fusable = fusable_pairs(&net, &arch, &mappings);
         let saved_bits: u64 = fusable.iter().map(|(_, _, f)| f.saved_data_bits).sum();
 
-        let cross = scheduler.schedule_with_candidates(&net, Algorithm::CryptOptCross, &cands);
+        let cross = scheduler
+            .schedule_with_candidates(&net, Algorithm::CryptOptCross, &cands)
+            .expect("schedule");
         // Upper-bound estimate: per fused pair, latency drops by at
         // most the pair's improvement (pairs may share layers; taking
         // disjoint pairs greedily gives a defensible bound).

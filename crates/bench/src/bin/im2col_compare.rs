@@ -8,9 +8,7 @@
 //! direct convolution pays the optimiser-minimised halo overhead;
 //! im2col pays the duplication factor up front but zero redundancy.
 
-use secureloop_authblock::{
-    optimize, AccessPattern, AssignmentProblem, Region, TileGrid,
-};
+use secureloop_authblock::{optimize, AccessPattern, AssignmentProblem, Region, TileGrid};
 use secureloop_bench::write_results;
 use secureloop_workload::{zoo, ConvLayer, Datatype, Dim};
 
@@ -61,11 +59,9 @@ fn main() {
 
             // im2col: duplicated matrix read once; disjoint tiles mean
             // tile-aligned blocks with zero redundancy — only tags.
-            let im2col_data =
-                layer.im2col_ifmap_elems() * u64::from(layer.word_bits());
-            let tiles = (layer.im2col_ifmap_elems()).div_ceil(
-                (problem.readers[0].grid.tile_h * problem.readers[0].grid.tile_w).max(1),
-            );
+            let im2col_data = layer.im2col_ifmap_elems() * u64::from(layer.word_bits());
+            let tiles = (layer.im2col_ifmap_elems())
+                .div_ceil((problem.readers[0].grid.tile_h * problem.readers[0].grid.tile_w).max(1));
             let im2col_tags = tiles * 64;
 
             let direct_total = direct_data + direct_ovh;

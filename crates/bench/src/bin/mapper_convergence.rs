@@ -13,8 +13,8 @@ use secureloop_mapper::{greedy_mapping, search, SearchConfig};
 use secureloop_workload::zoo;
 
 fn main() {
-    let arch = Architecture::eyeriss_base()
-        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let arch =
+        Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
     let net = zoo::resnet18();
     let layers = [1usize, 5, 9]; // representative shapes
 
@@ -46,9 +46,15 @@ fn main() {
                     top_k: 1,
                     seed: 1,
                     threads: 4,
+                    deadline: None,
                 },
             );
-            let best = r.best().expect("nonempty").1.latency_cycles;
+            let best = r
+                .expect("search succeeds")
+                .best()
+                .expect("nonempty")
+                .1
+                .latency_cycles;
             println!(
                 "{:>8} {:>14} {:>9.2}x",
                 samples,

@@ -16,6 +16,9 @@ fn main() {
                 Err(e) => eprintln!("cannot write {}: {e}", path.display()),
             }
         }
-        Err(e) => eprintln!("cannot read {}: {e} — run the experiment binaries first", dir.display()),
+        Err(e) => eprintln!(
+            "cannot read {}: {e} — run the experiment binaries first",
+            dir.display()
+        ),
     }
 }

@@ -23,13 +23,13 @@ fn main() {
             let unsec = Scheduler::new(base.clone())
                 .with_search(paper_search())
                 .with_annealing(paper_annealing())
-                .schedule(&net, Algorithm::Unsecure);
-            let sec = Scheduler::new(
-                base.with_crypto(CryptoConfig::new(EngineClass::Parallel, 3)),
-            )
-            .with_search(paper_search())
-            .with_annealing(paper_annealing())
-            .schedule(&net, Algorithm::CryptOptCross);
+                .schedule(&net, Algorithm::Unsecure)
+                .expect("schedule");
+            let sec = Scheduler::new(base.with_crypto(CryptoConfig::new(EngineClass::Parallel, 3)))
+                .with_search(paper_search())
+                .with_annealing(paper_annealing())
+                .schedule(&net, Algorithm::CryptOptCross)
+                .expect("schedule");
             println!(
                 "{:<14} {:<14} {:>14} {:>16}",
                 net.name(),

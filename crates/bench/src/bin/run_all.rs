@@ -27,7 +27,7 @@ fn main() {
             Algorithm::CryptOptSingle,
             Algorithm::CryptOptCross,
         ] {
-            let s = scheduler.schedule(&net, algo);
+            let s = scheduler.schedule(&net, algo).expect("schedule");
             println!(
                 "  {:<20} {:>12} cycles  {:>10.1} uJ  +{:.2} Mbit",
                 algo.name(),

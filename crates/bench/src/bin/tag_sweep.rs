@@ -25,7 +25,8 @@ fn main() {
             let s = Scheduler::new(arch)
                 .with_search(paper_search())
                 .with_annealing(paper_annealing())
-                .schedule(&net, Algorithm::CryptOptCross);
+                .schedule(&net, Algorithm::CryptOptCross)
+                .expect("schedule");
             println!(
                 "{:>9} {:>14} {:>12.2} {:>14.2}",
                 tag_bits,

@@ -24,11 +24,12 @@ fn main() {
         "{:<14} {:>12} {:>14} {:>16} {:>16} {:>10}",
         "workload", "data(Mb)", "treeless(Mb)", "tree a=2 (Mb)", "tree a=8 (Mb)", "saving"
     );
-    let mut csv = String::from(
-        "workload,data_mbit,treeless_mbit,tree_arity2_mbit,tree_arity8_mbit\n",
-    );
+    let mut csv =
+        String::from("workload,data_mbit,treeless_mbit,tree_arity2_mbit,tree_arity8_mbit\n");
     for net in workloads() {
-        let s = scheduler.schedule(&net, Algorithm::CryptOptCross);
+        let s = scheduler
+            .schedule(&net, Algorithm::CryptOptCross)
+            .expect("schedule");
         let data_bits: u64 = s.layers.iter().map(|l| l.data_dram_bits).sum();
         let treeless_bits = s.overhead.total_bits();
 

@@ -48,6 +48,7 @@ pub fn paper_search() -> SearchConfig {
         top_k: 6,
         seed: 0x5ec0_4e10,
         threads: 8,
+        deadline: None,
     }
 }
 

@@ -69,11 +69,17 @@ const MARGIN_L: f64 = 70.0;
 const MARGIN_R: f64 = 20.0;
 const MARGIN_T: f64 = 40.0;
 const MARGIN_B: f64 = 55.0;
-const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
 
 impl Plot {
     /// Start an empty plot.
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         Plot {
             title: title.into(),
             x_label: x_label.into(),
@@ -132,10 +138,16 @@ impl Plot {
             .collect();
         assert!(!pts.is_empty(), "plot has no data");
         if self.log_x {
-            assert!(pts.iter().all(|&(x, _)| x > 0.0), "log-x needs positive values");
+            assert!(
+                pts.iter().all(|&(x, _)| x > 0.0),
+                "log-x needs positive values"
+            );
         }
         if self.log_y {
-            assert!(pts.iter().all(|&(_, y)| y > 0.0), "log-y needs positive values");
+            assert!(
+                pts.iter().all(|&(_, y)| y > 0.0),
+                "log-y needs positive values"
+            );
         }
         let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
         let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -262,7 +274,9 @@ impl Plot {
 }
 
 fn xml(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn fmt_tick(v: f64) -> String {
@@ -312,7 +326,10 @@ mod tests {
     #[test]
     fn log_axes_transform() {
         let mut p = Plot::new("log", "x", "y").with_log_x().with_log_y();
-        p.push(Series::scatter("s", vec![(1.0, 1.0), (10.0, 100.0), (100.0, 10000.0)]));
+        p.push(Series::scatter(
+            "s",
+            vec![(1.0, 1.0), (10.0, 100.0), (100.0, 10000.0)],
+        ));
         let svg = p.to_svg();
         assert!(svg.contains("<circle"));
     }

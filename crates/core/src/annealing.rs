@@ -7,6 +7,18 @@
 //! optimal AuthBlock assignment. Temperature decreases linearly and the
 //! best-seen state is kept, so fine-tuning can never end up worse than
 //! its initialisation.
+//!
+//! # Checkpoint/resume
+//!
+//! Each iteration draws from its own seed-derived RNG, so the chain is
+//! Markovian in `(restart, iteration, current, best)`: capturing that
+//! state ([`AnnealState`]) and resuming reproduces *exactly* the run
+//! that would have happened uninterrupted. A wall-clock
+//! [`AnnealingConfig::deadline`] interrupts the chain between
+//! iterations, returning the best-seen state so far plus a resumable
+//! snapshot.
+
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,6 +61,10 @@ pub struct AnnealingConfig {
     pub restarts: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Optional wall-clock budget for one segment's annealing. When it
+    /// expires the chain stops between iterations, keeping the best
+    /// state seen so far (never worse than the initialisation).
+    pub deadline: Option<Duration>,
 }
 
 impl AnnealingConfig {
@@ -62,6 +78,7 @@ impl AnnealingConfig {
             cooling: Cooling::Linear,
             restarts: 1,
             seed: 0xa11ea1,
+            deadline: None,
         }
     }
 
@@ -104,14 +121,18 @@ impl AnnealingConfig {
         self
     }
 
+    /// Set a wall-clock budget for each segment's annealing.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Temperature fraction at iteration `it` of `n`.
     pub fn temperature_fraction(&self, it: usize, n: usize) -> f64 {
         let frac = it as f64 / n.max(1) as f64;
         match self.cooling {
             Cooling::Linear => self.t_init + (self.t_final - self.t_init) * frac,
-            Cooling::Geometric => {
-                self.t_init * (self.t_final / self.t_init).powf(frac)
-            }
+            Cooling::Geometric => self.t_init * (self.t_final / self.t_init).powf(frac),
         }
     }
 }
@@ -134,6 +155,47 @@ pub struct AnnealOutcome {
     pub initial_latency: u64,
 }
 
+/// Resumable annealing position: everything the chain needs to continue
+/// exactly where it stopped (the per-iteration RNG derivation makes the
+/// chain Markovian in this state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnealState {
+    /// Restart index the chain is in.
+    pub restart: usize,
+    /// Next iteration to execute within that restart.
+    pub iteration: usize,
+    /// Current chain state (candidate index per segment layer).
+    pub current: Vec<usize>,
+    /// Best state seen within the current restart.
+    pub best: Vec<usize>,
+    /// Best state across *completed* restarts, if any.
+    pub global_best: Option<Vec<usize>>,
+}
+
+impl AnnealState {
+    /// The starting state for a segment of `len` layers.
+    pub fn fresh(len: usize) -> Self {
+        AnnealState {
+            restart: 0,
+            iteration: 0,
+            current: vec![0; len],
+            best: vec![0; len],
+            global_best: None,
+        }
+    }
+}
+
+/// One (possibly interrupted) annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealRun {
+    /// Best outcome found so far (never worse than the initial state).
+    pub outcome: AnnealOutcome,
+    /// Snapshot to resume from if `completed` is false.
+    pub state: AnnealState,
+    /// Whether every restart ran its full iteration budget.
+    pub completed: bool,
+}
+
 fn eval_choice(
     network: &Network,
     arch: &Architecture,
@@ -150,8 +212,17 @@ fn eval_choice(
     evaluate_segment(network, arch, seg, &picks, StrategyMode::Optimal, cache)
 }
 
+/// Per-iteration RNG: each iteration's draws come from an independent
+/// seed-derived generator, so the chain state alone determines the
+/// remainder of the run (the property checkpoint/resume relies on).
+fn iter_rng(seed: u64, it: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (it as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
 /// Algorithm 1: anneal the per-layer schedule choice of one segment.
 /// Runs `cfg.restarts` independent chains and keeps the best state.
+/// A configured deadline stops early with the best-so-far (use
+/// [`anneal_segment_resumable`] to also get the resumable snapshot).
 pub fn anneal_segment(
     network: &Network,
     arch: &Architecture,
@@ -160,82 +231,142 @@ pub fn anneal_segment(
     cfg: &AnnealingConfig,
     cache: &mut OverheadCache,
 ) -> AnnealOutcome {
-    let mut best: Option<AnnealOutcome> = None;
-    for r in 0..cfg.restarts.max(1) {
-        let run = anneal_once(
-            network,
-            arch,
-            seg,
-            candidates,
-            cfg,
-            cfg.seed.wrapping_add(r as u64),
-            cache,
-        );
-        let better = best
-            .as_ref()
-            .is_none_or(|b| run.eval.total_latency < b.eval.total_latency);
-        if better {
-            best = Some(run);
-        }
-    }
-    best.expect("restarts >= 1")
+    anneal_segment_resumable(network, arch, seg, candidates, cfg, cache, None).outcome
 }
 
-fn anneal_once(
+/// [`anneal_segment`] with explicit checkpoint/resume: pass the
+/// [`AnnealState`] of a previous interrupted run to continue exactly
+/// where it stopped.
+pub fn anneal_segment_resumable(
     network: &Network,
     arch: &Architecture,
     seg: &[usize],
     candidates: &CandidateSet,
     cfg: &AnnealingConfig,
-    seed: u64,
     cache: &mut OverheadCache,
-) -> AnnealOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
+    resume: Option<AnnealState>,
+) -> AnnealRun {
+    let deadline = cfg.deadline.map(|d| Instant::now() + d);
     let k_of = |li: usize| candidates.per_layer[li].len().min(cfg.k).max(1);
+    let restarts = cfg.restarts.max(1);
 
-    let mut current: Vec<usize> = vec![0; seg.len()];
-    let mut current_eval = eval_choice(network, arch, seg, candidates, &current, cache);
-    let initial_latency = current_eval.total_latency;
-    let mut best = current.clone();
-    let mut best_eval = current_eval.clone();
+    // A stale snapshot (wrong segment length or exhausted budget) falls
+    // back to a fresh start rather than corrupting the chain.
+    let mut state = match resume {
+        Some(s)
+            if s.current.len() == seg.len()
+                && s.best.len() == seg.len()
+                && s.restart < restarts
+                && s.iteration <= cfg.iterations =>
+        {
+            s
+        }
+        _ => AnnealState::fresh(seg.len()),
+    };
 
-    // A single-layer segment with k = 1 everywhere has nothing to tune.
+    let initial_latency =
+        eval_choice(network, arch, seg, candidates, &vec![0; seg.len()], cache).total_latency;
+    let mut global_best: Option<(Vec<usize>, SegmentEvaluation)> =
+        state.global_best.clone().map(|c| {
+            let e = eval_choice(network, arch, seg, candidates, &c, cache);
+            (c, e)
+        });
+    let mut completed = true;
+
     let tunable = seg.iter().any(|&li| k_of(li) > 1);
-    if tunable {
-        let cost0 = initial_latency.max(1) as f64;
-        for it in 0..cfg.iterations {
-            // Temperature decay (Algorithm 1, line 13).
-            let t = cfg.temperature_fraction(it, cfg.iterations) * cost0;
+    let cost0 = initial_latency.max(1) as f64;
 
-            // GetNeighbor: re-sample one layer among its top-k.
-            let pos = rng.gen_range(0..seg.len());
-            let k = k_of(seg[pos]);
-            if k <= 1 {
-                continue;
-            }
-            let mut neighbor = current.clone();
-            neighbor[pos] = rng.gen_range(0..k);
-            if neighbor[pos] == current[pos] {
-                continue;
-            }
-            let neighbor_eval = eval_choice(network, arch, seg, candidates, &neighbor, cache);
+    'restarts: for r in state.restart..restarts {
+        let seed = cfg.seed.wrapping_add(r as u64);
+        let (start_it, mut current, mut best) = if r == state.restart {
+            (state.iteration, state.current.clone(), state.best.clone())
+        } else {
+            (0, vec![0; seg.len()], vec![0; seg.len()])
+        };
+        let mut current_eval = eval_choice(network, arch, seg, candidates, &current, cache);
+        let mut best_eval = eval_choice(network, arch, seg, candidates, &best, cache);
 
-            let cost_diff = current_eval.total_latency as f64 - neighbor_eval.total_latency as f64;
-            if (cost_diff / t).exp() > rng.gen_range(0.0..1.0) {
-                current = neighbor;
-                current_eval = neighbor_eval;
-                if current_eval.total_latency < best_eval.total_latency {
-                    best = current.clone();
-                    best_eval = current_eval.clone();
+        if tunable {
+            for it in start_it..cfg.iterations {
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        state = AnnealState {
+                            restart: r,
+                            iteration: it,
+                            current,
+                            best: best.clone(),
+                            global_best: global_best.as_ref().map(|(c, _)| c.clone()),
+                        };
+                        // Count the interrupted restart's best so the
+                        // outcome reflects everything seen so far.
+                        let better = global_best
+                            .as_ref()
+                            .is_none_or(|(_, e)| best_eval.total_latency < e.total_latency);
+                        if better {
+                            global_best = Some((best, best_eval));
+                        }
+                        completed = false;
+                        break 'restarts;
+                    }
+                }
+                let mut rng = iter_rng(seed, it);
+
+                // Temperature decay (Algorithm 1, line 13).
+                let t = cfg.temperature_fraction(it, cfg.iterations) * cost0;
+
+                // GetNeighbor: re-sample one layer among its top-k.
+                let pos = rng.gen_range(0..seg.len());
+                let k = k_of(seg[pos]);
+                if k <= 1 {
+                    continue;
+                }
+                let mut neighbor = current.clone();
+                neighbor[pos] = rng.gen_range(0..k);
+                if neighbor[pos] == current[pos] {
+                    continue;
+                }
+                let neighbor_eval = eval_choice(network, arch, seg, candidates, &neighbor, cache);
+
+                let cost_diff =
+                    current_eval.total_latency as f64 - neighbor_eval.total_latency as f64;
+                if (cost_diff / t).exp() > rng.gen_range(0.0..1.0) {
+                    current = neighbor;
+                    current_eval = neighbor_eval;
+                    if current_eval.total_latency < best_eval.total_latency {
+                        best = current.clone();
+                        best_eval = current_eval.clone();
+                    }
                 }
             }
         }
+
+        let better = global_best
+            .as_ref()
+            .is_none_or(|(_, e)| best_eval.total_latency < e.total_latency);
+        if better {
+            global_best = Some((best, best_eval));
+        }
     }
 
-    AnnealOutcome {
-        choice: best,
-        eval: best_eval,
-        initial_latency,
+    if completed {
+        state = AnnealState {
+            restart: restarts,
+            iteration: cfg.iterations,
+            current: vec![0; seg.len()],
+            best: vec![0; seg.len()],
+            global_best: global_best.as_ref().map(|(c, _)| c.clone()),
+        };
+    }
+
+    let (choice, eval) = global_best.expect("at least one restart contributed a state");
+    AnnealRun {
+        outcome: AnnealOutcome {
+            choice,
+            eval,
+            initial_latency,
+        },
+        state,
+        completed,
     }
 }
 
@@ -249,8 +380,8 @@ mod tests {
 
     fn setup() -> (Network, Architecture, CandidateSet) {
         let net = zoo::alexnet_conv();
-        let arch = Architecture::eyeriss_base()
-            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        let arch =
+            Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
         let cands = find_candidates(&net, &arch, &SearchConfig::quick().with_top_k(4));
         (net, arch, cands)
     }
@@ -319,13 +450,90 @@ mod tests {
         let (net, arch, cands) = setup();
         let seg = &net.segments()[2].layers;
         let mut cache = OverheadCache::new();
-        let one = anneal_segment(&net, &arch, seg, &cands, &AnnealingConfig::quick(), &mut cache);
+        let one = anneal_segment(
+            &net,
+            &arch,
+            seg,
+            &cands,
+            &AnnealingConfig::quick(),
+            &mut cache,
+        );
         let five = anneal_segment(
-            &net, &arch, seg, &cands,
+            &net,
+            &arch,
+            seg,
+            &cands,
             &AnnealingConfig::quick().with_restarts(5),
             &mut cache,
         );
         assert!(five.eval.total_latency <= one.eval.total_latency);
+    }
+
+    #[test]
+    fn resume_reproduces_the_uninterrupted_run() {
+        // The chain is Markovian in AnnealState: interrupting at any
+        // iteration and resuming must land on the exact same answer as
+        // running straight through.
+        let (net, arch, cands) = setup();
+        let seg = &net.segments()[2].layers;
+        let cfg = AnnealingConfig::quick().with_iterations(80).with_seed(11);
+        let mut c1 = OverheadCache::new();
+        let full = anneal_segment(&net, &arch, seg, &cands, &cfg, &mut c1);
+
+        let mut c2 = OverheadCache::new();
+        let mut run = anneal_segment_resumable(
+            &net,
+            &arch,
+            seg,
+            &cands,
+            &cfg.with_deadline(Duration::from_micros(200)),
+            &mut c2,
+            None,
+        );
+        let mut resumes = 0;
+        while !run.completed {
+            resumes += 1;
+            assert!(resumes < 1000, "resume loop must terminate");
+            run =
+                anneal_segment_resumable(&net, &arch, seg, &cands, &cfg, &mut c2, Some(run.state));
+        }
+        assert_eq!(run.outcome.choice, full.choice);
+        assert_eq!(run.outcome.eval.total_latency, full.eval.total_latency);
+    }
+
+    #[test]
+    fn zero_deadline_keeps_the_initial_floor() {
+        let (net, arch, cands) = setup();
+        let seg = &net.segments()[2].layers;
+        let mut cache = OverheadCache::new();
+        let run = anneal_segment_resumable(
+            &net,
+            &arch,
+            seg,
+            &cands,
+            &AnnealingConfig::quick().with_deadline(Duration::ZERO),
+            &mut cache,
+            None,
+        );
+        assert!(!run.completed);
+        assert!(run.outcome.eval.total_latency <= run.outcome.initial_latency);
+        assert_eq!(run.state.restart, 0);
+        assert_eq!(run.state.iteration, 0);
+    }
+
+    #[test]
+    fn stale_snapshot_falls_back_to_fresh() {
+        let (net, arch, cands) = setup();
+        let seg = &net.segments()[2].layers;
+        let cfg = AnnealingConfig::quick();
+        let mut c1 = OverheadCache::new();
+        let clean = anneal_segment(&net, &arch, seg, &cands, &cfg, &mut c1);
+        // A snapshot from a different (wrong-length) segment is ignored.
+        let stale = AnnealState::fresh(seg.len() + 3);
+        let mut c2 = OverheadCache::new();
+        let run = anneal_segment_resumable(&net, &arch, seg, &cands, &cfg, &mut c2, Some(stale));
+        assert!(run.completed);
+        assert_eq!(run.outcome.choice, clean.choice);
     }
 
     #[test]
@@ -334,7 +542,10 @@ mod tests {
         let seg = &net.segments()[2].layers;
         let mut cache = OverheadCache::new();
         let out = anneal_segment(
-            &net, &arch, seg, &cands,
+            &net,
+            &arch,
+            seg,
+            &cands,
             &AnnealingConfig::quick().with_cooling(Cooling::Geometric),
             &mut cache,
         );
@@ -347,12 +558,18 @@ mod tests {
         let seg = &net.segments()[2].layers;
         let mut cache = OverheadCache::new();
         let k1 = anneal_segment(
-            &net, &arch, seg, &cands,
+            &net,
+            &arch,
+            seg,
+            &cands,
             &AnnealingConfig::quick().with_k(1),
             &mut cache,
         );
         let k4 = anneal_segment(
-            &net, &arch, seg, &cands,
+            &net,
+            &arch,
+            seg,
+            &cands,
             &AnnealingConfig::quick().with_k(4).with_iterations(200),
             &mut cache,
         );

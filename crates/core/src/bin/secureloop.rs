@@ -7,6 +7,7 @@
 //! secureloop workloads
 //! ```
 
+use std::io::{self, ErrorKind, Write};
 use std::process::ExitCode;
 
 use secureloop::cli::{run, CliError};
@@ -14,13 +15,21 @@ use secureloop::cli::{run, CliError};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(output) => {
-            println!("{output}");
-            ExitCode::SUCCESS
-        }
-        Err(CliError::Usage(msg)) => {
-            eprintln!("{msg}");
-            eprintln!("{}", secureloop::cli::USAGE);
+        Ok(output) => match writeln!(io::stdout(), "{output}") {
+            Ok(()) => ExitCode::SUCCESS,
+            // A closed pipe (`secureloop ... | head`) is a normal way
+            // to consume partial output, not an error.
+            Err(e) if e.kind() == ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("cannot write output: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("{}", secureloop::cli::USAGE);
+            }
             ExitCode::from(2)
         }
     }

@@ -2,31 +2,37 @@
 //!
 //! Runs the crypt-aware mapper once per *distinct layer shape* (repeated
 //! blocks in ResNet/MobileNetV2 share their search) and exposes the
-//! retained candidates per layer index.
+//! retained candidates per layer index. A failing layer does not abort
+//! the search: its [`LayerCandidates`] carries the typed error instead,
+//! and the scheduler isolates it (see
+//! [`crate::scheduler::LayerOutcome`]).
 
 use std::collections::HashMap;
 
 use secureloop_arch::Architecture;
 use secureloop_loopnest::{Evaluation, Mapping};
-use secureloop_mapper::{search, SearchConfig};
+use secureloop_mapper::{fault, search, MapperError, SearchConfig, SearchTier};
 use secureloop_workload::{ConvLayer, Network};
 
 /// One retained schedule for one layer.
 #[derive(Debug, Clone)]
 pub struct LayerCandidates {
-    /// `(mapping, evaluation)` pairs, best-latency first.
+    /// `(mapping, evaluation)` pairs, best-latency first. Empty when
+    /// the search failed (see [`LayerCandidates::error`]).
     pub options: Vec<(Mapping, Evaluation)>,
+    /// Which rung of the mapper's degradation ladder produced the
+    /// options.
+    pub tier: SearchTier,
+    /// Whether a deadline truncated the search.
+    pub truncated: bool,
+    /// Why the search failed, when `options` is empty.
+    pub error: Option<MapperError>,
 }
 
 impl LayerCandidates {
-    /// The single best schedule.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the mapper found no valid schedule for the layer
-    /// (cannot happen for the shipped workloads and architectures).
-    pub fn best(&self) -> &(Mapping, Evaluation) {
-        self.options.first().expect("mapper found at least one schedule")
+    /// The single best schedule, if the search found any.
+    pub fn best(&self) -> Option<&(Mapping, Evaluation)> {
+        self.options.first()
     }
 
     /// Number of retained options (≤ the search's top-k).
@@ -38,6 +44,12 @@ impl LayerCandidates {
     pub fn is_empty(&self) -> bool {
         self.options.is_empty()
     }
+
+    /// Whether the result is below full quality: produced by a fallback
+    /// rung or cut short by a deadline.
+    pub fn degraded(&self) -> bool {
+        !self.is_empty() && (self.tier == SearchTier::Greedy || self.truncated)
+    }
 }
 
 /// Top-k candidates for every layer of a network.
@@ -47,44 +59,71 @@ pub struct CandidateSet {
     pub per_layer: Vec<LayerCandidates>,
 }
 
+impl CandidateSet {
+    /// Indices of layers whose search failed outright.
+    pub fn failed_layers(&self) -> Vec<usize> {
+        self.per_layer
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_empty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
 /// Structural key for layer-shape deduplication.
 fn shape_key(layer: &ConvLayer) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, bool) {
     let b = layer.bounds();
     use secureloop_workload::Dim::*;
     (
-        b[N], b[M], b[C], b[P], b[Q], b[R], b[S],
+        b[N],
+        b[M],
+        b[C],
+        b[P],
+        b[Q],
+        b[R],
+        b[S],
         layer.stride(),
         layer.pad(),
         layer.depthwise(),
     )
 }
 
+fn search_layer(layer: &ConvLayer, arch: &Architecture, cfg: &SearchConfig) -> LayerCandidates {
+    match search(layer, arch, cfg) {
+        Ok(r) => LayerCandidates {
+            options: r.candidates,
+            tier: r.tier,
+            truncated: r.truncated,
+            error: None,
+        },
+        Err(e) => LayerCandidates {
+            options: Vec::new(),
+            tier: SearchTier::Greedy,
+            truncated: false,
+            error: Some(e),
+        },
+    }
+}
+
 /// Run the step-1 search for every layer of `network`, deduplicating
-/// identical shapes.
-pub fn find_candidates(
-    network: &Network,
-    arch: &Architecture,
-    cfg: &SearchConfig,
-) -> CandidateSet {
+/// identical shapes. Never panics: failed layers come back with empty
+/// options and their [`MapperError`] attached.
+pub fn find_candidates(network: &Network, arch: &Architecture, cfg: &SearchConfig) -> CandidateSet {
+    // Fault plans key on layer names; the shape cache would smear one
+    // layer's injected fault over every layer of the same shape.
+    let use_cache = !fault::armed();
     let mut cache: HashMap<_, LayerCandidates> = HashMap::new();
     let per_layer = network
         .layers()
         .iter()
         .map(|layer| {
+            if !use_cache {
+                return search_layer(layer, arch, cfg);
+            }
             cache
                 .entry(shape_key(layer))
-                .or_insert_with(|| {
-                    let r = search(layer, arch, cfg);
-                    assert!(
-                        !r.candidates.is_empty(),
-                        "no valid mapping found for layer {} on {} — increase samples",
-                        layer.name(),
-                        arch.name()
-                    );
-                    LayerCandidates {
-                        options: r.candidates,
-                    }
-                })
+                .or_insert_with(|| search_layer(layer, arch, cfg))
                 .clone()
         })
         .collect();
@@ -94,6 +133,7 @@ pub fn find_candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use secureloop_mapper::{FaultPlan, FaultScope};
     use secureloop_workload::zoo;
 
     #[test]
@@ -101,8 +141,10 @@ mod tests {
         let net = zoo::alexnet_conv();
         let set = find_candidates(&net, &Architecture::eyeriss_base(), &SearchConfig::quick());
         assert_eq!(set.per_layer.len(), net.len());
+        assert!(set.failed_layers().is_empty());
         for (i, c) in set.per_layer.iter().enumerate() {
             assert!(!c.is_empty(), "layer {i}");
+            assert!(c.error.is_none());
             // Sorted best-first.
             for w in c.options.windows(2) {
                 assert!(w[0].1.latency_cycles <= w[1].1.latency_cycles);
@@ -116,11 +158,41 @@ mod tests {
         // ResNet's repeated 3x3 blocks are identical shapes.
         let net = zoo::resnet18();
         let set = find_candidates(&net, &Architecture::eyeriss_base(), &SearchConfig::quick());
-        let l1b1c2 = net.layers().iter().position(|l| l.name() == "l1b1c2").unwrap();
-        let l1b2c2 = net.layers().iter().position(|l| l.name() == "l1b2c2").unwrap();
+        let l1b1c2 = net
+            .layers()
+            .iter()
+            .position(|l| l.name() == "l1b1c2")
+            .unwrap();
+        let l1b2c2 = net
+            .layers()
+            .iter()
+            .position(|l| l.name() == "l1b2c2")
+            .unwrap();
         assert_eq!(
-            set.per_layer[l1b1c2].best().1.latency_cycles,
-            set.per_layer[l1b2c2].best().1.latency_cycles
+            set.per_layer[l1b1c2].best().unwrap().1.latency_cycles,
+            set.per_layer[l1b2c2].best().unwrap().1.latency_cycles
         );
+    }
+
+    #[test]
+    fn injected_failure_isolates_to_the_named_layer() {
+        let net = zoo::alexnet_conv();
+        let _scope = FaultScope::inject(FaultPlan::fail(["conv2"]));
+        let set = find_candidates(&net, &Architecture::eyeriss_base(), &SearchConfig::quick());
+        let idx = net
+            .layers()
+            .iter()
+            .position(|l| l.name() == "conv2")
+            .unwrap();
+        assert_eq!(set.failed_layers(), vec![idx]);
+        assert!(matches!(
+            set.per_layer[idx].error,
+            Some(MapperError::InjectedFailure { .. })
+        ));
+        for (i, c) in set.per_layer.iter().enumerate() {
+            if i != idx {
+                assert!(!c.is_empty(), "layer {i} must be unaffected");
+            }
+        }
     }
 }

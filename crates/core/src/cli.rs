@@ -4,17 +4,20 @@
 //! testable; the binary is a thin wrapper around [`run`].
 
 use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Duration;
 
 use secureloop_arch::{Architecture, Dataflow, DramSpec};
-use serde::Deserialize;
 use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_json::Json;
 use secureloop_mapper::SearchConfig;
 use secureloop_workload::{zoo, Network};
 
 use crate::annealing::AnnealingConfig;
-use crate::dse::{evaluate_designs, fig16_design_space, pareto_front};
+use crate::dse::{evaluate_designs_resumable, fig16_design_space, pareto_front};
+use crate::error::SecureLoopError;
 use crate::report;
-use crate::scheduler::{Algorithm, Scheduler};
+use crate::scheduler::{Algorithm, LayerOutcome, Scheduler};
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "\
@@ -39,6 +42,14 @@ options:
   --iterations <n>                       SA iterations (default 1000)
   --seed <n>                             RNG seed (default 1)
   --layer <i>                            layer index (trace command)
+  --deadline-secs <s>                    wall-clock budget per layer search and
+                                         per annealed segment; on expiry the
+                                         engine degrades instead of searching on
+  --checkpoint <path.json>               (dse) write finished design points to
+                                         this file after each evaluation
+  --resume                               (dse) restore finished design points
+                                         from --checkpoint instead of
+                                         re-evaluating them
   --json                                 emit JSON instead of a table";
 
 /// CLI failure modes.
@@ -46,10 +57,47 @@ options:
 pub enum CliError {
     /// Bad arguments; the message explains which.
     Usage(String),
+    /// An `--arch-file` field is missing, malformed or out of range.
+    Arch {
+        /// The offending field (or `<root>` / `<syntax>`).
+        field: String,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The scheduling engine failed outright (every layer infeasible,
+    /// or a checkpoint file problem).
+    Engine(String),
 }
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Arch { field, message } => {
+                write!(f, "architecture file: field '{field}': {message}")
+            }
+            CliError::Engine(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl From<SecureLoopError> for CliError {
+    fn from(e: SecureLoopError) -> Self {
+        CliError::Engine(e.to_string())
+    }
+}
+
+impl std::error::Error for CliError {}
 
 fn usage(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
+}
+
+fn arch_err(field: impl Into<String>, message: impl Into<String>) -> CliError {
+    CliError::Arch {
+        field: field.into(),
+        message: message.into(),
+    }
 }
 
 /// Parsed command line.
@@ -83,6 +131,13 @@ pub struct Options {
     pub layer: usize,
     /// Optional JSON architecture file.
     pub arch_file: Option<String>,
+    /// Wall-clock budget (seconds) per layer search and per annealed
+    /// segment.
+    pub deadline_secs: Option<f64>,
+    /// Checkpoint file for the `dse` command.
+    pub checkpoint: Option<String>,
+    /// Restore finished design points from the checkpoint.
+    pub resume: bool,
 }
 
 impl Default for Options {
@@ -102,6 +157,9 @@ impl Default for Options {
             json: false,
             layer: 0,
             arch_file: None,
+            deadline_secs: None,
+            checkpoint: None,
+            resume: false,
         }
     }
 }
@@ -114,10 +172,7 @@ impl Default for Options {
 pub fn parse(args: &[String]) -> Result<Options, CliError> {
     let mut opts = Options::default();
     let mut it = args.iter();
-    opts.command = it
-        .next()
-        .ok_or_else(|| usage("missing command"))?
-        .clone();
+    opts.command = it.next().ok_or_else(|| usage("missing command"))?.clone();
     if !matches!(
         opts.command.as_str(),
         "schedule" | "dse" | "workloads" | "trace"
@@ -187,6 +242,17 @@ pub fn parse(args: &[String]) -> Result<Options, CliError> {
             }
             "--json" => opts.json = true,
             "--arch-file" => opts.arch_file = Some(value()?),
+            "--deadline-secs" => {
+                let secs: f64 = value()?
+                    .parse()
+                    .map_err(|_| usage("--deadline-secs expects a number of seconds"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(usage("--deadline-secs must be a non-negative number"));
+                }
+                opts.deadline_secs = Some(secs);
+            }
+            "--checkpoint" => opts.checkpoint = Some(value()?),
+            "--resume" => opts.resume = true,
             "--layer" => {
                 opts.layer = value()?
                     .parse()
@@ -227,8 +293,12 @@ fn workload(name: &str) -> Result<Network, CliError> {
 ///
 /// Omitted fields keep the Eyeriss-base defaults; `engines: 0` (or an
 /// omitted `engine`) gives the unsecure design.
-#[derive(Debug, Deserialize)]
-#[serde(deny_unknown_fields)]
+///
+/// Unknown fields are rejected, and values are validated on load (PE
+/// array and GLB capacity positive, bandwidth positive and finite,
+/// plausible engine count) so a typo fails with an error naming the
+/// field instead of surfacing as a panic deep in the scheduler.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ArchFile {
     /// Design name.
     pub name: Option<String>,
@@ -248,6 +318,133 @@ pub struct ArchFile {
     pub engines: Option<usize>,
     /// Truncated tag bits.
     pub tag_bits: Option<u32>,
+}
+
+/// Fields accepted by [`ArchFile::parse`], for the unknown-field error.
+const ARCH_FIELDS: &str =
+    "name, pe, glb_kb, noc_bytes_per_cycle, dram, dataflow, engine, engines, tag_bits";
+
+/// Engine counts beyond this are treated as input errors: the crypto
+/// datapath models a handful of AES-GCM engines, not thousands.
+const MAX_ENGINES: usize = 256;
+
+fn field_str(field: &str, v: &Json) -> Result<String, CliError> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| arch_err(field, format!("expected a string, got {v}")))
+}
+
+fn field_u64(field: &str, v: &Json) -> Result<u64, CliError> {
+    v.as_u64()
+        .ok_or_else(|| arch_err(field, format!("expected a non-negative integer, got {v}")))
+}
+
+fn field_f64(field: &str, v: &Json) -> Result<f64, CliError> {
+    v.as_f64()
+        .ok_or_else(|| arch_err(field, format!("expected a number, got {v}")))
+}
+
+impl ArchFile {
+    /// Parse and validate an `--arch-file` document.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Arch`] naming the offending field for syntax errors,
+    /// unknown fields, wrong types, and out-of-range values.
+    pub fn parse(text: &str) -> Result<ArchFile, CliError> {
+        let v = Json::parse(text).map_err(|e| arch_err("<syntax>", e.to_string()))?;
+        let file = ArchFile::from_json(&v)?;
+        file.validate()?;
+        Ok(file)
+    }
+
+    fn from_json(v: &Json) -> Result<ArchFile, CliError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| arch_err("<root>", "expected a JSON object"))?;
+        let mut f = ArchFile::default();
+        for (key, value) in fields {
+            match key.as_str() {
+                "name" => f.name = Some(field_str(key, value)?),
+                "pe" => {
+                    let items = value
+                        .as_array()
+                        .filter(|a| a.len() == 2)
+                        .ok_or_else(|| arch_err("pe", "expected a two-element array [x, y]"))?;
+                    let x = field_u64("pe", &items[0])? as usize;
+                    let y = field_u64("pe", &items[1])? as usize;
+                    f.pe = Some([x, y]);
+                }
+                "glb_kb" => f.glb_kb = Some(field_u64(key, value)?),
+                "noc_bytes_per_cycle" => f.noc_bytes_per_cycle = Some(field_f64(key, value)?),
+                "dram" => f.dram = Some(field_str(key, value)?),
+                "dataflow" => f.dataflow = Some(field_str(key, value)?),
+                "engine" => f.engine = Some(field_str(key, value)?),
+                "engines" => {
+                    f.engines = Some(field_u64(key, value)? as usize);
+                }
+                "tag_bits" => {
+                    f.tag_bits =
+                        Some(field_u64(key, value)?.try_into().map_err(|_| {
+                            arch_err("tag_bits", "expected a small integer bit width")
+                        })?);
+                }
+                other => {
+                    return Err(arch_err(
+                        other,
+                        format!("unknown field (accepted fields: {ARCH_FIELDS})"),
+                    ))
+                }
+            }
+        }
+        Ok(f)
+    }
+
+    /// Range checks beyond syntax: every violation names its field.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Arch`] for non-positive PE arrays or GLB capacity,
+    /// non-finite or non-positive bandwidth, implausible engine counts,
+    /// and tag widths outside AES-GCM's 1..=128 bits.
+    pub fn validate(&self) -> Result<(), CliError> {
+        if let Some([x, y]) = self.pe {
+            if x == 0 || y == 0 {
+                return Err(arch_err(
+                    "pe",
+                    format!("PE array dimensions must be positive, got [{x}, {y}]"),
+                ));
+            }
+        }
+        if self.glb_kb == Some(0) {
+            return Err(arch_err("glb_kb", "global buffer capacity must be > 0 kB"));
+        }
+        if let Some(bw) = self.noc_bytes_per_cycle {
+            if !bw.is_finite() || bw <= 0.0 {
+                return Err(arch_err(
+                    "noc_bytes_per_cycle",
+                    format!("bandwidth must be a positive finite number, got {bw}"),
+                ));
+            }
+        }
+        if let Some(n) = self.engines {
+            if n > MAX_ENGINES {
+                return Err(arch_err(
+                    "engines",
+                    format!("engine count {n} is implausible (max {MAX_ENGINES})"),
+                ));
+            }
+        }
+        if let Some(bits) = self.tag_bits {
+            if bits == 0 || bits > 128 {
+                return Err(arch_err(
+                    "tag_bits",
+                    format!("tag width must be in 1..=128 bits, got {bits}"),
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 fn dram_by_name(name: &str) -> Result<DramSpec, CliError> {
@@ -284,7 +481,9 @@ pub fn arch_from_file(f: &ArchFile) -> Result<Architecture, CliError> {
         arch = arch.with_noc_bytes_per_cycle(bw);
     }
     if let Some(d) = &f.dram {
-        arch = arch.with_dram(dram_by_name(d)?);
+        arch = arch.with_dram(
+            dram_by_name(d).map_err(|_| arch_err("dram", format!("unknown interface '{d}'")))?,
+        );
     }
     if let Some(df) = &f.dataflow {
         arch = arch.with_dataflow(match df.as_str() {
@@ -292,12 +491,13 @@ pub fn arch_from_file(f: &ArchFile) -> Result<Architecture, CliError> {
             "weight-stationary" => Dataflow::WeightStationary,
             "output-stationary" => Dataflow::OutputStationary,
             "unconstrained" => Dataflow::Unconstrained,
-            other => return Err(usage(format!("unknown dataflow '{other}'"))),
+            other => return Err(arch_err("dataflow", format!("unknown dataflow '{other}'"))),
         });
     }
     let count = f.engines.unwrap_or(if f.engine.is_some() { 3 } else { 0 });
     if count > 0 {
-        let class = engine_by_name(f.engine.as_deref().unwrap_or("parallel"))?;
+        let class = engine_by_name(f.engine.as_deref().unwrap_or("parallel"))
+            .map_err(|_| arch_err("engine", "expected pipelined | parallel | serial"))?;
         let mut cfg = CryptoConfig::new(class, count);
         if let Some(tag) = f.tag_bits {
             cfg.tag_bits = tag;
@@ -309,10 +509,9 @@ pub fn arch_from_file(f: &ArchFile) -> Result<Architecture, CliError> {
 
 fn architecture(opts: &Options) -> Result<Architecture, CliError> {
     if let Some(path) = &opts.arch_file {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| usage(format!("cannot read {path}: {e}")))?;
-        let file: ArchFile = serde_json::from_str(&text)
-            .map_err(|e| usage(format!("bad architecture file {path}: {e}")))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| usage(format!("cannot read {path}: {e}")))?;
+        let file = ArchFile::parse(&text)?;
         return arch_from_file(&file);
     }
     let dram = match opts.dram.as_str() {
@@ -329,18 +528,49 @@ fn architecture(opts: &Options) -> Result<Architecture, CliError> {
 }
 
 fn scheduler(opts: &Options, arch: Architecture) -> Scheduler {
+    let deadline = opts.deadline_secs.map(Duration::from_secs_f64);
     Scheduler::new(arch)
         .with_search(SearchConfig {
             samples: opts.samples,
             top_k: 6,
             seed: opts.seed,
             threads: 4,
+            deadline,
         })
-        .with_annealing(
-            AnnealingConfig::paper_default()
+        .with_annealing({
+            let annealing = AnnealingConfig::paper_default()
                 .with_iterations(opts.iterations)
-                .with_seed(opts.seed),
-        )
+                .with_seed(opts.seed);
+            match deadline {
+                Some(d) => annealing.with_deadline(d),
+                None => annealing,
+            }
+        })
+}
+
+/// Human-readable outcome summary appended to `schedule` output when
+/// anything is below full quality.
+fn outcome_summary(sched: &crate::scheduler::NetworkSchedule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "layers: {} scheduled, {} degraded, {} failed",
+        sched.scheduled_count(),
+        sched.degraded_count(),
+        sched.failed_count()
+    );
+    for (name, outcome) in &sched.outcomes {
+        match outcome {
+            LayerOutcome::Scheduled => {}
+            LayerOutcome::Degraded { reason } => {
+                let _ = writeln!(out, "  degraded {name}: {reason}");
+            }
+            LayerOutcome::Failed { error } => {
+                let _ = writeln!(out, "  failed   {name}: {error}");
+            }
+        }
+    }
+    out
 }
 
 /// Execute a parsed command and return its stdout payload.
@@ -352,9 +582,7 @@ fn scheduler(opts: &Options, arch: Architecture) -> Scheduler {
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let opts = parse(args)?;
     match opts.command.as_str() {
-        "workloads" => {
-            Ok("alexnet\nresnet18\nresnet50\nmobilenet_v2\nvgg16\nmlp".to_string())
-        }
+        "workloads" => Ok("alexnet\nresnet18\nresnet50\nmobilenet_v2\nvgg16\nmlp".to_string()),
         "schedule" => {
             let name = opts
                 .workload
@@ -362,12 +590,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .ok_or_else(|| usage("schedule needs --workload"))?;
             let net = workload(name)?;
             let arch = architecture(&opts)?;
-            let sched = scheduler(&opts, arch).schedule(&net, opts.algorithm);
+            let sched = scheduler(&opts, arch).schedule(&net, opts.algorithm)?;
             if opts.json {
                 Ok(report::to_json(&sched))
             } else {
                 let mut out = String::new();
-                let _ = writeln!(out, "{} / {} on {}", sched.network, sched.algorithm, sched.arch_summary);
+                let _ = writeln!(
+                    out,
+                    "{} / {} on {}",
+                    sched.network, sched.algorithm, sched.arch_summary
+                );
                 let _ = writeln!(
                     out,
                     "latency {} cycles | energy {:.1} uJ | EDP {:.3e} | overhead {:.2} Mbit (hash {:.2} / redundant {:.2} / rehash {:.2})",
@@ -395,6 +627,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         l.utilization * 100.0
                     );
                 }
+                if sched.degraded_count() > 0 || sched.failed_count() > 0 {
+                    out.push_str(&outcome_summary(&sched));
+                }
                 Ok(out)
             }
         }
@@ -404,10 +639,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .as_deref()
                 .ok_or_else(|| usage("trace needs --workload"))?;
             let net = workload(name)?;
-            let layer = net
-                .layers()
-                .get(opts.layer)
-                .ok_or_else(|| usage(format!("--layer {} out of range (network has {} layers)", opts.layer, net.len())))?;
+            let layer = net.layers().get(opts.layer).ok_or_else(|| {
+                usage(format!(
+                    "--layer {} out of range (network has {} layers)",
+                    opts.layer,
+                    net.len()
+                ))
+            })?;
             let arch = architecture(&opts)?;
             let best = secureloop_mapper::search(
                 layer,
@@ -417,8 +655,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     top_k: 1,
                     seed: opts.seed,
                     threads: 4,
+                    deadline: opts.deadline_secs.map(Duration::from_secs_f64),
                 },
             )
+            .map_err(|e| CliError::Engine(format!("mapper: {e}; raise --samples")))?
             .best()
             .ok_or_else(|| usage("no valid schedule found; raise --samples"))?
             .clone();
@@ -453,7 +693,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .ok_or_else(|| usage("dse needs --workload"))?;
             let net = workload(name)?;
             let designs = fig16_design_space();
-            let results = evaluate_designs(
+            let deadline = opts.deadline_secs.map(Duration::from_secs_f64);
+            let annealing = {
+                let a = AnnealingConfig::paper_default().with_iterations(opts.iterations.min(300));
+                match deadline {
+                    Some(d) => a.with_deadline(d),
+                    None => a,
+                }
+            };
+            let sweep = evaluate_designs_resumable(
                 &net,
                 &designs,
                 opts.algorithm,
@@ -462,10 +710,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     top_k: 4,
                     seed: opts.seed,
                     threads: 4,
+                    deadline,
                 },
-                &AnnealingConfig::paper_default().with_iterations(opts.iterations.min(300)),
-            );
-            let front = pareto_front(&results);
+                &annealing,
+                opts.checkpoint.as_deref().map(Path::new),
+                opts.resume,
+            )?;
+            let results = &sweep.results;
+            let front = pareto_front(results);
             let mut out = String::new();
             let _ = writeln!(
                 out,
@@ -482,9 +734,22 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     if front.contains(&i) { "*" } else { "" }
                 );
             }
+            if sweep.reused > 0 {
+                let _ = writeln!(
+                    out,
+                    "resumed: {} design point(s) restored from checkpoint, {} evaluated",
+                    sweep.reused, sweep.evaluated
+                );
+            }
+            for (label, error) in &sweep.skipped {
+                let _ = writeln!(out, "skipped {label}: {error}");
+            }
             Ok(out)
         }
-        _ => unreachable!("command validated in parse"),
+        // `parse` validated the command already, but keep this path an
+        // ordinary error so a future command added to one place but not
+        // the other degrades into a usage message instead of a panic.
+        other => Err(usage(format!("unknown command '{other}'"))),
     }
 }
 
@@ -495,7 +760,6 @@ mod tests {
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(str::to_string).collect()
     }
-
 
     #[test]
     fn parse_full_schedule_command() {
@@ -517,7 +781,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_unknowns() {
-        assert!(matches!(parse(&argv("frobnicate")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv("frobnicate")),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             parse(&argv("schedule --algorithm nonsense")),
             Err(CliError::Usage(_))
@@ -558,13 +825,13 @@ mod tests {
             "schedule --workload alexnet --samples 300 --iterations 10 --json",
         ))
         .unwrap();
-        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let v = Json::parse(&out).unwrap();
         assert_eq!(v["algorithm"], "Crypt-Opt-Cross");
     }
 
     #[test]
     fn arch_file_parses_and_overrides() {
-        let f: ArchFile = serde_json::from_str(
+        let f = ArchFile::parse(
             r#"{"name":"edge","pe":[16,16],"glb_kb":64,"dram":"hbm2",
                 "dataflow":"weight-stationary","engine":"pipelined",
                 "engines":3,"tag_bits":128}"#,
@@ -580,9 +847,53 @@ mod tests {
 
     #[test]
     fn arch_file_rejects_unknown_fields_and_values() {
-        assert!(serde_json::from_str::<ArchFile>(r#"{"frequency": 5}"#).is_err());
-        let f: ArchFile = serde_json::from_str(r#"{"dram":"ddr9"}"#).unwrap();
-        assert!(arch_from_file(&f).is_err());
+        let e = ArchFile::parse(r#"{"frequency": 5}"#).unwrap_err();
+        assert!(
+            matches!(&e, CliError::Arch { field, .. } if field == "frequency"),
+            "{e}"
+        );
+        let f = ArchFile::parse(r#"{"dram":"ddr9"}"#).unwrap();
+        let e = arch_from_file(&f).unwrap_err();
+        assert!(
+            matches!(&e, CliError::Arch { field, .. } if field == "dram"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn arch_file_names_offending_field() {
+        let cases = [
+            (r#"{"pe":[0,12]}"#, "pe"),
+            (r#"{"pe":[14]}"#, "pe"),
+            (r#"{"pe":"14x12"}"#, "pe"),
+            (r#"{"glb_kb":0}"#, "glb_kb"),
+            (r#"{"noc_bytes_per_cycle":0}"#, "noc_bytes_per_cycle"),
+            (r#"{"noc_bytes_per_cycle":-3.5}"#, "noc_bytes_per_cycle"),
+            (r#"{"engines":100000}"#, "engines"),
+            (r#"{"engines":-1}"#, "engines"),
+            (r#"{"tag_bits":0}"#, "tag_bits"),
+            (r#"{"tag_bits":4096}"#, "tag_bits"),
+            (r#"{"dataflow":7}"#, "dataflow"),
+            (r#"[1,2,3]"#, "<root>"),
+            (r#"{"pe":[14,12]"#, "<syntax>"),
+        ];
+        for (text, want) in cases {
+            let e = ArchFile::parse(text).unwrap_err();
+            match &e {
+                CliError::Arch { field, message } => {
+                    assert_eq!(field, want, "wrong field for {text}: {message}");
+                    assert!(!message.is_empty());
+                }
+                other => panic!("expected Arch error for {text}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn arch_file_errors_render_actionably() {
+        let e = ArchFile::parse(r#"{"glb_kb":0}"#).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("glb_kb") && msg.contains("> 0"), "{msg}");
     }
 
     #[test]
@@ -602,10 +913,7 @@ mod tests {
 
     #[test]
     fn trace_command_runs() {
-        let out = run(&argv(
-            "trace --workload alexnet --layer 2 --samples 300",
-        ))
-        .unwrap();
+        let out = run(&argv("trace --workload alexnet --layer 2 --samples 300")).unwrap();
         assert!(out.contains("chosen loopnest"));
         assert!(out.contains("replay:"));
     }
@@ -613,14 +921,12 @@ mod tests {
     #[test]
     fn trace_rejects_bad_layer() {
         let e = run(&argv("trace --workload alexnet --layer 99 --samples 50")).unwrap_err();
-        let CliError::Usage(msg) = e;
-        assert!(msg.contains("out of range"));
+        assert!(e.to_string().contains("out of range"), "{e}");
     }
 
     #[test]
     fn missing_workload_reports_usage() {
         let e = run(&argv("schedule")).unwrap_err();
-        let CliError::Usage(msg) = e;
-        assert!(msg.contains("--workload"));
+        assert!(e.to_string().contains("--workload"), "{e}");
     }
 }

@@ -1,4 +1,12 @@
 //! Design space exploration: the sweeps behind paper Figs. 13–16.
+//!
+//! Sweeps are fault-tolerant: a design point whose schedule fails
+//! entirely is recorded in [`SweepRun::skipped`] and the sweep moves
+//! on, and [`evaluate_designs_resumable`] checkpoints every finished
+//! design point so an interrupted sweep resumes without re-evaluating
+//! completed work.
+
+use std::path::Path;
 
 use secureloop_arch::{Architecture, DramSpec};
 use secureloop_crypto::{CryptoConfig, EngineClass};
@@ -7,6 +15,8 @@ use secureloop_mapper::SearchConfig;
 use secureloop_workload::Network;
 
 use crate::annealing::AnnealingConfig;
+use crate::checkpoint::SweepCheckpoint;
+use crate::error::SecureLoopError;
 use crate::scheduler::{Algorithm, NetworkSchedule, Scheduler};
 
 /// One evaluated design point.
@@ -79,7 +89,23 @@ pub fn fig16_design_space() -> Vec<Architecture> {
     designs
 }
 
-/// Evaluate a set of designs on one workload.
+/// One completed sweep (possibly resumed from a checkpoint).
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// Successfully evaluated design points, in design order.
+    pub results: Vec<DseResult>,
+    /// `(design label, error)` for design points whose schedule failed
+    /// entirely; the sweep continued past them.
+    pub skipped: Vec<(String, String)>,
+    /// Design points evaluated by *this* invocation.
+    pub evaluated: usize,
+    /// Design points restored from the checkpoint without re-running.
+    pub reused: usize,
+}
+
+/// Evaluate a set of designs on one workload. Design points that fail
+/// entirely are skipped (see [`SweepRun::skipped`] via
+/// [`evaluate_designs_resumable`] for the full accounting).
 pub fn evaluate_designs(
     network: &Network,
     designs: &[Architecture],
@@ -87,19 +113,86 @@ pub fn evaluate_designs(
     search: &SearchConfig,
     annealing: &AnnealingConfig,
 ) -> Vec<DseResult> {
-    designs
-        .iter()
-        .map(|arch| {
-            let scheduler = Scheduler::new(arch.clone())
-                .with_search(*search)
-                .with_annealing(*annealing);
-            DseResult {
-                label: arch.name().to_string(),
-                area: AreaModel::of(arch),
-                schedule: scheduler.schedule(network, algorithm),
+    evaluate_designs_resumable(network, designs, algorithm, search, annealing, None, false)
+        .map(|run| run.results)
+        .unwrap_or_default()
+}
+
+/// [`evaluate_designs`] with checkpoint/resume.
+///
+/// With `checkpoint_path` set, every finished design point is written
+/// (atomically) to that file; with `resume` also set, design points
+/// already present in a matching checkpoint are restored instead of
+/// re-evaluated. A checkpoint written for a different workload or
+/// algorithm is ignored, not trusted.
+///
+/// # Errors
+///
+/// [`SecureLoopError::Checkpoint`] when `resume` is set but the
+/// checkpoint file exists and cannot be read or parsed, or when a
+/// checkpoint write fails. Individual design-point failures do *not*
+/// error — they land in [`SweepRun::skipped`].
+pub fn evaluate_designs_resumable(
+    network: &Network,
+    designs: &[Architecture],
+    algorithm: Algorithm,
+    search: &SearchConfig,
+    annealing: &AnnealingConfig,
+    checkpoint_path: Option<&Path>,
+    resume: bool,
+) -> Result<SweepRun, SecureLoopError> {
+    let mut ckpt = match (checkpoint_path, resume) {
+        (Some(path), true) if path.exists() => {
+            let loaded = SweepCheckpoint::load(path)?;
+            if loaded.matches(network.name(), algorithm) {
+                loaded
+            } else {
+                SweepCheckpoint::new(network.name(), algorithm)
             }
-        })
-        .collect()
+        }
+        _ => SweepCheckpoint::new(network.name(), algorithm),
+    };
+
+    let mut run = SweepRun {
+        results: Vec::new(),
+        skipped: Vec::new(),
+        evaluated: 0,
+        reused: 0,
+    };
+    for arch in designs {
+        let label = arch.name().to_string();
+        let schedule = match ckpt.get(&label) {
+            Some(done) => {
+                run.reused += 1;
+                done.clone()
+            }
+            None => {
+                let scheduler = Scheduler::new(arch.clone())
+                    .with_search(*search)
+                    .with_annealing(*annealing);
+                match scheduler.schedule(network, algorithm) {
+                    Ok(s) => {
+                        run.evaluated += 1;
+                        ckpt.insert(label.clone(), s.clone());
+                        if let Some(path) = checkpoint_path {
+                            ckpt.save(path)?;
+                        }
+                        s
+                    }
+                    Err(e) => {
+                        run.skipped.push((label, e.to_string()));
+                        continue;
+                    }
+                }
+            }
+        };
+        run.results.push(DseResult {
+            label,
+            area: AreaModel::of(arch),
+            schedule,
+        });
+    }
+    Ok(run)
 }
 
 /// Indices of the area/latency Pareto front (lower is better on both
@@ -111,8 +204,7 @@ pub fn pareto_front(results: &[DseResult]) -> Vec<usize> {
                 j != i
                     && r.area_mm2() <= results[i].area_mm2()
                     && r.latency() <= results[i].latency()
-                    && (r.area_mm2() < results[i].area_mm2()
-                        || r.latency() < results[i].latency())
+                    && (r.area_mm2() < results[i].area_mm2() || r.latency() < results[i].latency())
             })
         })
         .collect();
@@ -162,8 +254,8 @@ mod tests {
         // No front member is dominated by any result.
         for &i in &front {
             for r in &results {
-                let dominated = r.area_mm2() < results[i].area_mm2()
-                    && r.latency() < results[i].latency();
+                let dominated =
+                    r.area_mm2() < results[i].area_mm2() && r.latency() < results[i].latency();
                 assert!(!dominated);
             }
         }
@@ -171,5 +263,70 @@ mod tests {
         for w in front.windows(2) {
             assert!(results[w[0]].area_mm2() <= results[w[1]].area_mm2());
         }
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_without_reevaluating() {
+        let net = zoo::alexnet_conv();
+        let designs: Vec<Architecture> = fig16_design_space().into_iter().take(3).collect();
+        let dir = std::env::temp_dir().join("secureloop-dse-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.json");
+        let _ = std::fs::remove_file(&path);
+
+        // "Interrupted" run: only the first two design points finish.
+        let partial = evaluate_designs_resumable(
+            &net,
+            &designs[..2],
+            Algorithm::CryptOptSingle,
+            &SearchConfig::quick(),
+            &AnnealingConfig::quick(),
+            Some(&path),
+            false,
+        )
+        .unwrap();
+        assert_eq!(partial.evaluated, 2);
+        assert_eq!(partial.reused, 0);
+        assert!(path.exists());
+
+        // Re-invocation with --resume semantics: finished points are
+        // restored, only the remaining one runs.
+        let resumed = evaluate_designs_resumable(
+            &net,
+            &designs,
+            Algorithm::CryptOptSingle,
+            &SearchConfig::quick(),
+            &AnnealingConfig::quick(),
+            Some(&path),
+            true,
+        )
+        .unwrap();
+        assert_eq!(resumed.reused, 2);
+        assert_eq!(resumed.evaluated, 1);
+        assert_eq!(resumed.results.len(), 3);
+        for (r, d) in resumed.results.iter().zip(&designs) {
+            assert_eq!(r.label, d.name());
+        }
+        // The restored schedules match what the partial run computed.
+        assert_eq!(
+            resumed.results[0].schedule.total_latency_cycles,
+            partial.results[0].schedule.total_latency_cycles
+        );
+
+        // A checkpoint for a different workload is ignored, not trusted.
+        let other = zoo::resnet18();
+        let fresh = evaluate_designs_resumable(
+            &other,
+            &designs[..1],
+            Algorithm::CryptOptSingle,
+            &SearchConfig::quick(),
+            &AnnealingConfig::quick(),
+            Some(&path),
+            true,
+        )
+        .unwrap();
+        assert_eq!(fresh.reused, 0);
+        assert_eq!(fresh.evaluated, 1);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -65,7 +65,8 @@ pub fn fuse_pair(
             .sum();
         2 * words * word_bytes
     };
-    let working = tile_bytes(producer, producer_mapping).max(tile_bytes(consumer, consumer_mapping));
+    let working =
+        tile_bytes(producer, producer_mapping).max(tile_bytes(consumer, consumer_mapping));
     if working + pinned_bytes > arch.glb_bytes() {
         return None;
     }
@@ -146,13 +147,13 @@ mod tests {
     use secureloop_workload::zoo;
 
     fn setup(net: &secureloop_workload::Network) -> (Architecture, Vec<Mapping>) {
-        let arch = Architecture::eyeriss_base()
-            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        let arch =
+            Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
         let cands = find_candidates(net, &arch, &SearchConfig::quick());
         let mappings = cands
             .per_layer
             .iter()
-            .map(|c| c.best().0.clone())
+            .map(|c| c.best().expect("has candidates").0.clone())
             .collect();
         (arch, mappings)
     }

@@ -37,7 +37,9 @@
 //! let secure = Architecture::eyeriss_base()
 //!     .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
 //! let scheduler = Scheduler::new(secure);
-//! let schedule = scheduler.schedule(&zoo::alexnet_conv(), Algorithm::CryptOptCross);
+//! let schedule = scheduler
+//!     .schedule(&zoo::alexnet_conv(), Algorithm::CryptOptCross)
+//!     .expect("at least one layer schedules");
 //! println!(
 //!     "AlexNet: {} cycles, {:.1} uJ, +{} overhead bits",
 //!     schedule.total_latency_cycles,
@@ -48,8 +50,10 @@
 
 pub mod annealing;
 pub mod candidates;
+pub mod checkpoint;
 pub mod cli;
 pub mod dse;
+pub mod error;
 pub mod fusion;
 pub mod report;
 pub mod roofline;
@@ -57,6 +61,8 @@ pub mod scheduler;
 pub mod segment;
 pub mod tensors;
 
-pub use annealing::{AnnealingConfig, Cooling};
+pub use annealing::{AnnealState, AnnealingConfig, Cooling};
 pub use candidates::{CandidateSet, LayerCandidates};
-pub use scheduler::{Algorithm, LayerResult, NetworkSchedule, Scheduler};
+pub use checkpoint::SweepCheckpoint;
+pub use error::SecureLoopError;
+pub use scheduler::{Algorithm, LayerOutcome, LayerResult, NetworkSchedule, Scheduler};

@@ -3,12 +3,12 @@
 
 use std::io::{self, Write};
 
-use serde::Serialize;
+use secureloop_json::Json;
 
-use crate::scheduler::NetworkSchedule;
+use crate::scheduler::{LayerOutcome, NetworkSchedule};
 
 /// Serialisable snapshot of a [`NetworkSchedule`].
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScheduleReport {
     /// Network name.
     pub network: String,
@@ -28,12 +28,20 @@ pub struct ScheduleReport {
     pub redundant_bits: u64,
     /// Rehash traffic in bits.
     pub rehash_bits: u64,
+    /// Layers scheduled at full quality.
+    pub scheduled: usize,
+    /// Layers scheduled through a fallback rung.
+    pub degraded: usize,
+    /// Layers with no usable mapping (absent from `layers`).
+    pub failed: usize,
+    /// One `(layer, status, detail)` row per degraded or failed layer.
+    pub issues: Vec<(String, String, String)>,
     /// Per-layer rows.
     pub layers: Vec<LayerReport>,
 }
 
 /// Serialisable per-layer row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LayerReport {
     /// Layer name.
     pub name: String,
@@ -66,6 +74,22 @@ impl From<&NetworkSchedule> for ScheduleReport {
             hash_bits: s.overhead.hash_bits,
             redundant_bits: s.overhead.redundant_bits,
             rehash_bits: s.overhead.rehash_bits,
+            scheduled: s.scheduled_count(),
+            degraded: s.degraded_count(),
+            failed: s.failed_count(),
+            issues: s
+                .outcomes
+                .iter()
+                .filter_map(|(name, o)| match o {
+                    LayerOutcome::Scheduled => None,
+                    LayerOutcome::Degraded { reason } => {
+                        Some((name.clone(), "degraded".to_string(), reason.clone()))
+                    }
+                    LayerOutcome::Failed { error } => {
+                        Some((name.clone(), "failed".to_string(), error.clone()))
+                    }
+                })
+                .collect(),
             layers: s
                 .layers
                 .iter()
@@ -84,10 +108,61 @@ impl From<&NetworkSchedule> for ScheduleReport {
     }
 }
 
+impl ScheduleReport {
+    /// The report as a JSON value (field order matches the struct).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj()
+            .field("network", self.network.as_str())
+            .field("algorithm", self.algorithm.as_str())
+            .field("arch", self.arch.as_str())
+            .field("latency_cycles", self.latency_cycles)
+            .field("energy_pj", self.energy_pj)
+            .field("edp", self.edp)
+            .field("hash_bits", self.hash_bits)
+            .field("redundant_bits", self.redundant_bits)
+            .field("rehash_bits", self.rehash_bits)
+            .field("scheduled", self.scheduled)
+            .field("degraded", self.degraded)
+            .field("failed", self.failed)
+            .field(
+                "issues",
+                Json::Arr(
+                    self.issues
+                        .iter()
+                        .map(|(layer, status, detail)| {
+                            Json::obj()
+                                .field("layer", layer.as_str())
+                                .field("status", status.as_str())
+                                .field("detail", detail.as_str())
+                        })
+                        .collect(),
+                ),
+            )
+            .field(
+                "layers",
+                Json::Arr(self.layers.iter().map(LayerReport::to_json_value).collect()),
+            )
+    }
+}
+
+impl LayerReport {
+    /// The per-layer row as a JSON value.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj()
+            .field("name", self.name.as_str())
+            .field("latency_cycles", self.latency_cycles)
+            .field("energy_pj", self.energy_pj)
+            .field("extra_bits", self.extra_bits)
+            .field("data_dram_bits", self.data_dram_bits)
+            .field("utilization", self.utilization)
+            .field("loopnest", self.loopnest.as_str())
+            .field("mapping", self.mapping.as_str())
+    }
+}
+
 /// Pretty JSON for one schedule.
 pub fn to_json(schedule: &NetworkSchedule) -> String {
-    serde_json::to_string_pretty(&ScheduleReport::from(schedule))
-        .expect("report serialisation cannot fail")
+    ScheduleReport::from(schedule).to_json_value().pretty()
 }
 
 /// Timeloop-style detailed per-layer stats text for one schedule: the
@@ -125,6 +200,15 @@ pub fn layer_stats_text(schedule: &NetworkSchedule) -> String {
         schedule.total_energy_pj / 1e6,
         schedule.edp()
     );
+    if schedule.degraded_count() > 0 || schedule.failed_count() > 0 {
+        let _ = writeln!(
+            out,
+            "=== outcomes: {} scheduled, {} degraded, {} failed ===",
+            schedule.scheduled_count(),
+            schedule.degraded_count(),
+            schedule.failed_count()
+        );
+    }
     out
 }
 
@@ -167,19 +251,20 @@ mod tests {
     use secureloop_workload::zoo;
 
     fn sample() -> NetworkSchedule {
-        let arch = Architecture::eyeriss_base()
-            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        let arch =
+            Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
         Scheduler::new(arch)
             .with_search(SearchConfig::quick())
             .with_annealing(AnnealingConfig::quick())
             .schedule(&zoo::alexnet_conv(), Algorithm::CryptOptSingle)
+            .expect("schedules")
     }
 
     #[test]
     fn json_roundtrips_key_fields() {
         let s = sample();
         let j = to_json(&s);
-        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        let v = Json::parse(&j).unwrap();
         assert_eq!(v["network"], "AlexNet");
         assert_eq!(v["algorithm"], "Crypt-Opt-Single");
         assert_eq!(v["layers"].as_array().unwrap().len(), 5);

@@ -36,7 +36,8 @@ impl RooflineModel {
     /// Attainable performance at a given intensity using the effective
     /// (crypto-limited) slope.
     pub fn attainable_gflops(&self, intensity_ops_per_byte: f64) -> f64 {
-        self.peak_gflops.min(self.effective_gbps * intensity_ops_per_byte)
+        self.peak_gflops
+            .min(self.effective_gbps * intensity_ops_per_byte)
     }
 
     /// The ridge point: intensity at which the design turns
@@ -91,8 +92,8 @@ mod tests {
 
     #[test]
     fn crypto_lowers_the_effective_slope() {
-        let secure = Architecture::eyeriss_base()
-            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 1));
+        let secure =
+            Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 1));
         let m = RooflineModel::of(&secure);
         assert!(m.effective_gbps < m.dram_gbps);
         // The ridge moves right: more intensity needed to stay
@@ -103,12 +104,14 @@ mod tests {
 
     #[test]
     fn schedule_points_lie_under_the_roof() {
-        let arch = Architecture::eyeriss_base()
-            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        let arch =
+            Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
         let s = Scheduler::new(arch.clone())
             .with_search(SearchConfig::quick())
             .with_annealing(AnnealingConfig::quick());
-        let sched = s.schedule(&zoo::alexnet_conv(), Algorithm::CryptOptSingle);
+        let sched = s
+            .schedule(&zoo::alexnet_conv(), Algorithm::CryptOptSingle)
+            .expect("schedules");
         let p = schedule_point(&sched, &arch);
         let m = RooflineModel::of(&arch);
         // Attained performance cannot exceed the attainable bound

@@ -1,16 +1,28 @@
 //! The end-to-end scheduler: Table 1's algorithms over whole networks.
+//!
+//! # Failure isolation
+//!
+//! One infeasible layer no longer aborts a network schedule: each layer
+//! gets a [`LayerOutcome`], failed layers are recorded and skipped, and
+//! the segments they belong to are split into maximal runs of
+//! schedulable layers (cross-layer AuthBlock optimisation happens
+//! within each run). Degraded layers — produced by a fallback rung of
+//! the mapper's ladder, cut short by a deadline, or forced onto the
+//! tile-as-AuthBlock strategy — are scheduled but flagged, so reports
+//! can surface exactly how much of the result is below full quality.
 
 use std::fmt;
 
 use secureloop_arch::Architecture;
 use secureloop_authblock::OverheadBreakdown;
-use secureloop_loopnest::{EnergyBreakdown, Mapping};
-use secureloop_mapper::SearchConfig;
+use secureloop_loopnest::{EnergyBreakdown, Evaluation, Mapping};
+use secureloop_mapper::{SearchConfig, SearchTier};
 use secureloop_workload::Network;
 
 use crate::annealing::{anneal_segment, AnnealingConfig};
 use crate::candidates::{find_candidates, CandidateSet};
-use crate::segment::{evaluate_segment, OverheadCache, StrategyMode};
+use crate::error::SecureLoopError;
+use crate::segment::{evaluate_segment, OverheadCache, SegmentEvaluation, StrategyMode};
 
 /// The scheduling algorithms of paper Table 1, plus the unsecure
 /// baseline used for normalisation in Figs. 11, 13–15.
@@ -46,11 +58,58 @@ impl Algorithm {
             Algorithm::CryptOptCross => "Crypt-Opt-Cross",
         }
     }
+
+    /// Parse a display name back into an algorithm (the inverse of
+    /// [`Algorithm::name`], used by checkpoint deserialisation).
+    pub fn from_name(name: &str) -> Option<Algorithm> {
+        match name {
+            "Unsecure" => Some(Algorithm::Unsecure),
+            "Crypt-Tile-Single" => Some(Algorithm::CryptTileSingle),
+            "Crypt-Opt-Single" => Some(Algorithm::CryptOptSingle),
+            "Crypt-Opt-Cross" => Some(Algorithm::CryptOptCross),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Algorithm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// How one layer fared within a [`NetworkSchedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerOutcome {
+    /// Scheduled at the requested search quality.
+    Scheduled,
+    /// Scheduled, but through a fallback rung of the degradation
+    /// ladder.
+    Degraded {
+        /// Which fallback(s) produced the result.
+        reason: String,
+    },
+    /// No usable mapping was found: the layer is absent from
+    /// [`NetworkSchedule::layers`].
+    Failed {
+        /// The search error that killed it.
+        error: String,
+    },
+}
+
+impl LayerOutcome {
+    /// Whether the layer made it into the schedule (possibly degraded).
+    pub fn is_scheduled(&self) -> bool {
+        !matches!(self, LayerOutcome::Failed { .. })
+    }
+
+    /// Short label for reports: `scheduled`, `degraded` or `failed`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LayerOutcome::Scheduled => "scheduled",
+            LayerOutcome::Degraded { .. } => "degraded",
+            LayerOutcome::Failed { .. } => "failed",
+        }
     }
 }
 
@@ -86,11 +145,16 @@ pub struct NetworkSchedule {
     pub algorithm: Algorithm,
     /// One-line architecture summary.
     pub arch_summary: String,
-    /// Per-layer results, in execution order.
+    /// Per-layer results for the *scheduled* layers, in execution
+    /// order. Failed layers are absent (see
+    /// [`NetworkSchedule::outcomes`]).
     pub layers: Vec<LayerResult>,
-    /// Total latency in cycles.
+    /// One `(layer name, outcome)` per network layer, in execution
+    /// order — including the failed ones.
+    pub outcomes: Vec<(String, LayerOutcome)>,
+    /// Total latency in cycles (scheduled layers only).
     pub total_latency_cycles: u64,
-    /// Total energy in pJ.
+    /// Total energy in pJ (scheduled layers only).
     pub total_energy_pj: f64,
     /// Total additional off-chip traffic from authentication.
     pub overhead: OverheadBreakdown,
@@ -102,9 +166,38 @@ impl NetworkSchedule {
         self.total_energy_pj * self.total_latency_cycles as f64
     }
 
-    /// Total MACs across layers.
+    /// Total MACs across scheduled layers.
     pub fn total_macs(&self) -> u64 {
         self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Layers scheduled at full quality.
+    pub fn scheduled_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, LayerOutcome::Scheduled))
+            .count()
+    }
+
+    /// Layers scheduled through a fallback rung.
+    pub fn degraded_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, LayerOutcome::Degraded { .. }))
+            .count()
+    }
+
+    /// Layers with no usable mapping.
+    pub fn failed_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, LayerOutcome::Failed { .. }))
+            .count()
+    }
+
+    /// Whether every layer was scheduled at full quality.
+    pub fn is_complete(&self) -> bool {
+        self.failed_count() == 0
     }
 
     /// Component-wise energy summed over layers.
@@ -182,11 +275,16 @@ impl Scheduler {
 
     /// Schedule `network` with `algorithm`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the mapper finds no valid schedule for some layer
-    /// (increase [`SearchConfig::samples`]).
-    pub fn schedule(&self, network: &Network, algorithm: Algorithm) -> NetworkSchedule {
+    /// Fails with [`SecureLoopError::Schedule`] only when *no* layer of
+    /// the network yields a usable mapping. Individual infeasible
+    /// layers are isolated as [`LayerOutcome::Failed`] instead.
+    pub fn schedule(
+        &self,
+        network: &Network,
+        algorithm: Algorithm,
+    ) -> Result<NetworkSchedule, SecureLoopError> {
         let arch = self.arch_for(algorithm);
         let candidates = find_candidates(network, &arch, &self.search);
         self.schedule_with_candidates(network, algorithm, &candidates)
@@ -196,112 +294,219 @@ impl Scheduler {
     /// three), sharing the step-1 mapper output within each family —
     /// the secure algorithms reuse one candidate set; the unsecure
     /// baseline searches without the crypto throttle.
-    pub fn schedule_all(&self, network: &Network) -> [NetworkSchedule; 4] {
+    ///
+    /// # Errors
+    ///
+    /// Fails when any algorithm schedules zero layers (see
+    /// [`Scheduler::schedule`]).
+    pub fn schedule_all(&self, network: &Network) -> Result<[NetworkSchedule; 4], SecureLoopError> {
         let unsec_c = self.candidates(network, Algorithm::Unsecure);
         let sec_c = self.candidates(network, Algorithm::CryptOptCross);
-        [
-            self.schedule_with_candidates(network, Algorithm::Unsecure, &unsec_c),
-            self.schedule_with_candidates(network, Algorithm::CryptTileSingle, &sec_c),
-            self.schedule_with_candidates(network, Algorithm::CryptOptSingle, &sec_c),
-            self.schedule_with_candidates(network, Algorithm::CryptOptCross, &sec_c),
-        ]
+        Ok([
+            self.schedule_with_candidates(network, Algorithm::Unsecure, &unsec_c)?,
+            self.schedule_with_candidates(network, Algorithm::CryptTileSingle, &sec_c)?,
+            self.schedule_with_candidates(network, Algorithm::CryptOptSingle, &sec_c)?,
+            self.schedule_with_candidates(network, Algorithm::CryptOptCross, &sec_c)?,
+        ])
     }
 
     /// Schedule with precomputed step-1 candidates (reuses the mapper
     /// output across algorithms — the candidates must come from
     /// [`Scheduler::candidates`] for the same algorithm family).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SecureLoopError::Schedule`] only when no layer has
+    /// any candidate; per-layer failures are isolated via
+    /// [`LayerOutcome::Failed`].
     pub fn schedule_with_candidates(
         &self,
         network: &Network,
         algorithm: Algorithm,
         candidates: &CandidateSet,
-    ) -> NetworkSchedule {
+    ) -> Result<NetworkSchedule, SecureLoopError> {
         let arch = self.arch_for(algorithm);
         let mut layers: Vec<Option<LayerResult>> = vec![None; network.len()];
+        let mut outcomes: Vec<(String, LayerOutcome)> = network
+            .layers()
+            .iter()
+            .map(|l| (l.name().to_string(), LayerOutcome::Scheduled))
+            .collect();
         let mut overhead = OverheadBreakdown::default();
         let mut cache = OverheadCache::new();
 
         for seg in network.segments() {
-            let (choice, seg_eval) = match algorithm {
-                Algorithm::Unsecure => {
-                    // No authentication: best candidate per layer, no
-                    // extra bits.
-                    let picks: Vec<_> = seg
-                        .layers
-                        .iter()
-                        .map(|&li| candidates.per_layer[li].best().clone())
-                        .collect();
-                    let evals: Vec<_> = picks.iter().map(|(_, e)| e.clone()).collect();
-                    (
-                        vec![0; seg.layers.len()],
-                        crate::segment::SegmentEvaluation {
-                            extra_bits: vec![0; seg.layers.len()],
-                            breakdown: OverheadBreakdown::default(),
-                            total_latency: evals.iter().map(|e| e.latency_cycles).sum(),
-                            total_energy: evals.iter().map(|e| e.energy_pj).sum(),
-                            layer_evals: evals,
-                        },
-                    )
+            // Split the segment into maximal runs of schedulable layers;
+            // a failed layer breaks tensor coupling on both sides, so
+            // its neighbours are rehashed at the run boundary exactly as
+            // at a normal segment boundary.
+            let mut runs: Vec<Vec<usize>> = Vec::new();
+            let mut current: Vec<usize> = Vec::new();
+            for &li in &seg.layers {
+                let c = &candidates.per_layer[li];
+                if c.best().is_some() {
+                    current.push(li);
+                } else {
+                    let error = c
+                        .error
+                        .as_ref()
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "no valid mapping found".to_string());
+                    outcomes[li].1 = LayerOutcome::Failed { error };
+                    if !current.is_empty() {
+                        runs.push(std::mem::take(&mut current));
+                    }
                 }
-                Algorithm::CryptTileSingle | Algorithm::CryptOptSingle => {
-                    let mode = if algorithm == Algorithm::CryptTileSingle {
-                        StrategyMode::TileRehash
-                    } else {
-                        StrategyMode::Optimal
-                    };
-                    let picks: Vec<_> = seg
-                        .layers
-                        .iter()
-                        .map(|&li| candidates.per_layer[li].best().clone())
-                        .collect();
-                    let e = evaluate_segment(network, &arch, &seg.layers, &picks, mode, &mut cache);
-                    (vec![0; seg.layers.len()], e)
-                }
-                Algorithm::CryptOptCross => {
-                    let out = anneal_segment(
-                        network,
-                        &arch,
-                        &seg.layers,
-                        candidates,
-                        &self.annealing,
-                        &mut cache,
-                    );
-                    (out.choice, out.eval)
-                }
-            };
+            }
+            if !current.is_empty() {
+                runs.push(current);
+            }
 
-            overhead.add(&seg_eval.breakdown);
-            for (pos, &li) in seg.layers.iter().enumerate() {
-                let layer = &network.layers()[li];
-                let eval = &seg_eval.layer_evals[pos];
-                let extra = seg_eval.extra_bits[pos];
-                let mapping = candidates.per_layer[li].options[choice[pos]].0.clone();
-                layers[li] = Some(LayerResult {
-                    name: layer.name().to_string(),
-                    latency_cycles: eval.latency_cycles,
-                    energy_pj: eval.energy_pj,
-                    extra_bits: extra,
-                    data_dram_bits: eval.dram_total_bits - extra,
-                    macs: layer.macs(),
-                    utilization: eval.utilization,
-                    mapping,
-                    energy: eval.energy,
-                });
+            for run in &runs {
+                let (choice, seg_eval, fell_back) =
+                    self.evaluate_run(network, &arch, algorithm, run, candidates, &mut cache);
+
+                overhead.add(&seg_eval.breakdown);
+                for (pos, &li) in run.iter().enumerate() {
+                    let layer = &network.layers()[li];
+                    let eval = &seg_eval.layer_evals[pos];
+                    let extra = seg_eval.extra_bits[pos];
+                    let mapping = candidates.per_layer[li].options[choice[pos]].0.clone();
+                    layers[li] = Some(LayerResult {
+                        name: layer.name().to_string(),
+                        latency_cycles: eval.latency_cycles,
+                        energy_pj: eval.energy_pj,
+                        extra_bits: extra,
+                        data_dram_bits: eval.dram_total_bits - extra,
+                        macs: layer.macs(),
+                        utilization: eval.utilization,
+                        mapping,
+                        energy: eval.energy,
+                    });
+
+                    let c = &candidates.per_layer[li];
+                    let mut reasons: Vec<&str> = Vec::new();
+                    if c.tier == SearchTier::Greedy {
+                        reasons.push("mapper degraded to greedy construction");
+                    }
+                    if c.truncated {
+                        reasons.push("search truncated by deadline");
+                    }
+                    if fell_back {
+                        reasons.push("segment fell back to tile-as-AuthBlock");
+                    }
+                    if !reasons.is_empty() {
+                        outcomes[li].1 = LayerOutcome::Degraded {
+                            reason: reasons.join("; "),
+                        };
+                    }
+                }
             }
         }
 
-        let layers: Vec<LayerResult> = layers
-            .into_iter()
-            .map(|l| l.expect("every layer belongs to exactly one segment"))
-            .collect();
-        NetworkSchedule {
+        let layers: Vec<LayerResult> = layers.into_iter().flatten().collect();
+        if layers.is_empty() && network.len() > 0 {
+            return Err(SecureLoopError::Schedule(format!(
+                "no layer of '{}' produced a usable mapping under {}",
+                network.name(),
+                algorithm
+            )));
+        }
+        Ok(NetworkSchedule {
             network: network.name().to_string(),
             algorithm,
             arch_summary: arch.summary(),
             total_latency_cycles: layers.iter().map(|l| l.latency_cycles).sum(),
             total_energy_pj: layers.iter().map(|l| l.energy_pj).sum(),
             layers,
+            outcomes,
             overhead,
+        })
+    }
+
+    /// Evaluate one run of schedulable layers. Returns the chosen
+    /// candidate index per layer, the evaluation, and whether the
+    /// final fallback rung (tile-as-AuthBlock) had to be taken because
+    /// the requested strategy produced a non-finite cost.
+    fn evaluate_run(
+        &self,
+        network: &Network,
+        arch: &Architecture,
+        algorithm: Algorithm,
+        run: &[usize],
+        candidates: &CandidateSet,
+        cache: &mut OverheadCache,
+    ) -> (Vec<usize>, SegmentEvaluation, bool) {
+        let best_picks = |run: &[usize]| -> Vec<(Mapping, Evaluation)> {
+            run.iter()
+                .map(|&li| {
+                    candidates.per_layer[li]
+                        .best()
+                        .expect("run contains only layers with candidates")
+                        .clone()
+                })
+                .collect()
+        };
+        match algorithm {
+            Algorithm::Unsecure => {
+                // No authentication: best candidate per layer, no extra
+                // bits.
+                let picks = best_picks(run);
+                let evals: Vec<_> = picks.iter().map(|(_, e)| e.clone()).collect();
+                (
+                    vec![0; run.len()],
+                    SegmentEvaluation {
+                        extra_bits: vec![0; run.len()],
+                        breakdown: OverheadBreakdown::default(),
+                        total_latency: evals.iter().map(|e| e.latency_cycles).sum(),
+                        total_energy: evals.iter().map(|e| e.energy_pj).sum(),
+                        layer_evals: evals,
+                    },
+                    false,
+                )
+            }
+            Algorithm::CryptTileSingle => {
+                let picks = best_picks(run);
+                let e =
+                    evaluate_segment(network, arch, run, &picks, StrategyMode::TileRehash, cache);
+                (vec![0; run.len()], e, false)
+            }
+            Algorithm::CryptOptSingle => {
+                let picks = best_picks(run);
+                let e = evaluate_segment(network, arch, run, &picks, StrategyMode::Optimal, cache);
+                if e.total_energy.is_finite() {
+                    (vec![0; run.len()], e, false)
+                } else {
+                    // Final rung of the ladder: retry with the always-
+                    // feasible tile-as-AuthBlock strategy.
+                    let e = evaluate_segment(
+                        network,
+                        arch,
+                        run,
+                        &picks,
+                        StrategyMode::TileRehash,
+                        cache,
+                    );
+                    (vec![0; run.len()], e, true)
+                }
+            }
+            Algorithm::CryptOptCross => {
+                let out = anneal_segment(network, arch, run, candidates, &self.annealing, cache);
+                if out.eval.total_energy.is_finite() {
+                    (out.choice, out.eval, false)
+                } else {
+                    let picks = best_picks(run);
+                    let e = evaluate_segment(
+                        network,
+                        arch,
+                        run,
+                        &picks,
+                        StrategyMode::TileRehash,
+                        cache,
+                    );
+                    (vec![0; run.len()], e, true)
+                }
+            }
         }
     }
 }
@@ -310,6 +515,7 @@ impl Scheduler {
 mod tests {
     use super::*;
     use secureloop_crypto::{CryptoConfig, EngineClass};
+    use secureloop_mapper::{FaultPlan, FaultScope};
     use secureloop_workload::zoo;
 
     fn quick_scheduler(secure: bool) -> Scheduler {
@@ -326,10 +532,16 @@ mod tests {
     fn algorithm_ordering_on_alexnet() {
         let net = zoo::alexnet_conv();
         let s = quick_scheduler(true);
-        let unsec = s.schedule(&net, Algorithm::Unsecure);
-        let tile = s.schedule(&net, Algorithm::CryptTileSingle);
-        let opt = s.schedule(&net, Algorithm::CryptOptSingle);
-        let cross = s.schedule(&net, Algorithm::CryptOptCross);
+        let unsec = s.schedule(&net, Algorithm::Unsecure).expect("schedules");
+        let tile = s
+            .schedule(&net, Algorithm::CryptTileSingle)
+            .expect("schedules");
+        let opt = s
+            .schedule(&net, Algorithm::CryptOptSingle)
+            .expect("schedules");
+        let cross = s
+            .schedule(&net, Algorithm::CryptOptCross)
+            .expect("schedules");
 
         // Secure designs are never faster than the unsecure baseline.
         assert!(tile.total_latency_cycles >= unsec.total_latency_cycles);
@@ -353,8 +565,14 @@ mod tests {
     fn schedule_reports_every_layer() {
         let net = zoo::alexnet_conv();
         let s = quick_scheduler(true);
-        let r = s.schedule(&net, Algorithm::CryptOptSingle);
+        let r = s
+            .schedule(&net, Algorithm::CryptOptSingle)
+            .expect("schedules");
         assert_eq!(r.layers.len(), 5);
+        assert_eq!(r.outcomes.len(), 5);
+        assert!(r.is_complete());
+        assert_eq!(r.failed_count(), 0);
+        assert_eq!(r.scheduled_count() + r.degraded_count(), 5);
         assert_eq!(
             r.total_latency_cycles,
             r.layers.iter().map(|l| l.latency_cycles).sum::<u64>()
@@ -368,11 +586,13 @@ mod tests {
     fn schedule_all_matches_individual_runs() {
         let net = zoo::alexnet_conv();
         let s = quick_scheduler(true);
-        let [u, t, o, c] = s.schedule_all(&net);
+        let [u, t, o, c] = s.schedule_all(&net).expect("schedules");
         assert_eq!(u.algorithm, Algorithm::Unsecure);
         assert_eq!(
             t.total_latency_cycles,
-            s.schedule(&net, Algorithm::CryptTileSingle).total_latency_cycles
+            s.schedule(&net, Algorithm::CryptTileSingle)
+                .expect("schedules")
+                .total_latency_cycles
         );
         assert!(c.total_latency_cycles <= o.total_latency_cycles);
     }
@@ -381,7 +601,7 @@ mod tests {
     fn unsecure_baseline_strips_crypto() {
         let net = zoo::alexnet_conv();
         let s = quick_scheduler(true);
-        let r = s.schedule(&net, Algorithm::Unsecure);
+        let r = s.schedule(&net, Algorithm::Unsecure).expect("schedules");
         assert!(r.arch_summary.contains("unsecure"));
     }
 
@@ -389,5 +609,65 @@ mod tests {
     fn algorithm_display_names() {
         assert_eq!(Algorithm::CryptTileSingle.to_string(), "Crypt-Tile-Single");
         assert_eq!(Algorithm::SECURE.len(), 3);
+        for alg in [
+            Algorithm::Unsecure,
+            Algorithm::CryptTileSingle,
+            Algorithm::CryptOptSingle,
+            Algorithm::CryptOptCross,
+        ] {
+            assert_eq!(Algorithm::from_name(alg.name()), Some(alg));
+        }
+        assert_eq!(Algorithm::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn injected_failure_is_isolated_not_fatal() {
+        let net = zoo::alexnet_conv();
+        let s = quick_scheduler(true);
+        let _scope = FaultScope::inject(FaultPlan::fail(["conv2", "conv4"]));
+        for alg in [
+            Algorithm::CryptTileSingle,
+            Algorithm::CryptOptSingle,
+            Algorithm::CryptOptCross,
+        ] {
+            let r = s
+                .schedule(&net, alg)
+                .expect("partial schedule still succeeds");
+            assert_eq!(r.failed_count(), 2, "{alg}");
+            assert_eq!(r.layers.len(), 3, "{alg}");
+            assert!(!r.is_complete());
+            let failed: Vec<_> = r
+                .outcomes
+                .iter()
+                .filter(|(_, o)| !o.is_scheduled())
+                .map(|(n, _)| n.as_str())
+                .collect();
+            assert_eq!(failed, vec!["conv2", "conv4"], "{alg}");
+            assert!(r.total_latency_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn all_layers_failing_is_an_error() {
+        let net = zoo::alexnet_conv();
+        let s = quick_scheduler(true);
+        let _scope = FaultScope::inject(FaultPlan::fail([
+            "conv1", "conv2", "conv3", "conv4", "conv5",
+        ]));
+        let err = s.schedule(&net, Algorithm::CryptOptSingle).unwrap_err();
+        assert!(matches!(err, SecureLoopError::Schedule(_)));
+        assert!(err.to_string().contains("AlexNet"));
+    }
+
+    #[test]
+    fn layer_outcome_labels() {
+        assert_eq!(LayerOutcome::Scheduled.label(), "scheduled");
+        assert_eq!(
+            LayerOutcome::Degraded { reason: "x".into() }.label(),
+            "degraded"
+        );
+        assert_eq!(LayerOutcome::Failed { error: "x".into() }.label(), "failed");
+        assert!(LayerOutcome::Scheduled.is_scheduled());
+        assert!(!LayerOutcome::Failed { error: "x".into() }.is_scheduled());
     }
 }

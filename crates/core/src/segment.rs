@@ -17,9 +17,7 @@ use secureloop_authblock::{
 use secureloop_loopnest::{dt_index, Evaluation, Mapping};
 use secureloop_workload::Network;
 
-use crate::tensors::{
-    coupled_case, input_case, layer_stats, output_case, weight_case, TensorCase,
-};
+use crate::tensors::{coupled_case, input_case, layer_stats, output_case, weight_case, TensorCase};
 
 /// How AuthBlock strategies are selected (paper Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -204,10 +202,14 @@ mod tests {
     use secureloop_mapper::SearchConfig;
     use secureloop_workload::zoo;
 
-    fn setup() -> (secureloop_workload::Network, Architecture, crate::CandidateSet) {
+    fn setup() -> (
+        secureloop_workload::Network,
+        Architecture,
+        crate::CandidateSet,
+    ) {
         let net = zoo::alexnet_conv();
-        let arch = Architecture::eyeriss_base()
-            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        let arch =
+            Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
         let cands = find_candidates(&net, &arch, &SearchConfig::quick());
         (net, arch, cands)
     }
@@ -219,11 +221,25 @@ mod tests {
         let seg = &segs[2].layers; // conv3, conv4, conv5
         let choices: Vec<_> = seg
             .iter()
-            .map(|&li| cands.per_layer[li].best().clone())
+            .map(|&li| cands.per_layer[li].best().expect("has candidates").clone())
             .collect();
         let mut cache = OverheadCache::new();
-        let tile = evaluate_segment(&net, &arch, seg, &choices, StrategyMode::TileRehash, &mut cache);
-        let opt = evaluate_segment(&net, &arch, seg, &choices, StrategyMode::Optimal, &mut cache);
+        let tile = evaluate_segment(
+            &net,
+            &arch,
+            seg,
+            &choices,
+            StrategyMode::TileRehash,
+            &mut cache,
+        );
+        let opt = evaluate_segment(
+            &net,
+            &arch,
+            seg,
+            &choices,
+            StrategyMode::Optimal,
+            &mut cache,
+        );
         assert!(
             opt.breakdown.total_bits() <= tile.breakdown.total_bits(),
             "optimal {} vs tile {}",
@@ -243,10 +259,17 @@ mod tests {
         let seg = &segs[2].layers;
         let choices: Vec<_> = seg
             .iter()
-            .map(|&li| cands.per_layer[li].best().clone())
+            .map(|&li| cands.per_layer[li].best().expect("has candidates").clone())
             .collect();
         let mut cache = OverheadCache::new();
-        let e = evaluate_segment(&net, &arch, seg, &choices, StrategyMode::Optimal, &mut cache);
+        let e = evaluate_segment(
+            &net,
+            &arch,
+            seg,
+            &choices,
+            StrategyMode::Optimal,
+            &mut cache,
+        );
         // Every layer reads weights at minimum: nonzero overhead.
         for (i, &bits) in e.extra_bits.iter().enumerate() {
             assert!(bits > 0, "layer {i} has zero overhead bits");
@@ -265,12 +288,26 @@ mod tests {
         let seg = &segs[0].layers;
         let choices: Vec<_> = seg
             .iter()
-            .map(|&li| cands.per_layer[li].best().clone())
+            .map(|&li| cands.per_layer[li].best().expect("has candidates").clone())
             .collect();
         let mut cache = OverheadCache::new();
-        let a = evaluate_segment(&net, &arch, seg, &choices, StrategyMode::Optimal, &mut cache);
+        let a = evaluate_segment(
+            &net,
+            &arch,
+            seg,
+            &choices,
+            StrategyMode::Optimal,
+            &mut cache,
+        );
         let n = cache.len();
-        let b = evaluate_segment(&net, &arch, seg, &choices, StrategyMode::Optimal, &mut cache);
+        let b = evaluate_segment(
+            &net,
+            &arch,
+            seg,
+            &choices,
+            StrategyMode::Optimal,
+            &mut cache,
+        );
         assert_eq!(cache.len(), n, "second evaluation must be fully cached");
         assert_eq!(a.total_latency, b.total_latency);
     }
@@ -283,7 +320,7 @@ mod tests {
         assert_eq!(seg.len(), 1);
         let choices: Vec<_> = seg
             .iter()
-            .map(|&li| cands.per_layer[li].best().clone())
+            .map(|&li| cands.per_layer[li].best().expect("has candidates").clone())
             .collect();
         let mappings: Vec<&Mapping> = choices.iter().map(|(m, _)| m).collect();
         let cases = segment_tensor_cases(&net, &arch, seg, &mappings);

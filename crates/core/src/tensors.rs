@@ -20,9 +20,9 @@
 //! * **Segment-last ofmaps** — consumed by a boundary post-processing
 //!   op that reads the tensor once, aligned.
 
+use secureloop_arch::Architecture;
 use secureloop_authblock::{AccessPattern, AssignmentProblem, Region, TileGrid};
 use secureloop_loopnest::{dram_stats, dt_index, DramTileStats, Mapping};
-use secureloop_arch::Architecture;
 use secureloop_workload::{ConvLayer, Datatype, Dim};
 
 /// Which layer each side of a tensor's overhead belongs to.
@@ -58,7 +58,11 @@ pub struct TensorCase {
 }
 
 /// Statistics for all three datatypes of one scheduled layer.
-pub fn layer_stats(layer: &ConvLayer, arch: &Architecture, mapping: &Mapping) -> [DramTileStats; 3] {
+pub fn layer_stats(
+    layer: &ConvLayer,
+    arch: &Architecture,
+    mapping: &Mapping,
+) -> [DramTileStats; 3] {
     dram_stats(layer, arch, mapping)
 }
 
@@ -87,8 +91,7 @@ pub fn weight_case(
         layer.dim(Dim::M),
         layer.dim(Dim::C) * layer.dim(Dim::R) * layer.dim(Dim::S),
     );
-    let tile_w =
-        (s.tile_dims[Dim::C] * s.tile_dims[Dim::R] * s.tile_dims[Dim::S]).min(region.w);
+    let tile_w = (s.tile_dims[Dim::C] * s.tile_dims[Dim::R] * s.tile_dims[Dim::S]).min(region.w);
     let grid = TileGrid::covering(region, s.tile_dims[Dim::M].min(region.h), tile_w);
     TensorCase {
         label: format!("{}.weight", layer.name()),
@@ -208,10 +211,7 @@ pub fn input_case(
 /// The producer-side grid, sweep count and plane multiplier of a
 /// layer's ofmap. FC layers fold the channel vector into the region
 /// (one plane); conv layers get one `P×Q` plane per output channel.
-fn ofmap_producer(
-    layer: &ConvLayer,
-    stats: &[DramTileStats; 3],
-) -> (Region, TileGrid, u64, u64) {
+fn ofmap_producer(layer: &ConvLayer, stats: &[DramTileStats; 3]) -> (Region, TileGrid, u64, u64) {
     let s = stats[dt_index(Datatype::Ofmap)];
     let (region, grid, planes) = if is_fc(layer) {
         let region = Region::new(1, layer.dim(Dim::M));
@@ -314,13 +314,20 @@ mod tests {
     use secureloop_workload::zoo;
 
     fn setup() -> (Architecture, Vec<ConvLayer>, Vec<Mapping>) {
-        let arch = Architecture::eyeriss_base()
-            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        let arch =
+            Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
         let net = zoo::alexnet_conv();
         let layers: Vec<ConvLayer> = net.layers()[2..4].to_vec(); // conv3, conv4
         let mappings: Vec<Mapping> = layers
             .iter()
-            .map(|l| search(l, &arch, &SearchConfig::quick()).best().unwrap().0.clone())
+            .map(|l| {
+                search(l, &arch, &SearchConfig::quick())
+                    .expect("search succeeds")
+                    .best()
+                    .unwrap()
+                    .0
+                    .clone()
+            })
             .collect();
         (arch, layers, mappings)
     }
@@ -387,17 +394,31 @@ mod tests {
 
     #[test]
     fn depthwise_consumer_plane_count_matches() {
-        let arch = Architecture::eyeriss_base()
-            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        let arch =
+            Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
         let net = zoo::mobilenet_v2();
         // b2_expand (pointwise) -> b2_dw (depthwise).
-        let pi = net.layers().iter().position(|l| l.name() == "b2_expand").unwrap();
+        let pi = net
+            .layers()
+            .iter()
+            .position(|l| l.name() == "b2_expand")
+            .unwrap();
         let ci = pi + 1;
         let p = &net.layers()[pi];
         let cl = &net.layers()[ci];
         assert!(cl.depthwise());
-        let pm = search(p, &arch, &SearchConfig::quick()).best().unwrap().0.clone();
-        let cm = search(cl, &arch, &SearchConfig::quick()).best().unwrap().0.clone();
+        let pm = search(p, &arch, &SearchConfig::quick())
+            .expect("search succeeds")
+            .best()
+            .unwrap()
+            .0
+            .clone();
+        let cm = search(cl, &arch, &SearchConfig::quick())
+            .expect("search succeeds")
+            .best()
+            .unwrap()
+            .0
+            .clone();
         let c = coupled_case(
             pi,
             ci,

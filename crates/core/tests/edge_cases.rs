@@ -1,0 +1,158 @@
+//! Degenerate workload shapes through the whole engine: every
+//! [`Algorithm`] must either schedule them or report a degraded
+//! outcome — never panic, hang, or return a poisoned total.
+
+use secureloop::{Algorithm, AnnealingConfig, Scheduler};
+use secureloop_arch::Architecture;
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_mapper::SearchConfig;
+use secureloop_workload::{ConvLayer, Network};
+
+const ALGORITHMS: [Algorithm; 4] = [
+    Algorithm::Unsecure,
+    Algorithm::CryptTileSingle,
+    Algorithm::CryptOptSingle,
+    Algorithm::CryptOptCross,
+];
+
+fn scheduler() -> Scheduler {
+    let arch =
+        Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    Scheduler::new(arch)
+        .with_search(SearchConfig::quick())
+        .with_annealing(AnnealingConfig::quick())
+}
+
+/// Every algorithm schedules the network completely (degraded rungs
+/// allowed, failures and non-finite totals are not).
+fn assert_all_algorithms_handle(net: &Network) {
+    let s = scheduler();
+    for alg in ALGORITHMS {
+        let sched = s
+            .schedule(net, alg)
+            .unwrap_or_else(|e| panic!("{}/{alg}: {e}", net.name()));
+        assert_eq!(sched.failed_count(), 0, "{}/{alg}", net.name());
+        assert_eq!(sched.layers.len(), net.len(), "{}/{alg}", net.name());
+        assert!(
+            sched.total_energy_pj.is_finite() && sched.total_energy_pj > 0.0,
+            "{}/{alg}: energy {}",
+            net.name(),
+            sched.total_energy_pj
+        );
+        assert!(sched.total_latency_cycles > 0, "{}/{alg}", net.name());
+    }
+}
+
+#[test]
+fn one_by_one_convolution() {
+    // Pointwise conv on a single pixel: every spatial loop degenerates.
+    let mut net = Network::new("1x1-edge");
+    net.push(
+        ConvLayer::builder("pw1x1")
+            .input_hw(1, 1)
+            .channels(64, 128)
+            .kernel(1, 1)
+            .build()
+            .expect("valid shape"),
+        &[],
+    );
+    assert_all_algorithms_handle(&net);
+}
+
+#[test]
+fn stride_larger_than_kernel() {
+    // Stride 3 over a 1x1 kernel skips input pixels entirely.
+    let mut net = Network::new("stride-gt-kernel");
+    net.push(
+        ConvLayer::builder("skippy")
+            .input_hw(16, 16)
+            .channels(8, 16)
+            .kernel(1, 1)
+            .stride(3)
+            .build()
+            .expect("valid shape"),
+        &[],
+    );
+    assert_all_algorithms_handle(&net);
+}
+
+#[test]
+fn zero_padding_shrinking_output() {
+    // 5x5 kernel, no padding: output shrinks to 3x3.
+    let mut net = Network::new("no-pad");
+    net.push(
+        ConvLayer::builder("valid-conv")
+            .input_hw(7, 7)
+            .channels(4, 4)
+            .kernel(5, 5)
+            .pad(0)
+            .build()
+            .expect("valid shape"),
+        &[],
+    );
+    assert_all_algorithms_handle(&net);
+}
+
+#[test]
+fn single_channel_network() {
+    // Grayscale in, one filter out — C = K = 1 everywhere.
+    let mut net = Network::new("single-channel");
+    net.push(
+        ConvLayer::builder("gray1")
+            .input_hw(28, 28)
+            .channels(1, 1)
+            .kernel(3, 3)
+            .pad(1)
+            .build()
+            .expect("valid shape"),
+        &[],
+    );
+    net.push(
+        ConvLayer::builder("gray2")
+            .input_hw(28, 28)
+            .channels(1, 1)
+            .kernel(3, 3)
+            .pad(1)
+            .build()
+            .expect("valid shape"),
+        &[],
+    );
+    assert_all_algorithms_handle(&net);
+}
+
+#[test]
+fn chained_degenerate_segment() {
+    // A coupled segment made entirely of edge-case layers exercises the
+    // cross-layer path (AuthBlock matching over degenerate tiles).
+    let mut net = Network::new("degenerate-chain");
+    net.push(
+        ConvLayer::builder("a")
+            .input_hw(4, 4)
+            .channels(1, 8)
+            .kernel(1, 1)
+            .build()
+            .expect("valid shape"),
+        &[],
+    );
+    net.push(
+        ConvLayer::builder("b")
+            .input_hw(4, 4)
+            .channels(8, 8)
+            .kernel(3, 3)
+            .pad(1)
+            .build()
+            .expect("valid shape"),
+        &[],
+    );
+    net.push(
+        ConvLayer::builder("c")
+            .input_hw(4, 4)
+            .channels(8, 1)
+            .kernel(1, 1)
+            .stride(2)
+            .build()
+            .expect("valid shape"),
+        &[],
+    );
+    assert_all_algorithms_handle(&net);
+}

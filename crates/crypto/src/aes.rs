@@ -203,7 +203,12 @@ fn shift_rows(state: &mut [u8; 16]) {
 
 fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
         state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
         state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
@@ -278,7 +283,10 @@ mod tests {
         let k128 = [0u8; 16];
         let k256 = [0u8; 32];
         let pt = [0u8; 16];
-        assert_ne!(Aes128::new(&k128).encrypt(&pt), Aes256::new(&k256).encrypt(&pt));
+        assert_ne!(
+            Aes128::new(&k128).encrypt(&pt),
+            Aes256::new(&k256).encrypt(&pt)
+        );
     }
 
     #[test]

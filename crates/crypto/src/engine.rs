@@ -39,8 +39,11 @@ pub enum EngineClass {
 
 impl EngineClass {
     /// All three classes.
-    pub const ALL: [EngineClass; 3] =
-        [EngineClass::Pipelined, EngineClass::Parallel, EngineClass::Serial];
+    pub const ALL: [EngineClass; 3] = [
+        EngineClass::Pipelined,
+        EngineClass::Parallel,
+        EngineClass::Serial,
+    ];
 
     /// Table 2 AES-stage specification.
     pub fn aes(self) -> StageSpec {

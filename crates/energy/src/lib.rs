@@ -69,10 +69,7 @@ impl EnergyModel {
                 * word_frac
                 * ((arch.pe_x() + arch.pe_y()) as f64 / 2.0),
             dram_access_pj: arch.dram().pj_per_bit() * f64::from(word_bits),
-            crypto_pj_per_bit: arch
-                .crypto()
-                .map(|c| c.energy_per_bit_pj())
-                .unwrap_or(0.0),
+            crypto_pj_per_bit: arch.crypto().map(|c| c.energy_per_bit_pj()).unwrap_or(0.0),
             word_bits,
         }
     }
@@ -181,8 +178,7 @@ mod tests {
         // 35% of Eyeriss's logic gates. Against our full-die baseline
         // (logic + SRAM) the fraction is lower but still substantial.
         let a = AreaModel::of(
-            &Architecture::eyeriss_base()
-                .with_crypto(CryptoConfig::new(EngineClass::Pipelined, 3)),
+            &Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Pipelined, 3)),
         );
         let f = a.crypto_overhead_fraction();
         assert!(f > 0.15 && f < 0.60, "fraction = {f}");
@@ -191,8 +187,7 @@ mod tests {
     #[test]
     fn serial_engines_are_tiny() {
         let a = AreaModel::of(
-            &Architecture::eyeriss_base()
-                .with_crypto(CryptoConfig::new(EngineClass::Serial, 1)),
+            &Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Serial, 1)),
         );
         assert!(a.crypto_overhead_fraction() < 0.02);
     }

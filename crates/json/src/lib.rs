@@ -1,0 +1,806 @@
+#![warn(missing_docs)]
+
+//! Dependency-free JSON for the SecureLoop reproduction.
+//!
+//! The workspace builds in offline environments, so instead of serde
+//! this small crate carries everything the pipeline needs from JSON:
+//! reports ([`Json::pretty`]), `--arch-file` input ([`Json::parse`]
+//! with line/column errors), and checkpoint state round-trips.
+//!
+//! Objects preserve insertion order, so emitted reports are stable and
+//! diffable. Indexing mirrors `serde_json`'s ergonomics: `v["key"]` and
+//! `v[0]` return [`Json::Null`] for missing entries instead of
+//! panicking, which keeps deep probes like `v["layers"][0]["name"]`
+//! safe on malformed input.
+//!
+//! # Example
+//!
+//! ```
+//! use secureloop_json::Json;
+//!
+//! let v = Json::parse(r#"{"pe": [14, 12], "secure": true}"#).unwrap();
+//! assert_eq!(v["pe"][1].as_u64(), Some(12));
+//! assert_eq!(v["secure"], Json::Bool(true));
+//! assert!(v["missing"].is_null());
+//! ```
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON number, kept in its source form so integers survive exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Anything with a fraction or exponent.
+    F(f64),
+}
+
+impl Number {
+    /// The value as `u64`, if representable.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U(v) => Some(v),
+            Number::I(v) => u64::try_from(v).ok(),
+            Number::F(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as `f64` (lossy above 2^53).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+}
+
+/// A JSON document or fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+static NULL: Json = Json::Null;
+
+impl Json {
+    /// Parse a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] with 1-based line/column on malformed input,
+    /// including trailing garbage after the top-level value.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos < p.bytes.len() {
+            return Err(p.error("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a key to an object (builder style). Panics on non-objects:
+    /// construction sites are static, not data-driven.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("Json::field on a non-object"),
+        }
+        self
+    }
+
+    /// Member lookup that distinguishes "absent" from `null`.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `true` only for `Json::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// The boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if this is a representable number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `usize`, if this is a representable number.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// The value as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element vector, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The ordered key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Json)>> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_close, colon) = match indent {
+            Some(w) => (
+                "\n",
+                " ".repeat(w * (depth + 1)),
+                " ".repeat(w * depth),
+                ": ",
+            ),
+            None => ("", String::new(), String::new(), ":"),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    write_escaped(out, key);
+                    out.push_str(colon);
+                    value.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.compact())
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    use std::fmt::Write as _;
+    match n {
+        Number::U(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::I(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::F(v) if v.is_finite() => {
+            // `{}` on f64 always round-trips and never prints an
+            // exponent for moderate magnitudes; force a ".0" marker so
+            // the value re-parses as a float.
+            let mut s = format!("{v}");
+            if !s.contains(['.', 'e', 'E']) {
+                s.push_str(".0");
+            }
+            out.push_str(&s);
+        }
+        // JSON has no NaN/inf; emit null like serde_json does.
+        Number::F(_) => out.push_str("null"),
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Index<&str> for Json {
+    type Output = Json;
+    fn index(&self, key: &str) -> &Json {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Json {
+    type Output = Json;
+    fn index(&self, i: usize) -> &Json {
+        match self {
+            Json::Arr(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Json {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Json> for &str {
+    fn eq(&self, other: &Json) -> bool {
+        other == self
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(Number::U(v))
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Num(Number::U(v as u64))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(Number::U(v as u64))
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        if v < 0 {
+            Json::Num(Number::I(v))
+        } else {
+            Json::Num(Number::U(v as u64))
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(Number::F(v))
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// A parse failure with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending byte.
+    pub line: usize,
+    /// 1-based column of the offending byte.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at line {} column {}",
+            self.message, self.line, self.col
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(format!("unexpected character '{}'", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string().map_err(|mut e| {
+                e.message = format!("object key: {}", e.message);
+                e
+            })?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.error(format!("duplicate object key \"{key}\"")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.error("invalid unicode escape"))?);
+                        }
+                        other => {
+                            return Err(self.error(format!("invalid escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.error("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so this
+                    // boundary arithmetic is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let len = utf8_len(rest[0]);
+                    let chunk = std::str::from_utf8(&rest[..len.min(rest.len())])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let rest = &self.bytes[self.pos..];
+        if rest.len() < 4 {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&rest[..4]).map_err(|_| self.error("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.error("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.error("expected digits in number"));
+        }
+        if self.bytes[digits_start] == b'0' && self.pos - digits_start > 1 {
+            return Err(self.error("leading zero in number"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.error("expected digits after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.error("expected digits in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        let num = if is_float {
+            Number::F(
+                text.parse()
+                    .map_err(|_| self.error("number out of range"))?,
+            )
+        } else if negative {
+            match text.parse::<i64>() {
+                Ok(v) => Number::I(v),
+                Err(_) => Number::F(
+                    text.parse()
+                        .map_err(|_| self.error("number out of range"))?,
+                ),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(v) => Number::U(v),
+                Err(_) => Number::F(
+                    text.parse()
+                        .map_err(|_| self.error("number out of range"))?,
+                ),
+            }
+        };
+        Ok(Json::Num(num))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Num(Number::I(-7)));
+        assert_eq!(Json::parse("2.5").unwrap().as_f64(), Some(2.5));
+        assert_eq!(Json::parse("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(Json::parse(r#""hi""#).unwrap(), "hi");
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v = Json::parse(r#"{"z": 1, "a": 2, "m": 3}"#).unwrap();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn indexing_is_total() {
+        let v = Json::parse(r#"{"layers": [{"name": "conv1"}]}"#).unwrap();
+        assert_eq!(v["layers"][0]["name"], "conv1");
+        assert!(v["layers"][7]["name"].is_null());
+        assert!(v["nope"]["deep"]["deeper"].is_null());
+    }
+
+    #[test]
+    fn pretty_round_trips() {
+        let v = Json::obj()
+            .field("name", "edge")
+            .field("pe", vec![14u64, 12])
+            .field("bw", 3.2)
+            .field("secure", true)
+            .field("note", Json::Null)
+            .field("escaped", "a\"b\\c\nd\ttab");
+        let pretty = v.pretty();
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+        let compact = v.compact();
+        assert_eq!(Json::parse(&compact).unwrap(), v);
+        assert!(pretty.contains("\n  \"pe\": [\n    14,\n    12\n  ]"));
+    }
+
+    #[test]
+    fn floats_reparse_as_floats() {
+        let v = Json::from(3.0);
+        assert_eq!(v.compact(), "3.0");
+        assert_eq!(Json::parse("3.0").unwrap().as_f64(), Some(3.0));
+        assert_eq!(Json::from(f64::NAN).compact(), "null");
+    }
+
+    #[test]
+    fn big_u64_survives() {
+        let big = u64::MAX - 3;
+        let text = Json::from(big).compact();
+        assert_eq!(Json::parse(&text).unwrap().as_u64(), Some(big));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(Json::parse(r#""Aé""#).unwrap(), "Aé");
+        // Surrogate pair for U+1F600.
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), "😀");
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = Json::parse("{\n  \"a\": 1,\n  \"b\": }\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.col > 1);
+        assert!(e.to_string().contains("line 3"));
+
+        let e = Json::parse("[1, 2,, 3]").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.col, 7);
+    }
+
+    #[test]
+    fn rejects_malformations() {
+        for bad in [
+            "",
+            "{",
+            "[1",
+            r#"{"a" 1}"#,
+            "01",
+            "1.",
+            "1e",
+            "tru",
+            r#""\x""#,
+            "[1] trailing",
+            r#"{"a":1,"a":2}"#,
+            "\"unterminated",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn get_distinguishes_null_from_absent() {
+        let v = Json::parse(r#"{"present": null}"#).unwrap();
+        assert!(v.get("present").is_some());
+        assert!(v.get("absent").is_none());
+        assert!(v["present"].is_null() && v["absent"].is_null());
+    }
+}

@@ -43,7 +43,10 @@ impl AccessCounts {
 }
 
 fn dt_index(dt: Datatype) -> usize {
-    Datatype::ALL.iter().position(|&d| d == dt).expect("datatype in ALL")
+    Datatype::ALL
+        .iter()
+        .position(|&d| d == dt)
+        .expect("datatype in ALL")
 }
 
 /// Component-wise energy of one layer execution, in pJ.
@@ -363,8 +366,9 @@ mod tests {
     fn crypto_engine_throttles_memory_bound_layer() {
         let (layer, arch, m) = fixture();
         let base = evaluate(&layer, &arch, &m).unwrap();
-        let secure_arch =
-            arch.clone().with_crypto(CryptoConfig::new(EngineClass::Serial, 1));
+        let secure_arch = arch
+            .clone()
+            .with_crypto(CryptoConfig::new(EngineClass::Serial, 1));
         let secure = evaluate(&layer, &secure_arch, &m).unwrap();
         // Same data traffic, much lower effective bandwidth.
         assert_eq!(secure.dram_total_bits, base.dram_total_bits);

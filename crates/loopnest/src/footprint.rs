@@ -61,10 +61,7 @@ pub fn footprint_words(layer: &ConvLayer, dt: Datatype, inner: &DimMap<u64>) -> 
 /// The ifmap window extent (height, width) for a tile covering
 /// `p`/`q` output positions with `r`/`s` filter taps.
 pub fn ifmap_window(layer: &ConvLayer, p: u64, q: u64, r: u64, s: u64) -> (u64, u64) {
-    (
-        (p - 1) * layer.stride() + r,
-        (q - 1) * layer.stride() + s,
-    )
+    ((p - 1) * layer.stride() + r, (q - 1) * layer.stride() + s)
 }
 
 #[cfg(test)]

@@ -79,17 +79,32 @@ pub enum MappingError {
 impl fmt::Display for MappingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MappingError::FactorMismatch { dim, product, bound } => write!(
+            MappingError::FactorMismatch {
+                dim,
+                product,
+                bound,
+            } => write!(
                 f,
                 "factors for {dim} multiply to {product}, layer bound is {bound}"
             ),
-            MappingError::SpatialOverflow { axis, used, available } => {
-                write!(f, "spatial-{axis} uses {used} PEs, only {available} available")
+            MappingError::SpatialOverflow {
+                axis,
+                used,
+                available,
+            } => {
+                write!(
+                    f,
+                    "spatial-{axis} uses {used} PEs, only {available} available"
+                )
             }
             MappingError::DataflowViolation { dim, axis } => {
                 write!(f, "dataflow forbids mapping {dim} on spatial-{axis}")
             }
-            MappingError::CapacityExceeded { level, needed, available } => {
+            MappingError::CapacityExceeded {
+                level,
+                needed,
+                available,
+            } => {
                 write!(f, "{level} needs {needed} B, capacity {available} B")
             }
             MappingError::BadPermutation => f.write_str("loop order is not a permutation"),
@@ -100,8 +115,7 @@ impl fmt::Display for MappingError {
 impl std::error::Error for MappingError {}
 
 /// The canonical loop order `N M C P Q R S` (outermost first).
-pub const CANONICAL_ORDER: [Dim; 7] =
-    [Dim::N, Dim::M, Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S];
+pub const CANONICAL_ORDER: [Dim; 7] = [Dim::N, Dim::M, Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S];
 
 impl Mapping {
     /// The degenerate mapping holding the entire layer in one on-chip
@@ -263,9 +277,9 @@ impl fmt::Display for Mapping {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut indent = 0;
         let emit = |f: &mut fmt::Formatter<'_>,
-                        label: &str,
-                        dims: &[(Dim, u64)],
-                        indent: &mut usize|
+                    label: &str,
+                    dims: &[(Dim, u64)],
+                    indent: &mut usize|
          -> fmt::Result {
             writeln!(f, "{:indent$}// {label}", "", indent = *indent)?;
             for (d, b) in dims {
@@ -328,7 +342,10 @@ mod tests {
         let mut m = Mapping::untiled(&l);
         m.rf[Dim::M] = 4; // product now 4 != 8
         let err = m.validate(&l, &Architecture::eyeriss_base()).unwrap_err();
-        assert!(matches!(err, MappingError::FactorMismatch { dim: Dim::M, .. }));
+        assert!(matches!(
+            err,
+            MappingError::FactorMismatch { dim: Dim::M, .. }
+        ));
     }
 
     #[test]
@@ -343,7 +360,10 @@ mod tests {
         ));
         let arch_tiny = Architecture::eyeriss_base().with_pe_array(4, 4);
         let err = m.validate(&l, &arch_tiny).unwrap_err();
-        assert!(matches!(err, MappingError::SpatialOverflow { axis: 'x', .. }));
+        assert!(matches!(
+            err,
+            MappingError::SpatialOverflow { axis: 'x', .. }
+        ));
     }
 
     #[test]
@@ -354,7 +374,13 @@ mod tests {
         m.rf[Dim::S] = 1;
         m.spatial_y[Dim::S] = 3;
         let err = m.validate(&l, &Architecture::eyeriss_base()).unwrap_err();
-        assert!(matches!(err, MappingError::DataflowViolation { dim: Dim::S, axis: 'y' }));
+        assert!(matches!(
+            err,
+            MappingError::DataflowViolation {
+                dim: Dim::S,
+                axis: 'y'
+            }
+        ));
     }
 
     #[test]
@@ -368,7 +394,10 @@ mod tests {
             .unwrap();
         let m = Mapping::untiled(&l);
         let err = m.validate(&l, &Architecture::eyeriss_base()).unwrap_err();
-        assert!(matches!(err, MappingError::CapacityExceeded { level: "RF", .. }));
+        assert!(matches!(
+            err,
+            MappingError::CapacityExceeded { level: "RF", .. }
+        ));
     }
 
     #[test]
@@ -394,7 +423,8 @@ mod tests {
         m.glb[Dim::P] = 3;
         m.glb[Dim::Q] = 3;
         let unified = Architecture::eyeriss_base();
-        m.validate(&l, &unified).expect("fits the unified 512 B file");
+        m.validate(&l, &unified)
+            .expect("fits the unified 512 B file");
         let partitioned = Architecture::eyeriss_partitioned();
         let err = m.validate(&l, &partitioned).unwrap_err();
         assert!(

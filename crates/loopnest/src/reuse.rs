@@ -40,9 +40,7 @@ pub fn collect_loops(levels: &[(&[Dim; 7], &secureloop_workload::DimMap<u64>)]) 
 /// the parent: the product of all loop bounds at or outside the
 /// innermost loop relevant to `dt` (1 if no relevant loop exists).
 pub fn fetch_multiplier(layer: &ConvLayer, dt: Datatype, loops: &[OuterLoop]) -> u64 {
-    let innermost_relevant = loops
-        .iter()
-        .rposition(|l| layer.is_relevant(dt, l.dim));
+    let innermost_relevant = loops.iter().rposition(|l| layer.is_relevant(dt, l.dim));
     match innermost_relevant {
         None => 1,
         Some(j) => loops[..=j].iter().map(|l| l.bound).product(),

@@ -46,11 +46,7 @@ impl DramTileStats {
 ///
 /// For datatypes that bypass the GLB the "DRAM tile" is the PE-array
 /// tile and the fetch events are governed by all temporal loops.
-pub fn dram_stats(
-    layer: &ConvLayer,
-    arch: &Architecture,
-    mapping: &Mapping,
-) -> [DramTileStats; 3] {
+pub fn dram_stats(layer: &ConvLayer, arch: &Architecture, mapping: &Mapping) -> [DramTileStats; 3] {
     let constraints = arch.dataflow().constraints();
     let dram_loops = collect_loops(&[(&mapping.dram_order, &mapping.dram)]);
     let all_loops = collect_loops(&[
@@ -107,7 +103,10 @@ pub fn dram_stats(
 
 /// Index of a datatype within the `[weight, ifmap, ofmap]` arrays.
 pub fn dt_index(dt: Datatype) -> usize {
-    Datatype::ALL.iter().position(|&d| d == dt).expect("datatype in ALL")
+    Datatype::ALL
+        .iter()
+        .position(|&d| d == dt)
+        .expect("datatype in ALL")
 }
 
 #[cfg(test)]
@@ -156,7 +155,10 @@ mod tests {
         assert_eq!(s.tile_dims[Dim::Q] * s.tiles[Dim::Q], layer.dim(Dim::Q));
         assert_eq!(s.tile_dims[Dim::M] * s.tiles[Dim::M], layer.dim(Dim::M));
         // Distinct ofmap tiles = grid size over relevant dims.
-        assert_eq!(s.distinct, s.tiles[Dim::M] * s.tiles[Dim::P] * s.tiles[Dim::Q]);
+        assert_eq!(
+            s.distinct,
+            s.tiles[Dim::M] * s.tiles[Dim::P] * s.tiles[Dim::Q]
+        );
     }
 
     #[test]

@@ -227,14 +227,14 @@ mod tests {
     #[test]
     fn malformed_inputs_rejected() {
         for bad in [
-            "",                                                 // nothing
-            "dram[NMPQCRS]: M2",                                // missing levels
-            "dram[NMPQCR]: ; glb[NMPQCRS]: ; sx: ; sy: ; rf: ", // short order
-            "dram[NMPQCRR]: ; glb[NMPQCRS]: ; sx: ; sy: ; rf: ", // repeated order
-            "dram[NMPQCRS]: M0; glb[NMPQCRS]: ; sx: ; sy: ; rf: ", // zero
+            "",                                                       // nothing
+            "dram[NMPQCRS]: M2",                                      // missing levels
+            "dram[NMPQCR]: ; glb[NMPQCRS]: ; sx: ; sy: ; rf: ",       // short order
+            "dram[NMPQCRR]: ; glb[NMPQCRS]: ; sx: ; sy: ; rf: ",      // repeated order
+            "dram[NMPQCRS]: M0; glb[NMPQCRS]: ; sx: ; sy: ; rf: ",    // zero
             "dram[NMPQCRS]: M2 M3; glb[NMPQCRS]: ; sx: ; sy: ; rf: ", // dup dim
-            "dram[NMPQCRS]: X4; glb[NMPQCRS]: ; sx: ; sy: ; rf: ", // bad dim
-            "drem[NMPQCRS]: ; glb[NMPQCRS]: ; sx: ; sy: ; rf: ", // bad level
+            "dram[NMPQCRS]: X4; glb[NMPQCRS]: ; sx: ; sy: ; rf: ",    // bad dim
+            "drem[NMPQCRS]: ; glb[NMPQCRS]: ; sx: ; sy: ; rf: ",      // bad level
         ] {
             assert!(bad.parse::<Mapping>().is_err(), "accepted: '{bad}'");
         }

@@ -11,6 +11,8 @@
 //! loops sit outside which (see `secureloop-loopnest`), so this order
 //! set covers the distinct reuse structures without the full 5040².
 
+use std::time::Instant;
+
 use secureloop_arch::Architecture;
 use secureloop_loopnest::{evaluate, Evaluation, Mapping};
 use secureloop_workload::{ConvLayer, Dim, DimMap};
@@ -20,6 +22,45 @@ use crate::factors::divisors;
 /// Hard cap on evaluated mappings; enumeration stops (returning the
 /// best found so far plus a truncation flag) when it is hit.
 pub const DEFAULT_BUDGET: u64 = 2_000_000;
+
+/// Spaces no larger than this (see [`space_upper_bound`]) are enumerated
+/// outright by [`crate::search`] — the top rung of its degradation
+/// ladder.
+pub const EXHAUSTIVE_SPACE_CAP: u128 = 20_000;
+
+/// Upper bound on the number of mappings [`exhaustive_search`] would
+/// enumerate for `layer`: ordered 5-slot factorisations of every
+/// dimension times the representative order set at both temporal
+/// levels. Cheap (no allocation) — used to decide whether exhaustive
+/// enumeration is affordable before attempting it.
+pub fn space_upper_bound(layer: &ConvLayer) -> u128 {
+    // Ordered factorisations of p^e into 5 slots: C(e+4, 4).
+    fn slot_count(e: u128) -> u128 {
+        (e + 1) * (e + 2) * (e + 3) * (e + 4) / 24
+    }
+    let mut total: u128 = (order_set().len() * order_set().len()) as u128;
+    for &d in Dim::ALL.iter() {
+        let mut n = layer.dim(d);
+        let mut count: u128 = 1;
+        let mut p = 2u64;
+        while p * p <= n {
+            let mut e = 0u128;
+            while n % p == 0 {
+                n /= p;
+                e += 1;
+            }
+            if e > 0 {
+                count = count.saturating_mul(slot_count(e));
+            }
+            p += 1;
+        }
+        if n > 1 {
+            count = count.saturating_mul(5);
+        }
+        total = total.saturating_mul(count);
+    }
+    total
+}
 
 /// Result of an exhaustive search.
 #[derive(Debug, Clone)]
@@ -61,11 +102,39 @@ fn order_set() -> Vec<[Dim; 7]> {
 
 /// Exhaustively search the mapping space of `layer` with the given
 /// evaluation budget (use [`DEFAULT_BUDGET`] if unsure).
-pub fn exhaustive_search(
+pub fn exhaustive_search(layer: &ConvLayer, arch: &Architecture, budget: u64) -> ExhaustiveResult {
+    let run = run_exhaustive(layer, arch, budget, None, 1);
+    ExhaustiveResult {
+        best: run.keep.into_iter().next(),
+        evaluated: run.evaluated,
+        truncated: run.truncated,
+    }
+}
+
+/// Top-k exhaustive enumeration with an optional wall-clock deadline —
+/// the engine behind [`exhaustive_search`] and the exhaustive rung of
+/// [`crate::search`].
+pub(crate) struct ExhaustiveTopK {
+    /// Retained `(mapping, evaluation)` pairs, best first.
+    pub keep: Vec<(Mapping, Evaluation)>,
+    /// How many evaluated mappings were valid.
+    pub valid: usize,
+    /// Mappings attempted (valid or not).
+    pub evaluated: u64,
+    /// Whether the budget or deadline truncated the enumeration.
+    pub truncated: bool,
+}
+
+/// How often the enumeration polls the wall clock.
+const DEADLINE_STRIDE: u64 = 256;
+
+pub(crate) fn run_exhaustive(
     layer: &ConvLayer,
     arch: &Architecture,
     budget: u64,
-) -> ExhaustiveResult {
+    deadline: Option<Instant>,
+    top_k: usize,
+) -> ExhaustiveTopK {
     // Per-dimension factor splits: (dram, glb, sx, sy, rf). Ordered
     // with small on-chip (RF, then GLB) factors first, so truncated
     // enumerations visit capacity-feasible mappings early.
@@ -89,7 +158,8 @@ pub fn exhaustive_search(
         .collect();
 
     let orders = order_set();
-    let mut best: Option<(Mapping, Evaluation)> = None;
+    let mut keep: Vec<(Mapping, Evaluation)> = Vec::new();
+    let mut valid = 0usize;
     let mut evaluated = 0u64;
     let mut truncated = false;
 
@@ -126,16 +196,20 @@ pub fn exhaustive_search(
                     };
                     evaluated += 1;
                     if let Ok(e) = evaluate(layer, arch, &m) {
-                        let better = best.as_ref().is_none_or(|(_, b)| {
-                            (e.latency_cycles, e.energy_pj) < (b.latency_cycles, b.energy_pj)
-                        });
-                        if better {
-                            best = Some((m, e));
-                        }
+                        valid += 1;
+                        crate::insert_candidate(&mut keep, top_k, m, e);
                     }
                     if evaluated >= budget {
                         truncated = true;
                         break 'outer;
+                    }
+                    if evaluated % DEADLINE_STRIDE == 0 {
+                        if let Some(dl) = deadline {
+                            if Instant::now() >= dl {
+                                truncated = true;
+                                break 'outer;
+                            }
+                        }
                     }
                 }
             }
@@ -155,8 +229,9 @@ pub fn exhaustive_search(
         }
     }
 
-    ExhaustiveResult {
-        best,
+    ExhaustiveTopK {
+        keep,
+        valid,
         evaluated,
         truncated,
     }
@@ -203,8 +278,10 @@ mod tests {
                 top_k: 1,
                 seed: 3,
                 threads: 2,
+                deadline: None,
             },
-        );
+        )
+        .expect("search succeeds");
         let rnd = random.best().unwrap().1.latency_cycles;
         assert!(
             rnd >= best.latency_cycles,

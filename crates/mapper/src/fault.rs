@@ -1,0 +1,128 @@
+//! Fault-injection hooks for the robustness test harness.
+//!
+//! Production code never arms a plan; the hooks then compile down to a
+//! mutex-guarded `None` check per layer search. Tests install a
+//! [`FaultPlan`] through [`FaultScope::inject`] to force specific layers
+//! to fail their search or to poison their costs with NaN, exercising
+//! the scheduler's degradation ladder end to end.
+//!
+//! Scopes serialise on a process-wide lock so concurrent `cargo test`
+//! threads cannot observe each other's plans, and the plan is cleared
+//! when the scope drops (even on panic).
+
+use std::collections::BTreeSet;
+use std::sync::{Mutex, MutexGuard};
+
+/// Which layers a test wants to sabotage, by layer name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Layers whose search must return an injected-failure error.
+    pub fail_layers: BTreeSet<String>,
+    /// Layers whose every evaluation cost is replaced with NaN (the
+    /// search must reject them and report no valid mapping).
+    pub nan_layers: BTreeSet<String>,
+}
+
+impl FaultPlan {
+    /// A plan that hard-fails the named layers.
+    pub fn fail<I: IntoIterator<Item = S>, S: Into<String>>(layers: I) -> Self {
+        FaultPlan {
+            fail_layers: layers.into_iter().map(Into::into).collect(),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that NaN-poisons the named layers' costs.
+    pub fn nan_cost<I: IntoIterator<Item = S>, S: Into<String>>(layers: I) -> Self {
+        FaultPlan {
+            nan_layers: layers.into_iter().map(Into::into).collect(),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// What the armed plan says about one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// No fault: search normally.
+    Clean,
+    /// Return `MapperError::InjectedFailure` immediately.
+    Fail,
+    /// Evaluate normally but replace every cost with NaN.
+    NanCost,
+}
+
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+static SCOPE_LOCK: Mutex<()> = Mutex::new(());
+
+fn plan_slot() -> MutexGuard<'static, Option<FaultPlan>> {
+    // A panicking test poisons the mutex; the data (a plain plan) is
+    // still coherent, so recover rather than cascade the panic.
+    PLAN.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether any fault plan is currently armed. Layer-shape caches must
+/// be bypassed while one is: faults key on layer *names*, which a
+/// shape-dedup cache would conflate.
+pub fn armed() -> bool {
+    plan_slot().is_some()
+}
+
+pub(crate) fn verdict_for(layer: &str) -> Verdict {
+    match plan_slot().as_ref() {
+        None => Verdict::Clean,
+        Some(p) if p.fail_layers.contains(layer) => Verdict::Fail,
+        Some(p) if p.nan_layers.contains(layer) => Verdict::NanCost,
+        Some(_) => Verdict::Clean,
+    }
+}
+
+/// RAII guard arming a [`FaultPlan`] for the duration of a test.
+///
+/// Holding the scope also holds a process-wide lock, so at most one
+/// fault-injecting test runs at a time.
+pub struct FaultScope {
+    _serialise: MutexGuard<'static, ()>,
+}
+
+impl FaultScope {
+    /// Arm `plan` until the returned scope drops.
+    pub fn inject(plan: FaultPlan) -> FaultScope {
+        let guard = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        *plan_slot() = Some(plan);
+        FaultScope { _serialise: guard }
+    }
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        *plan_slot() = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_scoped_and_cleared() {
+        assert_eq!(verdict_for("conv1"), Verdict::Clean);
+        {
+            let _scope = FaultScope::inject(FaultPlan::fail(["conv1"]));
+            assert_eq!(verdict_for("conv1"), Verdict::Fail);
+            assert_eq!(verdict_for("conv2"), Verdict::Clean);
+        }
+        assert_eq!(verdict_for("conv1"), Verdict::Clean);
+    }
+
+    #[test]
+    fn nan_and_fail_are_distinct() {
+        let _scope = FaultScope::inject(FaultPlan {
+            fail_layers: ["a"].into_iter().map(String::from).collect(),
+            nan_layers: ["b"].into_iter().map(String::from).collect(),
+        });
+        assert_eq!(verdict_for("a"), Verdict::Fail);
+        assert_eq!(verdict_for("b"), Verdict::NanCost);
+        assert_eq!(verdict_for("c"), Verdict::Clean);
+    }
+}

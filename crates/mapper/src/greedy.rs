@@ -21,14 +21,20 @@ use secureloop_arch::Architecture;
 use secureloop_loopnest::{evaluate, Evaluation, Mapping};
 use secureloop_workload::{ConvLayer, Dim, DimMap};
 
+use crate::error::MapperError;
 use crate::factors::divisors_up_to;
 
 /// Deterministically construct a mapping for `layer` on `arch`.
 ///
-/// Returns `None` only if even the minimal tiling violates a capacity
-/// constraint (which does not happen for realistic configurations: the
-/// fallback keeps every GLB factor at 1).
-pub fn greedy_mapping(layer: &ConvLayer, arch: &Architecture) -> Option<(Mapping, Evaluation)> {
+/// # Errors
+///
+/// [`MapperError::Infeasible`] only if even the minimal tiling violates
+/// a capacity constraint (which does not happen for realistic
+/// configurations: the fallback keeps every GLB factor at 1).
+pub fn greedy_mapping(
+    layer: &ConvLayer,
+    arch: &Architecture,
+) -> Result<(Mapping, Evaluation), MapperError> {
     let constraints = arch.dataflow().constraints();
     let mut remaining = layer.bounds();
 
@@ -50,8 +56,18 @@ pub fn greedy_mapping(layer: &ConvLayer, arch: &Architecture) -> Option<(Mapping
             left /= f;
         }
     };
-    fill(&constraints.spatial_y, arch.pe_y() as u64, &mut spatial_y, &mut remaining);
-    fill(&constraints.spatial_x, arch.pe_x() as u64, &mut spatial_x, &mut remaining);
+    fill(
+        &constraints.spatial_y,
+        arch.pe_y() as u64,
+        &mut spatial_y,
+        &mut remaining,
+    );
+    fill(
+        &constraints.spatial_x,
+        arch.pe_x() as u64,
+        &mut spatial_x,
+        &mut remaining,
+    );
 
     // 2. RF: whole filter taps, modest channel reuse.
     let mut rf = DimMap::splat(1u64);
@@ -95,7 +111,13 @@ pub fn greedy_mapping(layer: &ConvLayer, arch: &Architecture) -> Option<(Mapping
     }
 
     let mapping = assemble(layer, glb, spatial_x, spatial_y, rf, remaining);
-    evaluate(layer, arch, &mapping).ok().map(|e| (mapping, e))
+    match evaluate(layer, arch, &mapping) {
+        Ok(e) => Ok((mapping, e)),
+        Err(e) => Err(MapperError::Infeasible {
+            layer: layer.name().to_string(),
+            reason: e.to_string(),
+        }),
+    }
 }
 
 fn assemble(
@@ -106,8 +128,7 @@ fn assemble(
     rf: DimMap<u64>,
     dram: DimMap<u64>,
 ) -> Mapping {
-    const REDUCTION_INNER: [Dim; 7] =
-        [Dim::N, Dim::M, Dim::P, Dim::Q, Dim::C, Dim::R, Dim::S];
+    const REDUCTION_INNER: [Dim; 7] = [Dim::N, Dim::M, Dim::P, Dim::Q, Dim::C, Dim::R, Dim::S];
     Mapping {
         dram,
         glb,
@@ -126,15 +147,22 @@ mod tests {
 
     #[test]
     fn greedy_succeeds_on_every_zoo_layer() {
+        // Collect failures instead of panicking per layer, so one bad
+        // layer reports alongside the rest.
         let arch = Architecture::eyeriss_base();
+        let mut failures: Vec<String> = Vec::new();
         for net in [zoo::alexnet_conv(), zoo::resnet18(), zoo::mobilenet_v2()] {
             for layer in net.layers() {
-                let (m, e) = greedy_mapping(layer, &arch)
-                    .unwrap_or_else(|| panic!("greedy failed on {}", layer.name()));
-                m.validate(layer, &arch).unwrap();
-                assert!(e.latency_cycles > 0);
+                match greedy_mapping(layer, &arch) {
+                    Ok((m, e)) => {
+                        m.validate(layer, &arch).unwrap();
+                        assert!(e.latency_cycles > 0);
+                    }
+                    Err(e) => failures.push(e.to_string()),
+                }
             }
         }
+        assert!(failures.is_empty(), "greedy failed on: {failures:?}");
     }
 
     #[test]
@@ -174,8 +202,10 @@ mod tests {
                 top_k: 1,
                 seed: 5,
                 threads: 2,
+                deadline: None,
             },
-        );
+        )
+        .expect("search succeeds");
         let best = random.best().unwrap().1.latency_cycles;
         assert!(
             best <= greedy.latency_cycles * 2,

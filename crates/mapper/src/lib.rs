@@ -14,6 +14,24 @@
 //! paper's "crypt-aware" scheduling — supplying the proper bandwidth and
 //! energy parameters to the baseline scheduler.
 //!
+//! # Fault tolerance
+//!
+//! [`search`] never panics on a well-formed layer: it returns a typed
+//! [`MapperError`] when no usable mapping exists, honours an optional
+//! wall-clock [`SearchConfig::deadline`], and reports which rung of the
+//! degradation ladder produced the result ([`SearchTier`]):
+//!
+//! 1. **Exhaustive** — tiny factorisation spaces are enumerated outright
+//!    (certified optimum over the representative order set);
+//! 2. **Sampled** — the default random-pruned search;
+//! 3. **Greedy** — if sampling finds nothing (or the deadline cuts it
+//!    off first), the deterministic constructive mapping still anchors a
+//!    result.
+//!
+//! Non-finite costs (NaN, or latencies saturated by a zero-bandwidth
+//! interface) are rejected at insertion, so corrupted models degrade
+//! into `NoValidMapping` errors instead of propagating garbage.
+//!
 //! # Example
 //!
 //! ```
@@ -26,21 +44,28 @@
 //!     &net.layers()[2],
 //!     &Architecture::eyeriss_base(),
 //!     &SearchConfig::quick(),
-//! );
-//! let best = result.best().expect("search found a valid mapping");
+//! )
+//! .expect("a valid mapping exists for every zoo layer");
+//! let best = result.best().expect("top-k retained at least one schedule");
 //! assert!(best.1.latency_cycles > 0);
 //! ```
 
+pub mod error;
 pub mod exhaustive;
 pub mod factors;
+pub mod fault;
 pub mod greedy;
 pub mod sampler;
+
+use std::time::{Duration, Instant};
 
 use secureloop_arch::Architecture;
 use secureloop_loopnest::{evaluate, Evaluation, Mapping};
 use secureloop_workload::ConvLayer;
 
-pub use exhaustive::{exhaustive_search, ExhaustiveResult};
+pub use error::MapperError;
+pub use exhaustive::{exhaustive_search, space_upper_bound, ExhaustiveResult};
+pub use fault::{FaultPlan, FaultScope};
 pub use greedy::greedy_mapping;
 pub use sampler::MappingSampler;
 
@@ -55,6 +80,10 @@ pub struct SearchConfig {
     pub seed: u64,
     /// Worker threads (1 = sequential).
     pub threads: usize,
+    /// Optional wall-clock budget for one [`search`] call. When it
+    /// expires the search returns whatever it has (flagged
+    /// [`MapperResult::truncated`]) instead of running to completion.
+    pub deadline: Option<Duration>,
 }
 
 impl SearchConfig {
@@ -65,6 +94,7 @@ impl SearchConfig {
             top_k: 6,
             seed: 0x5ec0_4e10,
             threads: 4,
+            deadline: None,
         }
     }
 
@@ -75,7 +105,14 @@ impl SearchConfig {
             top_k: 3,
             seed: 7,
             threads: 1,
+            deadline: None,
         }
+    }
+
+    /// Replace the sample budget.
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
     }
 
     /// Replace the retained-schedule count.
@@ -89,11 +126,54 @@ impl SearchConfig {
         self.seed = seed;
         self
     }
+
+    /// Replace the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set a wall-clock budget for each search call.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 impl Default for SearchConfig {
     fn default() -> Self {
         SearchConfig::paper_default()
+    }
+}
+
+/// Which rung of the degradation ladder produced a [`MapperResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchTier {
+    /// The whole (order-representative) space was enumerated: the best
+    /// candidate is a certified optimum over that set.
+    Exhaustive,
+    /// Random-pruned sampling, the paper's default mode.
+    #[default]
+    Sampled,
+    /// Only the deterministic greedy construction survived — sampling
+    /// found nothing valid or the deadline expired first.
+    Greedy,
+}
+
+impl SearchTier {
+    /// Human-readable rung name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchTier::Exhaustive => "exhaustive",
+            SearchTier::Sampled => "sampled",
+            SearchTier::Greedy => "greedy",
+        }
+    }
+}
+
+impl std::fmt::Display for SearchTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -103,10 +183,14 @@ impl Default for SearchConfig {
 pub struct MapperResult {
     /// Retained `(mapping, evaluation)` pairs, best first.
     pub candidates: Vec<(Mapping, Evaluation)>,
-    /// How many of the sampled mappings were valid.
+    /// How many of the sampled mappings were valid (finite cost).
     pub valid_samples: usize,
     /// Total samples drawn.
     pub total_samples: usize,
+    /// Which rung of the degradation ladder produced the candidates.
+    pub tier: SearchTier,
+    /// Whether a deadline cut the search short of its sample budget.
+    pub truncated: bool,
 }
 
 impl MapperResult {
@@ -116,16 +200,28 @@ impl MapperResult {
     }
 }
 
+/// Latencies at or above this are treated as saturated (a zero- or
+/// near-zero-bandwidth interface turns `f64::INFINITY` into `u64::MAX`
+/// through the `ceil() as u64` cast) and rejected: summing them across
+/// layers would overflow.
+pub const SATURATED_LATENCY: u64 = u64::MAX / 4;
+
 fn better(a: &Evaluation, b: &Evaluation) -> bool {
     (a.latency_cycles, a.energy_pj) < (b.latency_cycles, b.energy_pj)
 }
 
-fn insert_candidate(
+pub(crate) fn insert_candidate(
     keep: &mut Vec<(Mapping, Evaluation)>,
     top_k: usize,
     mapping: Mapping,
     eval: Evaluation,
 ) {
+    // Non-finite or saturated costs never enter the list: NaN makes the
+    // sort comparisons vacuous and saturated latencies overflow network
+    // totals.
+    if !eval.energy_pj.is_finite() || eval.latency_cycles >= SATURATED_LATENCY {
+        return;
+    }
     // Skip exact duplicates of an already-retained schedule.
     if keep.iter().any(|(m, _)| *m == mapping) {
         return;
@@ -140,64 +236,162 @@ fn insert_candidate(
     }
 }
 
-/// Randomly search the mapping space of one layer and keep the top-k
-/// schedules.
+/// How often the sampling loops poll the wall clock.
+const DEADLINE_STRIDE: usize = 32;
+
+/// Search the mapping space of one layer and keep the top-k schedules.
 ///
-/// The search is deterministic for a given [`SearchConfig`]: worker
-/// threads use disjoint derived seeds and their results are merged in a
-/// fixed order.
-pub fn search(layer: &ConvLayer, arch: &Architecture, cfg: &SearchConfig) -> MapperResult {
+/// Walks the degradation ladder described in the crate docs: exhaustive
+/// enumeration for tiny spaces, random sampling otherwise, with the
+/// greedy construction merged in as a floor. The search is deterministic
+/// for a given [`SearchConfig`] when no deadline is set: worker threads
+/// use disjoint derived seeds and their results are merged in a fixed
+/// order.
+///
+/// # Errors
+///
+/// [`MapperError::NoValidMapping`] when nothing evaluable was found and
+/// [`MapperError::InjectedFailure`] under an armed [`FaultPlan`].
+pub fn search(
+    layer: &ConvLayer,
+    arch: &Architecture,
+    cfg: &SearchConfig,
+) -> Result<MapperResult, MapperError> {
+    let verdict = fault::verdict_for(layer.name());
+    if verdict == fault::Verdict::Fail {
+        return Err(MapperError::InjectedFailure {
+            layer: layer.name().to_string(),
+        });
+    }
+    let nan = verdict == fault::Verdict::NanCost;
+    let poison = move |mut e: Evaluation| {
+        if nan {
+            e.energy_pj = f64::NAN;
+        }
+        e
+    };
+
+    let deadline = cfg.deadline.map(|d| Instant::now() + d);
+
+    // Ladder rung 1: certified enumeration when the whole space fits a
+    // small budget (skipped under NaN injection — the poisoning applies
+    // to the rungs below, which is where the tests aim it).
+    if !nan && space_upper_bound(layer) <= exhaustive::EXHAUSTIVE_SPACE_CAP {
+        let run = exhaustive::run_exhaustive(
+            layer,
+            arch,
+            exhaustive::EXHAUSTIVE_SPACE_CAP as u64,
+            deadline,
+            cfg.top_k.max(1),
+        );
+        if !run.truncated && !run.keep.is_empty() {
+            return Ok(MapperResult {
+                candidates: run.keep,
+                valid_samples: run.valid,
+                total_samples: run.evaluated as usize,
+                tier: SearchTier::Exhaustive,
+                truncated: false,
+            });
+        }
+        // Deadline expired mid-enumeration or nothing was valid: fall
+        // through to the cheaper rungs.
+    }
+
+    // Ladder rung 2: random-pruned sampling.
     let threads = cfg.threads.max(1);
     let per_thread = cfg.samples.div_ceil(threads);
     let chunks: Vec<(usize, u64)> = (0..threads)
-        .map(|t| (per_thread, cfg.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1))))
+        .map(|t| {
+            (
+                per_thread,
+                cfg.seed
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)),
+            )
+        })
         .collect();
 
-    let run_chunk = |samples: usize, seed: u64| -> (Vec<(Mapping, Evaluation)>, usize) {
+    // keep, valid, drawn, cut-by-deadline
+    type ChunkResult = (Vec<(Mapping, Evaluation)>, usize, usize, bool);
+    let run_chunk = |samples: usize, seed: u64| -> ChunkResult {
         let mut sampler = MappingSampler::new(layer, arch, seed);
         let mut keep: Vec<(Mapping, Evaluation)> = Vec::new();
         let mut valid = 0usize;
-        for _ in 0..samples {
+        let mut drawn = 0usize;
+        let mut cut = false;
+        for i in 0..samples {
+            if i % DEADLINE_STRIDE == 0 {
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        cut = true;
+                        break;
+                    }
+                }
+            }
+            drawn += 1;
             let mapping = sampler.sample();
             if let Ok(eval) = evaluate(layer, arch, &mapping) {
-                valid += 1;
+                let eval = poison(eval);
+                if eval.energy_pj.is_finite() {
+                    valid += 1;
+                }
                 insert_candidate(&mut keep, cfg.top_k, mapping, eval);
             }
         }
-        (keep, valid)
+        (keep, valid, drawn, cut)
     };
 
-    let results: Vec<(Vec<(Mapping, Evaluation)>, usize)> = if threads == 1 {
+    let results: Vec<ChunkResult> = if threads == 1 {
         vec![run_chunk(cfg.samples, chunks[0].1)]
     } else {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
-                .map(|&(samples, seed)| scope.spawn(move |_| run_chunk(samples, seed)))
+                .map(|&(samples, seed)| scope.spawn(move || run_chunk(samples, seed)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         })
-        .expect("scope panicked")
     };
 
-    let mut merged = MapperResult {
-        total_samples: per_thread * threads,
-        ..MapperResult::default()
-    };
-    // Seed with the deterministic greedy construction: guarantees a
-    // candidate exists and anchors quality independent of the sample
-    // budget.
-    if let Some((m, e)) = greedy::greedy_mapping(layer, arch) {
-        merged.valid_samples += 1;
-        insert_candidate(&mut merged.candidates, cfg.top_k, m, e);
-    }
-    for (keep, valid) in results {
+    let mut merged = MapperResult::default();
+    let mut sampled_any = false;
+    for (keep, valid, drawn, cut) in results {
         merged.valid_samples += valid;
+        merged.total_samples += drawn;
+        merged.truncated |= cut;
+        sampled_any |= !keep.is_empty();
         for (m, e) in keep {
             insert_candidate(&mut merged.candidates, cfg.top_k, m, e);
         }
     }
-    merged
+
+    // Ladder rung 3: the deterministic greedy construction — guarantees
+    // a candidate exists (when one does) and anchors quality independent
+    // of the sample budget. Its own failure is not fatal if sampling
+    // found candidates.
+    if let Ok((m, e)) = greedy::greedy_mapping(layer, arch) {
+        let e = poison(e);
+        if e.energy_pj.is_finite() {
+            merged.valid_samples += 1;
+        }
+        insert_candidate(&mut merged.candidates, cfg.top_k, m, e);
+    }
+
+    merged.tier = if sampled_any {
+        SearchTier::Sampled
+    } else {
+        SearchTier::Greedy
+    };
+
+    if merged.candidates.is_empty() {
+        return Err(MapperError::NoValidMapping {
+            layer: layer.name().to_string(),
+            samples: merged.total_samples,
+        });
+    }
+    Ok(merged)
 }
 
 #[cfg(test)]
@@ -212,15 +406,26 @@ mod tests {
 
     #[test]
     fn search_finds_valid_mappings() {
-        let r = search(&test_layer(), &Architecture::eyeriss_base(), &SearchConfig::quick());
-        assert!(r.valid_samples > 0, "no valid samples out of {}", r.total_samples);
+        let r = search(
+            &test_layer(),
+            &Architecture::eyeriss_base(),
+            &SearchConfig::quick(),
+        )
+        .expect("search succeeds");
+        assert!(
+            r.valid_samples > 0,
+            "no valid samples out of {}",
+            r.total_samples
+        );
         assert!(!r.candidates.is_empty());
+        assert_eq!(r.tier, SearchTier::Sampled);
+        assert!(!r.truncated);
     }
 
     #[test]
     fn candidates_are_sorted_and_unique() {
         let cfg = SearchConfig::quick().with_top_k(5);
-        let r = search(&test_layer(), &Architecture::eyeriss_base(), &cfg);
+        let r = search(&test_layer(), &Architecture::eyeriss_base(), &cfg).unwrap();
         for w in r.candidates.windows(2) {
             assert!(
                 (w[0].1.latency_cycles, w[0].1.energy_pj)
@@ -234,18 +439,22 @@ mod tests {
     #[test]
     fn search_is_deterministic() {
         let cfg = SearchConfig::quick();
-        let a = search(&test_layer(), &Architecture::eyeriss_base(), &cfg);
-        let b = search(&test_layer(), &Architecture::eyeriss_base(), &cfg);
-        assert_eq!(a.best().unwrap().1.latency_cycles, b.best().unwrap().1.latency_cycles);
+        let a = search(&test_layer(), &Architecture::eyeriss_base(), &cfg).unwrap();
+        let b = search(&test_layer(), &Architecture::eyeriss_base(), &cfg).unwrap();
+        assert_eq!(
+            a.best().unwrap().1.latency_cycles,
+            b.best().unwrap().1.latency_cycles
+        );
     }
 
     #[test]
     fn all_candidates_validate() {
         let arch = Architecture::eyeriss_base();
         let layer = test_layer();
-        let r = search(&layer, &arch, &SearchConfig::quick());
+        let r = search(&layer, &arch, &SearchConfig::quick()).unwrap();
         for (m, _) in &r.candidates {
-            m.validate(&layer, &arch).expect("retained mapping must be valid");
+            m.validate(&layer, &arch)
+                .expect("retained mapping must be valid");
         }
     }
 
@@ -253,11 +462,31 @@ mod tests {
     fn more_samples_do_not_hurt() {
         let layer = test_layer();
         let arch = Architecture::eyeriss_base();
-        let small = search(&layer, &arch, &SearchConfig { samples: 100, top_k: 1, seed: 1, threads: 1 });
-        let large = search(&layer, &arch, &SearchConfig { samples: 2000, top_k: 1, seed: 1, threads: 1 });
-        assert!(
-            large.best().unwrap().1.latency_cycles <= small.best().unwrap().1.latency_cycles
-        );
+        let small = search(
+            &layer,
+            &arch,
+            &SearchConfig {
+                samples: 100,
+                top_k: 1,
+                seed: 1,
+                threads: 1,
+                deadline: None,
+            },
+        )
+        .unwrap();
+        let large = search(
+            &layer,
+            &arch,
+            &SearchConfig {
+                samples: 2000,
+                top_k: 1,
+                seed: 1,
+                threads: 1,
+                deadline: None,
+            },
+        )
+        .unwrap();
+        assert!(large.best().unwrap().1.latency_cycles <= small.best().unwrap().1.latency_cycles);
     }
 
     #[test]
@@ -267,25 +496,153 @@ mod tests {
         // its latency must not be lower than the unsecure optimum.
         let layer = test_layer();
         let base = Architecture::eyeriss_base();
-        let secure = base.clone().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        let secure = base
+            .clone()
+            .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
         let cfg = SearchConfig::quick();
-        let b = search(&layer, &base, &cfg);
-        let s = search(&layer, &secure, &cfg);
-        assert!(
-            s.best().unwrap().1.latency_cycles >= b.best().unwrap().1.latency_cycles
-        );
+        let b = search(&layer, &base, &cfg).unwrap();
+        let s = search(&layer, &secure, &cfg).unwrap();
+        assert!(s.best().unwrap().1.latency_cycles >= b.best().unwrap().1.latency_cycles);
     }
 
     #[test]
     fn parallel_search_matches_quality() {
         let layer = test_layer();
         let arch = Architecture::eyeriss_base();
-        let seq = search(&layer, &arch, &SearchConfig { samples: 800, top_k: 3, seed: 3, threads: 1 });
-        let par = search(&layer, &arch, &SearchConfig { samples: 800, top_k: 3, seed: 3, threads: 4 });
+        let seq = search(
+            &layer,
+            &arch,
+            &SearchConfig {
+                samples: 800,
+                top_k: 3,
+                seed: 3,
+                threads: 1,
+                deadline: None,
+            },
+        )
+        .unwrap();
+        let par = search(
+            &layer,
+            &arch,
+            &SearchConfig {
+                samples: 800,
+                top_k: 3,
+                seed: 3,
+                threads: 4,
+                deadline: None,
+            },
+        )
+        .unwrap();
         // Different sample streams, but both must find reasonable
         // schedules (within 3x of each other).
         let a = seq.best().unwrap().1.latency_cycles as f64;
         let b = par.best().unwrap().1.latency_cycles as f64;
         assert!(a / b < 3.0 && b / a < 3.0, "seq {a} vs par {b}");
+    }
+
+    #[test]
+    fn tiny_layers_take_the_exhaustive_rung() {
+        let layer = ConvLayer::builder("pointwise")
+            .input_hw(1, 1)
+            .channels(4, 8)
+            .kernel(1, 1)
+            .build()
+            .unwrap();
+        let r = search(
+            &layer,
+            &Architecture::eyeriss_base(),
+            &SearchConfig::quick(),
+        )
+        .unwrap();
+        assert_eq!(r.tier, SearchTier::Exhaustive);
+        assert!(!r.truncated);
+        assert!(r.best().is_some());
+    }
+
+    #[test]
+    fn zero_sample_budget_degrades_to_greedy() {
+        let r = search(
+            &test_layer(),
+            &Architecture::eyeriss_base(),
+            &SearchConfig {
+                samples: 0,
+                top_k: 3,
+                seed: 1,
+                threads: 1,
+                deadline: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.tier, SearchTier::Greedy);
+        assert_eq!(r.candidates.len(), 1, "only the greedy seed can exist");
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_the_greedy_floor() {
+        let r = search(
+            &test_layer(),
+            &Architecture::eyeriss_base(),
+            &SearchConfig::quick()
+                .with_samples(1_000_000)
+                .with_deadline(Duration::ZERO),
+        )
+        .unwrap();
+        assert!(r.truncated, "a zero deadline must cut sampling short");
+        assert_eq!(r.tier, SearchTier::Greedy);
+        assert!(r.best().is_some(), "greedy floor survives the deadline");
+    }
+
+    #[test]
+    fn injected_failure_surfaces_as_typed_error() {
+        let layer = test_layer();
+        let _scope = FaultScope::inject(FaultPlan::fail([layer.name()]));
+        let err = search(
+            &layer,
+            &Architecture::eyeriss_base(),
+            &SearchConfig::quick(),
+        )
+        .expect_err("fault plan must fail the search");
+        assert_eq!(
+            err,
+            MapperError::InjectedFailure {
+                layer: layer.name().to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn nan_poisoned_costs_are_rejected_not_propagated() {
+        let layer = test_layer();
+        let _scope = FaultScope::inject(FaultPlan::nan_cost([layer.name()]));
+        let err = search(
+            &layer,
+            &Architecture::eyeriss_base(),
+            &SearchConfig::quick(),
+        )
+        .expect_err("NaN costs must leave no retainable candidate");
+        assert!(
+            matches!(err, MapperError::NoValidMapping { .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn saturated_latencies_never_enter_the_candidate_list() {
+        // A zero-bandwidth crypto interface saturates dram_cycles; the
+        // search must reject those candidates and report the failure as
+        // an error instead of overflowing downstream totals.
+        let layer = test_layer();
+        let arch =
+            Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 0));
+        match search(&layer, &arch, &SearchConfig::quick()) {
+            Ok(r) => {
+                for (_, e) in &r.candidates {
+                    assert!(e.latency_cycles < SATURATED_LATENCY);
+                    assert!(e.energy_pj.is_finite());
+                }
+            }
+            Err(MapperError::NoValidMapping { .. }) => {}
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
     }
 }

@@ -46,10 +46,10 @@ impl MappingSampler {
         // assign a random divisor within the remaining array capacity.
         // Biasing toward the largest divisor keeps utilisation high.
         let assign_axis = |rng: &mut StdRng,
-                               allowed: &[Dim],
-                               cap: u64,
-                               out: &mut DimMap<u64>,
-                               remaining: &mut DimMap<u64>| {
+                           allowed: &[Dim],
+                           cap: u64,
+                           out: &mut DimMap<u64>,
+                           remaining: &mut DimMap<u64>| {
             let mut dims: Vec<Dim> = allowed.to_vec();
             dims.shuffle(rng);
             let mut left = cap;
@@ -70,8 +70,20 @@ impl MappingSampler {
         };
         let y_allowed = self.constraints.spatial_y.clone();
         let x_allowed = self.constraints.spatial_x.clone();
-        assign_axis(&mut self.rng, &y_allowed, self.pe_y, &mut spatial_y, &mut remaining);
-        assign_axis(&mut self.rng, &x_allowed, self.pe_x, &mut spatial_x, &mut remaining);
+        assign_axis(
+            &mut self.rng,
+            &y_allowed,
+            self.pe_y,
+            &mut spatial_y,
+            &mut remaining,
+        );
+        assign_axis(
+            &mut self.rng,
+            &x_allowed,
+            self.pe_x,
+            &mut spatial_x,
+            &mut remaining,
+        );
 
         // Temporal split: RF gets a small factor (register files are
         // tiny), GLB a random share, DRAM the rest.
@@ -103,8 +115,7 @@ impl MappingSampler {
         // Loop orders: half the time start from the reduction-innermost
         // template (ofmap accumulates on-chip, the usual best order),
         // otherwise explore a random permutation.
-        const REDUCTION_INNER: [Dim; 7] =
-            [Dim::N, Dim::M, Dim::P, Dim::Q, Dim::C, Dim::R, Dim::S];
+        const REDUCTION_INNER: [Dim; 7] = [Dim::N, Dim::M, Dim::P, Dim::Q, Dim::C, Dim::R, Dim::S];
         let draw_order = |rng: &mut StdRng| {
             if rng.gen_bool(0.5) {
                 REDUCTION_INNER

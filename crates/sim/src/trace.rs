@@ -154,9 +154,7 @@ pub fn generate_trace(
         let id_loops = loops
             .iter()
             .enumerate()
-            .filter(|&(_, &(d, _, is_dram))| {
-                layer.is_relevant(dt, d) && (bypass || is_dram)
-            })
+            .filter(|&(_, &(d, _, is_dram))| layer.is_relevant(dt, d) && (bypass || is_dram))
             .map(|(i, _)| i)
             .collect();
         streams.push(Stream {
@@ -180,9 +178,8 @@ pub fn generate_trace(
 
     let mut idx = vec![0u64; loops.len()];
     let mut events = Vec::new();
-    let id_of = |idx: &[u64], which: &[usize]| -> Vec<u64> {
-        which.iter().map(|&i| idx[i]).collect()
-    };
+    let id_of =
+        |idx: &[u64], which: &[usize]| -> Vec<u64> { which.iter().map(|&i| idx[i]).collect() };
 
     for step in 0..steps {
         for s in &mut streams {

@@ -209,7 +209,11 @@ mod tests {
 
     #[test]
     fn reduction_dims() {
-        let red: Vec<Dim> = Dim::ALL.iter().copied().filter(|d| d.is_reduction()).collect();
+        let red: Vec<Dim> = Dim::ALL
+            .iter()
+            .copied()
+            .filter(|d| d.is_reduction())
+            .collect();
         assert_eq!(red, vec![Dim::C, Dim::R, Dim::S]);
     }
 

@@ -11,15 +11,7 @@
 use crate::graph::{Network, PostOp};
 use crate::layer::ConvLayer;
 
-fn conv(
-    name: &str,
-    hw: u64,
-    cin: u64,
-    cout: u64,
-    k: u64,
-    stride: u64,
-    pad: u64,
-) -> ConvLayer {
+fn conv(name: &str, hw: u64, cin: u64, cout: u64, k: u64, stride: u64, pad: u64) -> ConvLayer {
     ConvLayer::builder(name)
         .input_hw(hw, hw)
         .channels(cin, cout)
@@ -225,7 +217,10 @@ pub fn resnet50() -> Network {
         }
     }
     net.push(
-        ConvLayer::builder("fc").channels(2048, 1000).build().expect("fc"),
+        ConvLayer::builder("fc")
+            .channels(2048, 1000)
+            .build()
+            .expect("fc"),
         &[],
     );
     net
@@ -262,15 +257,24 @@ pub fn vgg16() -> Network {
         }
     }
     net.push(
-        ConvLayer::builder("fc6").channels(512 * 7 * 7, 4096).build().expect("fc6"),
+        ConvLayer::builder("fc6")
+            .channels(512 * 7 * 7, 4096)
+            .build()
+            .expect("fc6"),
         &[PostOp::Relu],
     );
     net.push(
-        ConvLayer::builder("fc7").channels(4096, 4096).build().expect("fc7"),
+        ConvLayer::builder("fc7")
+            .channels(4096, 4096)
+            .build()
+            .expect("fc7"),
         &[PostOp::Relu],
     );
     net.push(
-        ConvLayer::builder("fc8").channels(4096, 1000).build().expect("fc8"),
+        ConvLayer::builder("fc8")
+            .channels(4096, 1000)
+            .build()
+            .expect("fc8"),
         &[],
     );
     net
@@ -342,11 +346,7 @@ mod tests {
     fn resnet18_spatial_chain_is_consistent() {
         let net = resnet18();
         // l2b1c1 halves 56 -> 28.
-        let l = net
-            .layers()
-            .iter()
-            .find(|l| l.name() == "l2b1c1")
-            .unwrap();
+        let l = net.layers().iter().find(|l| l.name() == "l2b1c1").unwrap();
         // Effective (fetched) ifmap height: floor division leaves one
         // nominal input row unread.
         assert_eq!(l.ifmap_height(), 55);
@@ -449,7 +449,13 @@ mod tests {
 
     #[test]
     fn all_zoo_layers_have_positive_dims() {
-        for net in [alexnet_conv(), resnet18(), mobilenet_v2(), vgg16(), mlp(3, 256)] {
+        for net in [
+            alexnet_conv(),
+            resnet18(),
+            mobilenet_v2(),
+            vgg16(),
+            mlp(3, 256),
+        ] {
             for l in net.layers() {
                 assert!(l.macs() > 0, "{}", l.name());
                 for dt in Datatype::ALL {

@@ -21,7 +21,10 @@ fn main() {
     println!("(data word = 8 bits, tag = 64 bits)\n");
     for orientation in Orientation::ALL {
         println!("{orientation} AuthBlocks:");
-        println!("{:>6} {:>8} {:>12} {:>10} {:>10}", "u", "blocks", "redundant", "tag", "total");
+        println!(
+            "{:>6} {:>8} {:>12} {:>10} {:>10}",
+            "u", "blocks", "redundant", "tag", "total"
+        );
         let sizes: Vec<u64> = match orientation {
             Orientation::Horizontal => (1..=30).collect(),
             Orientation::Vertical => vec![1, 2, 3, 5, 10, 30, 50, 100, 150, 300, 450, 900],
@@ -58,7 +61,10 @@ fn main() {
     };
     let tile_baseline = evaluate_assignment(&problem, Strategy::TileAsAuthBlock);
     let best = optimize(&problem);
-    println!("tile-as-an-AuthBlock baseline: {} overhead bits", tile_baseline.total().total_bits());
+    println!(
+        "tile-as-an-AuthBlock baseline: {} overhead bits",
+        tile_baseline.total().total_bits()
+    );
     match best.strategy {
         Strategy::Assigned(a) => println!(
             "optimiser chose {a}: {} overhead bits ({:.1}% of baseline)",

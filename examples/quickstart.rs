@@ -16,8 +16,8 @@ use secureloop_workload::zoo;
 fn main() {
     // The paper's base secure configuration: Eyeriss-like accelerator
     // with one parallel AES-GCM engine per datatype (§5.1).
-    let arch = Architecture::eyeriss_base()
-        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let arch =
+        Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
     println!("architecture: {}", arch.summary());
     println!(
         "effective off-chip bandwidth: {:.2} B/cycle (DRAM {:.0} B/cycle)",
@@ -33,10 +33,13 @@ fn main() {
             top_k: 6,
             seed: 1,
             threads: 4,
+            deadline: None,
         })
         .with_annealing(AnnealingConfig::paper_default().with_iterations(400));
 
-    let unsecure = scheduler.schedule(&net, Algorithm::Unsecure);
+    let unsecure = scheduler
+        .schedule(&net, Algorithm::Unsecure)
+        .expect("schedule");
     println!(
         "{:<18} {:>12} cycles  {:>9.1} uJ",
         "Unsecure",
@@ -45,7 +48,7 @@ fn main() {
     );
 
     for algo in Algorithm::SECURE {
-        let s = scheduler.schedule(&net, algo);
+        let s = scheduler.schedule(&net, algo).expect("schedule");
         println!(
             "{:<18} {:>12} cycles  {:>9.1} uJ  (x{:.2} slowdown, +{:.1} Mbit auth traffic)",
             algo.name(),
@@ -58,7 +61,9 @@ fn main() {
 
     println!();
     println!("per-layer detail for the full SecureLoop scheduler:");
-    let best = scheduler.schedule(&net, Algorithm::CryptOptCross);
+    let best = scheduler
+        .schedule(&net, Algorithm::CryptOptCross)
+        .expect("schedule");
     println!(
         "{:<14} {:>12} {:>12} {:>14} {:>8}",
         "layer", "cycles", "energy(nJ)", "auth bits", "util"

@@ -14,14 +14,20 @@ use secureloop_mapper::SearchConfig;
 use secureloop_workload::zoo;
 
 fn main() {
-    let secure = Architecture::eyeriss_base()
-        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let secure =
+        Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
     let model = RooflineModel::of(&secure);
     println!("machine model @ {} MHz:", secure.clock_mhz());
     println!("  compute roof        : {:.1} GFLOPS", model.peak_gflops);
     println!("  DRAM slope          : {:.1} GB/s", model.dram_gbps);
-    println!("  effective slope     : {:.2} GB/s (crypto-limited)", model.effective_gbps);
-    println!("  ridge intensity     : {:.1} FLOP/byte\n", model.ridge_intensity());
+    println!(
+        "  effective slope     : {:.2} GB/s (crypto-limited)",
+        model.effective_gbps
+    );
+    println!(
+        "  ridge intensity     : {:.1} FLOP/byte\n",
+        model.ridge_intensity()
+    );
 
     let scheduler = Scheduler::new(secure.clone())
         .with_search(SearchConfig {
@@ -29,6 +35,7 @@ fn main() {
             top_k: 6,
             seed: 3,
             threads: 4,
+            deadline: None,
         })
         .with_annealing(AnnealingConfig::paper_default().with_iterations(300));
 
@@ -43,7 +50,7 @@ fn main() {
             Algorithm::CryptOptSingle,
             Algorithm::CryptOptCross,
         ] {
-            let s = scheduler.schedule(&net, algo);
+            let s = scheduler.schedule(&net, algo).expect("schedule");
             let p = schedule_point(&s, &secure);
             let attainable = model.attainable_gflops(p.intensity);
             println!(

@@ -10,7 +10,7 @@
 //! cargo run --release --example secure_edge_dse
 //! ```
 
-use secureloop::dse::{evaluate_designs, pareto_front, fig16_design_space};
+use secureloop::dse::{evaluate_designs, fig16_design_space, pareto_front};
 use secureloop::{Algorithm, AnnealingConfig};
 use secureloop_mapper::SearchConfig;
 use secureloop_workload::zoo;
@@ -29,9 +29,16 @@ fn main() {
         top_k: 4,
         seed: 11,
         threads: 4,
+        deadline: None,
     };
     let annealing = AnnealingConfig::paper_default().with_iterations(200);
-    let results = evaluate_designs(&net, &designs, Algorithm::CryptOptCross, &search, &annealing);
+    let results = evaluate_designs(
+        &net,
+        &designs,
+        Algorithm::CryptOptCross,
+        &search,
+        &annealing,
+    );
     let front = pareto_front(&results);
 
     println!(

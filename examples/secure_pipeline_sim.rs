@@ -15,8 +15,8 @@ use secureloop_sim::{generate_trace, replay};
 use secureloop_workload::zoo;
 
 fn main() {
-    let arch = Architecture::eyeriss_base()
-        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let arch =
+        Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
     let net = zoo::alexnet_conv();
     let layer = &net.layers()[2]; // conv3
     println!("layer: {layer}");
@@ -30,8 +30,10 @@ fn main() {
             top_k: 1,
             seed: 42,
             threads: 4,
+            deadline: None,
         },
     )
+    .expect("search succeeds")
     .best()
     .expect("schedule found")
     .clone();
@@ -47,7 +49,10 @@ fn main() {
         reads,
         writes
     );
-    assert_eq!(reads, eval.counts.dram_read_words, "trace must match the model");
+    assert_eq!(
+        reads, eval.counts.dram_read_words,
+        "trace must match the model"
+    );
 
     // Step 3: replay through the pipeline model.
     let r = replay(&trace, &arch);

@@ -18,6 +18,7 @@ fn engine_simulation_validates_effective_bandwidth() {
     let net = zoo::alexnet_conv();
     let layer = &net.layers()[2];
     let best = search(layer, &arch, &SearchConfig::quick())
+        .expect("search succeeds")
         .best()
         .expect("found a mapping")
         .clone();

@@ -16,6 +16,7 @@ fn search() -> SearchConfig {
         top_k: 4,
         seed: 0xf16,
         threads: 4,
+        deadline: None,
     }
 }
 
@@ -30,10 +31,13 @@ fn sched(arch: Architecture) -> Scheduler {
 #[test]
 fn fig13_shape_engine_configurations() {
     let net = zoo::mobilenet_v2();
-    let unsec = sched(Architecture::eyeriss_base()).schedule(&net, Algorithm::Unsecure);
+    let unsec = sched(Architecture::eyeriss_base())
+        .schedule(&net, Algorithm::Unsecure)
+        .expect("schedule");
     let run = |cfg: CryptoConfig| {
         sched(Architecture::eyeriss_base().with_crypto(cfg))
             .schedule(&net, Algorithm::CryptOptCross)
+            .expect("schedule")
             .total_latency_cycles as f64
             / unsec.total_latency_cycles as f64
     };
@@ -44,7 +48,10 @@ fn fig13_shape_engine_configurations() {
         (ser30 / par1 - 1.0).abs() < 0.25,
         "Serial x30 ({ser30:.2}) must track Parallel x1 ({par1:.2})"
     );
-    assert!(pipe1 < 1.3, "Pipelined x1 slowdown {pipe1:.2} must be small");
+    assert!(
+        pipe1 < 1.3,
+        "Pipelined x1 slowdown {pipe1:.2} must be small"
+    );
     assert!(par1 > 2.0, "Parallel x1 must throttle MobileNetV2");
     let area = |cfg: CryptoConfig| cfg.total_area_kgates();
     let ratio = area(CryptoConfig::new(EngineClass::Serial, 30))
@@ -65,12 +72,21 @@ fn fig14_shape_pe_scaling() {
         } else {
             Algorithm::Unsecure
         };
-        sched(arch).schedule(&net, algo).total_latency_cycles as f64
+        sched(arch)
+            .schedule(&net, algo)
+            .expect("schedule")
+            .total_latency_cycles as f64
     };
     let unsec_gain = lat(14, 12, false) / lat(28, 24, false);
     let sec_gain = lat(14, 12, true) / lat(28, 24, true);
-    assert!(unsec_gain > 2.0, "unsecure 4x PEs must give >2x ({unsec_gain:.2})");
-    assert!(sec_gain < 1.3, "secure design is supply-bound ({sec_gain:.2})");
+    assert!(
+        unsec_gain > 2.0,
+        "unsecure 4x PEs must give >2x ({unsec_gain:.2})"
+    );
+    assert!(
+        sec_gain < 1.3,
+        "secure design is supply-bound ({sec_gain:.2})"
+    );
 }
 
 /// Fig. 15: shrinking the GLB hurts the throttled secure design but
@@ -86,11 +102,17 @@ fn fig15_shape_glb_scaling() {
         } else {
             Algorithm::Unsecure
         };
-        sched(arch).schedule(&net, algo).total_latency_cycles as f64
+        sched(arch)
+            .schedule(&net, algo)
+            .expect("schedule")
+            .total_latency_cycles as f64
     };
     let unsec_ratio = lat(16, false) / lat(131, false);
     let sec_ratio = lat(16, true) / lat(131, true);
-    assert!(unsec_ratio < 1.15, "unsecure barely moves ({unsec_ratio:.2})");
+    assert!(
+        unsec_ratio < 1.15,
+        "unsecure barely moves ({unsec_ratio:.2})"
+    );
     assert!(
         sec_ratio > unsec_ratio,
         "secure must suffer more from small buffers ({sec_ratio:.2} vs {unsec_ratio:.2})"
@@ -109,6 +131,7 @@ fn dram_shape_technology_study() {
                 .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3)),
         )
         .schedule(&net, Algorithm::CryptOptCross)
+        .expect("schedule")
     };
     let lp64 = run(DramSpec::lpddr4_64());
     let lp128 = run(DramSpec::lpddr4_128());
@@ -141,10 +164,6 @@ fn fig16_shape_pareto_front() {
         .iter()
         .position(|r| r.label == "28x24/16kB/Parallel")
         .expect("design exists");
-    let fastest = results
-        .iter()
-        .map(|r| r.latency())
-        .min()
-        .expect("nonempty");
+    let fastest = results.iter().map(|r| r.latency()).min().expect("nonempty");
     assert!(results[corner].latency() > fastest);
 }

@@ -11,12 +11,12 @@ use secureloop_workload::{ConvLayer, Datatype};
 
 fn random_layer() -> impl Strategy<Value = ConvLayer> {
     (
-        4u64..40,   // input hw
-        1u64..24,   // cin
-        1u64..24,   // cout
+        4u64..40, // input hw
+        1u64..24, // cin
+        1u64..24, // cout
         prop_oneof![Just(1u64), Just(3), Just(5)],
-        1u64..3,    // stride
-        0u64..2,    // pad
+        1u64..3, // stride
+        0u64..2, // pad
     )
         .prop_filter_map("geometry must be valid", |(hw, cin, cout, k, s, p)| {
             ConvLayer::builder("prop")
