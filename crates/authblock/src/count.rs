@@ -11,8 +11,14 @@
 
 use std::collections::HashSet;
 
+use secureloop_telemetry::Counter;
+
 use crate::congruence::{count_residues_le, floor_sum};
 use crate::lattice::{BlockAssignment, Region, TileRect};
+
+/// How many times the closed-form congruence solver ran — the unit the
+/// optimiser's `OPTIMIZE_BUDGET` is denominated in.
+static CONGRUENCE_CALLS: Counter = Counter::new("authblock.congruence_calls");
 
 /// The outcome of overlapping one tile against one block lattice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -109,6 +115,7 @@ pub fn count_blocks_rows(region: Region, tile: TileRect, assign: BlockAssignment
 /// consecutive rows — and the gap sizes depend only on
 /// `(e_r mod u)`, a linear-congruence count.
 pub fn count_blocks(region: Region, tile: TileRect, assign: BlockAssignment) -> BlockCount {
+    CONGRUENCE_CALLS.incr();
     let (region, tile) = assign.to_row_major(region, tile);
     assert_tile_fits(region, tile);
     let u = assign.size;

@@ -1,9 +1,25 @@
 //! AuthBlock assignment strategies and the exhaustive
 //! orientation × size optimiser (paper §4.2).
 
+use secureloop_telemetry::{self as telemetry, Counter, Timer};
+
 use crate::count::count_blocks;
 use crate::grid::TileGrid;
 use crate::lattice::{BlockAssignment, Orientation, Region, TileRect};
+
+static OPTIMIZE_RUNS: Counter = Counter::new("authblock.optimize_runs");
+static CANDIDATES_CONSIDERED: Counter = Counter::new("authblock.candidates_considered");
+static CHOSEN_REDUNDANT_BITS: Counter = Counter::new("authblock.chosen_redundant_bits");
+static OPTIMIZE_TIMER: Timer = Timer::new("authblock.optimize");
+
+fn strategy_name(s: Strategy) -> &'static str {
+    match s {
+        Strategy::TileAsAuthBlock => "tile_as_authblock",
+        Strategy::Assigned(_) => "assigned",
+        Strategy::Rehash => "rehash",
+        Strategy::ReaderAligned => "reader_aligned",
+    }
+}
 
 /// The additional off-chip traffic caused by memory authentication,
 /// broken down as in paper Fig. 11(b).
@@ -323,6 +339,15 @@ const OPTIMIZE_BUDGET: u64 = 200_000;
 /// the tile-as-AuthBlock and rehash baselines, and return the strategy
 /// with the least total additional off-chip traffic.
 pub fn optimize(problem: &AssignmentProblem) -> AssignmentChoice {
+    OPTIMIZE_RUNS.incr();
+    let mut span = telemetry::span(
+        "authblock",
+        format!("{}x{}", problem.region.h, problem.region.w),
+    )
+    .with_timer(&OPTIMIZE_TIMER);
+    // Strategies evaluated this run, flushed to the global counter once.
+    let mut considered = 2u64; // tile-as-AuthBlock + rehash baselines
+
     let cap = (problem.producer_grid.tile_h * problem.producer_grid.tile_w).min(4096);
     let mut best = AssignmentChoice {
         strategy: Strategy::TileAsAuthBlock,
@@ -336,6 +361,7 @@ pub fn optimize(problem: &AssignmentProblem) -> AssignmentChoice {
         };
     }
     if problem.producer_write_sweeps == 0 {
+        considered += 1;
         let aligned = evaluate_assignment(problem, Strategy::ReaderAligned);
         if aligned.total().total_bits() < best.overhead.total().total_bits() {
             best = AssignmentChoice {
@@ -362,6 +388,7 @@ pub fn optimize(problem: &AssignmentProblem) -> AssignmentChoice {
     }
 
     for orientation in Orientation::ALL {
+        considered += cands.len() as u64;
         for &size in &cands {
             let a = BlockAssignment::new(orientation, size);
             let o = evaluate_assignment(problem, Strategy::Assigned(a));
@@ -373,6 +400,12 @@ pub fn optimize(problem: &AssignmentProblem) -> AssignmentChoice {
             }
         }
     }
+
+    CANDIDATES_CONSIDERED.add(considered);
+    CHOSEN_REDUNDANT_BITS.add(best.overhead.total().redundant_bits);
+    span.add_field("strategy", strategy_name(best.strategy));
+    span.add_field("candidates", considered);
+    span.add_field("redundant_bits", best.overhead.total().redundant_bits);
     best
 }
 

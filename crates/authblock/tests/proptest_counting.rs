@@ -115,6 +115,102 @@ proptest! {
     }
 }
 
+/// Randomized halo geometries: a reader whose tiles overlap (window
+/// larger than step — the convolution-input case of paper Fig. 10).
+fn halo_problem() -> impl proptest::strategy::Strategy<Value = (AssignmentProblem, BlockAssignment)>
+{
+    (4u64..20, 4u64..20).prop_flat_map(|(h, w)| {
+        (
+            1u64..=h,
+            1u64..=w,
+            (2u64..=h.min(6), 2u64..=w.min(6))
+                .prop_flat_map(|(win_h, win_w)| (Just(win_h), Just(win_w), 1..win_h, 1..win_w)),
+            prop_oneof![Just(Orientation::Horizontal), Just(Orientation::Vertical)],
+            1u64..=24,
+            1u64..4,
+        )
+            .prop_map(
+                move |(pt_h, pt_w, (win_h, win_w, step_h, step_w), orientation, size, sweeps)| {
+                    let region = Region::new(h, w);
+                    let problem = AssignmentProblem {
+                        region,
+                        producer_grid: TileGrid::covering(region, pt_h, pt_w),
+                        producer_write_sweeps: 1,
+                        readers: vec![AccessPattern {
+                            grid: TileGrid::covering_with_halo(
+                                region, win_h, win_w, step_h, step_w,
+                            ),
+                            sweeps,
+                        }],
+                        word_bits: 8,
+                        tag_bits: 64,
+                    };
+                    (problem, BlockAssignment::new(orientation, size))
+                },
+            )
+    })
+}
+
+/// Element-by-element enumeration oracle for the consumer side of an
+/// assignment: per reader tile, per intersected producer tile, count
+/// blocks with `count_blocks_brute` on the producer-local lattice —
+/// mirroring `evaluate_assignment`'s decomposition but swapping the
+/// closed-form congruence counter for exhaustive enumeration.
+fn brute_consumer_overhead(problem: &AssignmentProblem, assign: BlockAssignment) -> (u64, u64) {
+    let word = u64::from(problem.word_bits);
+    let tag = u64::from(problem.tag_bits);
+    let producers: Vec<TileRect> = problem.producer_grid.tiles(problem.region).collect();
+    let mut hash_bits = 0u64;
+    let mut redundant_bits = 0u64;
+    for reader in &problem.readers {
+        for t in reader.grid.tiles(problem.region) {
+            let mut blocks = 0u64;
+            let mut fetched = 0u64;
+            for p in &producers {
+                let Some(sub) = t.intersect(p) else { continue };
+                let local_region = Region::new(p.rows, p.cols);
+                let local_tile =
+                    TileRect::new(sub.row0 - p.row0, sub.col0 - p.col0, sub.rows, sub.cols);
+                let c = count_blocks_brute(local_region, local_tile, assign);
+                blocks += c.blocks;
+                fetched += c.fetched_elems;
+            }
+            hash_bits += blocks * tag * reader.sweeps;
+            redundant_bits += (fetched - t.elems()) * word * reader.sweeps;
+        }
+    }
+    (hash_bits, redundant_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn halo_geometries_match_the_enumeration_oracle((p, assign) in halo_problem()) {
+        let analytical = evaluate_assignment(&p, Strategy::Assigned(assign));
+        let (hash_bits, redundant_bits) = brute_consumer_overhead(&p, assign);
+        prop_assert_eq!(
+            analytical.consumer.hash_bits, hash_bits,
+            "hash bits diverge on {:?} with {:?}", p, assign
+        );
+        prop_assert_eq!(
+            analytical.consumer.redundant_bits, redundant_bits,
+            "redundant bits diverge on {:?} with {:?}", p, assign
+        );
+        prop_assert_eq!(analytical.consumer.rehash_bits, 0);
+    }
+
+    #[test]
+    fn halo_optimizer_never_worse_than_baselines((p, _a) in halo_problem()) {
+        let best = secureloop_authblock::optimize(&p);
+        let tile = evaluate_assignment(&p, Strategy::TileAsAuthBlock);
+        prop_assert!(
+            best.overhead.total().total_bits() <= tile.total().total_bits(),
+            "optimizer regressed below tile-as-AuthBlock on {:?}", p
+        );
+    }
+}
+
 fn channel_request(
 ) -> impl proptest::strategy::Strategy<Value = (secureloop_authblock::ChannelRequest, u64)> {
     use secureloop_authblock::ChannelRequest;

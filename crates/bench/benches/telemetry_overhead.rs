@@ -1,0 +1,80 @@
+//! Cost of the telemetry layer on the mapper's hot path.
+//!
+//! The instrumentation contract is that with no sink installed the
+//! counters and spans are cheap enough to leave on everywhere: this
+//! bench runs the same layer search with telemetry enabled (null sink,
+//! the default) and disabled (`set_enabled(false)`, every counter and
+//! span short-circuited), and then measures both directly to print the
+//! overhead percentage. The budget is 5%.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use secureloop_arch::Architecture;
+use secureloop_mapper::{search, SearchConfig};
+use secureloop_telemetry as telemetry;
+use secureloop_workload::zoo;
+
+fn cfg() -> SearchConfig {
+    SearchConfig {
+        samples: 1000,
+        top_k: 6,
+        seed: 9,
+        threads: 1,
+        deadline: None,
+    }
+}
+
+fn search_instrumented(c: &mut Criterion) {
+    let net = zoo::alexnet_conv();
+    let layer = net.layers()[2].clone();
+    let arch = Architecture::eyeriss_base();
+    let cfg = cfg();
+
+    telemetry::set_enabled(true);
+    c.bench_function("mapper_search_telemetry_on", |b| {
+        b.iter(|| search(black_box(&layer), black_box(&arch), black_box(&cfg)))
+    });
+    telemetry::set_enabled(false);
+    c.bench_function("mapper_search_telemetry_off", |b| {
+        b.iter(|| search(black_box(&layer), black_box(&arch), black_box(&cfg)))
+    });
+    telemetry::set_enabled(true);
+}
+
+/// Direct A/B measurement with interleaved rounds (robust to thermal
+/// drift), printing the relative overhead of the enabled path.
+fn overhead_report(_c: &mut Criterion) {
+    let net = zoo::alexnet_conv();
+    let layer = net.layers()[2].clone();
+    let arch = Architecture::eyeriss_base();
+    let cfg = cfg();
+
+    let time_one = |enabled: bool| {
+        telemetry::set_enabled(enabled);
+        let start = Instant::now();
+        black_box(search(black_box(&layer), black_box(&arch), black_box(&cfg)).ok());
+        start.elapsed()
+    };
+    // Warm both paths.
+    for on in [true, false, true, false] {
+        time_one(on);
+    }
+    let rounds = 10;
+    let (mut on_total, mut off_total) = (0.0f64, 0.0f64);
+    for _ in 0..rounds {
+        on_total += time_one(true).as_secs_f64();
+        off_total += time_one(false).as_secs_f64();
+    }
+    telemetry::set_enabled(true);
+    let overhead = (on_total - off_total) / off_total * 100.0;
+    println!(
+        "telemetry overhead: {overhead:+.2}% over {rounds} interleaved rounds \
+         (on {:.3} ms/search, off {:.3} ms/search, budget 5%)",
+        on_total / rounds as f64 * 1e3,
+        off_total / rounds as f64 * 1e3,
+    );
+}
+
+criterion_group!(benches, search_instrumented, overhead_report);
+criterion_main!(benches);

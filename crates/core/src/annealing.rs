@@ -24,10 +24,30 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use secureloop_arch::Architecture;
+use secureloop_telemetry::{self as telemetry, Counter, Timer};
 use secureloop_workload::Network;
 
 use crate::candidates::CandidateSet;
 use crate::segment::{evaluate_segment, OverheadCache, SegmentEvaluation, StrategyMode};
+
+static ANNEAL_RUNS: Counter = Counter::new("anneal.runs");
+static ANNEAL_RESTARTS: Counter = Counter::new("anneal.restarts");
+static ANNEAL_TIMER: Timer = Timer::new("anneal.segment");
+/// Proposals/acceptances bucketed by temperature quartile (q0 =
+/// hottest): the acceptance-rate-vs-temperature curve is the classic
+/// health check for an annealing schedule.
+static PROPOSALS_BY_QUARTILE: [Counter; 4] = [
+    Counter::new("anneal.proposals.q0"),
+    Counter::new("anneal.proposals.q1"),
+    Counter::new("anneal.proposals.q2"),
+    Counter::new("anneal.proposals.q3"),
+];
+static ACCEPTED_BY_QUARTILE: [Counter; 4] = [
+    Counter::new("anneal.accepted.q0"),
+    Counter::new("anneal.accepted.q1"),
+    Counter::new("anneal.accepted.q2"),
+    Counter::new("anneal.accepted.q3"),
+];
 
 /// Temperature schedule (Algorithm 1, line 13 — the paper decreases
 /// temperature linearly; geometric cooling is the common alternative).
@@ -250,6 +270,22 @@ pub fn anneal_segment_resumable(
     let k_of = |li: usize| candidates.per_layer[li].len().min(cfg.k).max(1);
     let restarts = cfg.restarts.max(1);
 
+    ANNEAL_RUNS.incr();
+    let seg_name = match (seg.first(), seg.last()) {
+        (Some(&a), Some(&b)) if a != b => format!(
+            "{}..{}",
+            network.layers()[a].name(),
+            network.layers()[b].name()
+        ),
+        (Some(&a), _) => network.layers()[a].name().to_string(),
+        _ => String::from("empty"),
+    };
+    let mut span = telemetry::span("anneal", seg_name).with_timer(&ANNEAL_TIMER);
+    // Local tallies, flushed to the global counters once per run.
+    let mut proposals = [0u64; 4];
+    let mut accepted = [0u64; 4];
+    let mut restarts_run = 0u64;
+
     // A stale snapshot (wrong segment length or exhausted budget) falls
     // back to a fresh start rather than corrupting the chain.
     let mut state = match resume {
@@ -277,6 +313,7 @@ pub fn anneal_segment_resumable(
     let cost0 = initial_latency.max(1) as f64;
 
     'restarts: for r in state.restart..restarts {
+        restarts_run += 1;
         let seed = cfg.seed.wrapping_add(r as u64);
         let (start_it, mut current, mut best) = if r == state.restart {
             (state.iteration, state.current.clone(), state.best.clone())
@@ -326,10 +363,13 @@ pub fn anneal_segment_resumable(
                     continue;
                 }
                 let neighbor_eval = eval_choice(network, arch, seg, candidates, &neighbor, cache);
+                let quartile = (it * 4 / cfg.iterations.max(1)).min(3);
+                proposals[quartile] += 1;
 
                 let cost_diff =
                     current_eval.total_latency as f64 - neighbor_eval.total_latency as f64;
                 if (cost_diff / t).exp() > rng.gen_range(0.0..1.0) {
+                    accepted[quartile] += 1;
                     current = neighbor;
                     current_eval = neighbor_eval;
                     if current_eval.total_latency < best_eval.total_latency {
@@ -358,7 +398,19 @@ pub fn anneal_segment_resumable(
         };
     }
 
+    for q in 0..4 {
+        PROPOSALS_BY_QUARTILE[q].add(proposals[q]);
+        ACCEPTED_BY_QUARTILE[q].add(accepted[q]);
+    }
+    ANNEAL_RESTARTS.add(restarts_run);
+
     let (choice, eval) = global_best.expect("at least one restart contributed a state");
+    span.add_field("proposals", proposals.iter().sum::<u64>());
+    span.add_field("accepted", accepted.iter().sum::<u64>());
+    span.add_field("restarts", restarts_run);
+    span.add_field("completed", completed);
+    span.add_field("initial_latency", initial_latency);
+    span.add_field("final_latency", eval.total_latency);
     AnnealRun {
         outcome: AnnealOutcome {
             choice,

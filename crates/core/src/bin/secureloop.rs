@@ -26,9 +26,11 @@ fn main() -> ExitCode {
             }
         },
         Err(e) => {
-            eprintln!("{e}");
+            // stderr may also be a closed pipe (`... 2>&1 | head`);
+            // losing the tail of the usage text must not panic.
+            let _ = writeln!(io::stderr(), "{e}");
             if matches!(e, CliError::Usage(_)) {
-                eprintln!("{}", secureloop::cli::USAGE);
+                let _ = writeln!(io::stderr(), "{}", secureloop::cli::USAGE);
             }
             ExitCode::from(2)
         }

@@ -25,6 +25,7 @@ use std::path::Path;
 use secureloop_authblock::OverheadBreakdown;
 use secureloop_json::Json;
 use secureloop_loopnest::{CompactMapping, EnergyBreakdown};
+use secureloop_telemetry::Timer;
 
 use crate::annealing::AnnealState;
 use crate::error::SecureLoopError;
@@ -32,6 +33,9 @@ use crate::scheduler::{Algorithm, LayerOutcome, LayerResult, NetworkSchedule};
 
 /// Current checkpoint schema version; bumped on incompatible changes.
 pub const CHECKPOINT_VERSION: u64 = 1;
+
+static SAVE_TIMER: Timer = Timer::new("checkpoint.save");
+static LOAD_TIMER: Timer = Timer::new("checkpoint.load");
 
 fn field_err(field: &str) -> String {
     format!("missing or invalid field '{field}'")
@@ -361,10 +365,12 @@ impl SweepCheckpoint {
             path: path.display().to_string(),
             message,
         };
-        let tmp = path.with_extension("tmp");
-        fs::write(&tmp, self.to_json().pretty()).map_err(|e| err(format!("write: {e}")))?;
-        fs::rename(&tmp, path).map_err(|e| err(format!("rename: {e}")))?;
-        Ok(())
+        SAVE_TIMER.time(|| {
+            let tmp = path.with_extension("tmp");
+            fs::write(&tmp, self.to_json().pretty()).map_err(|e| err(format!("write: {e}")))?;
+            fs::rename(&tmp, path).map_err(|e| err(format!("rename: {e}")))?;
+            Ok(())
+        })
     }
 
     /// Load a checkpoint from disk.
@@ -378,9 +384,11 @@ impl SweepCheckpoint {
             path: path.display().to_string(),
             message,
         };
-        let text = fs::read_to_string(path).map_err(|e| err(format!("read: {e}")))?;
-        let v = Json::parse(&text).map_err(|e| err(format!("parse: {e}")))?;
-        SweepCheckpoint::from_json(&v).map_err(err)
+        LOAD_TIMER.time(|| {
+            let text = fs::read_to_string(path).map_err(|e| err(format!("read: {e}")))?;
+            let v = Json::parse(&text).map_err(|e| err(format!("parse: {e}")))?;
+            SweepCheckpoint::from_json(&v).map_err(err)
+        })
     }
 }
 

@@ -50,6 +50,9 @@ options:
   --resume                               (dse) restore finished design points
                                          from --checkpoint instead of
                                          re-evaluating them
+  --trace-out <path.jsonl>               stream telemetry events (mapper,
+                                         authblock, annealing, dse spans) to
+                                         this file as JSON Lines
   --json                                 emit JSON instead of a table";
 
 /// CLI failure modes.
@@ -138,6 +141,8 @@ pub struct Options {
     pub checkpoint: Option<String>,
     /// Restore finished design points from the checkpoint.
     pub resume: bool,
+    /// Stream telemetry events to this file as JSON Lines.
+    pub trace_out: Option<String>,
 }
 
 impl Default for Options {
@@ -160,6 +165,7 @@ impl Default for Options {
             deadline_secs: None,
             checkpoint: None,
             resume: false,
+            trace_out: None,
         }
     }
 }
@@ -253,6 +259,7 @@ pub fn parse(args: &[String]) -> Result<Options, CliError> {
             }
             "--checkpoint" => opts.checkpoint = Some(value()?),
             "--resume" => opts.resume = true,
+            "--trace-out" => opts.trace_out = Some(value()?),
             "--layer" => {
                 opts.layer = value()?
                     .parse()
@@ -575,12 +582,37 @@ fn outcome_summary(sched: &crate::scheduler::NetworkSchedule) -> String {
 
 /// Execute a parsed command and return its stdout payload.
 ///
+/// Telemetry is reset per invocation so counters reflect exactly this
+/// run; with `--trace-out` a JSON-Lines sink is installed for the
+/// duration of the command and flushed before returning (on success
+/// *and* on error — a failed run's partial trace is often the most
+/// interesting one).
+///
 /// # Errors
 ///
 /// [`CliError::Usage`] for any argument problem; computation itself is
 /// infallible for the built-in workloads.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let opts = parse(args)?;
+    secureloop_telemetry::reset();
+    let tracing = match &opts.trace_out {
+        Some(path) => {
+            let sink = secureloop_telemetry::JsonLinesSink::create(path)
+                .map_err(|e| usage(format!("cannot create trace file {path}: {e}")))?;
+            secureloop_telemetry::install_sink(Box::new(sink));
+            true
+        }
+        None => false,
+    };
+    let result = dispatch(&opts);
+    if tracing {
+        secureloop_telemetry::flush_sink();
+        drop(secureloop_telemetry::take_sink());
+    }
+    result
+}
+
+fn dispatch(opts: &Options) -> Result<String, CliError> {
     match opts.command.as_str() {
         "workloads" => Ok("alexnet\nresnet18\nresnet50\nmobilenet_v2\nvgg16\nmlp".to_string()),
         "schedule" => {
@@ -590,9 +622,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .ok_or_else(|| usage("schedule needs --workload"))?;
             let net = workload(name)?;
             let arch = architecture(&opts)?;
-            let sched = scheduler(&opts, arch).schedule(&net, opts.algorithm)?;
+            let sched = scheduler(opts, arch).schedule(&net, opts.algorithm)?;
             if opts.json {
-                Ok(report::to_json(&sched))
+                Ok(report::to_json_with_telemetry(
+                    &sched,
+                    &secureloop_telemetry::snapshot(),
+                ))
             } else {
                 let mut out = String::new();
                 let _ = writeln!(
@@ -630,6 +665,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 if sched.degraded_count() > 0 || sched.failed_count() > 0 {
                     out.push_str(&outcome_summary(&sched));
                 }
+                out.push_str(&report::telemetry_summary_text(
+                    &secureloop_telemetry::snapshot(),
+                ));
                 Ok(out)
             }
         }
@@ -744,6 +782,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             for (label, error) in &sweep.skipped {
                 let _ = writeln!(out, "skipped {label}: {error}");
             }
+            out.push_str(&report::telemetry_summary_text(
+                &secureloop_telemetry::snapshot(),
+            ));
             Ok(out)
         }
         // `parse` validated the command already, but keep this path an

@@ -12,12 +12,18 @@ use secureloop_arch::{Architecture, DramSpec};
 use secureloop_crypto::{CryptoConfig, EngineClass};
 use secureloop_energy::AreaModel;
 use secureloop_mapper::SearchConfig;
+use secureloop_telemetry::{self as telemetry, Counter, Timer};
 use secureloop_workload::Network;
 
 use crate::annealing::AnnealingConfig;
 use crate::checkpoint::SweepCheckpoint;
 use crate::error::SecureLoopError;
 use crate::scheduler::{Algorithm, NetworkSchedule, Scheduler};
+
+static DESIGNS_EVALUATED: Counter = Counter::new("dse.designs_evaluated");
+static DESIGNS_REUSED: Counter = Counter::new("dse.designs_reused");
+static DESIGNS_SKIPPED: Counter = Counter::new("dse.designs_skipped");
+static DESIGN_TIMER: Timer = Timer::new("dse.design");
 
 /// One evaluated design point.
 #[derive(Debug, Clone)]
@@ -161,9 +167,12 @@ pub fn evaluate_designs_resumable(
     };
     for arch in designs {
         let label = arch.name().to_string();
+        let mut span = telemetry::span("dse", label.clone()).with_timer(&DESIGN_TIMER);
         let schedule = match ckpt.get(&label) {
             Some(done) => {
                 run.reused += 1;
+                DESIGNS_REUSED.incr();
+                span.add_field("outcome", "reused");
                 done.clone()
             }
             None => {
@@ -173,6 +182,8 @@ pub fn evaluate_designs_resumable(
                 match scheduler.schedule(network, algorithm) {
                     Ok(s) => {
                         run.evaluated += 1;
+                        DESIGNS_EVALUATED.incr();
+                        span.add_field("outcome", "evaluated");
                         ckpt.insert(label.clone(), s.clone());
                         if let Some(path) = checkpoint_path {
                             ckpt.save(path)?;
@@ -181,6 +192,8 @@ pub fn evaluate_designs_resumable(
                     }
                     Err(e) => {
                         run.skipped.push((label, e.to_string()));
+                        DESIGNS_SKIPPED.incr();
+                        span.add_field("outcome", "skipped");
                         continue;
                     }
                 }

@@ -4,6 +4,7 @@
 use std::io::{self, Write};
 
 use secureloop_json::Json;
+use secureloop_telemetry::Snapshot;
 
 use crate::scheduler::{LayerOutcome, NetworkSchedule};
 
@@ -163,6 +164,183 @@ impl LayerReport {
 /// Pretty JSON for one schedule.
 pub fn to_json(schedule: &NetworkSchedule) -> String {
     ScheduleReport::from(schedule).to_json_value().pretty()
+}
+
+/// Pretty JSON for one schedule with a `telemetry` summary appended —
+/// what the CLI emits under `--json` so the search statistics travel
+/// with the result they explain.
+pub fn to_json_with_telemetry(schedule: &NetworkSchedule, snap: &Snapshot) -> String {
+    ScheduleReport::from(schedule)
+        .to_json_value()
+        .field("telemetry", telemetry_summary_json(snap))
+        .pretty()
+}
+
+/// Sum of the four temperature-quartile counters under `prefix`
+/// (`anneal.proposals.` / `anneal.accepted.`), plus the per-quartile
+/// values q0..q3 (q0 is the hottest quarter of the schedule).
+fn quartiles(snap: &Snapshot, prefix: &str) -> (u64, [u64; 4]) {
+    let mut q = [0u64; 4];
+    for (i, slot) in q.iter_mut().enumerate() {
+        *slot = snap.counter(&format!("{prefix}q{i}"));
+    }
+    (q.iter().sum(), q)
+}
+
+fn rate(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Distil a telemetry [`Snapshot`] into the report-facing summary:
+/// mapper effort and reject causes, search-tier outcomes, AuthBlock
+/// optimiser work, annealing acceptance by temperature quartile, and
+/// DSE sweep accounting. Sections with zero activity still appear (as
+/// zeros) so downstream parsers see a stable shape.
+pub fn telemetry_summary_json(snap: &Snapshot) -> Json {
+    let strip = |prefix: &str| {
+        let mut obj = Json::obj();
+        for c in snap.counters_with_prefix(prefix) {
+            obj = obj.field(&c.name[prefix.len()..], c.value);
+        }
+        obj
+    };
+
+    let mapper = Json::obj()
+        .field("searches", snap.counter("mapper.searches"))
+        .field(
+            "samples_evaluated",
+            snap.counter("mapper.samples_evaluated"),
+        )
+        .field("samples_valid", snap.counter("mapper.samples_valid"))
+        .field("truncated", snap.counter("mapper.truncated"))
+        .field("rejects", strip("mapper.reject."))
+        .field("tiers", strip("mapper.tier."));
+
+    let authblock = Json::obj()
+        .field("optimize_runs", snap.counter("authblock.optimize_runs"))
+        .field(
+            "congruence_calls",
+            snap.counter("authblock.congruence_calls"),
+        )
+        .field(
+            "candidates_considered",
+            snap.counter("authblock.candidates_considered"),
+        )
+        .field(
+            "chosen_redundant_bits",
+            snap.counter("authblock.chosen_redundant_bits"),
+        );
+
+    let hits = snap.counter("scheduler.overhead_cache_hits");
+    let misses = snap.counter("scheduler.overhead_cache_misses");
+    let scheduler = Json::obj()
+        .field("schedules", snap.counter("scheduler.schedules"))
+        .field(
+            "layers_scheduled",
+            snap.counter("scheduler.layers_scheduled"),
+        )
+        .field("layers_degraded", snap.counter("scheduler.layers_degraded"))
+        .field("layers_failed", snap.counter("scheduler.layers_failed"))
+        .field("overhead_cache_hits", hits)
+        .field("overhead_cache_misses", misses)
+        .field("overhead_cache_hit_rate", rate(hits, hits + misses));
+
+    let (proposals, prop_q) = quartiles(snap, "anneal.proposals.");
+    let (accepted, acc_q) = quartiles(snap, "anneal.accepted.");
+    let by_quartile: Vec<Json> = prop_q
+        .iter()
+        .zip(&acc_q)
+        .map(|(&p, &a)| Json::from(rate(a, p)))
+        .collect();
+    let annealing = Json::obj()
+        .field("runs", snap.counter("anneal.runs"))
+        .field("restarts", snap.counter("anneal.restarts"))
+        .field("proposals", proposals)
+        .field("accepted", accepted)
+        .field("acceptance_rate", rate(accepted, proposals))
+        .field("acceptance_by_quartile", Json::Arr(by_quartile));
+
+    let dse = Json::obj()
+        .field("designs_evaluated", snap.counter("dse.designs_evaluated"))
+        .field("designs_reused", snap.counter("dse.designs_reused"))
+        .field("designs_skipped", snap.counter("dse.designs_skipped"));
+
+    Json::obj()
+        .field("mapper", mapper)
+        .field("authblock", authblock)
+        .field("scheduler", scheduler)
+        .field("annealing", annealing)
+        .field("dse", dse)
+}
+
+/// The same summary for the human-readable table output.
+pub fn telemetry_summary_text(snap: &Snapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "telemetry:");
+    let _ = writeln!(
+        out,
+        "  mapper    : {} samples ({} valid) across {} searches",
+        snap.counter("mapper.samples_evaluated"),
+        snap.counter("mapper.samples_valid"),
+        snap.counter("mapper.searches"),
+    );
+    let rejects: Vec<String> = snap
+        .counters_with_prefix("mapper.reject.")
+        .filter(|c| c.value > 0)
+        .map(|c| format!("{} {}", &c.name["mapper.reject.".len()..], c.value))
+        .collect();
+    if !rejects.is_empty() {
+        let _ = writeln!(out, "  rejects   : {}", rejects.join(", "));
+    }
+    let tiers: Vec<String> = snap
+        .counters_with_prefix("mapper.tier.")
+        .filter(|c| c.value > 0)
+        .map(|c| format!("{} {}", &c.name["mapper.tier.".len()..], c.value))
+        .collect();
+    if !tiers.is_empty() {
+        let _ = writeln!(out, "  tiers     : {}", tiers.join(", "));
+    }
+    let _ = writeln!(
+        out,
+        "  authblock : {} optimizer runs, {} candidates, {} congruence calls",
+        snap.counter("authblock.optimize_runs"),
+        snap.counter("authblock.candidates_considered"),
+        snap.counter("authblock.congruence_calls"),
+    );
+    let (proposals, prop_q) = quartiles(snap, "anneal.proposals.");
+    let (accepted, acc_q) = quartiles(snap, "anneal.accepted.");
+    if proposals > 0 {
+        let per_q: Vec<String> = prop_q
+            .iter()
+            .zip(&acc_q)
+            .map(|(&p, &a)| format!("{:.0}%", rate(a, p) * 100.0))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  annealing : {} proposals, {} accepted ({:.0}% overall; by quartile {})",
+            proposals,
+            accepted,
+            rate(accepted, proposals) * 100.0,
+            per_q.join(" / "),
+        );
+    }
+    let hits = snap.counter("scheduler.overhead_cache_hits");
+    let misses = snap.counter("scheduler.overhead_cache_misses");
+    if hits + misses > 0 {
+        let _ = writeln!(
+            out,
+            "  cache     : {:.0}% overhead-cache hit rate ({} hits / {} misses)",
+            rate(hits, hits + misses) * 100.0,
+            hits,
+            misses,
+        );
+    }
+    out
 }
 
 /// Timeloop-style detailed per-layer stats text for one schedule: the

@@ -17,12 +17,19 @@ use secureloop_arch::Architecture;
 use secureloop_authblock::OverheadBreakdown;
 use secureloop_loopnest::{EnergyBreakdown, Evaluation, Mapping};
 use secureloop_mapper::{SearchConfig, SearchTier};
+use secureloop_telemetry::{self as telemetry, Counter, Timer};
 use secureloop_workload::Network;
 
 use crate::annealing::{anneal_segment, AnnealingConfig};
 use crate::candidates::{find_candidates, CandidateSet};
 use crate::error::SecureLoopError;
 use crate::segment::{evaluate_segment, OverheadCache, SegmentEvaluation, StrategyMode};
+
+static SCHEDULES: Counter = Counter::new("scheduler.schedules");
+static LAYERS_SCHEDULED: Counter = Counter::new("scheduler.layers_scheduled");
+static LAYERS_DEGRADED: Counter = Counter::new("scheduler.layers_degraded");
+static LAYERS_FAILED: Counter = Counter::new("scheduler.layers_failed");
+static SCHEDULE_TIMER: Timer = Timer::new("scheduler.schedule");
 
 /// The scheduling algorithms of paper Table 1, plus the unsecure
 /// baseline used for normalisation in Figs. 11, 13–15.
@@ -325,6 +332,12 @@ impl Scheduler {
         algorithm: Algorithm,
         candidates: &CandidateSet,
     ) -> Result<NetworkSchedule, SecureLoopError> {
+        SCHEDULES.incr();
+        let mut span = telemetry::span(
+            "scheduler",
+            format!("{}/{}", network.name(), algorithm.name()),
+        )
+        .with_timer(&SCHEDULE_TIMER);
         let arch = self.arch_for(algorithm);
         let mut layers: Vec<Option<LayerResult>> = vec![None; network.len()];
         let mut outcomes: Vec<(String, LayerOutcome)> = network
@@ -405,7 +418,22 @@ impl Scheduler {
         }
 
         let layers: Vec<LayerResult> = layers.into_iter().flatten().collect();
+        let (mut n_sched, mut n_degr, mut n_fail) = (0u64, 0u64, 0u64);
+        for (_, o) in &outcomes {
+            match o {
+                LayerOutcome::Scheduled => n_sched += 1,
+                LayerOutcome::Degraded { .. } => n_degr += 1,
+                LayerOutcome::Failed { .. } => n_fail += 1,
+            }
+        }
+        LAYERS_SCHEDULED.add(n_sched);
+        LAYERS_DEGRADED.add(n_degr);
+        LAYERS_FAILED.add(n_fail);
+        span.add_field("scheduled", n_sched);
+        span.add_field("degraded", n_degr);
+        span.add_field("failed", n_fail);
         if layers.is_empty() && network.len() > 0 {
+            span.add_field("error", "no usable mapping for any layer");
             return Err(SecureLoopError::Schedule(format!(
                 "no layer of '{}' produced a usable mapping under {}",
                 network.name(),

@@ -15,9 +15,13 @@ use secureloop_authblock::{
     evaluate_assignment, optimize, AssignmentProblem, OverheadBreakdown, SplitOverhead, Strategy,
 };
 use secureloop_loopnest::{dt_index, Evaluation, Mapping};
+use secureloop_telemetry::Counter;
 use secureloop_workload::Network;
 
 use crate::tensors::{coupled_case, input_case, layer_stats, output_case, weight_case, TensorCase};
+
+static CACHE_HITS: Counter = Counter::new("scheduler.overhead_cache_hits");
+static CACHE_MISSES: Counter = Counter::new("scheduler.overhead_cache_misses");
 
 /// How AuthBlock strategies are selected (paper Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,8 +61,10 @@ impl OverheadCache {
     fn overhead(&mut self, case: &TensorCase, mode: StrategyMode) -> SplitOverhead {
         let key = (case.problem.clone(), mode, case.coupled);
         if let Some(hit) = self.map.get(&key) {
+            CACHE_HITS.incr();
             return *hit;
         }
+        CACHE_MISSES.incr();
         let split = match mode {
             StrategyMode::TileRehash => {
                 if case.coupled {

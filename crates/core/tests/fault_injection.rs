@@ -153,8 +153,12 @@ fn interrupted_cli_dse_resumes_from_checkpoint() {
         second.contains("resumed: 18 design point(s) restored from checkpoint, 0 evaluated"),
         "resume accounting missing:\n{second}"
     );
+    // Compare the design table only: the trailing telemetry summary
+    // legitimately differs (the resumed run reuses every design point,
+    // so its mapper/annealing counters are near zero).
     let table = |s: &str| -> String {
         s.lines()
+            .take_while(|l| !l.starts_with("telemetry:"))
             .filter(|l| !l.starts_with("resumed:"))
             .collect::<Vec<_>>()
             .join("\n")

@@ -32,6 +32,27 @@
 //! interface) are rejected at insertion, so corrupted models degrade
 //! into `NoValidMapping` errors instead of propagating garbage.
 //!
+//! # Determinism
+//!
+//! The sample budget is split into fixed-size logical chunks of
+//! [`CHUNK_SAMPLES`] draws. Each chunk's RNG seed derives from the
+//! **chunk index** (never from the worker thread that happens to run
+//! it), workers pull chunks from a shared atomic queue, and results
+//! merge in chunk order. Consequence: for a given [`SearchConfig`]
+//! without a deadline, [`search`] returns byte-identical results for
+//! any `threads` value — pinned by `tests/determinism.rs`.
+//!
+//! # Telemetry
+//!
+//! Every search emits into [`secureloop_telemetry`]: a `mapper` span
+//! per layer, `mapper.samples_evaluated` / `mapper.samples_valid`,
+//! reject causes bucketed under `mapper.reject.*`, ladder-tier
+//! transitions under `mapper.tier.*`, and per-chunk timing
+//! (`mapper.chunk` timer, `mapper.chunk_us` histogram, per-chunk sink
+//! events tagged with the worker that ran them). Hot loops accumulate
+//! locally and flush once per chunk, so the null-sink overhead stays
+//! within the 5% budget enforced by the `telemetry_overhead` bench.
+//!
 //! # Example
 //!
 //! ```
@@ -57,10 +78,13 @@ pub mod fault;
 pub mod greedy;
 pub mod sampler;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use secureloop_arch::Architecture;
+use secureloop_json::Json;
 use secureloop_loopnest::{evaluate, Evaluation, Mapping};
+use secureloop_telemetry::{self as telemetry, Counter, Histogram, Timer};
 use secureloop_workload::ConvLayer;
 
 pub use error::MapperError;
@@ -210,21 +234,43 @@ fn better(a: &Evaluation, b: &Evaluation) -> bool {
     (a.latency_cycles, a.energy_pj) < (b.latency_cycles, b.energy_pj)
 }
 
+/// Why (or whether) a candidate entered the top-k list. The sampling
+/// loop buckets rejects by cause into `mapper.reject.*` counters; the
+/// merge paths ignore the outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum InsertOutcome {
+    /// Entered the retained list.
+    Inserted,
+    /// NaN/infinite energy: comparisons would be vacuous.
+    RejectedNonFinite,
+    /// Latency at or beyond [`SATURATED_LATENCY`]: would overflow
+    /// network totals.
+    RejectedSaturated,
+    /// Exact duplicate of an already-retained schedule.
+    RejectedDuplicate,
+    /// Valid, but worse than every retained schedule with the list
+    /// already full.
+    RejectedBelowCutoff,
+}
+
 pub(crate) fn insert_candidate(
     keep: &mut Vec<(Mapping, Evaluation)>,
     top_k: usize,
     mapping: Mapping,
     eval: Evaluation,
-) {
+) -> InsertOutcome {
     // Non-finite or saturated costs never enter the list: NaN makes the
     // sort comparisons vacuous and saturated latencies overflow network
     // totals.
-    if !eval.energy_pj.is_finite() || eval.latency_cycles >= SATURATED_LATENCY {
-        return;
+    if !eval.energy_pj.is_finite() {
+        return InsertOutcome::RejectedNonFinite;
+    }
+    if eval.latency_cycles >= SATURATED_LATENCY {
+        return InsertOutcome::RejectedSaturated;
     }
     // Skip exact duplicates of an already-retained schedule.
     if keep.iter().any(|(m, _)| *m == mapping) {
-        return;
+        return InsertOutcome::RejectedDuplicate;
     }
     let pos = keep
         .iter()
@@ -233,20 +279,93 @@ pub(crate) fn insert_candidate(
     if pos < top_k {
         keep.insert(pos, (mapping, eval));
         keep.truncate(top_k);
+        InsertOutcome::Inserted
+    } else {
+        InsertOutcome::RejectedBelowCutoff
     }
 }
 
 /// How often the sampling loops poll the wall clock.
 const DEADLINE_STRIDE: usize = 32;
 
+/// Samples per logical work chunk. Part of the determinism contract:
+/// chunk `c` always covers draws `[c * CHUNK_SAMPLES, (c+1) *
+/// CHUNK_SAMPLES)` of the budget with a seed derived from `c`, so the
+/// sample stream is a pure function of [`SearchConfig`] — never of the
+/// worker-thread count.
+pub const CHUNK_SAMPLES: usize = 256;
+
+fn chunk_seed(base: u64, chunk: usize) -> u64 {
+    base.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(chunk as u64 + 1))
+}
+
+// --- telemetry wiring (names documented in DESIGN.md) ---------------------
+
+static SEARCHES: Counter = Counter::new("mapper.searches");
+static SAMPLES_EVALUATED: Counter = Counter::new("mapper.samples_evaluated");
+static SAMPLES_VALID: Counter = Counter::new("mapper.samples_valid");
+static REJECT_EVAL_ERROR: Counter = Counter::new("mapper.reject.eval_error");
+static REJECT_NONFINITE: Counter = Counter::new("mapper.reject.nonfinite");
+static REJECT_SATURATED: Counter = Counter::new("mapper.reject.saturated");
+static REJECT_DUPLICATE: Counter = Counter::new("mapper.reject.duplicate");
+static REJECT_BELOW_CUTOFF: Counter = Counter::new("mapper.reject.below_cutoff");
+static TIER_EXHAUSTIVE: Counter = Counter::new("mapper.tier.exhaustive");
+static TIER_SAMPLED: Counter = Counter::new("mapper.tier.sampled");
+static TIER_GREEDY: Counter = Counter::new("mapper.tier.greedy");
+static TRUNCATED: Counter = Counter::new("mapper.truncated");
+static SEARCH_TIMER: Timer = Timer::new("mapper.search");
+static CHUNK_TIMER: Timer = Timer::new("mapper.chunk");
+static CHUNK_US: Histogram = Histogram::new("mapper.chunk_us");
+
+/// Per-chunk reject tallies, accumulated on the stack and flushed to
+/// the global counters once per chunk (hot-path discipline: the sample
+/// loop itself touches no atomics).
+#[derive(Default, Clone, Copy)]
+struct ChunkTally {
+    drawn: u64,
+    valid: u64,
+    eval_error: u64,
+    nonfinite: u64,
+    saturated: u64,
+    duplicate: u64,
+    below_cutoff: u64,
+}
+
+impl ChunkTally {
+    fn flush(&self) {
+        SAMPLES_EVALUATED.add(self.drawn);
+        SAMPLES_VALID.add(self.valid);
+        REJECT_EVAL_ERROR.add(self.eval_error);
+        REJECT_NONFINITE.add(self.nonfinite);
+        REJECT_SATURATED.add(self.saturated);
+        REJECT_DUPLICATE.add(self.duplicate);
+        REJECT_BELOW_CUTOFF.add(self.below_cutoff);
+    }
+}
+
+fn record_outcome(span: &mut telemetry::Span, r: &MapperResult) {
+    span.add_field("tier", r.tier.name());
+    span.add_field("samples", r.total_samples as u64);
+    span.add_field("valid", r.valid_samples as u64);
+    match r.tier {
+        SearchTier::Exhaustive => TIER_EXHAUSTIVE.incr(),
+        SearchTier::Sampled => TIER_SAMPLED.incr(),
+        SearchTier::Greedy => TIER_GREEDY.incr(),
+    }
+    if r.truncated {
+        TRUNCATED.incr();
+    }
+}
+
 /// Search the mapping space of one layer and keep the top-k schedules.
 ///
 /// Walks the degradation ladder described in the crate docs: exhaustive
 /// enumeration for tiny spaces, random sampling otherwise, with the
 /// greedy construction merged in as a floor. The search is deterministic
-/// for a given [`SearchConfig`] when no deadline is set: worker threads
-/// use disjoint derived seeds and their results are merged in a fixed
-/// order.
+/// for a given [`SearchConfig`] when no deadline is set: the sample
+/// budget is cut into [`CHUNK_SAMPLES`]-draw chunks whose seeds derive
+/// from the chunk index, and chunk results merge in index order, so the
+/// outcome is byte-identical for any `threads` value.
 ///
 /// # Errors
 ///
@@ -257,8 +376,12 @@ pub fn search(
     arch: &Architecture,
     cfg: &SearchConfig,
 ) -> Result<MapperResult, MapperError> {
+    let mut search_span = telemetry::span("mapper", layer.name()).with_timer(&SEARCH_TIMER);
+    SEARCHES.incr();
+
     let verdict = fault::verdict_for(layer.name());
     if verdict == fault::Verdict::Fail {
+        search_span.add_field("error", "injected_failure");
         return Err(MapperError::InjectedFailure {
             layer: layer.name().to_string(),
         });
@@ -285,38 +408,35 @@ pub fn search(
             cfg.top_k.max(1),
         );
         if !run.truncated && !run.keep.is_empty() {
-            return Ok(MapperResult {
+            let result = MapperResult {
                 candidates: run.keep,
                 valid_samples: run.valid,
                 total_samples: run.evaluated as usize,
                 tier: SearchTier::Exhaustive,
                 truncated: false,
-            });
+            };
+            record_outcome(&mut search_span, &result);
+            return Ok(result);
         }
         // Deadline expired mid-enumeration or nothing was valid: fall
         // through to the cheaper rungs.
     }
 
-    // Ladder rung 2: random-pruned sampling.
+    // Ladder rung 2: random-pruned sampling over fixed-size logical
+    // chunks. Seeds derive from the chunk index — never from the worker
+    // that happens to run the chunk — and results merge in chunk order,
+    // so any thread count reproduces the same result.
     let threads = cfg.threads.max(1);
-    let per_thread = cfg.samples.div_ceil(threads);
-    let chunks: Vec<(usize, u64)> = (0..threads)
-        .map(|t| {
-            (
-                per_thread,
-                cfg.seed
-                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)),
-            )
-        })
-        .collect();
+    let n_chunks = cfg.samples.div_ceil(CHUNK_SAMPLES);
 
     // keep, valid, drawn, cut-by-deadline
     type ChunkResult = (Vec<(Mapping, Evaluation)>, usize, usize, bool);
-    let run_chunk = |samples: usize, seed: u64| -> ChunkResult {
-        let mut sampler = MappingSampler::new(layer, arch, seed);
+    let run_chunk = |worker: usize, chunk: usize| -> ChunkResult {
+        let start = Instant::now();
+        let samples = CHUNK_SAMPLES.min(cfg.samples - chunk * CHUNK_SAMPLES);
+        let mut sampler = MappingSampler::new(layer, arch, chunk_seed(cfg.seed, chunk));
         let mut keep: Vec<(Mapping, Evaluation)> = Vec::new();
-        let mut valid = 0usize;
-        let mut drawn = 0usize;
+        let mut tally = ChunkTally::default();
         let mut cut = false;
         for i in 0..samples {
             if i % DEADLINE_STRIDE == 0 {
@@ -327,37 +447,81 @@ pub fn search(
                     }
                 }
             }
-            drawn += 1;
+            tally.drawn += 1;
             let mapping = sampler.sample();
-            if let Ok(eval) = evaluate(layer, arch, &mapping) {
-                let eval = poison(eval);
-                if eval.energy_pj.is_finite() {
-                    valid += 1;
+            match evaluate(layer, arch, &mapping) {
+                Ok(eval) => {
+                    let eval = poison(eval);
+                    if eval.energy_pj.is_finite() {
+                        tally.valid += 1;
+                    }
+                    match insert_candidate(&mut keep, cfg.top_k, mapping, eval) {
+                        InsertOutcome::Inserted => {}
+                        InsertOutcome::RejectedNonFinite => tally.nonfinite += 1,
+                        InsertOutcome::RejectedSaturated => tally.saturated += 1,
+                        InsertOutcome::RejectedDuplicate => tally.duplicate += 1,
+                        InsertOutcome::RejectedBelowCutoff => tally.below_cutoff += 1,
+                    }
                 }
-                insert_candidate(&mut keep, cfg.top_k, mapping, eval);
+                Err(_) => tally.eval_error += 1,
             }
         }
-        (keep, valid, drawn, cut)
+        tally.flush();
+        let elapsed = start.elapsed();
+        CHUNK_TIMER.record(elapsed);
+        CHUNK_US.record(elapsed.as_micros() as u64);
+        telemetry::emit(|| {
+            Json::obj()
+                .field("event", "chunk")
+                .field("phase", "mapper")
+                .field("name", layer.name())
+                .field("chunk", chunk as u64)
+                .field("worker", worker as u64)
+                .field("samples", tally.drawn)
+                .field("valid", tally.valid)
+                .field("us", elapsed.as_micros() as u64)
+        });
+        (keep, tally.valid as usize, tally.drawn as usize, cut)
     };
 
-    let results: Vec<ChunkResult> = if threads == 1 {
-        vec![run_chunk(cfg.samples, chunks[0].1)]
+    // Workers pull chunk indices from a shared queue; a worker that
+    // hits the deadline stops pulling.
+    let next_chunk = AtomicUsize::new(0);
+    let worker_loop = |worker: usize| -> Vec<(usize, ChunkResult)> {
+        let mut out = Vec::new();
+        loop {
+            let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+            if chunk >= n_chunks {
+                break;
+            }
+            let result = run_chunk(worker, chunk);
+            let cut = result.3;
+            out.push((chunk, result));
+            if cut {
+                break;
+            }
+        }
+        out
+    };
+
+    let mut chunk_results: Vec<(usize, ChunkResult)> = if threads == 1 || n_chunks <= 1 {
+        worker_loop(0)
     } else {
         std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|&(samples, seed)| scope.spawn(move || run_chunk(samples, seed)))
+            let handles: Vec<_> = (0..threads.min(n_chunks))
+                .map(|worker| scope.spawn(move || worker_loop(worker)))
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .flat_map(|h| h.join().expect("worker panicked"))
                 .collect()
         })
     };
+    chunk_results.sort_by_key(|&(chunk, _)| chunk);
 
     let mut merged = MapperResult::default();
     let mut sampled_any = false;
-    for (keep, valid, drawn, cut) in results {
+    for (_, (keep, valid, drawn, cut)) in chunk_results {
         merged.valid_samples += valid;
         merged.total_samples += drawn;
         merged.truncated |= cut;
@@ -386,11 +550,13 @@ pub fn search(
     };
 
     if merged.candidates.is_empty() {
+        search_span.add_field("error", "no_valid_mapping");
         return Err(MapperError::NoValidMapping {
             layer: layer.name().to_string(),
             samples: merged.total_samples,
         });
     }
+    record_outcome(&mut search_span, &merged);
     Ok(merged)
 }
 

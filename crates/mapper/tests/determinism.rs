@@ -1,0 +1,84 @@
+//! Pins the chunked-RNG contract: for a fixed [`SearchConfig`] seed and
+//! sample budget, `search` must return **byte-identical** results for
+//! any worker-thread count. Chunk seeds derive from chunk indices and
+//! chunk results merge in index order, so the thread count only decides
+//! who runs a chunk, never what the chunk computes.
+
+use secureloop_arch::Architecture;
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_mapper::{search, MapperResult, SearchConfig};
+use secureloop_workload::{zoo, ConvLayer};
+
+fn cfg(threads: usize) -> SearchConfig {
+    SearchConfig {
+        samples: 700, // deliberately not a multiple of CHUNK_SAMPLES
+        top_k: 5,
+        seed: 0xdead_beef,
+        threads,
+        deadline: None,
+    }
+}
+
+/// Everything observable about a result, rendered byte-for-byte.
+fn fingerprint(r: &MapperResult) -> String {
+    format!(
+        "tier={} truncated={} total={} valid={} candidates={:?}",
+        r.tier, r.truncated, r.total_samples, r.valid_samples, r.candidates
+    )
+}
+
+fn assert_thread_invariant(layer: &ConvLayer, arch: &Architecture) {
+    let baseline = fingerprint(&search(layer, arch, &cfg(1)).expect("search succeeds"));
+    for threads in [2usize, 4] {
+        let got = fingerprint(&search(layer, arch, &cfg(threads)).expect("search succeeds"));
+        assert_eq!(
+            baseline,
+            got,
+            "threads={threads} diverged from threads=1 on layer {}",
+            layer.name()
+        );
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results_on_alexnet() {
+    let net = zoo::alexnet_conv();
+    let arch = Architecture::eyeriss_base();
+    for layer in net.layers() {
+        assert_thread_invariant(layer, &arch);
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results_on_secure_arch() {
+    // The crypt-aware evaluation path (effective bandwidth + crypto
+    // energy) must be just as deterministic as the unsecure one.
+    let net = zoo::alexnet_conv();
+    let arch =
+        Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    assert_thread_invariant(&net.layers()[2], &arch);
+}
+
+#[test]
+fn repeated_runs_are_identical_too() {
+    // Same-thread-count repeatability: the global telemetry layer and
+    // the shared chunk queue must introduce no run-to-run jitter.
+    let net = zoo::alexnet_conv();
+    let arch = Architecture::eyeriss_base();
+    let layer = &net.layers()[0];
+    let a = fingerprint(&search(layer, &arch, &cfg(4)).expect("search succeeds"));
+    let b = fingerprint(&search(layer, &arch, &cfg(4)).expect("search succeeds"));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn oversubscribed_thread_counts_are_harmless() {
+    // More workers than chunks: extra workers find the queue drained
+    // and exit; the result is still the thread=1 result.
+    let net = zoo::alexnet_conv();
+    let arch = Architecture::eyeriss_base();
+    let layer = &net.layers()[1];
+    let seq = fingerprint(&search(layer, &arch, &cfg(1)).expect("search succeeds"));
+    let wide = fingerprint(&search(layer, &arch, &cfg(16)).expect("search succeeds"));
+    assert_eq!(seq, wide);
+}

@@ -1,0 +1,800 @@
+#![warn(missing_docs)]
+
+//! Hand-rolled search telemetry for the SecureLoop pipeline.
+//!
+//! The DSE pipeline (mapper → AuthBlock optimiser → annealing → sweeps)
+//! is multi-threaded and fault-tolerant, which makes it opaque: without
+//! instrumentation there is no way to see how many mappings were
+//! sampled, why candidates were rejected, which degradation-ladder tier
+//! fired, or where wall-clock time goes. This crate carries the whole
+//! observability substrate with **zero external dependencies** (the
+//! workspace builds offline):
+//!
+//! - [`Counter`] / [`Timer`] / [`Histogram`] — statically-declared,
+//!   lazily-registered metrics backed by relaxed atomics. Declaring one
+//!   is free; the first touch registers it in a global registry so
+//!   [`snapshot`] can enumerate everything that actually fired.
+//! - [`Span`] — an RAII phase timer. On drop it records its elapsed
+//!   time into an optional [`Timer`] and, when a sink is installed,
+//!   emits one JSON-Lines event.
+//! - [`Sink`] — a pluggable event consumer. The default is no sink at
+//!   all (events are skipped behind one relaxed atomic load);
+//!   [`JsonLinesSink`] appends one compact JSON object per line, which
+//!   is what the CLI's `--trace-out <path>` installs.
+//!
+//! # Hot-path discipline
+//!
+//! The mapper evaluates tens of thousands of mappings per second, so
+//! instrumentation must never tax the search:
+//!
+//! - counters are plain `AtomicU64` adds with `Ordering::Relaxed`; hot
+//!   loops accumulate into stack-local integers and flush **once per
+//!   chunk**, not per sample;
+//! - event serialisation happens only when a sink is installed — the
+//!   guard is a single relaxed load ([`emit`] takes a closure so the
+//!   JSON is never even built otherwise);
+//! - [`set_enabled`]`(false)` turns every entry point into a no-op,
+//!   which is how the `telemetry_overhead` bench measures the
+//!   uninstrumented baseline.
+//!
+//! The budget, enforced by `crates/bench/benches/telemetry_overhead.rs`:
+//! null-sink instrumented mapper search within **5%** of the
+//! uninstrumented baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use secureloop_telemetry as telemetry;
+//!
+//! static SAMPLES: telemetry::Counter = telemetry::Counter::new("demo.samples");
+//! static PHASE: telemetry::Timer = telemetry::Timer::new("demo.phase");
+//!
+//! telemetry::reset();
+//! {
+//!     let _span = telemetry::span("demo", "layer0").with_timer(&PHASE);
+//!     SAMPLES.add(42);
+//! }
+//! let snap = telemetry::snapshot();
+//! assert_eq!(snap.counter("demo.samples"), 42);
+//! assert_eq!(snap.timer("demo.phase").map(|t| t.count), Some(1));
+//! ```
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, Once};
+use std::time::{Duration, Instant};
+
+use secureloop_json::Json;
+
+// ---------------------------------------------------------------------------
+// Global switches and registries
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Box<dyn Sink>>> = Mutex::new(None);
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+static TIMERS: Mutex<Vec<&'static Timer>> = Mutex::new(Vec::new());
+static HISTOGRAMS: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panic while holding a registry lock must not poison telemetry
+    // for the rest of the process (mirrors the fault-injection globals).
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether telemetry is recording at all. One relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Master switch. `set_enabled(false)` turns counters, timers, spans
+/// and event emission into no-ops; used by the overhead bench to
+/// measure the uninstrumented baseline.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A named monotonic counter.
+///
+/// Declare as a `static`; the first [`add`](Counter::add) registers it
+/// in the global registry so [`snapshot`] can find it. All operations
+/// are relaxed atomics — cheap enough for per-chunk flushes, though hot
+/// loops should still batch locally.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: Once,
+}
+
+impl Counter {
+    /// A new counter; `const` so it can back a `static`.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: Once::new(),
+        }
+    }
+
+    /// The counter's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `n`. No-op when telemetry is disabled; `add(0)` still
+    /// registers the counter so it appears (as zero) in snapshots.
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.registered.call_once(|| lock(&COUNTERS).push(self));
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer
+// ---------------------------------------------------------------------------
+
+/// A named duration accumulator: count, total, min and max (all ns).
+pub struct Timer {
+    name: &'static str,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    registered: Once,
+}
+
+impl Timer {
+    /// A new timer; `const` so it can back a `static`.
+    pub const fn new(name: &'static str) -> Self {
+        Timer {
+            name,
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            registered: Once::new(),
+        }
+    }
+
+    /// The timer's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one observation. No-op when telemetry is disabled.
+    pub fn record(&'static self, d: Duration) {
+        if !enabled() {
+            return;
+        }
+        self.registered.call_once(|| lock(&TIMERS).push(self));
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Time a closure and record its duration.
+    pub fn time<T>(&'static self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(start.elapsed());
+        out
+    }
+
+    /// Current stats.
+    pub fn stats(&self) -> TimerSnap {
+        let count = self.count.load(Ordering::Relaxed);
+        TimerSnap {
+            name: self.name,
+            count,
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            min_ns: if count == 0 {
+                0
+            } else {
+                self.min_ns.load(Ordering::Relaxed)
+            },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Number of power-of-two buckets in a [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// A named log2 histogram: bucket `i` counts values in
+/// `[2^i, 2^(i+1))` (bucket 0 also takes zero; the last bucket takes
+/// everything above the range).
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    registered: Once,
+}
+
+impl Histogram {
+    /// A new histogram; `const` so it can back a `static`.
+    pub const fn new(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            name,
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            registered: Once::new(),
+        }
+    }
+
+    /// The histogram's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one value. No-op when telemetry is disabled.
+    pub fn record(&'static self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        self.registered.call_once(|| lock(&HISTOGRAMS).push(self));
+        let bucket = if value == 0 {
+            0
+        } else {
+            ((63 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current bucket counts.
+    pub fn snapshot(&self) -> HistogramSnap {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnap {
+            name: self.name,
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// An event consumer. Receives one already-serialised compact JSON
+/// object per call; implementations decide where lines go.
+pub trait Sink: Send {
+    /// Consume one JSON event (no trailing newline).
+    fn write_line(&mut self, line: &str);
+    /// Flush any buffered output.
+    fn flush(&mut self) {}
+}
+
+/// A sink that drops everything. Installing it (rather than no sink)
+/// exercises the full emission path — serialisation included — which is
+/// what the overhead bench's "instrumented" arm uses.
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn write_line(&mut self, _line: &str) {}
+}
+
+/// A sink that collects events into a shared buffer; handy for tests,
+/// which keep the [`Arc`](std::sync::Arc) half and inspect lines after
+/// the run.
+pub struct VecSink {
+    lines: std::sync::Arc<Mutex<Vec<String>>>,
+}
+
+impl VecSink {
+    /// A collector plus the shared handle to its captured lines.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> (Box<dyn Sink>, std::sync::Arc<Mutex<Vec<String>>>) {
+        let lines = std::sync::Arc::new(Mutex::new(Vec::new()));
+        (
+            Box::new(VecSink {
+                lines: lines.clone(),
+            }),
+            lines,
+        )
+    }
+}
+
+impl Sink for VecSink {
+    fn write_line(&mut self, line: &str) {
+        lock(&self.lines).push(line.to_string());
+    }
+}
+
+/// JSON-Lines file sink: one compact JSON object per line, buffered.
+/// This is what the CLI's `--trace-out <path>` installs.
+pub struct JsonLinesSink {
+    w: BufWriter<File>,
+}
+
+impl JsonLinesSink {
+    /// Create (truncate) `path` and buffer writes to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`File::create`] failure.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonLinesSink {
+            w: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn write_line(&mut self, line: &str) {
+        // Trace output is best-effort: a full disk must not kill the
+        // schedule that is being traced.
+        let _ = writeln!(self.w, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// Install an event sink (replacing any previous one, which is
+/// flushed). Subsequent spans and [`emit`] calls serialise events into
+/// it.
+pub fn install_sink(sink: Box<dyn Sink>) {
+    let mut slot = lock(&SINK);
+    if let Some(mut old) = slot.take() {
+        old.flush();
+    }
+    *slot = Some(sink);
+    SINK_ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Flush and remove the current sink, returning it (tests inspect
+/// [`VecSink`] contents this way).
+pub fn take_sink() -> Option<Box<dyn Sink>> {
+    let mut slot = lock(&SINK);
+    SINK_ACTIVE.store(false, Ordering::Relaxed);
+    let mut old = slot.take();
+    if let Some(s) = old.as_mut() {
+        s.flush();
+    }
+    old
+}
+
+/// Flush the current sink without removing it.
+pub fn flush_sink() {
+    if let Some(s) = lock(&SINK).as_mut() {
+        s.flush();
+    }
+}
+
+/// Emit one event to the installed sink. The closure builds the JSON
+/// object and runs **only** when a sink is installed and telemetry is
+/// enabled — the guard is one relaxed load, so liberally sprinkled
+/// `emit` calls cost nothing in the default (no-sink) configuration.
+pub fn emit(build: impl FnOnce() -> Json) {
+    if !SINK_ACTIVE.load(Ordering::Relaxed) || !enabled() {
+        return;
+    }
+    let line = build().to_string();
+    if let Some(s) = lock(&SINK).as_mut() {
+        s.write_line(&line);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// An RAII phase timer created by [`span`]. On drop it records elapsed
+/// time into its optional [`Timer`] and emits a `"span"` event:
+///
+/// ```json
+/// {"event":"span","phase":"mapper","name":"conv1","us":1234,...}
+/// ```
+pub struct Span {
+    phase: &'static str,
+    name: String,
+    timer: Option<&'static Timer>,
+    fields: Vec<(&'static str, Json)>,
+    start: Option<Instant>,
+}
+
+/// Open a span for `phase` (e.g. `"mapper"`, `"authblock"`,
+/// `"anneal"`, `"dse"`) covering `name` (layer, segment or design
+/// label). When telemetry is disabled the span is inert.
+pub fn span(phase: &'static str, name: impl Into<String>) -> Span {
+    Span {
+        phase,
+        name: name.into(),
+        timer: None,
+        fields: Vec::new(),
+        start: enabled().then(Instant::now),
+    }
+}
+
+impl Span {
+    /// Also record the span's duration into `timer` on drop.
+    #[must_use]
+    pub fn with_timer(mut self, timer: &'static Timer) -> Self {
+        self.timer = Some(timer);
+        self
+    }
+
+    /// Attach an extra field to the emitted event (builder form).
+    #[must_use]
+    pub fn field(mut self, key: &'static str, value: impl Into<Json>) -> Self {
+        self.add_field(key, value);
+        self
+    }
+
+    /// Attach an extra field to the emitted event (mutating form, for
+    /// values only known mid-phase).
+    pub fn add_field(&mut self, key: &'static str, value: impl Into<Json>) {
+        if self.start.is_some() {
+            self.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let elapsed = start.elapsed();
+        if let Some(t) = self.timer {
+            t.record(elapsed);
+        }
+        let fields = std::mem::take(&mut self.fields);
+        emit(|| {
+            let mut j = Json::obj()
+                .field("event", "span")
+                .field("phase", self.phase)
+                .field("name", self.name.as_str())
+                .field("us", elapsed.as_micros() as u64);
+            for (k, v) in fields {
+                j = j.field(k, v);
+            }
+            j
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// One counter's value at snapshot time.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterSnap {
+    /// Registry name.
+    pub name: &'static str,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One timer's stats at snapshot time.
+#[derive(Debug, Clone, Copy)]
+pub struct TimerSnap {
+    /// Registry name.
+    pub name: &'static str,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations, ns.
+    pub total_ns: u64,
+    /// Smallest observation, ns (0 when `count == 0`).
+    pub min_ns: u64,
+    /// Largest observation, ns.
+    pub max_ns: u64,
+}
+
+impl TimerSnap {
+    /// Mean observation in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64 / 1000.0
+        }
+    }
+}
+
+/// One histogram's buckets at snapshot time.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSnap {
+    /// Registry name.
+    pub name: &'static str,
+    /// Log2 bucket counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnap {
+    /// Total observations across all buckets.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// Everything the registries held at one instant, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All registered counters.
+    pub counters: Vec<CounterSnap>,
+    /// All registered timers.
+    pub timers: Vec<TimerSnap>,
+    /// All registered histograms.
+    pub histograms: Vec<HistogramSnap>,
+}
+
+impl Snapshot {
+    /// A counter's value by name (0 when it never fired).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// A timer's stats by name.
+    pub fn timer(&self, name: &str) -> Option<&TimerSnap> {
+        self.timers.iter().find(|t| t.name == name)
+    }
+
+    /// Counters whose names start with `prefix`, e.g. all
+    /// `mapper.reject.` buckets.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = &'a CounterSnap> {
+        self.counters
+            .iter()
+            .filter(move |c| c.name.starts_with(prefix))
+    }
+
+    /// The whole snapshot as one JSON object:
+    /// `{"counters": {...}, "timers": {name: {count,total_us,min_us,max_us}}, "histograms": {...}}`.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for c in &self.counters {
+            counters = counters.field(c.name, c.value);
+        }
+        let mut timers = Json::obj();
+        for t in &self.timers {
+            timers = timers.field(
+                t.name,
+                Json::obj()
+                    .field("count", t.count)
+                    .field("total_us", t.total_ns / 1000)
+                    .field("min_us", t.min_ns / 1000)
+                    .field("max_us", t.max_ns / 1000),
+            );
+        }
+        let mut histograms = Json::obj();
+        for h in &self.histograms {
+            let buckets: Vec<Json> = h.buckets.iter().map(|&b| Json::from(b)).collect();
+            histograms = histograms.field(h.name, Json::Arr(buckets));
+        }
+        Json::obj()
+            .field("counters", counters)
+            .field("timers", timers)
+            .field("histograms", histograms)
+    }
+
+    /// A terse one-line-per-metric text rendering (CLI table output).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            let _ = writeln!(out, "  {:<40} {}", c.name, c.value);
+        }
+        for t in &self.timers {
+            let _ = writeln!(
+                out,
+                "  {:<40} n={} mean={:.1}us total={:.1}ms",
+                t.name,
+                t.count,
+                t.mean_us(),
+                t.total_ns as f64 / 1.0e6,
+            );
+        }
+        out
+    }
+}
+
+/// Snapshot every registered metric, sorted by name for stable output.
+pub fn snapshot() -> Snapshot {
+    let mut counters: Vec<CounterSnap> = lock(&COUNTERS)
+        .iter()
+        .map(|c| CounterSnap {
+            name: c.name,
+            value: c.get(),
+        })
+        .collect();
+    counters.sort_by_key(|c| c.name);
+    let mut timers: Vec<TimerSnap> = lock(&TIMERS).iter().map(|t| t.stats()).collect();
+    timers.sort_by_key(|t| t.name);
+    let mut histograms: Vec<HistogramSnap> =
+        lock(&HISTOGRAMS).iter().map(|h| h.snapshot()).collect();
+    histograms.sort_by_key(|h| h.name);
+    Snapshot {
+        counters,
+        timers,
+        histograms,
+    }
+}
+
+/// Zero every registered metric (the registry itself is kept — a
+/// reset counter still shows up in later snapshots). The CLI calls
+/// this once per run so reports describe that run only.
+pub fn reset() {
+    for c in lock(&COUNTERS).iter() {
+        c.reset();
+    }
+    for t in lock(&TIMERS).iter() {
+        t.reset();
+    }
+    for h in lock(&HISTOGRAMS).iter() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Telemetry state is process-global; serialise the tests that
+    // depend on exclusive ownership of it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    static C1: Counter = Counter::new("test.c1");
+    static T1: Timer = Timer::new("test.t1");
+    static H1: Histogram = Histogram::new("test.h1");
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _g = exclusive();
+        reset();
+        C1.add(3);
+        C1.incr();
+        assert_eq!(snapshot().counter("test.c1"), 4);
+        reset();
+        assert_eq!(snapshot().counter("test.c1"), 0);
+        // Still registered after reset.
+        assert!(snapshot().counters.iter().any(|c| c.name == "test.c1"));
+    }
+
+    #[test]
+    fn timers_track_count_total_min_max() {
+        let _g = exclusive();
+        reset();
+        T1.record(Duration::from_micros(10));
+        T1.record(Duration::from_micros(30));
+        let snap = snapshot();
+        let t = snap.timer("test.t1").expect("registered");
+        assert_eq!(t.count, 2);
+        assert_eq!(t.total_ns, 40_000);
+        assert_eq!(t.min_ns, 10_000);
+        assert_eq!(t.max_ns, 30_000);
+        assert!((t.mean_us() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let _g = exclusive();
+        reset();
+        H1.record(0); // bucket 0
+        H1.record(1); // bucket 0
+        H1.record(2); // bucket 1
+        H1.record(3); // bucket 1
+        H1.record(1024); // bucket 10
+        let snap = snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.h1")
+            .expect("registered");
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn disabled_telemetry_is_a_no_op() {
+        let _g = exclusive();
+        reset();
+        set_enabled(false);
+        C1.add(100);
+        T1.record(Duration::from_micros(5));
+        let span_was_inert = {
+            let s = span("test", "x");
+            s.start.is_none()
+        };
+        set_enabled(true);
+        assert!(span_was_inert);
+        assert_eq!(snapshot().counter("test.c1"), 0);
+    }
+
+    #[test]
+    fn spans_emit_events_into_the_sink() {
+        let _g = exclusive();
+        reset();
+        let (sink, captured) = VecSink::new();
+        install_sink(sink);
+        {
+            let _s = span("test", "layer9")
+                .with_timer(&T1)
+                .field("tier", "sampled");
+        }
+        emit(|| Json::obj().field("event", "point").field("k", 7u64));
+        drop(take_sink());
+        let lines = lock(&captured).clone();
+        assert_eq!(lines.len(), 2);
+        let ev = Json::parse(&lines[0]).expect("valid json");
+        assert_eq!(ev["event"], Json::Str("span".into()));
+        assert_eq!(ev["phase"], Json::Str("test".into()));
+        assert_eq!(ev["name"], Json::Str("layer9".into()));
+        assert_eq!(ev["tier"], Json::Str("sampled".into()));
+        assert!(ev["us"].as_u64().is_some());
+        let point = Json::parse(&lines[1]).expect("valid json");
+        assert_eq!(point["k"].as_u64(), Some(7));
+        assert_eq!(snapshot().timer("test.t1").map(|t| t.count), Some(1));
+    }
+
+    #[test]
+    fn emit_without_sink_skips_serialisation() {
+        let _g = exclusive();
+        let _ = take_sink();
+        let mut built = false;
+        emit(|| {
+            built = true;
+            Json::obj()
+        });
+        assert!(!built, "closure must not run without a sink");
+    }
+}

@@ -1,0 +1,121 @@
+//! Validate a telemetry trace produced by `--trace-out`.
+//!
+//! Reads a JSON-Lines file, checks that every line parses as a JSON
+//! object with the event envelope (`event` + `phase` strings, and
+//! `name`/`us` for spans), and verifies that the expected pipeline
+//! phases all appear. Exits non-zero on any violation, so CI can pipe
+//! a fresh trace straight through it.
+//!
+//! ```sh
+//! cargo run --release -- dse --workload alexnet --samples 100 \
+//!     --iterations 20 --trace-out trace.jsonl
+//! cargo run --release --example validate_trace -- trace.jsonl
+//! # or with an explicit phase list:
+//! cargo run --release --example validate_trace -- trace.jsonl mapper authblock
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use secureloop_json::Json;
+
+/// Phases a full `dse` run must cover; a `schedule` run covers all but
+/// `dse`.
+const DEFAULT_PHASES: [&str; 5] = ["mapper", "authblock", "anneal", "scheduler", "dse"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: validate_trace <trace.jsonl> [required-phase ...]");
+        return ExitCode::FAILURE;
+    };
+    let required: Vec<&str> = if args.len() > 1 {
+        args[1..].iter().map(String::as_str).collect()
+    } else {
+        DEFAULT_PHASES.to_vec()
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut events: BTreeMap<String, u64> = BTreeMap::new();
+    let mut phases: BTreeMap<String, u64> = BTreeMap::new();
+    let mut errors = 0usize;
+    let mut total = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        total += 1;
+        let lineno = lineno + 1;
+        let v = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("line {lineno}: not valid JSON: {e}");
+                errors += 1;
+                continue;
+            }
+        };
+        if v.as_object().is_none() {
+            eprintln!("line {lineno}: expected a JSON object");
+            errors += 1;
+            continue;
+        }
+        let Some(event) = v["event"].as_str() else {
+            eprintln!("line {lineno}: missing 'event' string");
+            errors += 1;
+            continue;
+        };
+        let Some(phase) = v["phase"].as_str() else {
+            eprintln!("line {lineno}: missing 'phase' string");
+            errors += 1;
+            continue;
+        };
+        if event == "span" && (v["name"].as_str().is_none() || v["us"].as_u64().is_none()) {
+            eprintln!("line {lineno}: span event needs 'name' and 'us'");
+            errors += 1;
+            continue;
+        }
+        *events.entry(event.to_string()).or_default() += 1;
+        *phases.entry(phase.to_string()).or_default() += 1;
+    }
+
+    println!("{total} events in {path}");
+    for (event, n) in &events {
+        println!("  event {event:<8} x{n}");
+    }
+    for (phase, n) in &phases {
+        println!("  phase {phase:<10} x{n}");
+    }
+
+    let mut missing: Vec<&str> = required
+        .iter()
+        .filter(|p| !phases.contains_key(**p))
+        .copied()
+        .collect();
+    missing.sort_unstable();
+    let mut ok = true;
+    if total == 0 {
+        eprintln!("validate_trace: {path} contains no events");
+        ok = false;
+    }
+    if errors > 0 {
+        eprintln!("validate_trace: {errors} malformed line(s)");
+        ok = false;
+    }
+    if !missing.is_empty() {
+        eprintln!("validate_trace: missing phase(s): {}", missing.join(", "));
+        ok = false;
+    }
+    if ok {
+        println!("trace is well-formed; all required phases present");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
