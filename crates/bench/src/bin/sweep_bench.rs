@@ -1,0 +1,206 @@
+//! Benchmark-regression harness for the incremental DSE sweep engine.
+//!
+//! Runs the Fig. 16 design space on AlexNet three times — cache
+//! disabled, cache enabled from cold (populating an on-disk cache), and
+//! cache enabled warm (from that cache, the `--resume` steady state) —
+//! and writes `BENCH_sweep.json` with wall times, mapper sample counts,
+//! and hit rates, so later PRs have a perf trajectory to defend.
+//!
+//! All 18 Fig. 16 designs have pairwise-distinct search-space keys, so
+//! the cold cache-enabled pass sees no intra-sweep hits; the reuse the
+//! cache buys shows up in the *warm* pass, which is what `--check`
+//! compares against the cache-disabled baseline.
+//!
+//! ```text
+//! cargo run --release -p secureloop-bench --bin sweep_bench -- [options]
+//!   --samples <n>       mapper samples per search   (default 4096)
+//!   --workers <n>       sweep worker threads        (default 4)
+//!   --out <path>        output JSON                 (default BENCH_sweep.json)
+//!   --check             exit 1 unless warm speedup >= the threshold
+//!   --min-speedup <x>   threshold for --check       (default 1.3)
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use secureloop::dse::{evaluate_designs_sweep, fig16_design_space, SweepOptions, SweepRun};
+use secureloop::{Algorithm, AnnealingConfig};
+use secureloop_json::Json;
+use secureloop_mapper::SearchConfig;
+use secureloop_telemetry as telemetry;
+use secureloop_workload::zoo;
+
+struct Args {
+    samples: usize,
+    workers: usize,
+    out: PathBuf,
+    check: bool,
+    min_speedup: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        samples: 4096,
+        workers: 4,
+        out: PathBuf::from("BENCH_sweep.json"),
+        check: false,
+        min_speedup: 1.3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--samples" => args.samples = value("--samples").parse().expect("--samples"),
+            "--workers" => args.workers = value("--workers").parse().expect("--workers"),
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--check" => args.check = true,
+            "--min-speedup" => {
+                args.min_speedup = value("--min-speedup").parse().expect("--min-speedup")
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+struct Phase {
+    wall_ms: f64,
+    mapper_samples: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    hit_rate: f64,
+}
+
+fn run_phase(label: &'static str, args: &Args, opts: &SweepOptions) -> (Phase, SweepRun) {
+    let net = zoo::alexnet_conv();
+    let designs = fig16_design_space();
+    let search = SearchConfig {
+        samples: args.samples,
+        top_k: 4,
+        seed: 0x5ec0_4e10,
+        threads: 1,
+        deadline: None,
+    };
+    telemetry::reset();
+    let start = Instant::now();
+    let run = evaluate_designs_sweep(
+        &net,
+        &designs,
+        Algorithm::CryptOptSingle,
+        &search,
+        &AnnealingConfig::quick(),
+        opts,
+    )
+    .expect("sweep succeeds");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    for w in &run.warnings {
+        eprintln!("warning ({label}): {w}");
+    }
+    let samples = telemetry::snapshot().counter("mapper.samples_evaluated");
+    let phase = Phase {
+        wall_ms,
+        mapper_samples: samples,
+        cache_hits: run.cache_hits,
+        cache_misses: run.cache_misses,
+        hit_rate: run.cache_hit_rate(),
+    };
+    println!(
+        "{label:<16} {:>9.1} ms   {:>9} samples   {:>4} hits / {:<4} misses ({:.0}% hit rate)",
+        phase.wall_ms,
+        phase.mapper_samples,
+        phase.cache_hits,
+        phase.cache_misses,
+        phase.hit_rate * 100.0
+    );
+    (phase, run)
+}
+
+fn phase_json(p: &Phase) -> Json {
+    Json::obj()
+        .field("wall_ms", p.wall_ms)
+        .field("mapper_samples", p.mapper_samples)
+        .field("cache_hits", p.cache_hits)
+        .field("cache_misses", p.cache_misses)
+        .field("hit_rate", p.hit_rate)
+}
+
+fn main() {
+    let args = parse_args();
+    let cache_file = std::env::temp_dir().join("secureloop-sweep-bench.cache.json");
+    let _ = std::fs::remove_file(&cache_file);
+
+    println!(
+        "sweep bench: Fig. 16 space (18 designs) on AlexNet, {} samples/search, {} worker(s)\n",
+        args.samples, args.workers
+    );
+
+    let (disabled, baseline) = run_phase(
+        "cache-disabled",
+        &args,
+        &SweepOptions::new()
+            .with_cache(false)
+            .with_workers(args.workers),
+    );
+    let (cold, _) = run_phase(
+        "cache-cold",
+        &args,
+        &SweepOptions::new()
+            .with_cache_path(&cache_file)
+            .with_workers(args.workers),
+    );
+    let (warm, warm_run) = run_phase(
+        "cache-warm",
+        &args,
+        &SweepOptions::new()
+            .with_cache_path(&cache_file)
+            .with_workers(args.workers),
+    );
+    let _ = std::fs::remove_file(&cache_file);
+
+    // The cached sweep must reproduce the baseline bit for bit; a perf
+    // harness that silently changed the answers would be worse than
+    // none.
+    assert_eq!(warm_run.results.len(), baseline.results.len());
+    for (a, b) in warm_run.results.iter().zip(&baseline.results) {
+        assert_eq!(a.label, b.label, "design order must match");
+        assert_eq!(
+            a.schedule.total_latency_cycles, b.schedule.total_latency_cycles,
+            "{}: cached sweep diverged from baseline",
+            a.label
+        );
+    }
+
+    let speedup = disabled.wall_ms / warm.wall_ms.max(1e-9);
+    println!("\nwarm speedup vs cache-disabled: {speedup:.2}x");
+
+    let json = Json::obj()
+        .field("bench", "sweep")
+        .field("space", "fig16")
+        .field("workload", "alexnet")
+        .field("designs", 18u64)
+        .field("samples_per_search", args.samples as u64)
+        .field("workers", args.workers as u64)
+        .field("cold_no_cache", phase_json(&disabled))
+        .field("cold_with_cache", phase_json(&cold))
+        .field("warm_with_cache", phase_json(&warm))
+        .field("sweep_wall_ms", disabled.wall_ms)
+        .field("warm_wall_ms", warm.wall_ms)
+        .field("cache_hit_rate", warm.hit_rate)
+        .field("warm_speedup", speedup);
+    std::fs::write(&args.out, json.pretty()).expect("write BENCH_sweep.json");
+    println!("[wrote {}]", args.out.display());
+
+    if args.check && speedup < args.min_speedup {
+        eprintln!(
+            "FAIL: warm cache speedup {speedup:.2}x below the {:.2}x threshold",
+            args.min_speedup
+        );
+        std::process::exit(1);
+    }
+    if args.check {
+        println!(
+            "PASS: warm cache speedup {speedup:.2}x >= {:.2}x",
+            args.min_speedup
+        );
+    }
+}

@@ -11,7 +11,9 @@ use std::collections::HashMap;
 
 use secureloop_arch::Architecture;
 use secureloop_loopnest::{Evaluation, Mapping};
-use secureloop_mapper::{fault, search, MapperError, SearchConfig, SearchTier};
+use secureloop_mapper::{
+    fault, search_cached, CandidateCache, MapperError, SearchConfig, SearchTier,
+};
 use secureloop_workload::{ConvLayer, Network};
 
 /// One retained schedule for one layer.
@@ -89,8 +91,13 @@ fn shape_key(layer: &ConvLayer) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64,
     )
 }
 
-fn search_layer(layer: &ConvLayer, arch: &Architecture, cfg: &SearchConfig) -> LayerCandidates {
-    match search(layer, arch, cfg) {
+fn search_layer(
+    layer: &ConvLayer,
+    arch: &Architecture,
+    cfg: &SearchConfig,
+    cache: Option<&CandidateCache>,
+) -> LayerCandidates {
+    match search_cached(layer, arch, cfg, cache) {
         Ok(r) => LayerCandidates {
             options: r.candidates,
             tier: r.tier,
@@ -110,20 +117,36 @@ fn search_layer(layer: &ConvLayer, arch: &Architecture, cfg: &SearchConfig) -> L
 /// identical shapes. Never panics: failed layers come back with empty
 /// options and their [`MapperError`] attached.
 pub fn find_candidates(network: &Network, arch: &Architecture, cfg: &SearchConfig) -> CandidateSet {
+    find_candidates_cached(network, arch, cfg, None)
+}
+
+/// [`find_candidates`] backed by a cross-design [`CandidateCache`]:
+/// layer searches whose canonical key (see
+/// `secureloop_loopnest::SearchSpaceKey`) already sits in the cache are
+/// answered from it, and misses populate it for later design points —
+/// within one sweep and, once persisted, across `--resume` runs.
+pub fn find_candidates_cached(
+    network: &Network,
+    arch: &Architecture,
+    cfg: &SearchConfig,
+    cache: Option<&CandidateCache>,
+) -> CandidateSet {
     // Fault plans key on layer names; the shape cache would smear one
     // layer's injected fault over every layer of the same shape.
-    let use_cache = !fault::armed();
-    let mut cache: HashMap<_, LayerCandidates> = HashMap::new();
+    // (`search_cached` independently bypasses the cross-design cache
+    // for the same reason.)
+    let use_shape_dedup = !fault::armed();
+    let mut by_shape: HashMap<_, LayerCandidates> = HashMap::new();
     let per_layer = network
         .layers()
         .iter()
         .map(|layer| {
-            if !use_cache {
-                return search_layer(layer, arch, cfg);
+            if !use_shape_dedup {
+                return search_layer(layer, arch, cfg, cache);
             }
-            cache
+            by_shape
                 .entry(shape_key(layer))
-                .or_insert_with(|| search_layer(layer, arch, cfg))
+                .or_insert_with(|| search_layer(layer, arch, cfg, cache))
                 .clone()
         })
         .collect();

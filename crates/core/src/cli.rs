@@ -4,7 +4,6 @@
 //! testable; the binary is a thin wrapper around [`run`].
 
 use std::fmt::Write as _;
-use std::path::Path;
 use std::time::Duration;
 
 use secureloop_arch::{Architecture, Dataflow, DramSpec};
@@ -14,7 +13,7 @@ use secureloop_mapper::SearchConfig;
 use secureloop_workload::{zoo, Network};
 
 use crate::annealing::AnnealingConfig;
-use crate::dse::{evaluate_designs_resumable, fig16_design_space, pareto_front};
+use crate::dse::{evaluate_designs_sweep, fig16_design_space, pareto_front};
 use crate::error::SecureLoopError;
 use crate::report;
 use crate::scheduler::{Algorithm, LayerOutcome, Scheduler};
@@ -50,6 +49,14 @@ options:
   --resume                               (dse) restore finished design points
                                          from --checkpoint instead of
                                          re-evaluating them
+  --no-cache                             (dse) disable the cross-design
+                                         candidate cache (enabled by default)
+  --cache-file <path.json>               (dse) persist the candidate cache here
+                                         (default: --checkpoint sibling with a
+                                         .cache.json extension)
+  --workers <n>                          (dse) design points evaluated in
+                                         parallel (default 1; results are
+                                         byte-identical for any value)
   --trace-out <path.jsonl>               stream telemetry events (mapper,
                                          authblock, annealing, dse spans) to
                                          this file as JSON Lines
@@ -141,6 +148,13 @@ pub struct Options {
     pub checkpoint: Option<String>,
     /// Restore finished design points from the checkpoint.
     pub resume: bool,
+    /// Cross-design candidate cache for the `dse` command (on unless
+    /// `--no-cache`).
+    pub cache: bool,
+    /// Explicit on-disk home for the candidate cache.
+    pub cache_file: Option<String>,
+    /// Design points evaluated in parallel by the `dse` command.
+    pub workers: usize,
     /// Stream telemetry events to this file as JSON Lines.
     pub trace_out: Option<String>,
 }
@@ -165,6 +179,9 @@ impl Default for Options {
             deadline_secs: None,
             checkpoint: None,
             resume: false,
+            cache: true,
+            cache_file: None,
+            workers: 1,
             trace_out: None,
         }
     }
@@ -259,6 +276,16 @@ pub fn parse(args: &[String]) -> Result<Options, CliError> {
             }
             "--checkpoint" => opts.checkpoint = Some(value()?),
             "--resume" => opts.resume = true,
+            "--no-cache" => opts.cache = false,
+            "--cache-file" => opts.cache_file = Some(value()?),
+            "--workers" => {
+                opts.workers = value()?
+                    .parse()
+                    .map_err(|_| usage("--workers expects an integer"))?;
+                if opts.workers == 0 {
+                    return Err(usage("--workers must be at least 1"));
+                }
+            }
             "--trace-out" => opts.trace_out = Some(value()?),
             "--layer" => {
                 opts.layer = value()?
@@ -739,7 +766,17 @@ fn dispatch(opts: &Options) -> Result<String, CliError> {
                     None => a,
                 }
             };
-            let sweep = evaluate_designs_resumable(
+            let mut sweep_opts = crate::dse::SweepOptions::new()
+                .with_cache(opts.cache)
+                .with_resume(opts.resume)
+                .with_workers(opts.workers);
+            if let Some(path) = &opts.checkpoint {
+                sweep_opts = sweep_opts.with_checkpoint(path);
+            }
+            if let Some(path) = &opts.cache_file {
+                sweep_opts = sweep_opts.with_cache_path(path);
+            }
+            let sweep = evaluate_designs_sweep(
                 &net,
                 &designs,
                 opts.algorithm,
@@ -751,12 +788,21 @@ fn dispatch(opts: &Options) -> Result<String, CliError> {
                     deadline,
                 },
                 &annealing,
-                opts.checkpoint.as_deref().map(Path::new),
-                opts.resume,
+                &sweep_opts,
             )?;
             let results = &sweep.results;
             let front = pareto_front(results);
+            if opts.json {
+                return Ok(report::sweep_to_json_with_telemetry(
+                    &sweep,
+                    &front,
+                    &secureloop_telemetry::snapshot(),
+                ));
+            }
             let mut out = String::new();
+            for w in &sweep.warnings {
+                let _ = writeln!(out, "warning: {w}");
+            }
             let _ = writeln!(
                 out,
                 "{:<28} {:>10} {:>14} {:>8}",
@@ -777,6 +823,15 @@ fn dispatch(opts: &Options) -> Result<String, CliError> {
                     out,
                     "resumed: {} design point(s) restored from checkpoint, {} evaluated",
                     sweep.reused, sweep.evaluated
+                );
+            }
+            if sweep.cache_hits + sweep.cache_misses > 0 {
+                let _ = writeln!(
+                    out,
+                    "candidate cache: {} hit(s), {} miss(es) ({:.0}% hit rate)",
+                    sweep.cache_hits,
+                    sweep.cache_misses,
+                    sweep.cache_hit_rate() * 100.0
                 );
             }
             for (label, error) in &sweep.skipped {

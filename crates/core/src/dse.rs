@@ -2,16 +2,31 @@
 //!
 //! Sweeps are fault-tolerant: a design point whose schedule fails
 //! entirely is recorded in [`SweepRun::skipped`] and the sweep moves
-//! on, and [`evaluate_designs_resumable`] checkpoints every finished
+//! on, and [`evaluate_designs_sweep`] checkpoints every finished
 //! design point so an interrupted sweep resumes without re-evaluating
 //! completed work.
+//!
+//! # Incremental evaluation
+//!
+//! [`evaluate_designs_sweep`] is the incremental engine: design points
+//! run on a worker pool ([`SweepOptions::workers`]) that share one
+//! cross-design [`CandidateCache`], so per-layer mapper searches whose
+//! canonical key (see `secureloop_loopnest::SearchSpaceKey`) repeats
+//! across design points — or across `--resume` invocations, via the
+//! on-disk cache file next to the [`SweepCheckpoint`] — are computed
+//! once. Determinism is preserved exactly as in the mapper: every
+//! design point owns a fixed result slot, workers pull indices from an
+//! atomic queue, and results merge in design order, so the [`SweepRun`]
+//! is byte-identical for any worker count and any cache state.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use secureloop_arch::{Architecture, DramSpec};
 use secureloop_crypto::{CryptoConfig, EngineClass};
 use secureloop_energy::AreaModel;
-use secureloop_mapper::SearchConfig;
+use secureloop_mapper::{CandidateCache, SearchConfig};
 use secureloop_telemetry::{self as telemetry, Counter, Timer};
 use secureloop_workload::Network;
 
@@ -96,7 +111,7 @@ pub fn fig16_design_space() -> Vec<Architecture> {
 }
 
 /// One completed sweep (possibly resumed from a checkpoint).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SweepRun {
     /// Successfully evaluated design points, in design order.
     pub results: Vec<DseResult>,
@@ -106,7 +121,108 @@ pub struct SweepRun {
     /// Design points evaluated by *this* invocation.
     pub evaluated: usize,
     /// Design points restored from the checkpoint without re-running.
+    /// Distinct from [`SweepRun::cache_hits`]: `reused` counts whole
+    /// *design points* skipped via the checkpoint, `cache_hits` counts
+    /// per-layer *mapper searches* answered by the candidate cache
+    /// while a design point ran.
     pub reused: usize,
+    /// Per-layer mapper searches answered from the candidate cache.
+    pub cache_hits: u64,
+    /// Per-layer mapper searches the cache had to compute.
+    pub cache_misses: u64,
+    /// Non-fatal problems (e.g. a corrupted cache file that was
+    /// ignored), for the caller to surface.
+    pub warnings: Vec<String>,
+}
+
+impl SweepRun {
+    /// Fraction of cache-eligible mapper searches answered from the
+    /// cache (0 when the cache was disabled or never consulted).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Knobs for [`evaluate_designs_sweep`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Where to checkpoint finished design points (atomic writes after
+    /// every design). `None` disables checkpointing.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Restore design points already present in a matching checkpoint
+    /// instead of re-evaluating them.
+    pub resume: bool,
+    /// Share per-layer mapper searches across design points through a
+    /// [`CandidateCache`].
+    pub use_cache: bool,
+    /// On-disk home of the candidate cache. Defaults to the checkpoint
+    /// path with a `.cache.json` extension; `None` with no checkpoint
+    /// keeps the cache in memory only.
+    pub cache_path: Option<PathBuf>,
+    /// Worker threads evaluating independent design points (0 and 1
+    /// both mean sequential). The result is byte-identical for any
+    /// value.
+    pub workers: usize,
+}
+
+impl SweepOptions {
+    /// Cache on, sequential, no checkpoint — the default for plain
+    /// sweeps.
+    pub fn new() -> Self {
+        SweepOptions {
+            use_cache: true,
+            ..SweepOptions::default()
+        }
+    }
+
+    /// Set the checkpoint path.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Enable resuming from an existing checkpoint.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Enable or disable the cross-design candidate cache.
+    pub fn with_cache(mut self, use_cache: bool) -> Self {
+        self.use_cache = use_cache;
+        self
+    }
+
+    /// Set an explicit on-disk cache file.
+    pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Set the worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The effective cache-file location: the explicit
+    /// [`SweepOptions::cache_path`], else a `.cache.json` sibling of
+    /// the checkpoint, else none (in-memory only).
+    pub fn effective_cache_path(&self) -> Option<PathBuf> {
+        if !self.use_cache {
+            return None;
+        }
+        self.cache_path.clone().or_else(|| {
+            self.checkpoint_path
+                .as_ref()
+                .map(|p| p.with_extension("cache.json"))
+        })
+    }
 }
 
 /// Evaluate a set of designs on one workload. Design points that fail
@@ -147,7 +263,53 @@ pub fn evaluate_designs_resumable(
     checkpoint_path: Option<&Path>,
     resume: bool,
 ) -> Result<SweepRun, SecureLoopError> {
-    let mut ckpt = match (checkpoint_path, resume) {
+    // Legacy entry point: sequential and cache-less, exactly the
+    // pre-incremental behaviour (no sibling cache file appears next to
+    // the caller's checkpoint).
+    let opts = SweepOptions {
+        checkpoint_path: checkpoint_path.map(Path::to_path_buf),
+        resume,
+        use_cache: false,
+        cache_path: None,
+        workers: 1,
+    };
+    evaluate_designs_sweep(network, designs, algorithm, search, annealing, &opts)
+}
+
+/// How one design point resolved within a sweep.
+enum Outcome {
+    Evaluated(NetworkSchedule),
+    Skipped(String),
+}
+
+/// The incremental DSE engine: [`evaluate_designs_resumable`] plus a
+/// cross-design candidate cache and a worker pool.
+///
+/// Design points are assigned fixed result slots up front; workers pull
+/// indices from an atomic queue and the finished slots merge in design
+/// order, so for a deadline-free [`SearchConfig`] the returned
+/// [`SweepRun`] is byte-identical for any [`SweepOptions::workers`]
+/// value and for any cache state (a cache hit returns exactly what the
+/// search it memoised computed — see `secureloop_mapper::cache`).
+///
+/// A corrupted or mismatched on-disk cache is ignored with an entry in
+/// [`SweepRun::warnings`], never an error: it only costs recomputation.
+///
+/// # Errors
+///
+/// [`SecureLoopError::Checkpoint`] when `resume` is set but the
+/// checkpoint file exists and cannot be read or parsed, or when a
+/// checkpoint write fails. Individual design-point failures do *not*
+/// error — they land in [`SweepRun::skipped`].
+pub fn evaluate_designs_sweep(
+    network: &Network,
+    designs: &[Architecture],
+    algorithm: Algorithm,
+    search: &SearchConfig,
+    annealing: &AnnealingConfig,
+    opts: &SweepOptions,
+) -> Result<SweepRun, SecureLoopError> {
+    let ckpt = match (&opts.checkpoint_path, opts.resume) {
         (Some(path), true) if path.exists() => {
             let loaded = SweepCheckpoint::load(path)?;
             if loaded.matches(network.name(), algorithm) {
@@ -159,51 +321,137 @@ pub fn evaluate_designs_resumable(
         _ => SweepCheckpoint::new(network.name(), algorithm),
     };
 
-    let mut run = SweepRun {
-        results: Vec::new(),
-        skipped: Vec::new(),
-        evaluated: 0,
-        reused: 0,
+    let mut run = SweepRun::default();
+
+    let cache_path = opts.effective_cache_path();
+    let cache: Option<Arc<CandidateCache>> = if opts.use_cache {
+        let loaded = match &cache_path {
+            Some(path) if path.exists() => match CandidateCache::load(path) {
+                Ok(c) => c,
+                Err(e) => {
+                    run.warnings.push(format!(
+                        "ignoring candidate cache '{}': {e}",
+                        path.display()
+                    ));
+                    CandidateCache::new()
+                }
+            },
+            _ => CandidateCache::new(),
+        };
+        Some(Arc::new(loaded))
+    } else {
+        None
     };
+
+    // Fixed slot per design point. Checkpointed designs fill theirs
+    // before the pool starts; the queue only carries the rest.
+    let mut slots: Vec<Option<Outcome>> = Vec::with_capacity(designs.len());
     for arch in designs {
-        let label = arch.name().to_string();
-        let mut span = telemetry::span("dse", label.clone()).with_timer(&DESIGN_TIMER);
-        let schedule = match ckpt.get(&label) {
+        match ckpt.get(arch.name()) {
             Some(done) => {
                 run.reused += 1;
                 DESIGNS_REUSED.incr();
-                span.add_field("outcome", "reused");
-                done.clone()
+                slots.push(Some(Outcome::Evaluated(done.clone())));
             }
-            None => {
-                let scheduler = Scheduler::new(arch.clone())
-                    .with_search(*search)
-                    .with_annealing(*annealing);
-                match scheduler.schedule(network, algorithm) {
-                    Ok(s) => {
-                        run.evaluated += 1;
-                        DESIGNS_EVALUATED.incr();
-                        span.add_field("outcome", "evaluated");
-                        ckpt.insert(label.clone(), s.clone());
-                        if let Some(path) = checkpoint_path {
-                            ckpt.save(path)?;
-                        }
-                        s
-                    }
-                    Err(e) => {
-                        run.skipped.push((label, e.to_string()));
-                        DESIGNS_SKIPPED.incr();
-                        span.add_field("outcome", "skipped");
-                        continue;
+            None => slots.push(None),
+        }
+    }
+    let pending: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_none())
+        .map(|(i, _)| i)
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let ckpt_state: Mutex<(SweepCheckpoint, Option<SecureLoopError>)> = Mutex::new((ckpt, None));
+    let evaluate_one = |idx: usize| -> (usize, Outcome) {
+        let arch = &designs[idx];
+        let label = arch.name().to_string();
+        let mut span = telemetry::span("dse", label.clone()).with_timer(&DESIGN_TIMER);
+        let mut scheduler = Scheduler::new(arch.clone())
+            .with_search(*search)
+            .with_annealing(*annealing);
+        if let Some(cache) = &cache {
+            scheduler = scheduler.with_candidate_cache(Arc::clone(cache));
+        }
+        match scheduler.schedule(network, algorithm) {
+            Ok(s) => {
+                DESIGNS_EVALUATED.incr();
+                span.add_field("outcome", "evaluated");
+                let mut state = ckpt_state.lock().expect("checkpoint lock");
+                state.0.insert(label, s.clone());
+                if let Some(path) = &opts.checkpoint_path {
+                    if let Err(e) = state.0.save(path) {
+                        state.1.get_or_insert(e);
                     }
                 }
+                (idx, Outcome::Evaluated(s))
             }
-        };
-        run.results.push(DseResult {
-            label,
-            area: AreaModel::of(arch),
-            schedule,
-        });
+            Err(e) => {
+                DESIGNS_SKIPPED.incr();
+                span.add_field("outcome", "skipped");
+                (idx, Outcome::Skipped(e.to_string()))
+            }
+        }
+    };
+    let worker_loop = || -> Vec<(usize, Outcome)> {
+        let mut out = Vec::new();
+        loop {
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            if k >= pending.len() {
+                break;
+            }
+            out.push(evaluate_one(pending[k]));
+        }
+        out
+    };
+
+    let workers = opts.workers.max(1).min(pending.len().max(1));
+    let finished: Vec<(usize, Outcome)> = if workers <= 1 {
+        worker_loop()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(worker_loop)).collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        })
+    };
+    for (idx, outcome) in finished {
+        if matches!(outcome, Outcome::Evaluated(_)) {
+            run.evaluated += 1;
+        }
+        slots[idx] = Some(outcome);
+    }
+    if let Some(e) = ckpt_state.into_inner().expect("checkpoint lock").1 {
+        return Err(e);
+    }
+
+    // Merge in design order — the determinism contract.
+    for (arch, slot) in designs.iter().zip(slots) {
+        match slot.expect("every design point resolved") {
+            Outcome::Evaluated(schedule) => run.results.push(DseResult {
+                label: arch.name().to_string(),
+                area: AreaModel::of(arch),
+                schedule,
+            }),
+            Outcome::Skipped(error) => run.skipped.push((arch.name().to_string(), error)),
+        }
+    }
+
+    if let Some(cache) = &cache {
+        run.cache_hits = cache.hits();
+        run.cache_misses = cache.misses();
+        if let Some(path) = &cache_path {
+            if let Err(e) = cache.save(path) {
+                run.warnings.push(format!(
+                    "could not save candidate cache '{}': {e}",
+                    path.display()
+                ));
+            }
+        }
     }
     Ok(run)
 }

@@ -6,6 +6,7 @@ use std::io::{self, Write};
 use secureloop_json::Json;
 use secureloop_telemetry::Snapshot;
 
+use crate::dse::SweepRun;
 use crate::scheduler::{LayerOutcome, NetworkSchedule};
 
 /// Serialisable snapshot of a [`NetworkSchedule`].
@@ -176,6 +177,66 @@ pub fn to_json_with_telemetry(schedule: &NetworkSchedule, snap: &Snapshot) -> St
         .pretty()
 }
 
+/// JSON value for one DSE sweep: per-design rows (area, latency,
+/// Pareto membership), the skipped designs, and the sweep accounting —
+/// with checkpoint-restored design points (`reused`) and per-layer
+/// candidate-cache hits reported as the *separate* counters they are.
+pub fn sweep_to_json_value(sweep: &SweepRun, front: &[usize]) -> Json {
+    let designs = sweep
+        .results
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            Json::obj()
+                .field("label", r.label.as_str())
+                .field("area_mm2", r.area_mm2())
+                .field("latency_cycles", r.latency())
+                .field("energy_pj", r.schedule.total_energy_pj)
+                .field("edp", r.schedule.edp())
+                .field("pareto", front.contains(&i))
+        })
+        .collect();
+    let skipped = sweep
+        .skipped
+        .iter()
+        .map(|(label, error)| {
+            Json::obj()
+                .field("label", label.as_str())
+                .field("error", error.as_str())
+        })
+        .collect();
+    Json::obj()
+        .field("designs", Json::Arr(designs))
+        .field(
+            "pareto_front",
+            Json::Arr(front.iter().map(|&i| Json::from(i as u64)).collect()),
+        )
+        .field("skipped", Json::Arr(skipped))
+        .field("evaluated", sweep.evaluated)
+        .field("reused", sweep.reused)
+        .field("cache_hits", sweep.cache_hits)
+        .field("cache_misses", sweep.cache_misses)
+        .field("cache_hit_rate", sweep.cache_hit_rate())
+        .field(
+            "warnings",
+            Json::Arr(
+                sweep
+                    .warnings
+                    .iter()
+                    .map(|w| Json::from(w.as_str()))
+                    .collect(),
+            ),
+        )
+}
+
+/// Pretty JSON for one DSE sweep with the telemetry summary appended —
+/// what `secureloop dse --json` emits.
+pub fn sweep_to_json_with_telemetry(sweep: &SweepRun, front: &[usize], snap: &Snapshot) -> String {
+    sweep_to_json_value(sweep, front)
+        .field("telemetry", telemetry_summary_json(snap))
+        .pretty()
+}
+
 /// Sum of the four temperature-quartile counters under `prefix`
 /// (`anneal.proposals.` / `anneal.accepted.`), plus the per-quartile
 /// values q0..q3 (q0 is the hottest quarter of the schedule).
@@ -264,10 +325,18 @@ pub fn telemetry_summary_json(snap: &Snapshot) -> Json {
         .field("acceptance_rate", rate(accepted, proposals))
         .field("acceptance_by_quartile", Json::Arr(by_quartile));
 
+    let cache_hits = snap.counter("dse.cache_hit");
+    let cache_misses = snap.counter("dse.cache_miss");
     let dse = Json::obj()
         .field("designs_evaluated", snap.counter("dse.designs_evaluated"))
         .field("designs_reused", snap.counter("dse.designs_reused"))
-        .field("designs_skipped", snap.counter("dse.designs_skipped"));
+        .field("designs_skipped", snap.counter("dse.designs_skipped"))
+        .field("cache_hits", cache_hits)
+        .field("cache_misses", cache_misses)
+        .field(
+            "cache_hit_rate",
+            rate(cache_hits, cache_hits + cache_misses),
+        );
 
     Json::obj()
         .field("mapper", mapper)
@@ -338,6 +407,17 @@ pub fn telemetry_summary_text(snap: &Snapshot) -> String {
             rate(hits, hits + misses) * 100.0,
             hits,
             misses,
+        );
+    }
+    let chits = snap.counter("dse.cache_hit");
+    let cmisses = snap.counter("dse.cache_miss");
+    if chits + cmisses > 0 {
+        let _ = writeln!(
+            out,
+            "  dse cache : {:.0}% candidate-cache hit rate ({} hits / {} misses)",
+            rate(chits, chits + cmisses) * 100.0,
+            chits,
+            cmisses,
         );
     }
     out

@@ -12,16 +12,17 @@
 //! can surface exactly how much of the result is below full quality.
 
 use std::fmt;
+use std::sync::Arc;
 
 use secureloop_arch::Architecture;
 use secureloop_authblock::OverheadBreakdown;
 use secureloop_loopnest::{EnergyBreakdown, Evaluation, Mapping};
-use secureloop_mapper::{SearchConfig, SearchTier};
+use secureloop_mapper::{CandidateCache, SearchConfig, SearchTier};
 use secureloop_telemetry::{self as telemetry, Counter, Timer};
 use secureloop_workload::Network;
 
 use crate::annealing::{anneal_segment, AnnealingConfig};
-use crate::candidates::{find_candidates, CandidateSet};
+use crate::candidates::{find_candidates_cached, CandidateSet};
 use crate::error::SecureLoopError;
 use crate::segment::{evaluate_segment, OverheadCache, SegmentEvaluation, StrategyMode};
 
@@ -236,6 +237,7 @@ pub struct Scheduler {
     arch: Architecture,
     search: SearchConfig,
     annealing: AnnealingConfig,
+    cache: Option<Arc<CandidateCache>>,
 }
 
 impl Scheduler {
@@ -246,6 +248,7 @@ impl Scheduler {
             arch,
             search: SearchConfig::paper_default(),
             annealing: AnnealingConfig::paper_default(),
+            cache: None,
         }
     }
 
@@ -261,6 +264,15 @@ impl Scheduler {
         self
     }
 
+    /// Attach a shared cross-design candidate cache: step-1 searches
+    /// consult it before computing and populate it on a miss. One cache
+    /// instance may serve many schedulers (a whole DSE sweep)
+    /// concurrently.
+    pub fn with_candidate_cache(mut self, cache: Arc<CandidateCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// The architecture being scheduled.
     pub fn arch(&self) -> &Architecture {
         &self.arch
@@ -270,7 +282,7 @@ impl Scheduler {
     /// (the unsecure baseline searches without the crypto throttle).
     pub fn candidates(&self, network: &Network, algorithm: Algorithm) -> CandidateSet {
         let arch = self.arch_for(algorithm);
-        find_candidates(network, &arch, &self.search)
+        find_candidates_cached(network, &arch, &self.search, self.cache.as_deref())
     }
 
     fn arch_for(&self, algorithm: Algorithm) -> Architecture {
@@ -293,7 +305,8 @@ impl Scheduler {
         algorithm: Algorithm,
     ) -> Result<NetworkSchedule, SecureLoopError> {
         let arch = self.arch_for(algorithm);
-        let candidates = find_candidates(network, &arch, &self.search);
+        let candidates =
+            find_candidates_cached(network, &arch, &self.search, self.cache.as_deref());
         self.schedule_with_candidates(network, algorithm, &candidates)
     }
 

@@ -120,7 +120,9 @@ fn interrupted_cli_dse_resumes_from_checkpoint() {
     let dir = std::env::temp_dir().join("secureloop-cli-dse-resume");
     std::fs::create_dir_all(&dir).unwrap();
     let ckpt = dir.join("sweep.json");
+    let cache = dir.join("sweep.cache.json");
     let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&cache);
 
     let base = |extra: &[&str]| -> Vec<String> {
         let mut v: Vec<String> = [
@@ -145,6 +147,10 @@ fn interrupted_cli_dse_resumes_from_checkpoint() {
     let first = cli::run(&base(&[])).expect("sweep succeeds");
     assert!(!first.contains("resumed:"));
     assert!(ckpt.exists(), "checkpoint written during the sweep");
+    assert!(
+        cache.exists(),
+        "candidate cache persisted next to the checkpoint"
+    );
 
     // The re-run restores every finished design point: nothing is
     // re-evaluated, and the table is identical.
@@ -154,15 +160,17 @@ fn interrupted_cli_dse_resumes_from_checkpoint() {
         "resume accounting missing:\n{second}"
     );
     // Compare the design table only: the trailing telemetry summary
-    // legitimately differs (the resumed run reuses every design point,
-    // so its mapper/annealing counters are near zero).
+    // and the candidate-cache accounting legitimately differ (the
+    // resumed run reuses every design point, so its mapper/annealing
+    // counters are near zero and it never consults the cache).
     let table = |s: &str| -> String {
         s.lines()
             .take_while(|l| !l.starts_with("telemetry:"))
-            .filter(|l| !l.starts_with("resumed:"))
+            .filter(|l| !l.starts_with("resumed:") && !l.starts_with("candidate cache:"))
             .collect::<Vec<_>>()
             .join("\n")
     };
     assert_eq!(table(&first), table(&second));
     let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&cache);
 }

@@ -48,6 +48,7 @@
 
 pub mod cost;
 pub mod footprint;
+pub mod key;
 pub mod mapping;
 pub mod reuse;
 pub mod stats;
@@ -55,6 +56,7 @@ pub mod text;
 
 pub use cost::{evaluate, AccessCounts, EnergyBreakdown, Evaluation};
 pub use footprint::{footprint_words, inner_products, Boundary};
+pub use key::SearchSpaceKey;
 pub use mapping::{Mapping, MappingError};
 pub use stats::{dram_stats, dt_index, DramTileStats};
 pub use text::{CompactMapping, ParseMappingError};

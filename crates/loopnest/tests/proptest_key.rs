@@ -1,0 +1,185 @@
+//! Property tests for [`SearchSpaceKey`] canonicalisation.
+//!
+//! The cross-design candidate cache is only sound if the key is (a)
+//! *insensitive* to everything the mapper and cost model never look at
+//! (names, engine identity behind an equal effective interface) and
+//! (b) *sensitive* to every field they do look at. These properties pin
+//! both directions over randomly drawn layer shapes.
+
+use proptest::prelude::*;
+
+use secureloop_arch::{Architecture, Dataflow, DramSpec};
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_loopnest::SearchSpaceKey;
+use secureloop_workload::ConvLayer;
+
+/// Raw generator parameters for a small-but-valid conv layer. Keeping
+/// the tuple around (rather than only the built layer) lets the
+/// perturbation properties rebuild a sibling layer with one field
+/// nudged.
+#[derive(Debug, Clone, Copy)]
+struct LayerParams {
+    n: u64,
+    cin: u64,
+    cout: u64,
+    hw: u64,
+    k: u64,
+    stride: u64,
+    pad: u64,
+    word_bits: u32,
+}
+
+fn arb_params() -> impl Strategy<Value = LayerParams> {
+    (
+        (1u64..3, 1u64..48, 1u64..48),
+        (3u64..24, 1u64..5),
+        (1u64..3, 0u64..3, any::<bool>()),
+    )
+        .prop_map(
+            |((n, cin, cout), (hw, k), (stride, pad, wide))| LayerParams {
+                n,
+                cin,
+                cout,
+                hw,
+                k,
+                stride,
+                pad,
+                word_bits: if wide { 16 } else { 8 },
+            },
+        )
+}
+
+fn build_layer(name: &str, p: LayerParams) -> ConvLayer {
+    ConvLayer::builder(name)
+        // Input comfortably larger than the kernel so every
+        // perturbation (including k + 1) still builds.
+        .input_hw(p.hw + p.k + 1, p.hw + p.k + 1)
+        .channels(p.cin, p.cout)
+        .kernel(p.k, p.k)
+        .stride(p.stride)
+        .pad(p.pad)
+        .batch(p.n)
+        .word_bits(p.word_bits)
+        .build()
+        .expect("generated layer is valid")
+}
+
+fn key(layer: &ConvLayer, arch: &Architecture) -> SearchSpaceKey {
+    SearchSpaceKey::of(layer, arch)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- Insensitivity: same effective search space, same key. ---
+
+    #[test]
+    fn names_never_reach_the_key(p in arb_params(), tag in any::<u32>()) {
+        let name = format!("variant-{tag:08x}");
+        let base_layer = build_layer("base", p);
+        let renamed_layer = build_layer(&name, p);
+        let base_arch = Architecture::eyeriss_base();
+        let renamed_arch = Architecture::eyeriss_base().with_name(name.clone());
+        prop_assert_eq!(
+            key(&base_layer, &base_arch),
+            key(&renamed_layer, &renamed_arch)
+        );
+    }
+
+    #[test]
+    fn dram_bound_pools_with_equal_effective_bandwidth_agree(
+        p in arb_params(),
+        c1 in 4usize..12,
+        c2 in 4usize..12,
+    ) {
+        // Pipelined engines move 16 B/cycle each, so any pool of >= 4
+        // saturates LPDDR4-64's 64 B/cycle: the *effective* interface is
+        // min(dram, crypto) = 64 B/cycle regardless of the pool size.
+        let l = build_layer("l", p);
+        let a1 = Architecture::eyeriss_base()
+            .with_crypto(CryptoConfig::new(EngineClass::Pipelined, c1));
+        let a2 = Architecture::eyeriss_base()
+            .with_crypto(CryptoConfig::new(EngineClass::Pipelined, c2));
+        prop_assert_eq!(key(&l, &a1), key(&l, &a2));
+    }
+
+    #[test]
+    fn per_stream_faster_than_dram_canonicalises_to_pooled(
+        p in arb_params(),
+        dram_q in 8u64..64,
+    ) {
+        // One Pipelined engine per stream gives 16 B/cycle per stream.
+        // Against an interface slower than that, the stream limit can
+        // never bind, so the key must match a pooled DRAM-bound
+        // configuration of the same engine class.
+        let dram_bw = dram_q as f64 / 4.0; // 2.0 ..= 15.75 B/cycle
+        let l = build_layer("l", p);
+        let dram = DramSpec::new("narrow", dram_bw, 16.0);
+        let per_stream = Architecture::eyeriss_base()
+            .with_dram(dram.clone())
+            .with_crypto(CryptoConfig::new(EngineClass::Pipelined, 3));
+        let pooled = Architecture::eyeriss_base()
+            .with_dram(dram)
+            .with_crypto(CryptoConfig::new(EngineClass::Pipelined, 4));
+        prop_assert_eq!(key(&l, &per_stream), key(&l, &pooled));
+    }
+
+    // --- Sensitivity: any search-relevant perturbation, new key. ---
+
+    #[test]
+    fn any_layer_perturbation_changes_the_key(p in arb_params(), which in 0usize..7) {
+        let mut q = p;
+        match which {
+            0 => q.n += 1,
+            1 => q.cin += 1,
+            2 => q.cout += 1,
+            3 => q.k += 1,
+            4 => q.stride += 1,
+            5 => q.pad += 1,
+            _ => q.word_bits = if p.word_bits == 8 { 16 } else { 8 },
+        }
+        let arch = Architecture::eyeriss_base();
+        prop_assert_ne!(
+            key(&build_layer("l", p), &arch),
+            key(&build_layer("l", q), &arch)
+        );
+    }
+
+    #[test]
+    fn any_arch_perturbation_changes_the_key(p in arb_params(), which in 0usize..8) {
+        let l = build_layer("l", p);
+        let base = Architecture::eyeriss_base();
+        let perturbed = match which {
+            0 => base.clone().with_pe_array(15, 12),
+            1 => base.clone().with_pe_array(14, 13),
+            2 => base.clone().with_glb_kb(16),
+            3 => base.clone().with_noc_bytes_per_cycle(64.0),
+            4 => base.clone().with_dram(DramSpec::lpddr4_128()),
+            5 => base.clone().with_dram(DramSpec::hbm2_64()),
+            6 => base.clone().with_dataflow(Dataflow::WeightStationary),
+            // A crypto-bound engine pool narrows the effective
+            // interface below the bare DRAM bandwidth.
+            _ => base
+                .clone()
+                .with_crypto(CryptoConfig::new(EngineClass::Serial, 3)),
+        };
+        prop_assert_ne!(key(&l, &base), key(&l, &perturbed));
+    }
+
+    #[test]
+    fn key_is_a_pure_function(p in arb_params(), c in 0usize..5) {
+        let l = build_layer("l", p);
+        let arch = match c {
+            0 => Architecture::eyeriss_base(),
+            1 => Architecture::eyeriss_partitioned(),
+            2 => Architecture::eyeriss_base()
+                .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3)),
+            3 => Architecture::eyeriss_base().with_dram(DramSpec::hbm2_64()),
+            _ => Architecture::eyeriss_base().with_dataflow(Dataflow::Unconstrained),
+        };
+        let k1 = key(&l, &arch);
+        let k2 = key(&l, &arch.clone());
+        prop_assert_eq!(&k1, &k2);
+        prop_assert_eq!(k1.fingerprint(), k2.fingerprint());
+    }
+}

@@ -1,0 +1,473 @@
+//! Cross-design candidate cache for DSE sweeps.
+//!
+//! A [`CandidateCache`] memoises the outcome of [`search`] keyed by the
+//! canonical [`SearchSpaceKey`] of the (layer, architecture) pair plus
+//! the search budget (`samples`, `top_k`, `seed`). Key equality
+//! guarantees an identical sample stream and bit-identical evaluations
+//! (see `secureloop_loopnest::key`), so a hit returns exactly what a
+//! fresh search would have computed — design points of a sweep that
+//! agree on the key share one mapper run.
+//!
+//! The cache round-trips to disk (atomic temp-file + rename, like
+//! `SweepCheckpoint`) so `--resume` runs start warm. On-disk entries
+//! store mappings in compact text form; a *frozen* entry is thawed on
+//! first hit by re-evaluating its mappings against the hitting layer
+//! and architecture — cheap (top-k evaluations, not a search) and
+//! self-validating: anything that fails to parse or evaluate demotes
+//! the entry to a miss instead of poisoning the sweep.
+//!
+//! Lookups are bypassed — never consulted, never populated — when the
+//! search carries a wall-clock deadline (truncated results are
+//! non-deterministic) or a fault plan is armed (fault injection keys on
+//! layer *names*, which the canonical key deliberately omits).
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use secureloop_arch::Architecture;
+use secureloop_json::Json;
+use secureloop_loopnest::{evaluate, CompactMapping, Mapping, SearchSpaceKey};
+use secureloop_telemetry::Counter;
+use secureloop_workload::ConvLayer;
+
+use crate::{fault, search, MapperError, MapperResult, SearchConfig, SearchTier};
+
+static CACHE_HIT: Counter = Counter::new("dse.cache_hit");
+static CACHE_MISS: Counter = Counter::new("dse.cache_miss");
+
+/// Current cache-file schema version; bumped on incompatible changes.
+pub const CACHE_VERSION: u64 = 1;
+
+/// A candidate list restored from disk, not yet re-evaluated.
+#[derive(Debug, Clone)]
+struct FrozenEntry {
+    mappings: Vec<String>,
+    tier: SearchTier,
+    valid_samples: usize,
+    total_samples: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Entry {
+    Ready(MapperResult),
+    Frozen(FrozenEntry),
+}
+
+fn tier_from_name(name: &str) -> Option<SearchTier> {
+    match name {
+        "exhaustive" => Some(SearchTier::Exhaustive),
+        "sampled" => Some(SearchTier::Sampled),
+        "greedy" => Some(SearchTier::Greedy),
+        _ => None,
+    }
+}
+
+/// Shared memo of per-layer mapper searches, keyed by canonical search
+/// space + budget. Thread-safe: one instance serves a whole parallel
+/// sweep.
+#[derive(Debug, Default)]
+pub struct CandidateCache {
+    entries: Mutex<HashMap<String, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn full_key(space: &SearchSpaceKey, cfg: &SearchConfig) -> String {
+    // `threads` is deliberately absent: the chunked search is
+    // byte-identical for any worker count. `deadline` never reaches a
+    // cache lookup (bypassed in `search_cached`).
+    format!(
+        "{}|cfg[s{},k{},seed{}]",
+        space.as_str(),
+        cfg.samples,
+        cfg.top_k,
+        cfg.seed
+    )
+}
+
+impl CandidateCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CandidateCache::default()
+    }
+
+    /// Searches answered from the cache by this instance.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Searches this instance had to compute (or refused to trust).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached search outcomes.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up a search outcome, thawing a frozen entry against the
+    /// hitting (layer, arch) — key equality makes the re-evaluation
+    /// exact. Returns `None` (a miss) when absent or when a frozen
+    /// entry fails to thaw.
+    fn lookup(&self, key: &str, layer: &ConvLayer, arch: &Architecture) -> Option<MapperResult> {
+        let mut entries = self.entries.lock().expect("cache lock");
+        let frozen = match entries.get(key)? {
+            Entry::Ready(r) => return Some(r.clone()),
+            Entry::Frozen(f) => f.clone(),
+        };
+        let mut candidates: Vec<(Mapping, _)> = Vec::with_capacity(frozen.mappings.len());
+        for text in &frozen.mappings {
+            let mapping: Mapping = match text.parse() {
+                Ok(m) => m,
+                Err(_) => {
+                    entries.remove(key);
+                    return None;
+                }
+            };
+            match evaluate(layer, arch, &mapping) {
+                Ok(eval) => candidates.push((mapping, eval)),
+                Err(_) => {
+                    entries.remove(key);
+                    return None;
+                }
+            }
+        }
+        if candidates.is_empty() {
+            entries.remove(key);
+            return None;
+        }
+        let result = MapperResult {
+            candidates,
+            valid_samples: frozen.valid_samples,
+            total_samples: frozen.total_samples,
+            tier: frozen.tier,
+            truncated: false,
+        };
+        entries.insert(key.to_string(), Entry::Ready(result.clone()));
+        Some(result)
+    }
+
+    fn insert(&self, key: String, result: &MapperResult) {
+        // Truncated results are deadline artefacts and must never be
+        // shared (callers already bypass the cache under a deadline —
+        // this is belt and braces).
+        if result.truncated {
+            return;
+        }
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert(key, Entry::Ready(result.clone()));
+    }
+
+    /// Serialise every cached entry (mappings in compact text form).
+    pub fn to_json(&self) -> Json {
+        let entries = self.entries.lock().expect("cache lock");
+        let mut keys: Vec<&String> = entries.keys().collect();
+        keys.sort();
+        let arr = keys
+            .into_iter()
+            .map(|key| {
+                let (mappings, tier, valid, total) = match &entries[key] {
+                    Entry::Ready(r) => (
+                        r.candidates
+                            .iter()
+                            .map(|(m, _)| Json::from(CompactMapping(m).to_string().as_str()))
+                            .collect::<Vec<_>>(),
+                        r.tier,
+                        r.valid_samples,
+                        r.total_samples,
+                    ),
+                    Entry::Frozen(f) => (
+                        f.mappings.iter().map(|m| Json::from(m.as_str())).collect(),
+                        f.tier,
+                        f.valid_samples,
+                        f.total_samples,
+                    ),
+                };
+                Json::obj()
+                    .field("key", key.as_str())
+                    .field("tier", tier.name())
+                    .field("valid_samples", valid as u64)
+                    .field("total_samples", total as u64)
+                    .field("mappings", Json::Arr(mappings))
+            })
+            .collect();
+        Json::obj()
+            .field("version", CACHE_VERSION)
+            .field("kind", "candidate-cache")
+            .field("entries", Json::Arr(arr))
+    }
+
+    /// Parse a cache written by [`CandidateCache::to_json`]. Entries
+    /// come back frozen; they thaw lazily on first hit.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing or ill-typed field (including a version or
+    /// kind mismatch).
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let version = v["version"]
+            .as_u64()
+            .ok_or_else(|| "missing or invalid field 'version'".to_string())?;
+        if version != CACHE_VERSION {
+            return Err(format!(
+                "unsupported cache version {version} (expected {CACHE_VERSION})"
+            ));
+        }
+        if v["kind"].as_str() != Some("candidate-cache") {
+            return Err("missing or invalid field 'kind'".to_string());
+        }
+        let mut entries = HashMap::new();
+        for e in v["entries"]
+            .as_array()
+            .ok_or_else(|| "missing or invalid field 'entries'".to_string())?
+        {
+            let key = e["key"]
+                .as_str()
+                .ok_or_else(|| "missing or invalid field 'key'".to_string())?
+                .to_string();
+            let tier = e["tier"]
+                .as_str()
+                .and_then(tier_from_name)
+                .ok_or_else(|| "missing or invalid field 'tier'".to_string())?;
+            let valid_samples = e["valid_samples"]
+                .as_usize()
+                .ok_or_else(|| "missing or invalid field 'valid_samples'".to_string())?;
+            let total_samples = e["total_samples"]
+                .as_usize()
+                .ok_or_else(|| "missing or invalid field 'total_samples'".to_string())?;
+            let mappings = e["mappings"]
+                .as_array()
+                .ok_or_else(|| "missing or invalid field 'mappings'".to_string())?
+                .iter()
+                .map(|m| {
+                    m.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "missing or invalid field 'mappings'".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            entries.insert(
+                key,
+                Entry::Frozen(FrozenEntry {
+                    mappings,
+                    tier,
+                    valid_samples,
+                    total_samples,
+                }),
+            );
+        }
+        Ok(CandidateCache {
+            entries: Mutex::new(entries),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Write the cache atomically (temp file + rename, like the sweep
+    /// checkpoint): an interrupted write can never leave a torn file.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on I/O failure.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, self.to_json().pretty()).map_err(|e| format!("write: {e}"))?;
+        fs::rename(&tmp, path).map_err(|e| format!("rename: {e}"))?;
+        Ok(())
+    }
+
+    /// Load a cache from disk.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the file cannot be read, parsed,
+    /// or validated. Callers treat this as "start cold with a warning",
+    /// never as fatal: a corrupted cache only costs recomputation.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+        let v = Json::parse(&text).map_err(|e| format!("parse: {e}"))?;
+        CandidateCache::from_json(&v)
+    }
+}
+
+/// [`search`] with a shared memo: consult `cache` first, populate it on
+/// a miss. Falls back to a plain search (no lookup, no insert) when
+/// `cache` is `None`, when the config carries a deadline, or when a
+/// fault plan is armed — all three would break the "key determines the
+/// outcome" contract.
+///
+/// # Errors
+///
+/// Exactly those of [`search`]; errors are never cached.
+pub fn search_cached(
+    layer: &ConvLayer,
+    arch: &Architecture,
+    cfg: &SearchConfig,
+    cache: Option<&CandidateCache>,
+) -> Result<MapperResult, MapperError> {
+    let cache = match cache {
+        Some(c) if cfg.deadline.is_none() && !fault::armed() => c,
+        _ => return search(layer, arch, cfg),
+    };
+    let key = full_key(&SearchSpaceKey::of(layer, arch), cfg);
+    if let Some(hit) = cache.lookup(&key, layer, arch) {
+        cache.hits.fetch_add(1, Ordering::Relaxed);
+        CACHE_HIT.incr();
+        return Ok(hit);
+    }
+    cache.misses.fetch_add(1, Ordering::Relaxed);
+    CACHE_MISS.incr();
+    let result = search(layer, arch, cfg)?;
+    cache.insert(key, &result);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultPlan, FaultScope};
+    use secureloop_workload::zoo;
+    use std::time::Duration;
+
+    fn layer() -> ConvLayer {
+        zoo::alexnet_conv().layers()[2].clone()
+    }
+
+    #[test]
+    fn second_search_hits_and_matches_the_first() {
+        let cache = CandidateCache::new();
+        let arch = Architecture::eyeriss_base();
+        let cfg = SearchConfig::quick();
+        let a = search_cached(&layer(), &arch, &cfg, Some(&cache)).unwrap();
+        let b = search_cached(&layer(), &arch, &cfg, Some(&cache)).unwrap();
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(a.candidates.len(), b.candidates.len());
+        for ((ma, ea), (mb, eb)) in a.candidates.iter().zip(&b.candidates) {
+            assert_eq!(ma, mb);
+            assert_eq!(ea.latency_cycles, eb.latency_cycles);
+            assert_eq!(ea.energy_pj.to_bits(), eb.energy_pj.to_bits());
+        }
+    }
+
+    #[test]
+    fn renamed_architecture_shares_the_entry() {
+        let cache = CandidateCache::new();
+        let cfg = SearchConfig::quick();
+        let a = Architecture::eyeriss_base();
+        let b = a.clone().with_name("same-hardware-other-label");
+        search_cached(&layer(), &a, &cfg, Some(&cache)).unwrap();
+        search_cached(&layer(), &b, &cfg, Some(&cache)).unwrap();
+        assert_eq!(cache.hits(), 1, "identical hardware must share");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_budget_is_a_different_entry() {
+        let cache = CandidateCache::new();
+        let arch = Architecture::eyeriss_base();
+        search_cached(&layer(), &arch, &SearchConfig::quick(), Some(&cache)).unwrap();
+        search_cached(
+            &layer(),
+            &arch,
+            &SearchConfig::quick().with_seed(99),
+            Some(&cache),
+        )
+        .unwrap();
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn deadline_and_faults_bypass_the_cache() {
+        let cache = CandidateCache::new();
+        let arch = Architecture::eyeriss_base();
+        let with_deadline = SearchConfig::quick().with_deadline(Duration::from_secs(60));
+        search_cached(&layer(), &arch, &with_deadline, Some(&cache)).unwrap();
+        assert_eq!(cache.len(), 0, "deadline searches must not populate");
+        assert_eq!(cache.hits() + cache.misses(), 0);
+
+        let _scope = FaultScope::inject(FaultPlan::fail(["not-this-layer"]));
+        search_cached(&layer(), &arch, &SearchConfig::quick(), Some(&cache)).unwrap();
+        assert_eq!(cache.len(), 0, "armed fault plans must bypass");
+    }
+
+    #[test]
+    fn disk_round_trip_thaws_to_identical_results() {
+        let dir = std::env::temp_dir().join("secureloop-cache-roundtrip");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        let arch = Architecture::eyeriss_base();
+        let cfg = SearchConfig::quick();
+
+        let cold = CandidateCache::new();
+        let fresh = search_cached(&layer(), &arch, &cfg, Some(&cold)).unwrap();
+        cold.save(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+
+        let warm = CandidateCache::load(&path).unwrap();
+        assert_eq!(warm.len(), 1);
+        let thawed = search_cached(&layer(), &arch, &cfg, Some(&warm)).unwrap();
+        assert_eq!(warm.hits(), 1, "frozen entry must count as a hit");
+        assert_eq!(thawed.candidates.len(), fresh.candidates.len());
+        assert_eq!(thawed.tier, fresh.tier);
+        assert_eq!(thawed.valid_samples, fresh.valid_samples);
+        assert_eq!(thawed.total_samples, fresh.total_samples);
+        for ((ma, ea), (mb, eb)) in thawed.candidates.iter().zip(&fresh.candidates) {
+            assert_eq!(ma, mb);
+            assert_eq!(ea.latency_cycles, eb.latency_cycles);
+            assert_eq!(ea.energy_pj.to_bits(), eb.energy_pj.to_bits());
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_cache_files_are_rejected_with_a_message() {
+        let dir = std::env::temp_dir().join("secureloop-cache-corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+
+        fs::write(&path, "{torn write").unwrap();
+        assert!(CandidateCache::load(&path).unwrap_err().contains("parse"));
+
+        fs::write(
+            &path,
+            r#"{"version": 99, "kind": "candidate-cache", "entries": []}"#,
+        )
+        .unwrap();
+        assert!(CandidateCache::load(&path)
+            .unwrap_err()
+            .contains("version 99"));
+
+        fs::write(&path, r#"{"version": 1, "kind": "something-else"}"#).unwrap();
+        assert!(CandidateCache::load(&path).unwrap_err().contains("kind"));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unparseable_frozen_mapping_demotes_to_a_miss() {
+        let v = Json::parse(
+            r#"{"version": 1, "kind": "candidate-cache", "entries": [
+                {"key": "k", "tier": "sampled", "valid_samples": 1,
+                 "total_samples": 1, "mappings": ["not a mapping"]}
+            ]}"#,
+        )
+        .unwrap();
+        let cache = CandidateCache::from_json(&v).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache
+            .lookup("k", &layer(), &Architecture::eyeriss_base())
+            .is_none());
+        assert_eq!(cache.len(), 0, "bad entry must be evicted");
+    }
+}

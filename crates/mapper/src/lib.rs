@@ -71,6 +71,7 @@
 //! assert!(best.1.latency_cycles > 0);
 //! ```
 
+pub mod cache;
 pub mod error;
 pub mod exhaustive;
 pub mod factors;
@@ -87,6 +88,7 @@ use secureloop_loopnest::{evaluate, Evaluation, Mapping};
 use secureloop_telemetry::{self as telemetry, Counter, Histogram, Timer};
 use secureloop_workload::ConvLayer;
 
+pub use cache::{search_cached, CandidateCache};
 pub use error::MapperError;
 pub use exhaustive::{exhaustive_search, space_upper_bound, ExhaustiveResult};
 pub use fault::{FaultPlan, FaultScope};
