@@ -47,13 +47,18 @@ fn assert_tile_fits(region: Region, tile: TileRect) {
 
 /// Trim `blocks * u` down by the region's short final block, if block
 /// `last_id` is among the touched ones.
+///
+/// The raw product `blocks * u` can exceed `u64` (up to `elems + u - 1`
+/// before trimming, ~2^65 for near-`u32::MAX` extents), so it is formed
+/// in `u128`; the trimmed value is at most `region.elems()` and
+/// converts back losslessly.
 fn fetched_from_blocks(region: Region, u: u64, blocks: u64, touches_last: bool) -> u64 {
     let total = region.elems();
-    let mut fetched = blocks * u;
+    let mut fetched = blocks as u128 * u as u128;
     if touches_last && !total.is_multiple_of(u) {
-        fetched -= u - total % u;
+        fetched -= (u - total % u) as u128;
     }
-    fetched
+    u64::try_from(fetched).expect("trimmed fetch volume fits the region")
 }
 
 /// Reference implementation: enumerate every tile element.
@@ -79,13 +84,16 @@ pub fn count_blocks_brute(region: Region, tile: TileRect, assign: BlockAssignmen
 pub fn count_blocks_rows(region: Region, tile: TileRect, assign: BlockAssignment) -> BlockCount {
     let (region, tile) = assign.to_row_major(region, tile);
     assert_tile_fits(region, tile);
-    let u = assign.size;
+    // Linear indices are formed in u128: `r * w + col0` is bounded by
+    // `elems - 1` for an in-bounds tile, but widening keeps the
+    // intermediate products exact even at the extreme of that range.
+    let u = assign.size as u128;
     let mut blocks = 0u64;
-    let mut prev_hi: Option<u64> = None;
-    let mut max_hi = 0u64;
+    let mut prev_hi: Option<u128> = None;
+    let mut max_hi = 0u128;
     for r in tile.row0..tile.row0 + tile.rows {
-        let start = r * region.w + tile.col0;
-        let end = start + tile.cols - 1;
+        let start = r as u128 * region.w as u128 + tile.col0 as u128;
+        let end = start + tile.cols as u128 - 1;
         let lo = start / u;
         let hi = end / u;
         let from = match prev_hi {
@@ -93,15 +101,15 @@ pub fn count_blocks_rows(region: Region, tile: TileRect, assign: BlockAssignment
             _ => lo,
         };
         if hi >= from {
-            blocks += hi - from + 1;
+            blocks += (hi - from + 1) as u64;
         }
         prev_hi = Some(prev_hi.map_or(hi, |p| p.max(hi)));
         max_hi = max_hi.max(hi);
     }
-    let last_id = (region.elems() - 1) / u;
+    let last_id = (region.elems() - 1) as u128 / u;
     BlockCount {
         blocks,
-        fetched_elems: fetched_from_blocks(region, u, blocks, max_hi == last_id),
+        fetched_elems: fetched_from_blocks(region, assign.size, blocks, max_hi == last_id),
     }
 }
 
@@ -118,21 +126,26 @@ pub fn count_blocks(region: Region, tile: TileRect, assign: BlockAssignment) -> 
     CONGRUENCE_CALLS.incr();
     let (region, tile) = assign.to_row_major(region, tile);
     assert_tile_fits(region, tile);
+    // All linear-index arithmetic is widened to u128: `e0 + (n-1)*w`
+    // is the tile's last linear element (bounded by `elems - 1` for an
+    // in-bounds tile), but the products along the way are formed from
+    // near-`u32::MAX` extents and must not wrap before the division.
     let u = assign.size;
+    let u128w = u as u128;
     let w = region.w;
     let n = tile.rows;
-    let s0 = tile.row0 * w + tile.col0;
-    let e0 = s0 + tile.cols - 1;
+    let s0 = tile.row0 as u128 * w as u128 + tile.col0 as u128;
+    let e0 = s0 + tile.cols as u128 - 1;
 
-    let lo_first = s0 / u;
-    let hi_last = (e0 + (n - 1) * w) / u;
+    let lo_first = s0 / u128w;
+    let hi_last = (e0 + (n as u128 - 1) * w as u128) / u128w;
     let envelope = hi_last - lo_first + 1;
 
     // Gap between row r-1's last block and row r's first block:
     // g = s_r - e_{r-1} = w - cols + 1 linear positions. The number of
     // block boundaries inside that span is q = ⌊g/u⌋ plus one more when
     // (e_{r-1} mod u) >= u - (g mod u); gaps of zero blocks are free.
-    let gaps = if n >= 2 {
+    let gaps: u128 = if n >= 2 {
         let g = w - tile.cols + 1;
         let q = g / u;
         if q == 0 {
@@ -144,16 +157,19 @@ pub fn count_blocks(region: Region, tile: TileRect, assign: BlockAssignment) -> 
                 0
             } else {
                 // #{r in [0, pairs): (w*r + e0) mod u >= u - rem}
-                pairs - count_residues_le(pairs, w % u, e0 % u, u, u - rem - 1)
+                pairs - count_residues_le(pairs, w % u, (e0 % u128w) as u64, u, u - rem - 1)
             };
-            pairs * (q - 1) + extra
+            (pairs as u128) * (q as u128 - 1) + extra as u128
         }
     } else {
         0
     };
-    let blocks = envelope - gaps;
+    // The union of the per-row intervals has at least one block per
+    // row-pair boundary left, so `gaps < envelope` and the count fits
+    // u64 (it is at most `blocks_in(region)`).
+    let blocks = u64::try_from(envelope - gaps).expect("block count fits the region");
 
-    let last_id = (region.elems() - 1) / u;
+    let last_id = (region.elems() - 1) as u128 / u128w;
     BlockCount {
         blocks,
         fetched_elems: fetched_from_blocks(region, u, blocks, hi_last == last_id),

@@ -32,7 +32,13 @@ use crate::error::SecureLoopError;
 use crate::scheduler::{Algorithm, LayerOutcome, LayerResult, NetworkSchedule};
 
 /// Current checkpoint schema version; bumped on incompatible changes.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// Version 2 added the poison-quarantine list; version-1 files (no
+/// quarantine) are still accepted on load.
+pub const CHECKPOINT_VERSION: u64 = 2;
+
+/// Oldest checkpoint schema version [`SweepCheckpoint::from_json`]
+/// still understands.
+pub const CHECKPOINT_MIN_VERSION: u64 = 1;
 
 static SAVE_TIMER: Timer = Timer::new("checkpoint.save");
 static LOAD_TIMER: Timer = Timer::new("checkpoint.load");
@@ -252,6 +258,10 @@ pub struct SweepCheckpoint {
     pub algorithm: Algorithm,
     /// `(design label, finished schedule)` in completion order.
     pub entries: Vec<(String, NetworkSchedule)>,
+    /// `(design label, cause)` poison quarantine: design points that
+    /// exhausted their supervised retries panicking or timing out. A
+    /// resumed sweep reports them as poisoned without re-running them.
+    pub poisoned: Vec<(String, String)>,
 }
 
 impl SweepCheckpoint {
@@ -261,6 +271,7 @@ impl SweepCheckpoint {
             workload: workload.into(),
             algorithm,
             entries: Vec::new(),
+            poisoned: Vec::new(),
         }
     }
 
@@ -278,11 +289,30 @@ impl SweepCheckpoint {
     }
 
     /// Record a finished design point (replacing any previous entry
-    /// with the same label).
+    /// with the same label, and clearing any quarantine on it — a
+    /// successful evaluation supersedes an old poisoning).
     pub fn insert(&mut self, label: impl Into<String>, schedule: NetworkSchedule) {
         let label = label.into();
         self.entries.retain(|(l, _)| *l != label);
+        self.poisoned.retain(|(l, _)| *l != label);
         self.entries.push((label, schedule));
+    }
+
+    /// Quarantine a design point: record why it is poison so a resumed
+    /// sweep skips it instead of re-crashing on it.
+    pub fn insert_poisoned(&mut self, label: impl Into<String>, cause: impl Into<String>) {
+        let label = label.into();
+        self.entries.retain(|(l, _)| *l != label);
+        self.poisoned.retain(|(l, _)| *l != label);
+        self.poisoned.push((label, cause.into()));
+    }
+
+    /// The quarantine cause for a design label, if it is poisoned.
+    pub fn poisoned_cause(&self, label: &str) -> Option<&str> {
+        self.poisoned
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, cause)| cause.as_str())
     }
 
     /// Number of finished design points.
@@ -315,6 +345,19 @@ impl SweepCheckpoint {
                         .collect(),
                 ),
             )
+            .field(
+                "poisoned",
+                Json::Arr(
+                    self.poisoned
+                        .iter()
+                        .map(|(label, cause)| {
+                            Json::obj()
+                                .field("label", label.as_str())
+                                .field("cause", cause.as_str())
+                        })
+                        .collect(),
+                ),
+            )
     }
 
     /// Parse a checkpoint written by [`SweepCheckpoint::to_json`].
@@ -325,9 +368,10 @@ impl SweepCheckpoint {
     /// kind mismatch).
     pub fn from_json(v: &Json) -> Result<Self, String> {
         let version = req_u64(v, "version")?;
-        if version != CHECKPOINT_VERSION {
+        if !(CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION).contains(&version) {
             return Err(format!(
-                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+                "unsupported checkpoint version {version} \
+                 (expected {CHECKPOINT_MIN_VERSION}..={CHECKPOINT_VERSION})"
             ));
         }
         if v["kind"].as_str() != Some("dse-sweep") {
@@ -346,10 +390,22 @@ impl SweepCheckpoint {
                 Ok((label, schedule))
             })
             .collect::<Result<Vec<_>, String>>()?;
+        // Version-1 checkpoints predate the quarantine; treat a missing
+        // list as empty.
+        let poisoned = match &v["poisoned"] {
+            Json::Null => Vec::new(),
+            list => list
+                .as_array()
+                .ok_or_else(|| field_err("poisoned"))?
+                .iter()
+                .map(|p| Ok((req_str(p, "label")?, req_str(p, "cause")?)))
+                .collect::<Result<Vec<_>, String>>()?,
+        };
         Ok(SweepCheckpoint {
             workload: req_str(v, "workload")?,
             algorithm,
             entries,
+            poisoned,
         })
     }
 
@@ -481,6 +537,38 @@ mod tests {
         assert!(back.get("design-a").is_some());
         assert!(back.get("design-b").is_none());
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn poison_quarantine_round_trips() {
+        let mut ckpt = SweepCheckpoint::new("AlexNet", Algorithm::CryptOptSingle);
+        ckpt.insert_poisoned("design-x", "panicked: injected chaos");
+        let text = ckpt.to_json().pretty();
+        let back = SweepCheckpoint::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(
+            back.poisoned_cause("design-x"),
+            Some("panicked: injected chaos")
+        );
+        assert_eq!(back.poisoned_cause("design-y"), None);
+    }
+
+    #[test]
+    fn successful_insert_clears_the_quarantine() {
+        let mut ckpt = SweepCheckpoint::new("AlexNet", Algorithm::CryptOptSingle);
+        ckpt.insert_poisoned("design-x", "timed out after 0.250s");
+        assert!(ckpt.poisoned_cause("design-x").is_some());
+        ckpt.insert("design-x", sample_schedule());
+        assert_eq!(ckpt.poisoned_cause("design-x"), None);
+        assert!(ckpt.get("design-x").is_some());
+    }
+
+    #[test]
+    fn version_1_checkpoints_without_quarantine_still_load() {
+        let text = r#"{"version": 1, "kind": "dse-sweep", "workload": "AlexNet",
+                       "algorithm": "Crypt-Opt-Single", "designs": []}"#;
+        let back = SweepCheckpoint::from_json(&Json::parse(text).unwrap()).unwrap();
+        assert!(back.matches("AlexNet", Algorithm::CryptOptSingle));
+        assert!(back.poisoned.is_empty());
     }
 
     #[test]

@@ -57,10 +57,25 @@ options:
   --workers <n>                          (dse) design points evaluated in
                                          parallel (default 1; results are
                                          byte-identical for any value)
+  --max-retries <n>                      (dse) supervised retries per design
+                                         point before it is skipped or
+                                         quarantined (default 2)
+  --task-timeout-secs <s>                (dse) wall-clock watchdog per design
+                                         attempt; a stalled attempt is
+                                         cancelled and retried, and a design
+                                         exhausting its retries is quarantined
   --trace-out <path.jsonl>               stream telemetry events (mapper,
                                          authblock, annealing, dse spans) to
                                          this file as JSON Lines
-  --json                                 emit JSON instead of a table";
+  --json                                 emit JSON instead of a table
+
+exit codes:
+  0  success, full-quality results
+  1  fatal error (bad arguments, unreadable input, engine failure)
+  2  completed but degraded (a layer or design point was degraded,
+     skipped or poisoned)
+  3  interrupted by SIGINT/SIGTERM; checkpoint flushed, re-run with
+     --resume to continue";
 
 /// CLI failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -155,6 +170,10 @@ pub struct Options {
     pub cache_file: Option<String>,
     /// Design points evaluated in parallel by the `dse` command.
     pub workers: usize,
+    /// Supervised retries per design point for the `dse` command.
+    pub max_retries: Option<u32>,
+    /// Per-attempt wall-clock watchdog (seconds) for the `dse` command.
+    pub task_timeout_secs: Option<f64>,
     /// Stream telemetry events to this file as JSON Lines.
     pub trace_out: Option<String>,
 }
@@ -182,6 +201,8 @@ impl Default for Options {
             cache: true,
             cache_file: None,
             workers: 1,
+            max_retries: None,
+            task_timeout_secs: None,
             trace_out: None,
         }
     }
@@ -285,6 +306,22 @@ pub fn parse(args: &[String]) -> Result<Options, CliError> {
                 if opts.workers == 0 {
                     return Err(usage("--workers must be at least 1"));
                 }
+            }
+            "--max-retries" => {
+                opts.max_retries = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| usage("--max-retries expects an integer"))?,
+                )
+            }
+            "--task-timeout-secs" => {
+                let secs: f64 = value()?
+                    .parse()
+                    .map_err(|_| usage("--task-timeout-secs expects a number of seconds"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(usage("--task-timeout-secs must be a positive number"));
+                }
+                opts.task_timeout_secs = Some(secs);
             }
             "--trace-out" => opts.trace_out = Some(value()?),
             "--layer" => {
@@ -607,7 +644,55 @@ fn outcome_summary(sched: &crate::scheduler::NetworkSchedule) -> String {
     out
 }
 
+/// How a successfully dispatched command resolved, for the binary's
+/// exit-code taxonomy (see the `exit codes:` section of [`USAGE`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Full-quality results: exit code 0.
+    Success,
+    /// The command completed but something was below full quality (a
+    /// degraded or failed layer, a skipped or poisoned design point):
+    /// exit code 2.
+    Degraded,
+    /// A shutdown request stopped the run early; state was flushed and
+    /// the run is resumable: exit code 3.
+    Interrupted,
+}
+
+/// Stdout payload plus exit-code classification from
+/// [`run_with_status`].
+#[derive(Debug, Clone)]
+pub struct CliOutput {
+    /// The stdout payload.
+    pub text: String,
+    /// How the command resolved.
+    pub status: RunStatus,
+}
+
+impl CliOutput {
+    fn ok(text: String) -> Self {
+        CliOutput {
+            text,
+            status: RunStatus::Success,
+        }
+    }
+}
+
 /// Execute a parsed command and return its stdout payload.
+///
+/// Convenience wrapper around [`run_with_status`] that drops the exit
+/// status; library callers who only want the text use this.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for any argument problem; computation itself is
+/// infallible for the built-in workloads.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    run_with_status(args).map(|o| o.text)
+}
+
+/// Execute a parsed command and return its stdout payload plus the
+/// [`RunStatus`] driving the binary's exit code.
 ///
 /// Telemetry is reset per invocation so counters reflect exactly this
 /// run; with `--trace-out` a JSON-Lines sink is installed for the
@@ -619,7 +704,7 @@ fn outcome_summary(sched: &crate::scheduler::NetworkSchedule) -> String {
 ///
 /// [`CliError::Usage`] for any argument problem; computation itself is
 /// infallible for the built-in workloads.
-pub fn run(args: &[String]) -> Result<String, CliError> {
+pub fn run_with_status(args: &[String]) -> Result<CliOutput, CliError> {
     let opts = parse(args)?;
     secureloop_telemetry::reset();
     let tracing = match &opts.trace_out {
@@ -639,9 +724,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     result
 }
 
-fn dispatch(opts: &Options) -> Result<String, CliError> {
+fn dispatch(opts: &Options) -> Result<CliOutput, CliError> {
     match opts.command.as_str() {
-        "workloads" => Ok("alexnet\nresnet18\nresnet50\nmobilenet_v2\nvgg16\nmlp".to_string()),
+        "workloads" => Ok(CliOutput::ok(
+            "alexnet\nresnet18\nresnet50\nmobilenet_v2\nvgg16\nmlp".to_string(),
+        )),
         "schedule" => {
             let name = opts
                 .workload
@@ -650,11 +737,16 @@ fn dispatch(opts: &Options) -> Result<String, CliError> {
             let net = workload(name)?;
             let arch = architecture(&opts)?;
             let sched = scheduler(opts, arch).schedule(&net, opts.algorithm)?;
+            let status = if sched.degraded_count() + sched.failed_count() > 0 {
+                RunStatus::Degraded
+            } else {
+                RunStatus::Success
+            };
             if opts.json {
-                Ok(report::to_json_with_telemetry(
-                    &sched,
-                    &secureloop_telemetry::snapshot(),
-                ))
+                Ok(CliOutput {
+                    text: report::to_json_with_telemetry(&sched, &secureloop_telemetry::snapshot()),
+                    status,
+                })
             } else {
                 let mut out = String::new();
                 let _ = writeln!(
@@ -695,7 +787,7 @@ fn dispatch(opts: &Options) -> Result<String, CliError> {
                 out.push_str(&report::telemetry_summary_text(
                     &secureloop_telemetry::snapshot(),
                 ));
-                Ok(out)
+                Ok(CliOutput { text: out, status })
             }
         }
         "trace" => {
@@ -749,7 +841,7 @@ fn dispatch(opts: &Options) -> Result<String, CliError> {
                 replayed.analytical_bound(),
                 replayed.pipeline_efficiency()
             );
-            Ok(out)
+            Ok(CliOutput::ok(out))
         }
         "dse" => {
             let name = opts
@@ -770,6 +862,12 @@ fn dispatch(opts: &Options) -> Result<String, CliError> {
                 .with_cache(opts.cache)
                 .with_resume(opts.resume)
                 .with_workers(opts.workers);
+            if let Some(retries) = opts.max_retries {
+                sweep_opts = sweep_opts.with_max_retries(retries);
+            }
+            if let Some(secs) = opts.task_timeout_secs {
+                sweep_opts = sweep_opts.with_task_timeout(Duration::from_secs_f64(secs));
+            }
             if let Some(path) = &opts.checkpoint {
                 sweep_opts = sweep_opts.with_checkpoint(path);
             }
@@ -792,12 +890,27 @@ fn dispatch(opts: &Options) -> Result<String, CliError> {
             )?;
             let results = &sweep.results;
             let front = pareto_front(results);
+            let status = if sweep.interrupted {
+                RunStatus::Interrupted
+            } else if !sweep.skipped.is_empty()
+                || !sweep.poisoned.is_empty()
+                || results
+                    .iter()
+                    .any(|r| r.schedule.degraded_count() + r.schedule.failed_count() > 0)
+            {
+                RunStatus::Degraded
+            } else {
+                RunStatus::Success
+            };
             if opts.json {
-                return Ok(report::sweep_to_json_with_telemetry(
-                    &sweep,
-                    &front,
-                    &secureloop_telemetry::snapshot(),
-                ));
+                return Ok(CliOutput {
+                    text: report::sweep_to_json_with_telemetry(
+                        &sweep,
+                        &front,
+                        &secureloop_telemetry::snapshot(),
+                    ),
+                    status,
+                });
             }
             let mut out = String::new();
             for w in &sweep.warnings {
@@ -837,10 +950,19 @@ fn dispatch(opts: &Options) -> Result<String, CliError> {
             for (label, error) in &sweep.skipped {
                 let _ = writeln!(out, "skipped {label}: {error}");
             }
+            for (label, cause) in &sweep.poisoned {
+                let _ = writeln!(out, "poisoned {label}: {cause}");
+            }
+            if sweep.interrupted {
+                let _ = writeln!(
+                    out,
+                    "interrupted: shutdown requested; re-run with --resume to continue"
+                );
+            }
             out.push_str(&report::telemetry_summary_text(
                 &secureloop_telemetry::snapshot(),
             ));
-            Ok(out)
+            Ok(CliOutput { text: out, status })
         }
         // `parse` validated the command already, but keep this path an
         // ordinary error so a future command added to one place but not

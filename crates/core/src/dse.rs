@@ -6,6 +6,21 @@
 //! design point so an interrupted sweep resumes without re-evaluating
 //! completed work.
 //!
+//! # Supervised execution
+//!
+//! Every design point runs under [`crate::supervisor::run_supervised`]:
+//! panics are caught, attempts can carry a wall-clock watchdog
+//! ([`SupervisorConfig::task_timeout`]), and failures retry with
+//! exponential backoff. A design point that exhausts its retries
+//! panicking or stalling becomes [`DesignOutcome::Poisoned`], is
+//! quarantined in the checkpoint (so `--resume` skips it instead of
+//! re-crashing), and the other design points are unaffected — their
+//! results are byte-identical to a fault-free run. A process-wide
+//! shutdown request (see [`crate::shutdown`]) stops workers between
+//! design points; the partial [`SweepRun`] comes back with
+//! [`SweepRun::interrupted`] set after the checkpoint and candidate
+//! cache have been flushed, so the run is resumable.
+//!
 //! # Incremental evaluation
 //!
 //! [`evaluate_designs_sweep`] is the incremental engine: design points
@@ -26,7 +41,7 @@ use std::sync::{Arc, Mutex};
 use secureloop_arch::{Architecture, DramSpec};
 use secureloop_crypto::{CryptoConfig, EngineClass};
 use secureloop_energy::AreaModel;
-use secureloop_mapper::{CandidateCache, SearchConfig};
+use secureloop_mapper::{cancel, CandidateCache, SearchConfig};
 use secureloop_telemetry::{self as telemetry, Counter, Timer};
 use secureloop_workload::Network;
 
@@ -34,10 +49,13 @@ use crate::annealing::AnnealingConfig;
 use crate::checkpoint::SweepCheckpoint;
 use crate::error::SecureLoopError;
 use crate::scheduler::{Algorithm, NetworkSchedule, Scheduler};
+use crate::supervisor::{self, SupervisedOutcome, SupervisorConfig};
 
 static DESIGNS_EVALUATED: Counter = Counter::new("dse.designs_evaluated");
 static DESIGNS_REUSED: Counter = Counter::new("dse.designs_reused");
 static DESIGNS_SKIPPED: Counter = Counter::new("dse.designs_skipped");
+static DESIGNS_POISONED: Counter = Counter::new("dse.designs_poisoned");
+static SWEEP_INTERRUPTED: Counter = Counter::new("dse.interrupted");
 static DESIGN_TIMER: Timer = Timer::new("dse.design");
 
 /// One evaluated design point.
@@ -133,6 +151,14 @@ pub struct SweepRun {
     /// Non-fatal problems (e.g. a corrupted cache file that was
     /// ignored), for the caller to surface.
     pub warnings: Vec<String>,
+    /// `(design label, cause)` for design points the supervisor
+    /// quarantined: they exhausted their retries panicking or timing
+    /// out. Recorded in the checkpoint so a resumed sweep skips them.
+    pub poisoned: Vec<(String, String)>,
+    /// Whether a shutdown request stopped the sweep before every design
+    /// point resolved. The checkpoint and candidate cache were flushed;
+    /// re-running with resume completes the remainder.
+    pub interrupted: bool,
 }
 
 impl SweepRun {
@@ -168,6 +194,8 @@ pub struct SweepOptions {
     /// both mean sequential). The result is byte-identical for any
     /// value.
     pub workers: usize,
+    /// Panic/timeout/retry policy for the per-design supervisor.
+    pub supervisor: SupervisorConfig,
 }
 
 impl SweepOptions {
@@ -207,6 +235,24 @@ impl SweepOptions {
     /// Set the worker-pool size.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Replace the whole supervisor policy.
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Set the supervisor's retry budget.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.supervisor.max_retries = retries;
+        self
+    }
+
+    /// Set the supervisor's per-attempt wall-clock budget.
+    pub fn with_task_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.supervisor.task_timeout = Some(timeout);
         self
     }
 
@@ -272,14 +318,29 @@ pub fn evaluate_designs_resumable(
         use_cache: false,
         cache_path: None,
         workers: 1,
+        supervisor: SupervisorConfig::default(),
     };
     evaluate_designs_sweep(network, designs, algorithm, search, annealing, &opts)
 }
 
 /// How one design point resolved within a sweep.
-enum Outcome {
+#[derive(Debug, Clone)]
+pub enum DesignOutcome {
+    /// The design point produced a schedule.
     Evaluated(NetworkSchedule),
+    /// The design point failed with a typed error (after retries) and
+    /// the sweep moved on.
     Skipped(String),
+    /// The design point exhausted its supervised retries panicking or
+    /// stalling: it is quarantined in the checkpoint and reported with
+    /// its captured panic payload or timeout cause.
+    Poisoned {
+        /// Captured panic payload or timeout cause.
+        cause: String,
+        /// Supervised attempts spent (0 when restored from a
+        /// checkpoint's quarantine).
+        attempts: u32,
+    },
 }
 
 /// The incremental DSE engine: [`evaluate_designs_resumable`] plus a
@@ -297,10 +358,11 @@ enum Outcome {
 ///
 /// # Errors
 ///
-/// [`SecureLoopError::Checkpoint`] when `resume` is set but the
-/// checkpoint file exists and cannot be read or parsed, or when a
-/// checkpoint write fails. Individual design-point failures do *not*
-/// error — they land in [`SweepRun::skipped`].
+/// [`SecureLoopError::Checkpoint`] when a checkpoint write fails. A
+/// corrupted checkpoint under `resume` degrades to a cold start with a
+/// [`SweepRun::warnings`] entry (losing a checkpoint only costs
+/// recomputation), and individual design-point failures do *not* error
+/// — they land in [`SweepRun::skipped`] or [`SweepRun::poisoned`].
 pub fn evaluate_designs_sweep(
     network: &Network,
     designs: &[Architecture],
@@ -309,19 +371,21 @@ pub fn evaluate_designs_sweep(
     annealing: &AnnealingConfig,
     opts: &SweepOptions,
 ) -> Result<SweepRun, SecureLoopError> {
+    let mut run = SweepRun::default();
+
     let ckpt = match (&opts.checkpoint_path, opts.resume) {
-        (Some(path), true) if path.exists() => {
-            let loaded = SweepCheckpoint::load(path)?;
-            if loaded.matches(network.name(), algorithm) {
-                loaded
-            } else {
+        (Some(path), true) if path.exists() => match SweepCheckpoint::load(path) {
+            Ok(loaded) if loaded.matches(network.name(), algorithm) => loaded,
+            Ok(_) => SweepCheckpoint::new(network.name(), algorithm),
+            Err(e) => {
+                // The load error already names the file.
+                run.warnings
+                    .push(format!("ignoring corrupted checkpoint: {e}; starting cold"));
                 SweepCheckpoint::new(network.name(), algorithm)
             }
-        }
+        },
         _ => SweepCheckpoint::new(network.name(), algorithm),
     };
-
-    let mut run = SweepRun::default();
 
     let cache_path = opts.effective_cache_path();
     let cache: Option<Arc<CandidateCache>> = if opts.use_cache {
@@ -343,17 +407,25 @@ pub fn evaluate_designs_sweep(
         None
     };
 
-    // Fixed slot per design point. Checkpointed designs fill theirs
-    // before the pool starts; the queue only carries the rest.
-    let mut slots: Vec<Option<Outcome>> = Vec::with_capacity(designs.len());
+    // Fixed slot per design point. Checkpointed designs (finished or
+    // quarantined) fill theirs before the pool starts; the queue only
+    // carries the rest.
+    let mut slots: Vec<Option<DesignOutcome>> = Vec::with_capacity(designs.len());
     for arch in designs {
-        match ckpt.get(arch.name()) {
-            Some(done) => {
-                run.reused += 1;
-                DESIGNS_REUSED.incr();
-                slots.push(Some(Outcome::Evaluated(done.clone())));
-            }
-            None => slots.push(None),
+        if let Some(done) = ckpt.get(arch.name()) {
+            run.reused += 1;
+            DESIGNS_REUSED.incr();
+            slots.push(Some(DesignOutcome::Evaluated(done.clone())));
+        } else if let Some(cause) = ckpt.poisoned_cause(arch.name()) {
+            // Quarantined by a previous invocation: report it without
+            // re-running it (that is the point of the quarantine).
+            DESIGNS_POISONED.incr();
+            slots.push(Some(DesignOutcome::Poisoned {
+                cause: cause.to_string(),
+                attempts: 0,
+            }));
+        } else {
+            slots.push(None);
         }
     }
     let pending: Vec<usize> = slots
@@ -365,20 +437,39 @@ pub fn evaluate_designs_sweep(
 
     let next = AtomicUsize::new(0);
     let ckpt_state: Mutex<(SweepCheckpoint, Option<SecureLoopError>)> = Mutex::new((ckpt, None));
-    let evaluate_one = |idx: usize| -> (usize, Outcome) {
+    // `None` from `evaluate_one` means a shutdown request stopped the
+    // design point before it resolved: the slot stays unfilled and the
+    // merge marks the run interrupted.
+    let evaluate_one = |idx: usize| -> (usize, Option<DesignOutcome>) {
         let arch = &designs[idx];
         let label = arch.name().to_string();
         let mut span = telemetry::span("dse", label.clone()).with_timer(&DESIGN_TIMER);
-        let mut scheduler = Scheduler::new(arch.clone())
-            .with_search(*search)
-            .with_annealing(*annealing);
-        if let Some(cache) = &cache {
-            scheduler = scheduler.with_candidate_cache(Arc::clone(cache));
-        }
-        match scheduler.schedule(network, algorithm) {
-            Ok(s) => {
+        // The supervisor may run the attempt on a watchdog thread, so
+        // the task must own (`'static`) everything it touches; it must
+        // also be `Clone` so a panicking attempt can be retried.
+        let task = {
+            let arch = arch.clone();
+            let network = network.clone();
+            let cache = cache.clone();
+            let search = *search;
+            let annealing = *annealing;
+            move || {
+                let mut scheduler = Scheduler::new(arch)
+                    .with_search(search)
+                    .with_annealing(annealing);
+                if let Some(cache) = &cache {
+                    scheduler = scheduler.with_candidate_cache(Arc::clone(cache));
+                }
+                scheduler.schedule(&network, algorithm)
+            }
+        };
+        match supervisor::run_supervised(&label, &opts.supervisor, task) {
+            SupervisedOutcome::Completed { value: s, attempts } => {
                 DESIGNS_EVALUATED.incr();
                 span.add_field("outcome", "evaluated");
+                if attempts > 1 {
+                    span.add_field("attempts", attempts.to_string());
+                }
                 let mut state = ckpt_state.lock().expect("checkpoint lock");
                 state.0.insert(label, s.clone());
                 if let Some(path) = &opts.checkpoint_path {
@@ -386,18 +477,37 @@ pub fn evaluate_designs_sweep(
                         state.1.get_or_insert(e);
                     }
                 }
-                (idx, Outcome::Evaluated(s))
+                (idx, Some(DesignOutcome::Evaluated(s)))
             }
-            Err(e) => {
+            SupervisedOutcome::Failed { error, .. } => {
                 DESIGNS_SKIPPED.incr();
                 span.add_field("outcome", "skipped");
-                (idx, Outcome::Skipped(e.to_string()))
+                (idx, Some(DesignOutcome::Skipped(error.to_string())))
+            }
+            SupervisedOutcome::Poisoned { cause, attempts } => {
+                DESIGNS_POISONED.incr();
+                span.add_field("outcome", "poisoned");
+                let mut state = ckpt_state.lock().expect("checkpoint lock");
+                state.0.insert_poisoned(label, cause.clone());
+                if let Some(path) = &opts.checkpoint_path {
+                    if let Err(e) = state.0.save(path) {
+                        state.1.get_or_insert(e);
+                    }
+                }
+                (idx, Some(DesignOutcome::Poisoned { cause, attempts }))
+            }
+            SupervisedOutcome::Cancelled => {
+                span.add_field("outcome", "cancelled");
+                (idx, None)
             }
         }
     };
-    let worker_loop = || -> Vec<(usize, Outcome)> {
+    let worker_loop = || -> Vec<(usize, Option<DesignOutcome>)> {
         let mut out = Vec::new();
         loop {
+            if cancel::shutdown_requested() {
+                break;
+            }
             let k = next.fetch_add(1, Ordering::Relaxed);
             if k >= pending.len() {
                 break;
@@ -408,7 +518,7 @@ pub fn evaluate_designs_sweep(
     };
 
     let workers = opts.workers.max(1).min(pending.len().max(1));
-    let finished: Vec<(usize, Outcome)> = if workers <= 1 {
+    let finished: Vec<(usize, Option<DesignOutcome>)> = if workers <= 1 {
         worker_loop()
     } else {
         std::thread::scope(|scope| {
@@ -420,25 +530,38 @@ pub fn evaluate_designs_sweep(
         })
     };
     for (idx, outcome) in finished {
-        if matches!(outcome, Outcome::Evaluated(_)) {
+        if matches!(outcome, Some(DesignOutcome::Evaluated(_))) {
             run.evaluated += 1;
         }
-        slots[idx] = Some(outcome);
+        slots[idx] = outcome;
     }
     if let Some(e) = ckpt_state.into_inner().expect("checkpoint lock").1 {
         return Err(e);
     }
 
-    // Merge in design order — the determinism contract.
+    // Merge in design order — the determinism contract. An unfilled
+    // slot means a shutdown request stopped the sweep early: the run
+    // is reported interrupted (and resumable), never half-merged.
+    let mut interrupted = cancel::shutdown_requested();
     for (arch, slot) in designs.iter().zip(slots) {
-        match slot.expect("every design point resolved") {
-            Outcome::Evaluated(schedule) => run.results.push(DseResult {
+        match slot {
+            Some(DesignOutcome::Evaluated(schedule)) => run.results.push(DseResult {
                 label: arch.name().to_string(),
                 area: AreaModel::of(arch),
                 schedule,
             }),
-            Outcome::Skipped(error) => run.skipped.push((arch.name().to_string(), error)),
+            Some(DesignOutcome::Skipped(error)) => {
+                run.skipped.push((arch.name().to_string(), error));
+            }
+            Some(DesignOutcome::Poisoned { cause, .. }) => {
+                run.poisoned.push((arch.name().to_string(), cause));
+            }
+            None => interrupted = true,
         }
+    }
+    run.interrupted = interrupted;
+    if interrupted {
+        SWEEP_INTERRUPTED.incr();
     }
 
     if let Some(cache) = &cache {

@@ -25,6 +25,16 @@ pub enum SecureLoopError {
     },
 }
 
+impl SecureLoopError {
+    /// Whether this error is a cooperative-cancellation artefact (a
+    /// shutdown request or a watchdog stopping a mapper search) rather
+    /// than a genuine failure. Interrupted runs report the distinct
+    /// "interrupted, resumable" exit code instead of a fatal one.
+    pub fn is_interruption(&self) -> bool {
+        matches!(self, SecureLoopError::Mapper(MapperError::Cancelled { .. }))
+    }
+}
+
 impl fmt::Display for SecureLoopError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -59,6 +59,8 @@ pub mod report;
 pub mod roofline;
 pub mod scheduler;
 pub mod segment;
+pub mod shutdown;
+pub mod supervisor;
 pub mod tensors;
 
 pub use annealing::{AnnealState, AnnealingConfig, Cooling};
@@ -66,3 +68,4 @@ pub use candidates::{CandidateSet, LayerCandidates};
 pub use checkpoint::SweepCheckpoint;
 pub use error::SecureLoopError;
 pub use scheduler::{Algorithm, LayerOutcome, LayerResult, NetworkSchedule, Scheduler};
+pub use supervisor::{SupervisedOutcome, SupervisorConfig};

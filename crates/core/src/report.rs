@@ -205,6 +205,15 @@ pub fn sweep_to_json_value(sweep: &SweepRun, front: &[usize]) -> Json {
                 .field("error", error.as_str())
         })
         .collect();
+    let poisoned = sweep
+        .poisoned
+        .iter()
+        .map(|(label, cause)| {
+            Json::obj()
+                .field("label", label.as_str())
+                .field("cause", cause.as_str())
+        })
+        .collect();
     Json::obj()
         .field("designs", Json::Arr(designs))
         .field(
@@ -212,6 +221,8 @@ pub fn sweep_to_json_value(sweep: &SweepRun, front: &[usize]) -> Json {
             Json::Arr(front.iter().map(|&i| Json::from(i as u64)).collect()),
         )
         .field("skipped", Json::Arr(skipped))
+        .field("poisoned", Json::Arr(poisoned))
+        .field("interrupted", sweep.interrupted)
         .field("evaluated", sweep.evaluated)
         .field("reused", sweep.reused)
         .field("cache_hits", sweep.cache_hits)
@@ -331,6 +342,8 @@ pub fn telemetry_summary_json(snap: &Snapshot) -> Json {
         .field("designs_evaluated", snap.counter("dse.designs_evaluated"))
         .field("designs_reused", snap.counter("dse.designs_reused"))
         .field("designs_skipped", snap.counter("dse.designs_skipped"))
+        .field("designs_poisoned", snap.counter("dse.designs_poisoned"))
+        .field("interrupted", snap.counter("dse.interrupted"))
         .field("cache_hits", cache_hits)
         .field("cache_misses", cache_misses)
         .field(
@@ -338,12 +351,20 @@ pub fn telemetry_summary_json(snap: &Snapshot) -> Json {
             rate(cache_hits, cache_hits + cache_misses),
         );
 
+    let supervisor = Json::obj()
+        .field("retries", snap.counter("supervisor.retries"))
+        .field("panics", snap.counter("supervisor.panics"))
+        .field("timeouts", snap.counter("supervisor.timeouts"))
+        .field("poisoned", snap.counter("supervisor.poisoned"))
+        .field("cancelled", snap.counter("supervisor.cancelled"));
+
     Json::obj()
         .field("mapper", mapper)
         .field("authblock", authblock)
         .field("scheduler", scheduler)
         .field("annealing", annealing)
         .field("dse", dse)
+        .field("supervisor", supervisor)
 }
 
 /// The same summary for the human-readable table output.
@@ -418,6 +439,17 @@ pub fn telemetry_summary_text(snap: &Snapshot) -> String {
             rate(chits, chits + cmisses) * 100.0,
             chits,
             cmisses,
+        );
+    }
+    let retries = snap.counter("supervisor.retries");
+    let panics = snap.counter("supervisor.panics");
+    let timeouts = snap.counter("supervisor.timeouts");
+    let poisoned = snap.counter("supervisor.poisoned");
+    let cancelled = snap.counter("supervisor.cancelled");
+    if retries + panics + timeouts + poisoned + cancelled > 0 {
+        let _ = writeln!(
+            out,
+            "  supervisor: {retries} retries, {panics} panics caught, {timeouts} timeouts, {poisoned} poisoned, {cancelled} cancelled",
         );
     }
     out

@@ -1,0 +1,178 @@
+//! The `secureloop` binary's exit-code contract, asserted end to end:
+//! `0` success, `1` fatal (usage or input errors), `2` completed but
+//! degraded, `3` interrupted by a signal with a flushed, resumable
+//! checkpoint.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_secureloop"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn success_exits_zero() {
+    let out = bin().arg("workloads").output().expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("alexnet"));
+}
+
+#[test]
+fn usage_error_exits_one() {
+    let out = bin().arg("--bogus").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("usage:"),
+        "fatal argument errors print the usage text"
+    );
+}
+
+#[test]
+fn unknown_workload_exits_one() {
+    let out = bin()
+        .args(["schedule", "--workload", "definitely-not-a-network"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn degraded_schedule_exits_two() {
+    // A zero deadline cuts every layer search down to the greedy floor,
+    // so the schedule completes but every layer is degraded.
+    let out = bin()
+        .args([
+            "schedule",
+            "--workload",
+            "alexnet",
+            "--deadline-secs",
+            "0",
+            "--samples",
+            "50",
+            "--iterations",
+            "5",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("degraded"),
+        "the table names the degradation"
+    );
+}
+
+/// SIGINT mid-sweep: the run drains, flushes its checkpoint, reports
+/// itself interrupted and exits `3`; a `--resume` run restores the
+/// finished design points and completes the rest with exit `0`.
+#[cfg(unix)]
+#[test]
+fn interrupt_exits_three_and_resume_completes() {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGINT: i32 = 2;
+
+    let dir = tmp_dir("secureloop-exit-codes");
+    let ckpt = dir.join("sweep.json");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let dse_args = [
+        "dse",
+        "--workload",
+        "mlp",
+        "--samples",
+        "20",
+        "--iterations",
+        "3",
+        "--no-cache",
+        "--checkpoint",
+    ];
+
+    let mut child = bin()
+        .args(dse_args)
+        .arg(&ckpt)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+
+    // Signal as soon as the first design point has been checkpointed,
+    // so there is always something to restore and (with 18 design
+    // points in the space) plenty of sweep left to interrupt.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !ckpt.exists() {
+        assert!(Instant::now() < deadline, "no checkpoint appeared");
+        assert!(
+            child.try_wait().expect("try_wait works").is_none(),
+            "sweep finished before it could be interrupted"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let rc = unsafe { kill(child.id() as i32, SIGINT) };
+    assert_eq!(rc, 0, "kill(SIGINT) succeeds");
+
+    let out = child.wait_with_output().expect("binary exits");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("interrupted: shutdown requested; re-run with --resume to continue"),
+        "stdout: {stdout}"
+    );
+    assert!(ckpt.exists(), "the checkpoint survived the interruption");
+
+    let out = bin()
+        .args(dse_args)
+        .arg(&ckpt)
+        .arg("--resume")
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let resumed_line = stdout
+        .lines()
+        .find(|l| l.starts_with("resumed:"))
+        .expect("the resume run reports what it restored");
+    // "resumed: N design point(s) restored from checkpoint, M evaluated"
+    let nums: Vec<usize> = resumed_line
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().unwrap())
+        .collect();
+    assert_eq!(nums.len(), 2, "line: {resumed_line}");
+    assert!(nums[0] >= 1, "at least one design point was restored");
+    assert_eq!(
+        nums[0] + nums[1],
+        18,
+        "restored + evaluated covers the whole Fig. 16 space: {resumed_line}"
+    );
+    assert!(!stdout.contains("interrupted:"));
+}

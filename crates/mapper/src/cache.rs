@@ -33,7 +33,7 @@ use secureloop_loopnest::{evaluate, CompactMapping, Mapping, SearchSpaceKey};
 use secureloop_telemetry::Counter;
 use secureloop_workload::ConvLayer;
 
-use crate::{fault, search, MapperError, MapperResult, SearchConfig, SearchTier};
+use crate::{cancel, fault, search, MapperError, MapperResult, SearchConfig, SearchTier};
 
 static CACHE_HIT: Counter = Counter::new("dse.cache_hit");
 static CACHE_MISS: Counter = Counter::new("dse.cache_miss");
@@ -315,8 +315,12 @@ pub fn search_cached(
     cfg: &SearchConfig,
     cache: Option<&CandidateCache>,
 ) -> Result<MapperResult, MapperError> {
+    // Deadline-truncated results are not reusable, armed fault plans
+    // key on layer names a shared cache would conflate, and a task
+    // retrying after a panic/timeout must not consult (or populate)
+    // shared state its previous attempt may have been corrupting.
     let cache = match cache {
-        Some(c) if cfg.deadline.is_none() && !fault::armed() => c,
+        Some(c) if cfg.deadline.is_none() && !fault::armed() && !cancel::cache_bypassed() => c,
         _ => return search(layer, arch, cfg),
     };
     let key = full_key(&SearchSpaceKey::of(layer, arch), cfg);

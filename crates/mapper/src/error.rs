@@ -32,6 +32,22 @@ pub enum MapperError {
         /// Layer name the injected fault matched.
         layer: String,
     },
+    /// A fault-injection plan simulated a transient I/O failure for
+    /// this layer (see [`crate::fault::FaultPlan::io_error`]). Unlike
+    /// [`MapperError::InjectedFailure`] this clears after a bounded
+    /// number of attempts, so it deterministically exercises
+    /// retry-then-succeed supervisor paths.
+    InjectedIo {
+        /// Layer name the injected fault matched.
+        layer: String,
+    },
+    /// The search was cancelled cooperatively — a process-wide shutdown
+    /// or the task's watchdog tripped its [`crate::cancel::CancelToken`]
+    /// (checked at chunk boundaries alongside the deadline).
+    Cancelled {
+        /// Layer name the cancelled search ran on.
+        layer: String,
+    },
 }
 
 impl MapperError {
@@ -40,7 +56,9 @@ impl MapperError {
         match self {
             MapperError::NoValidMapping { layer, .. }
             | MapperError::Infeasible { layer, .. }
-            | MapperError::InjectedFailure { layer } => layer,
+            | MapperError::InjectedFailure { layer }
+            | MapperError::InjectedIo { layer }
+            | MapperError::Cancelled { layer } => layer,
         }
     }
 }
@@ -62,6 +80,12 @@ impl fmt::Display for MapperError {
             }
             MapperError::InjectedFailure { layer } => {
                 write!(f, "injected mapper failure for layer '{layer}'")
+            }
+            MapperError::InjectedIo { layer } => {
+                write!(f, "injected transient I/O failure for layer '{layer}'")
+            }
+            MapperError::Cancelled { layer } => {
+                write!(f, "search cancelled for layer '{layer}'")
             }
         }
     }

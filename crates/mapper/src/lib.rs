@@ -72,6 +72,7 @@
 //! ```
 
 pub mod cache;
+pub mod cancel;
 pub mod error;
 pub mod exhaustive;
 pub mod factors;
@@ -79,7 +80,7 @@ pub mod fault;
 pub mod greedy;
 pub mod sampler;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use secureloop_arch::Architecture;
@@ -89,6 +90,7 @@ use secureloop_telemetry::{self as telemetry, Counter, Histogram, Timer};
 use secureloop_workload::ConvLayer;
 
 pub use cache::{search_cached, CandidateCache};
+pub use cancel::{CancelToken, TaskContext, TaskScope};
 pub use error::MapperError;
 pub use exhaustive::{exhaustive_search, space_upper_bound, ExhaustiveResult};
 pub use fault::{FaultPlan, FaultScope};
@@ -381,12 +383,56 @@ pub fn search(
     let mut search_span = telemetry::span("mapper", layer.name()).with_timer(&SEARCH_TIMER);
     SEARCHES.incr();
 
-    let verdict = fault::verdict_for(layer.name());
-    if verdict == fault::Verdict::Fail {
-        search_span.add_field("error", "injected_failure");
-        return Err(MapperError::InjectedFailure {
-            layer: layer.name().to_string(),
-        });
+    // Per-task cancellation context, installed by the supervisor on
+    // this thread; the chunk workers spawned below capture a clone.
+    let ctx = cancel::current_context();
+    let cancelled_err = || MapperError::Cancelled {
+        layer: layer.name().to_string(),
+    };
+    if cancel::cancelled(&ctx) {
+        search_span.add_field("error", "cancelled");
+        return Err(cancelled_err());
+    }
+
+    let verdict = fault::verdict_for(layer.name(), arch.name());
+    match verdict {
+        fault::Verdict::Fail => {
+            search_span.add_field("error", "injected_failure");
+            return Err(MapperError::InjectedFailure {
+                layer: layer.name().to_string(),
+            });
+        }
+        fault::Verdict::Panic => {
+            search_span.add_field("error", "injected_panic");
+            panic!(
+                "injected panic in mapper search for layer '{}'",
+                layer.name()
+            );
+        }
+        fault::Verdict::IoError => {
+            search_span.add_field("error", "injected_io");
+            return Err(MapperError::InjectedIo {
+                layer: layer.name().to_string(),
+            });
+        }
+        fault::Verdict::Stall(d) => {
+            // Sleep in short slices so a watchdog cancellation (or a
+            // process shutdown) wakes the stalled search promptly.
+            search_span.add_field("fault", "stall");
+            let end = Instant::now() + d;
+            loop {
+                let now = Instant::now();
+                if now >= end {
+                    break;
+                }
+                if cancel::cancelled(&ctx) {
+                    search_span.add_field("error", "cancelled");
+                    return Err(cancelled_err());
+                }
+                std::thread::sleep((end - now).min(Duration::from_millis(5)));
+            }
+        }
+        fault::Verdict::NanCost | fault::Verdict::Clean => {}
     }
     let nan = verdict == fault::Verdict::NanCost;
     let poison = move |mut e: Evaluation| {
@@ -433,6 +479,8 @@ pub fn search(
 
     // keep, valid, drawn, cut-by-deadline
     type ChunkResult = (Vec<(Mapping, Evaluation)>, usize, usize, bool);
+    let was_cancelled = AtomicBool::new(false);
+    let ctx = &ctx;
     let run_chunk = |worker: usize, chunk: usize| -> ChunkResult {
         let start = Instant::now();
         let samples = CHUNK_SAMPLES.min(cfg.samples - chunk * CHUNK_SAMPLES);
@@ -442,6 +490,11 @@ pub fn search(
         let mut cut = false;
         for i in 0..samples {
             if i % DEADLINE_STRIDE == 0 {
+                if cancel::cancelled(ctx) {
+                    was_cancelled.store(true, Ordering::Relaxed);
+                    cut = true;
+                    break;
+                }
                 if let Some(dl) = deadline {
                     if Instant::now() >= dl {
                         cut = true;
@@ -520,6 +573,14 @@ pub fn search(
         })
     };
     chunk_results.sort_by_key(|&(chunk, _)| chunk);
+
+    // A cancelled search returns the typed error instead of partial
+    // results: the caller (supervisor or shutdown path) asked it to
+    // stop, so whatever it gathered must not masquerade as a schedule.
+    if was_cancelled.load(Ordering::Relaxed) {
+        search_span.add_field("error", "cancelled");
+        return Err(cancelled_err());
+    }
 
     let mut merged = MapperResult::default();
     let mut sampled_any = false;
