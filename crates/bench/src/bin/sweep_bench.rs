@@ -18,6 +18,10 @@
 //!   --out <path>        output JSON                 (default BENCH_sweep.json)
 //!   --check             exit 1 unless warm speedup >= the threshold
 //!   --min-speedup <x>   threshold for --check       (default 1.3)
+//!   --diff-against <p>  exit 1 if any *deterministic* field (sample
+//!                       counts, hit/miss counts, space shape) differs
+//!                       from the committed baseline; wall times are
+//!                       machine-dependent and excluded
 //! ```
 
 use std::path::PathBuf;
@@ -36,6 +40,7 @@ struct Args {
     out: PathBuf,
     check: bool,
     min_speedup: f64,
+    diff_against: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +50,7 @@ fn parse_args() -> Args {
         out: PathBuf::from("BENCH_sweep.json"),
         check: false,
         min_speedup: 1.3,
+        diff_against: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -57,10 +63,53 @@ fn parse_args() -> Args {
             "--min-speedup" => {
                 args.min_speedup = value("--min-speedup").parse().expect("--min-speedup")
             }
+            "--diff-against" => args.diff_against = Some(PathBuf::from(value("--diff-against"))),
             other => panic!("unknown argument: {other}"),
         }
     }
     args
+}
+
+/// Compare the deterministic fields of this run against a committed
+/// baseline. Sample counts and hit/miss counts are seeded and
+/// single-valued, so any drift means the search or the cache changed
+/// behaviour — exactly what the committed `BENCH_sweep.json` is there
+/// to catch. Wall times are machine-dependent and ignored.
+fn diff_against_baseline(baseline_path: &std::path::Path, fresh: &Json) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+    let baseline =
+        Json::parse(&text).map_err(|e| format!("parse {}: {e:?}", baseline_path.display()))?;
+
+    let mut drift = Vec::new();
+    let mut check = |field: &str, a: &Json, b: &Json| {
+        if a != b {
+            drift.push(format!("  {field}: baseline {a} != fresh {b}"));
+        }
+    };
+    for field in [
+        "bench",
+        "space",
+        "workload",
+        "designs",
+        "samples_per_search",
+    ] {
+        check(field, &baseline[field], &fresh[field]);
+    }
+    for phase in ["cold_no_cache", "cold_with_cache", "warm_with_cache"] {
+        for field in ["mapper_samples", "cache_hits", "cache_misses", "hit_rate"] {
+            check(
+                &format!("{phase}.{field}"),
+                &baseline[phase][field],
+                &fresh[phase][field],
+            );
+        }
+    }
+    if drift.is_empty() {
+        Ok(())
+    } else {
+        Err(drift.join("\n"))
+    }
 }
 
 struct Phase {
@@ -190,6 +239,22 @@ fn main() {
     std::fs::write(&args.out, json.pretty()).expect("write BENCH_sweep.json");
     println!("[wrote {}]", args.out.display());
 
+    if let Some(baseline) = &args.diff_against {
+        match diff_against_baseline(baseline, &json) {
+            Ok(()) => println!(
+                "PASS: deterministic fields match the committed {}",
+                baseline.display()
+            ),
+            Err(drift) => {
+                eprintln!(
+                    "FAIL: drift vs the committed {} (if intentional, regenerate it \
+                     with `cargo run --release -p secureloop-bench --bin sweep_bench`):\n{drift}",
+                    baseline.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     if args.check && speedup < args.min_speedup {
         eprintln!(
             "FAIL: warm cache speedup {speedup:.2}x below the {:.2}x threshold",

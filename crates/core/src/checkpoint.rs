@@ -423,10 +423,27 @@ impl SweepCheckpoint {
         };
         SAVE_TIMER.time(|| {
             let tmp = path.with_extension("tmp");
-            fs::write(&tmp, self.to_json().pretty()).map_err(|e| err(format!("write: {e}")))?;
-            fs::rename(&tmp, path).map_err(|e| err(format!("rename: {e}")))?;
-            Ok(())
+            let result = fs::write(&tmp, self.to_json().pretty())
+                .map_err(|e| err(format!("write: {e}")))
+                .and_then(|()| fs::rename(&tmp, path).map_err(|e| err(format!("rename: {e}"))));
+            if result.is_err() {
+                // A failed write or rename must not strand the temp
+                // file: a later `remove_stale_tmp` would also catch it,
+                // but cleaning up here keeps the failure self-contained.
+                let _ = fs::remove_file(&tmp);
+            }
+            result
         })
+    }
+
+    /// Remove a stale `<path>.tmp` orphan left behind by a write that
+    /// died between `fs::write` and `fs::rename` (power loss, SIGKILL).
+    /// Call before the first [`SweepCheckpoint::save`] against `path`;
+    /// the orphan is a torn partial write and must never be trusted.
+    /// Returns whether an orphan was removed.
+    pub fn remove_stale_tmp(path: &Path) -> bool {
+        let tmp = path.with_extension("tmp");
+        tmp.exists() && fs::remove_file(&tmp).is_ok()
     }
 
     /// Load a checkpoint from disk.
@@ -569,6 +586,49 @@ mod tests {
         let back = SweepCheckpoint::from_json(&Json::parse(text).unwrap()).unwrap();
         assert!(back.matches("AlexNet", Algorithm::CryptOptSingle));
         assert!(back.poisoned.is_empty());
+    }
+
+    #[test]
+    fn stale_tmp_orphans_are_cleaned_up_and_real_files_kept() {
+        let dir = std::env::temp_dir().join("secureloop-ckpt-tmp-orphan");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.json");
+        let tmp = path.with_extension("tmp");
+
+        // Simulate a write that died mid-flight: a torn .tmp next to a
+        // good (older) checkpoint.
+        let mut ckpt = SweepCheckpoint::new("AlexNet", Algorithm::CryptOptSingle);
+        ckpt.insert_poisoned("design-x", "panicked: chaos");
+        ckpt.save(&path).unwrap();
+        fs::write(&tmp, "{\"version\": 2, \"kind\": \"dse-swe").unwrap();
+
+        assert!(SweepCheckpoint::remove_stale_tmp(&path), "orphan removed");
+        assert!(!tmp.exists());
+        assert!(path.exists(), "the real checkpoint is untouched");
+        let back = SweepCheckpoint::load(&path).unwrap();
+        assert_eq!(back.poisoned_cause("design-x"), Some("panicked: chaos"));
+
+        // Idempotent when there is nothing to clean.
+        assert!(!SweepCheckpoint::remove_stale_tmp(&path));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_save_does_not_strand_a_tmp_file() {
+        let dir = std::env::temp_dir().join("secureloop-ckpt-save-fail");
+        fs::create_dir_all(&dir).unwrap();
+        // Renaming over a directory fails on every platform, forcing
+        // the save down its error path after the .tmp was written.
+        let path = dir.join("target-is-a-dir.json");
+        fs::create_dir_all(&path).unwrap();
+        let ckpt = SweepCheckpoint::new("AlexNet", Algorithm::CryptOptSingle);
+        let err = ckpt.save(&path).unwrap_err();
+        assert!(matches!(err, SecureLoopError::Checkpoint { .. }));
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "failed save cleans up its temp file"
+        );
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

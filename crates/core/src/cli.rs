@@ -24,6 +24,7 @@ usage:
   secureloop schedule --workload <name> [--algorithm <algo>] [options]
   secureloop dse --workload <name> [options]
   secureloop trace --workload <name> --layer <i> [options]
+  secureloop serve --state-dir <dir> [options]
   secureloop workloads
 
 workloads: alexnet | resnet18 | resnet50 | mobilenet_v2 | vgg16 | mlp
@@ -68,6 +69,24 @@ options:
                                          authblock, annealing, dse spans) to
                                          this file as JSON Lines
   --json                                 emit JSON instead of a table
+
+serve options (JSON-Lines requests on stdin, events on stdout):
+  --state-dir <dir>                      journal, shared cache and per-job
+                                         checkpoints live here (required)
+  --queue-depth <n>                      queued jobs beyond this are shed with
+                                         a typed 'overloaded' response
+                                         (default 8)
+  --service-workers <n>                  jobs run concurrently (default 2)
+  --job-workers <n>                      design points evaluated in parallel
+                                         inside each job (default 1)
+  --cache-budget-mb <n>                  LRU memory budget for the shared
+                                         candidate cache (default unbounded)
+  --admit-max-samples <n>                admission cap on per-layer samples
+                                         (default 20000)
+  --admit-max-designs <n>                admission cap on design points per
+                                         job (default 18)
+  --admit-max-deadline-secs <s>          admission cap on a job's per-layer
+                                         deadline (default 300)
 
 exit codes:
   0  success, full-quality results
@@ -176,6 +195,23 @@ pub struct Options {
     pub task_timeout_secs: Option<f64>,
     /// Stream telemetry events to this file as JSON Lines.
     pub trace_out: Option<String>,
+    /// State dir for the `serve` command (journal, shared cache,
+    /// per-job checkpoints).
+    pub state_dir: Option<String>,
+    /// Queue bound for the `serve` command.
+    pub queue_depth: usize,
+    /// Concurrent jobs for the `serve` command.
+    pub service_workers: usize,
+    /// Sweep workers inside each service job.
+    pub job_workers: usize,
+    /// LRU memory budget (MB) for the service's shared candidate cache.
+    pub cache_budget_mb: Option<usize>,
+    /// Admission cap on per-layer samples.
+    pub admit_max_samples: Option<usize>,
+    /// Admission cap on design points per job.
+    pub admit_max_designs: Option<usize>,
+    /// Admission cap on a job's per-layer deadline (seconds).
+    pub admit_max_deadline_secs: Option<f64>,
 }
 
 impl Default for Options {
@@ -204,6 +240,14 @@ impl Default for Options {
             max_retries: None,
             task_timeout_secs: None,
             trace_out: None,
+            state_dir: None,
+            queue_depth: 8,
+            service_workers: 2,
+            job_workers: 1,
+            cache_budget_mb: None,
+            admit_max_samples: None,
+            admit_max_designs: None,
+            admit_max_deadline_secs: None,
         }
     }
 }
@@ -219,7 +263,7 @@ pub fn parse(args: &[String]) -> Result<Options, CliError> {
     opts.command = it.next().ok_or_else(|| usage("missing command"))?.clone();
     if !matches!(
         opts.command.as_str(),
-        "schedule" | "dse" | "workloads" | "trace"
+        "schedule" | "dse" | "workloads" | "trace" | "serve"
     ) {
         return Err(usage(format!("unknown command '{}'", opts.command)));
     }
@@ -324,6 +368,61 @@ pub fn parse(args: &[String]) -> Result<Options, CliError> {
                 opts.task_timeout_secs = Some(secs);
             }
             "--trace-out" => opts.trace_out = Some(value()?),
+            "--state-dir" => opts.state_dir = Some(value()?),
+            "--queue-depth" => {
+                opts.queue_depth = value()?
+                    .parse()
+                    .map_err(|_| usage("--queue-depth expects an integer"))?;
+                if opts.queue_depth == 0 {
+                    return Err(usage("--queue-depth must be at least 1"));
+                }
+            }
+            "--service-workers" => {
+                opts.service_workers = value()?
+                    .parse()
+                    .map_err(|_| usage("--service-workers expects an integer"))?;
+                if opts.service_workers == 0 {
+                    return Err(usage("--service-workers must be at least 1"));
+                }
+            }
+            "--job-workers" => {
+                opts.job_workers = value()?
+                    .parse()
+                    .map_err(|_| usage("--job-workers expects an integer"))?;
+                if opts.job_workers == 0 {
+                    return Err(usage("--job-workers must be at least 1"));
+                }
+            }
+            "--cache-budget-mb" => {
+                opts.cache_budget_mb = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| usage("--cache-budget-mb expects an integer"))?,
+                )
+            }
+            "--admit-max-samples" => {
+                opts.admit_max_samples = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| usage("--admit-max-samples expects an integer"))?,
+                )
+            }
+            "--admit-max-designs" => {
+                opts.admit_max_designs = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| usage("--admit-max-designs expects an integer"))?,
+                )
+            }
+            "--admit-max-deadline-secs" => {
+                let secs: f64 = value()?
+                    .parse()
+                    .map_err(|_| usage("--admit-max-deadline-secs expects a number of seconds"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(usage("--admit-max-deadline-secs must be a positive number"));
+                }
+                opts.admit_max_deadline_secs = Some(secs);
+            }
             "--layer" => {
                 opts.layer = value()?
                     .parse()
@@ -335,7 +434,7 @@ pub fn parse(args: &[String]) -> Result<Options, CliError> {
     Ok(opts)
 }
 
-fn workload(name: &str) -> Result<Network, CliError> {
+pub(crate) fn workload(name: &str) -> Result<Network, CliError> {
     match name {
         "alexnet" => Ok(zoo::alexnet_conv()),
         "resnet18" => Ok(zoo::resnet18()),
@@ -729,6 +828,44 @@ fn dispatch(opts: &Options) -> Result<CliOutput, CliError> {
         "workloads" => Ok(CliOutput::ok(
             "alexnet\nresnet18\nresnet50\nmobilenet_v2\nvgg16\nmlp".to_string(),
         )),
+        "serve" => {
+            let state_dir = opts
+                .state_dir
+                .as_deref()
+                .ok_or_else(|| usage("serve needs --state-dir"))?;
+            let mut cfg = crate::service::ServiceConfig::new(state_dir)
+                .with_queue_depth(opts.queue_depth)
+                .with_workers(opts.service_workers)
+                .with_job_workers(opts.job_workers);
+            if let Some(mb) = opts.cache_budget_mb {
+                cfg = cfg.with_cache_budget_bytes(mb.saturating_mul(1024 * 1024));
+            }
+            let mut admission = crate::service::AdmissionPolicy::default();
+            if let Some(n) = opts.admit_max_samples {
+                admission.max_samples = n;
+            }
+            if let Some(n) = opts.admit_max_designs {
+                admission.max_designs = n;
+            }
+            if let Some(secs) = opts.admit_max_deadline_secs {
+                admission.max_deadline_secs = secs;
+            }
+            cfg = cfg.with_admission(admission);
+            let mut supervisor = crate::supervisor::SupervisorConfig::default();
+            if let Some(retries) = opts.max_retries {
+                supervisor.max_retries = retries;
+            }
+            if let Some(secs) = opts.task_timeout_secs {
+                supervisor.task_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            cfg = cfg.with_supervisor(supervisor);
+            let server = crate::service::Server::new(cfg)?;
+            let status = server.serve(std::io::stdin(), std::io::stdout());
+            Ok(CliOutput {
+                text: String::new(),
+                status,
+            })
+        }
         "schedule" => {
             let name = opts
                 .workload

@@ -41,7 +41,7 @@ use std::sync::{Arc, Mutex};
 use secureloop_arch::{Architecture, DramSpec};
 use secureloop_crypto::{CryptoConfig, EngineClass};
 use secureloop_energy::AreaModel;
-use secureloop_mapper::{cancel, CandidateCache, SearchConfig};
+use secureloop_mapper::{cancel, CancelToken, CandidateCache, SearchConfig};
 use secureloop_telemetry::{self as telemetry, Counter, Timer};
 use secureloop_workload::Network;
 
@@ -196,6 +196,19 @@ pub struct SweepOptions {
     pub workers: usize,
     /// Panic/timeout/retry policy for the per-design supervisor.
     pub supervisor: SupervisorConfig,
+    /// A caller-owned [`CandidateCache`] to use instead of loading one
+    /// from [`SweepOptions::cache_path`]. The service hands every job
+    /// the same process-wide warm cache this way; the sweep neither
+    /// loads nor saves it (the owner controls persistence), and
+    /// [`SweepRun::cache_hits`]/[`SweepRun::cache_misses`] report this
+    /// invocation's delta (approximate when jobs share concurrently).
+    pub shared_cache: Option<Arc<CandidateCache>>,
+    /// Job-level cancellation: when this token trips, workers stop
+    /// picking up design points and in-flight searches exit at their
+    /// next chunk boundary, exactly like a process-wide shutdown but
+    /// scoped to this sweep. The run comes back
+    /// [`SweepRun::interrupted`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl SweepOptions {
@@ -253,6 +266,20 @@ impl SweepOptions {
     /// Set the supervisor's per-attempt wall-clock budget.
     pub fn with_task_timeout(mut self, timeout: std::time::Duration) -> Self {
         self.supervisor.task_timeout = Some(timeout);
+        self
+    }
+
+    /// Use a caller-owned candidate cache (implies `use_cache`); the
+    /// sweep will not load or persist it.
+    pub fn with_shared_cache(mut self, cache: Arc<CandidateCache>) -> Self {
+        self.use_cache = true;
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Attach a job-level cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -315,10 +342,8 @@ pub fn evaluate_designs_resumable(
     let opts = SweepOptions {
         checkpoint_path: checkpoint_path.map(Path::to_path_buf),
         resume,
-        use_cache: false,
-        cache_path: None,
         workers: 1,
-        supervisor: SupervisorConfig::default(),
+        ..SweepOptions::default()
     };
     evaluate_designs_sweep(network, designs, algorithm, search, annealing, &opts)
 }
@@ -373,6 +398,19 @@ pub fn evaluate_designs_sweep(
 ) -> Result<SweepRun, SecureLoopError> {
     let mut run = SweepRun::default();
 
+    // A previous invocation killed between `write` and `rename` leaves
+    // a torn `.tmp` next to the checkpoint (and cache) file; sweep it
+    // away before trusting or writing anything here.
+    if let Some(path) = &opts.checkpoint_path {
+        SweepCheckpoint::remove_stale_tmp(path);
+    }
+    if let Some(path) = opts.effective_cache_path() {
+        let tmp = path.with_extension("tmp");
+        if tmp.exists() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
     let ckpt = match (&opts.checkpoint_path, opts.resume) {
         (Some(path), true) if path.exists() => match SweepCheckpoint::load(path) {
             Ok(loaded) if loaded.matches(network.name(), algorithm) => loaded,
@@ -387,8 +425,17 @@ pub fn evaluate_designs_sweep(
         _ => SweepCheckpoint::new(network.name(), algorithm),
     };
 
-    let cache_path = opts.effective_cache_path();
-    let cache: Option<Arc<CandidateCache>> = if opts.use_cache {
+    // A caller-owned cache (the service's process-wide warm cache)
+    // takes precedence: the sweep uses it in place and leaves loading
+    // and persistence to its owner.
+    let cache_path = if opts.shared_cache.is_some() {
+        None
+    } else {
+        opts.effective_cache_path()
+    };
+    let cache: Option<Arc<CandidateCache>> = if let Some(shared) = &opts.shared_cache {
+        Some(Arc::clone(shared))
+    } else if opts.use_cache {
         let loaded = match &cache_path {
             Some(path) if path.exists() => match CandidateCache::load(path) {
                 Ok(c) => c,
@@ -406,6 +453,7 @@ pub fn evaluate_designs_sweep(
     } else {
         None
     };
+    let stats_base = cache.as_ref().map(|c| (c.hits(), c.misses()));
 
     // Fixed slot per design point. Checkpointed designs (finished or
     // quarantined) fill theirs before the pool starts; the queue only
@@ -463,7 +511,12 @@ pub fn evaluate_designs_sweep(
                 scheduler.schedule(&network, algorithm)
             }
         };
-        match supervisor::run_supervised(&label, &opts.supervisor, task) {
+        match supervisor::run_supervised_cancellable(
+            &label,
+            &opts.supervisor,
+            opts.cancel.as_ref(),
+            task,
+        ) {
             SupervisedOutcome::Completed { value: s, attempts } => {
                 DESIGNS_EVALUATED.incr();
                 span.add_field("outcome", "evaluated");
@@ -502,10 +555,15 @@ pub fn evaluate_designs_sweep(
             }
         }
     };
+    let sweep_cancelled = || opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+    // Worker threads re-enter the caller's telemetry job scope so a
+    // service job's design-point events stay attributed to it.
+    let job_scope = telemetry::current_scope();
     let worker_loop = || -> Vec<(usize, Option<DesignOutcome>)> {
+        let _scope = job_scope.clone().map(telemetry::enter_scope);
         let mut out = Vec::new();
         loop {
-            if cancel::shutdown_requested() {
+            if cancel::shutdown_requested() || sweep_cancelled() {
                 break;
             }
             let k = next.fetch_add(1, Ordering::Relaxed);
@@ -542,7 +600,7 @@ pub fn evaluate_designs_sweep(
     // Merge in design order — the determinism contract. An unfilled
     // slot means a shutdown request stopped the sweep early: the run
     // is reported interrupted (and resumable), never half-merged.
-    let mut interrupted = cancel::shutdown_requested();
+    let mut interrupted = cancel::shutdown_requested() || sweep_cancelled();
     for (arch, slot) in designs.iter().zip(slots) {
         match slot {
             Some(DesignOutcome::Evaluated(schedule)) => run.results.push(DseResult {
@@ -565,8 +623,9 @@ pub fn evaluate_designs_sweep(
     }
 
     if let Some(cache) = &cache {
-        run.cache_hits = cache.hits();
-        run.cache_misses = cache.misses();
+        let (h0, m0) = stats_base.unwrap_or((0, 0));
+        run.cache_hits = cache.hits().saturating_sub(h0);
+        run.cache_misses = cache.misses().saturating_sub(m0);
         if let Some(path) = &cache_path {
             if let Err(e) = cache.save(path) {
                 run.warnings.push(format!(
@@ -575,6 +634,12 @@ pub fn evaluate_designs_sweep(
                 ));
             }
         }
+    }
+    if interrupted {
+        // A drain (SIGINT/SIGTERM) usually exits the process shortly
+        // after this returns; flush the trace sink now so a buffered
+        // `--trace-out` file is not truncated mid-event.
+        telemetry::flush_sink();
     }
     Ok(run)
 }

@@ -59,6 +59,7 @@ pub mod report;
 pub mod roofline;
 pub mod scheduler;
 pub mod segment;
+pub mod service;
 pub mod shutdown;
 pub mod supervisor;
 pub mod tensors;

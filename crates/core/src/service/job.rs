@@ -1,0 +1,571 @@
+//! Job specifications, the job lifecycle state machine, and admission
+//! control.
+
+use std::time::Duration;
+
+use secureloop_arch::Architecture;
+use secureloop_json::Json;
+use secureloop_mapper::FaultPlan;
+use secureloop_workload::Network;
+
+use crate::dse::fig16_design_space;
+use crate::scheduler::Algorithm;
+
+/// Job ids become file names (`<state_dir>/<id>.ckpt.json`), so they
+/// are restricted to a filesystem-safe alphabet.
+pub fn valid_job_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+/// An injected fault a test client attaches to its job (a chaos hook:
+/// the soak suite uses it to plan poison jobs). Scoped to one
+/// architecture so it cannot leak into other tenants' searches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// `fail` | `nan` | `panic` | `stall` | `io_error`.
+    pub kind: String,
+    /// Layers the fault applies to.
+    pub layers: Vec<String>,
+    /// Design label the fault is scoped to (required: an unscoped
+    /// fault would sabotage other tenants running the same layers).
+    pub arch: String,
+    /// Stall duration in milliseconds (`stall` only).
+    pub stall_ms: u64,
+}
+
+impl FaultSpec {
+    /// Build the mapper-level [`FaultPlan`], always arch-scoped.
+    ///
+    /// # Errors
+    ///
+    /// An unknown `kind`.
+    pub fn to_plan(&self) -> Result<FaultPlan, String> {
+        let layers = self.layers.iter().cloned();
+        let plan = match self.kind.as_str() {
+            "fail" => FaultPlan::fail(layers),
+            "nan" => FaultPlan::nan_cost(layers),
+            "panic" => FaultPlan::panic(layers),
+            "stall" => FaultPlan::stall(layers, Duration::from_millis(self.stall_ms.max(1))),
+            "io_error" => FaultPlan::io_error(layers, 2),
+            other => return Err(format!("unknown fault kind '{other}'")),
+        };
+        Ok(plan.for_arch(self.arch.clone()))
+    }
+
+    /// Serialise for the journal.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("kind", self.kind.as_str())
+            .field(
+                "layers",
+                Json::Arr(self.layers.iter().map(|l| Json::from(l.as_str())).collect()),
+            )
+            .field("arch", self.arch.as_str())
+            .field("stall_ms", self.stall_ms)
+    }
+
+    /// Parse a [`FaultSpec`] from a submission or the journal.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<FaultSpec, String> {
+        let kind = v["kind"]
+            .as_str()
+            .ok_or("fault needs a string 'kind'")?
+            .to_string();
+        let layers = v["layers"]
+            .as_array()
+            .ok_or("fault needs a 'layers' array")?
+            .iter()
+            .map(|l| {
+                l.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "fault layers must be strings".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let arch = v["arch"]
+            .as_str()
+            .ok_or("fault needs an 'arch' design label (unscoped faults would hit other tenants)")?
+            .to_string();
+        let stall_ms = v["stall_ms"].as_u64().unwrap_or(50);
+        let spec = FaultSpec {
+            kind,
+            layers,
+            arch,
+            stall_ms,
+        };
+        spec.to_plan()?; // validate the kind eagerly
+        Ok(spec)
+    }
+}
+
+/// One job: what a client asked the server to explore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Client-chosen id (see [`valid_job_id`]).
+    pub id: String,
+    /// Workload name (`alexnet`, `resnet18`, ... — the CLI zoo).
+    pub workload: String,
+    /// Design labels from the Fig. 16 space; empty = the full space.
+    pub designs: Vec<String>,
+    /// Scheduling algorithm.
+    pub algorithm: Algorithm,
+    /// Mapper samples per layer.
+    pub samples: usize,
+    /// Annealing iterations (capped like the `dse` command).
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional per-layer wall-clock deadline in seconds. A deadline
+    /// trades determinism for latency exactly as in the one-shot CLI.
+    pub deadline_secs: Option<f64>,
+    /// Optional injected fault (chaos-test hook).
+    pub fault: Option<FaultSpec>,
+}
+
+impl JobSpec {
+    /// Resolve the design labels against the Fig. 16 space, in space
+    /// order (empty = the whole space, exactly like `secureloop dse`).
+    ///
+    /// # Errors
+    ///
+    /// Names the first unknown label.
+    pub fn resolve_designs(&self) -> Result<Vec<Architecture>, String> {
+        let space = fig16_design_space();
+        if self.designs.is_empty() {
+            return Ok(space);
+        }
+        self.designs
+            .iter()
+            .map(|want| {
+                space
+                    .iter()
+                    .find(|a| a.name() == want)
+                    .cloned()
+                    .ok_or_else(|| format!("unknown design '{want}'"))
+            })
+            .collect()
+    }
+
+    /// Resolve the workload name against the model zoo.
+    ///
+    /// # Errors
+    ///
+    /// An unknown workload name.
+    pub fn resolve_workload(&self) -> Result<Network, String> {
+        crate::cli::workload(&self.workload).map_err(|e| e.to_string())
+    }
+
+    /// Serialise for the journal (and for echoing back to clients).
+    pub fn to_json(&self) -> Json {
+        let mut v = Json::obj()
+            .field("id", self.id.as_str())
+            .field("workload", self.workload.as_str())
+            .field(
+                "designs",
+                Json::Arr(
+                    self.designs
+                        .iter()
+                        .map(|d| Json::from(d.as_str()))
+                        .collect(),
+                ),
+            )
+            .field("algorithm", self.algorithm.name())
+            .field("samples", self.samples as u64)
+            .field("iterations", self.iterations as u64)
+            .field("seed", self.seed);
+        if let Some(d) = self.deadline_secs {
+            v = v.field("deadline_secs", d);
+        }
+        if let Some(f) = &self.fault {
+            v = v.field("fault", f.to_json());
+        }
+        v
+    }
+
+    /// Parse a [`JobSpec`] from a `submit` request or the journal.
+    /// Absent budget fields take the one-shot CLI defaults.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let id = v["id"]
+            .as_str()
+            .ok_or("submit needs a string 'id'")?
+            .to_string();
+        if !valid_job_id(&id) {
+            return Err(format!(
+                "invalid job id '{id}' (1-64 chars from [A-Za-z0-9_-])"
+            ));
+        }
+        let workload = v["workload"]
+            .as_str()
+            .ok_or("submit needs a string 'workload'")?
+            .to_string();
+        let designs = match &v["designs"] {
+            Json::Null => Vec::new(),
+            list => list
+                .as_array()
+                .ok_or("'designs' must be an array of labels")?
+                .iter()
+                .map(|d| {
+                    d.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "design labels must be strings".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let algorithm = match v["algorithm"].as_str() {
+            None => Algorithm::CryptOptCross,
+            Some(name) => Algorithm::from_name(name)
+                .or_else(|| match name {
+                    "unsecure" => Some(Algorithm::Unsecure),
+                    "crypt-tile-single" => Some(Algorithm::CryptTileSingle),
+                    "crypt-opt-single" => Some(Algorithm::CryptOptSingle),
+                    "crypt-opt-cross" => Some(Algorithm::CryptOptCross),
+                    _ => None,
+                })
+                .ok_or_else(|| format!("unknown algorithm '{name}'"))?,
+        };
+        let deadline_secs = match &v["deadline_secs"] {
+            Json::Null => None,
+            d => {
+                let secs = d.as_f64().ok_or("'deadline_secs' must be a number")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("'deadline_secs' must be positive and finite".to_string());
+                }
+                Some(secs)
+            }
+        };
+        let fault = match &v["fault"] {
+            Json::Null => None,
+            f => Some(FaultSpec::from_json(f)?),
+        };
+        Ok(JobSpec {
+            id,
+            workload,
+            designs,
+            algorithm,
+            samples: v["samples"].as_usize().unwrap_or(3000),
+            iterations: v["iterations"].as_usize().unwrap_or(1000),
+            seed: v["seed"].as_u64().unwrap_or(1),
+            deadline_secs,
+            fault,
+        })
+    }
+}
+
+/// The job lifecycle state machine:
+///
+/// ```text
+///            submit                    pop               sweep resolves
+/// (client) ──────────▶ Queued ───────────────▶ Running ─────────────────▶ Completed
+///     │                  │                       │  │                        Failed
+///     │ queue full       │ cancel                │  │ cancel token            Poisoned
+///     ▼                  ▼                       │  ▼
+///    Shed            Cancelled                   │ Cancelled
+///                                                │ SIGINT/SIGTERM drain
+///                                                ▼
+///                                             Queued   (checkpointed; re-runs on restart)
+/// ```
+///
+/// `Shed` is terminal and out-of-band: a shed job never held a queue
+/// slot. `Queued` and `Running` are the resumable states — a restarted
+/// server re-enqueues both (a crash can strike mid-run, which is
+/// exactly what the per-design checkpoint protects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted and waiting for a worker.
+    Queued,
+    /// A worker is sweeping it.
+    Running,
+    /// Every design point resolved; none poisoned.
+    Completed,
+    /// The sweep errored as a whole, or every design point failed.
+    Failed,
+    /// At least one design point was quarantined by the supervisor.
+    Poisoned,
+    /// The client cancelled it (queued or mid-run).
+    Cancelled,
+    /// Rejected by backpressure: the queue was full at submission.
+    Shed,
+}
+
+impl JobState {
+    /// Wire / journal name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Poisoned => "poisoned",
+            JobState::Cancelled => "cancelled",
+            JobState::Shed => "shed",
+        }
+    }
+
+    /// Inverse of [`JobState::name`].
+    pub fn from_name(name: &str) -> Option<JobState> {
+        Some(match name {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "completed" => JobState::Completed,
+            "failed" => JobState::Failed,
+            "poisoned" => JobState::Poisoned,
+            "cancelled" => JobState::Cancelled,
+            "shed" => JobState::Shed,
+            _ => return None,
+        })
+    }
+
+    /// Whether the state can still change.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed
+                | JobState::Failed
+                | JobState::Poisoned
+                | JobState::Cancelled
+                | JobState::Shed
+        )
+    }
+
+    /// Whether a restarted server should re-enqueue the job.
+    pub fn is_resumable(self) -> bool {
+        matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+/// One journalled job: its spec, where it is in the lifecycle, and —
+/// for `Failed`/`Poisoned`/`Cancelled` — why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// What was submitted.
+    pub spec: JobSpec,
+    /// Where the job is in the lifecycle.
+    pub state: JobState,
+    /// Failure / poison / cancellation detail.
+    pub cause: Option<String>,
+}
+
+impl JobRecord {
+    /// A freshly admitted job.
+    pub fn queued(spec: JobSpec) -> JobRecord {
+        JobRecord {
+            spec,
+            state: JobState::Queued,
+            cause: None,
+        }
+    }
+
+    /// Serialise for the journal.
+    pub fn to_json(&self) -> Json {
+        let mut v = Json::obj()
+            .field("spec", self.spec.to_json())
+            .field("state", self.state.name());
+        if let Some(cause) = &self.cause {
+            v = v.field("cause", cause.as_str());
+        }
+        v
+    }
+
+    /// Parse a [`JobRecord`] written by [`JobRecord::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Names the missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<JobRecord, String> {
+        let state_name = v["state"].as_str().ok_or("record needs a 'state'")?;
+        let state = JobState::from_name(state_name)
+            .ok_or_else(|| format!("unknown job state '{state_name}'"))?;
+        Ok(JobRecord {
+            spec: JobSpec::from_json(&v["spec"])?,
+            state,
+            cause: v["cause"].as_str().map(str::to_string),
+        })
+    }
+}
+
+/// Per-job budget caps the server enforces *before* a job takes a
+/// queue slot. Budgets flow into the existing
+/// [`secureloop_mapper::SearchConfig`] unchanged — admission only
+/// bounds them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Maximum mapper samples per layer.
+    pub max_samples: usize,
+    /// Maximum design points per job.
+    pub max_designs: usize,
+    /// Maximum per-layer deadline a job may request, in seconds.
+    pub max_deadline_secs: f64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_samples: 20_000,
+            max_designs: 18,
+            max_deadline_secs: 300.0,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// Validate a spec against the caps and the catalogue (workload
+    /// and design labels must resolve, the fault kind must exist).
+    ///
+    /// # Errors
+    ///
+    /// A client-facing reason string for the typed `rejected` response.
+    pub fn admit(&self, spec: &JobSpec) -> Result<(), String> {
+        if spec.samples == 0 {
+            return Err("'samples' must be at least 1".to_string());
+        }
+        if spec.samples > self.max_samples {
+            return Err(format!(
+                "samples {} exceeds the admission cap {}",
+                spec.samples, self.max_samples
+            ));
+        }
+        let designs = spec.resolve_designs()?;
+        if designs.len() > self.max_designs {
+            return Err(format!(
+                "{} designs exceeds the admission cap {}",
+                designs.len(),
+                self.max_designs
+            ));
+        }
+        if let Some(secs) = spec.deadline_secs {
+            if secs > self.max_deadline_secs {
+                return Err(format!(
+                    "deadline {secs}s exceeds the admission cap {}s",
+                    self.max_deadline_secs
+                ));
+            }
+        }
+        spec.resolve_workload()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            id: "job-1".into(),
+            workload: "alexnet".into(),
+            designs: vec!["14x12/16kB/Pipelined".into()],
+            algorithm: Algorithm::CryptOptSingle,
+            samples: 200,
+            iterations: 20,
+            seed: 7,
+            deadline_secs: None,
+            fault: None,
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let mut s = spec();
+        s.fault = Some(FaultSpec {
+            kind: "panic".into(),
+            layers: vec!["conv1".into()],
+            arch: "14x12/16kB/Pipelined".into(),
+            stall_ms: 50,
+        });
+        s.deadline_secs = Some(2.5);
+        let back = JobSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn record_round_trips_with_state_and_cause() {
+        let mut r = JobRecord::queued(spec());
+        r.state = JobState::Poisoned;
+        r.cause = Some("panicked: injected chaos".into());
+        let back = JobRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn job_ids_are_filesystem_safe() {
+        assert!(valid_job_id("job-1_A"));
+        assert!(!valid_job_id(""));
+        assert!(!valid_job_id("../etc/passwd"));
+        assert!(!valid_job_id("a b"));
+        assert!(!valid_job_id(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn state_machine_names_round_trip() {
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Completed,
+            JobState::Failed,
+            JobState::Poisoned,
+            JobState::Cancelled,
+            JobState::Shed,
+        ] {
+            assert_eq!(JobState::from_name(s.name()), Some(s));
+        }
+        assert!(JobState::Queued.is_resumable() && !JobState::Queued.is_terminal());
+        assert!(JobState::Running.is_resumable());
+        assert!(JobState::Shed.is_terminal() && !JobState::Shed.is_resumable());
+    }
+
+    #[test]
+    fn admission_enforces_the_caps() {
+        let policy = AdmissionPolicy {
+            max_samples: 500,
+            max_designs: 2,
+            max_deadline_secs: 10.0,
+        };
+        assert!(policy.admit(&spec()).is_ok());
+
+        let mut too_many_samples = spec();
+        too_many_samples.samples = 501;
+        assert!(policy
+            .admit(&too_many_samples)
+            .unwrap_err()
+            .contains("admission cap"));
+
+        let mut too_many_designs = spec();
+        too_many_designs.designs.clear(); // full 18-design space
+        assert!(policy
+            .admit(&too_many_designs)
+            .unwrap_err()
+            .contains("admission cap"));
+
+        let mut too_long = spec();
+        too_long.deadline_secs = Some(11.0);
+        assert!(policy.admit(&too_long).unwrap_err().contains("deadline"));
+
+        let mut bad_workload = spec();
+        bad_workload.workload = "gpt-17".into();
+        assert!(policy.admit(&bad_workload).is_err());
+
+        let mut bad_design = spec();
+        bad_design.designs = vec!["9x9/1kB/abacus".into()];
+        assert!(policy
+            .admit(&bad_design)
+            .unwrap_err()
+            .contains("unknown design"));
+    }
+
+    #[test]
+    fn unscoped_faults_are_rejected() {
+        let v = Json::parse(r#"{"kind":"panic","layers":["conv1"]}"#).unwrap();
+        let err = FaultSpec::from_json(&v).unwrap_err();
+        assert!(err.contains("arch"), "{err}");
+    }
+}

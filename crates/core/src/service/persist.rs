@@ -1,0 +1,219 @@
+//! Service-state persistence: the job journal and the state-dir
+//! layout.
+//!
+//! Everything rides on the checkpoint machinery that already survives
+//! kill-at-any-instant for sweeps: atomic temp+rename writes, stale
+//! `.tmp` cleanup on startup, and per-design [`crate::SweepCheckpoint`]
+//! files (one per job) that give a restarted server zero recomputation
+//! of completed design points.
+//!
+//! Layout of `<state_dir>/`:
+//!
+//! ```text
+//! service.json         the job journal (this module)
+//! service.cache.json   the process-wide candidate cache
+//! <job-id>.ckpt.json   per-job sweep checkpoint (+ sibling .tmp
+//!                      during writes, cleaned on startup)
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use secureloop_json::Json;
+
+use crate::error::SecureLoopError;
+use crate::service::job::JobRecord;
+
+/// Journal schema version; bumped on incompatible changes.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// The journal file inside a state dir.
+pub fn journal_path(state_dir: &Path) -> PathBuf {
+    state_dir.join("service.json")
+}
+
+/// The persisted candidate cache inside a state dir.
+pub fn cache_path(state_dir: &Path) -> PathBuf {
+    state_dir.join("service.cache.json")
+}
+
+/// The per-job sweep checkpoint inside a state dir. Job ids are
+/// validated filesystem-safe at admission
+/// ([`crate::service::job::valid_job_id`]).
+pub fn job_checkpoint_path(state_dir: &Path, id: &str) -> PathBuf {
+    state_dir.join(format!("{id}.ckpt.json"))
+}
+
+/// Remove every stale `*.tmp` orphan in the state dir (journal, cache,
+/// or per-job checkpoint writes that died between write and rename).
+/// Returns how many were removed.
+pub fn remove_stale_tmps(state_dir: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(state_dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "tmp") && fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// The whole job table, serialised after every state transition so a
+/// kill at any instant loses at most the transition in flight — and a
+/// job whose `Running` state was journalled but whose result was not
+/// simply re-runs from its checkpoint on restart.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceJournal {
+    /// Every job the server has seen, in admission order.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl ServiceJournal {
+    /// Serialise the journal.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("version", JOURNAL_VERSION)
+            .field("kind", "service-journal")
+            .field(
+                "jobs",
+                Json::Arr(self.jobs.iter().map(JobRecord::to_json).collect()),
+            )
+    }
+
+    /// Parse a journal written by [`ServiceJournal::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Names the missing or ill-typed field (including version / kind
+    /// mismatches).
+    pub fn from_json(v: &Json) -> Result<ServiceJournal, String> {
+        let version = v["version"]
+            .as_u64()
+            .ok_or("missing or invalid field 'version'")?;
+        if version != JOURNAL_VERSION {
+            return Err(format!(
+                "unsupported journal version {version} (expected {JOURNAL_VERSION})"
+            ));
+        }
+        if v["kind"].as_str() != Some("service-journal") {
+            return Err("missing or invalid field 'kind'".to_string());
+        }
+        let jobs = v["jobs"]
+            .as_array()
+            .ok_or("missing or invalid field 'jobs'")?
+            .iter()
+            .map(JobRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ServiceJournal { jobs })
+    }
+
+    /// Write the journal atomically (temp + rename; a failed write
+    /// cleans up its temp file).
+    ///
+    /// # Errors
+    ///
+    /// [`SecureLoopError::Checkpoint`] on I/O failure.
+    pub fn save(&self, path: &Path) -> Result<(), SecureLoopError> {
+        let err = |message: String| SecureLoopError::Checkpoint {
+            path: path.display().to_string(),
+            message,
+        };
+        let tmp = path.with_extension("tmp");
+        let result = fs::write(&tmp, self.to_json().pretty())
+            .map_err(|e| err(format!("write: {e}")))
+            .and_then(|()| fs::rename(&tmp, path).map_err(|e| err(format!("rename: {e}"))));
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Load a journal from disk.
+    ///
+    /// # Errors
+    ///
+    /// [`SecureLoopError::Checkpoint`] when the file cannot be read,
+    /// parsed, or validated.
+    pub fn load(path: &Path) -> Result<ServiceJournal, SecureLoopError> {
+        let err = |message: String| SecureLoopError::Checkpoint {
+            path: path.display().to_string(),
+            message,
+        };
+        let text = fs::read_to_string(path).map_err(|e| err(format!("read: {e}")))?;
+        let v = Json::parse(&text).map_err(|e| err(format!("parse: {e}")))?;
+        ServiceJournal::from_json(&v).map_err(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Algorithm;
+    use crate::service::job::{JobSpec, JobState};
+
+    fn record(id: &str, state: JobState) -> JobRecord {
+        JobRecord {
+            spec: JobSpec {
+                id: id.into(),
+                workload: "alexnet".into(),
+                designs: vec![],
+                algorithm: Algorithm::CryptOptCross,
+                samples: 100,
+                iterations: 10,
+                seed: 1,
+                deadline_secs: None,
+                fault: None,
+            },
+            state,
+            cause: None,
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("sl-journal-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = journal_path(&dir);
+        let journal = ServiceJournal {
+            jobs: vec![
+                record("a", JobState::Completed),
+                record("b", JobState::Running),
+                record("c", JobState::Shed),
+            ],
+        };
+        journal.save(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+        let back = ServiceJournal::load(&path).unwrap();
+        assert_eq!(back, journal);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmps_are_swept_but_real_state_is_kept() {
+        let dir = std::env::temp_dir().join(format!("sl-tmps-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = journal_path(&dir);
+        ServiceJournal::default().save(&path).unwrap();
+        fs::write(dir.join("service.tmp"), "{torn").unwrap();
+        fs::write(dir.join("job-9.ckpt.tmp"), "{torn").unwrap();
+        assert_eq!(remove_stale_tmps(&dir), 2);
+        assert!(path.exists(), "the journal survives the sweep");
+        assert_eq!(remove_stale_tmps(&dir), 0, "idempotent");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_and_kind_are_enforced() {
+        let bad = Json::parse(r#"{"version": 99, "kind": "service-journal", "jobs": []}"#).unwrap();
+        assert!(ServiceJournal::from_json(&bad)
+            .unwrap_err()
+            .contains("version 99"));
+        let bad = Json::parse(r#"{"version": 1, "kind": "dse-sweep", "jobs": []}"#).unwrap();
+        assert!(ServiceJournal::from_json(&bad)
+            .unwrap_err()
+            .contains("kind"));
+    }
+}

@@ -149,6 +149,7 @@ fn is_cancelled_error(e: &SecureLoopError) -> bool {
 fn run_attempt<T, F>(
     timeout: Option<Duration>,
     bypass_cache: bool,
+    job_token: Option<&CancelToken>,
     task: F,
 ) -> Result<T, AttemptError>
 where
@@ -158,6 +159,7 @@ where
     let token = CancelToken::new();
     let ctx = TaskContext {
         token: Some(token.clone()),
+        job_token: job_token.cloned(),
         bypass_cache,
     };
     match timeout {
@@ -175,8 +177,12 @@ where
             // mapper exits at its next chunk boundary) and the thread
             // is left to unwind on its own — never joined, because a
             // stalled task is exactly what we must not wait for.
+            // The caller's telemetry job scope is re-entered on the
+            // attempt thread so the task's events stay attributed.
+            let scope = telemetry::current_scope();
             let (tx, rx) = mpsc::channel();
             let handle = thread::spawn(move || {
+                let _job = scope.map(telemetry::enter_scope);
                 let _scope = TaskScope::enter(ctx);
                 let result = panic::catch_unwind(AssertUnwindSafe(task));
                 let _ = tx.send(result);
@@ -211,12 +217,31 @@ where
     T: Send + 'static,
     F: FnOnce() -> Result<T, SecureLoopError> + Clone + Send + 'static,
 {
+    run_supervised_cancellable(label, cfg, None, task)
+}
+
+/// [`run_supervised`] with an additional job-level [`CancelToken`]:
+/// when the token trips — a service client cancelled its job — the task
+/// resolves [`SupervisedOutcome::Cancelled`] at the next chunk boundary
+/// without burning retries, exactly like a process-wide shutdown, but
+/// scoped to this one job.
+pub fn run_supervised_cancellable<T, F>(
+    label: &str,
+    cfg: &SupervisorConfig,
+    job_token: Option<&CancelToken>,
+    task: F,
+) -> SupervisedOutcome<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> Result<T, SecureLoopError> + Clone + Send + 'static,
+{
     let mut span = telemetry::span("supervisor", label.to_string()).with_timer(&TASK_TIMER);
+    let job_cancelled = || job_token.is_some_and(CancelToken::is_cancelled);
     let total_attempts = cfg.max_retries.saturating_add(1);
     let mut last: Option<AttemptError> = None;
     let mut attempts = 0u32;
     for attempt in 0..total_attempts {
-        if cancel::shutdown_requested() {
+        if cancel::shutdown_requested() || job_cancelled() {
             CANCELLED.incr();
             span.add_field("outcome", "cancelled");
             return SupervisedOutcome::Cancelled;
@@ -232,14 +257,14 @@ where
             Some(AttemptError::Panic(_)) | Some(AttemptError::Timeout(_))
         );
         attempts = attempt + 1;
-        match run_attempt(cfg.task_timeout, bypass_cache, task.clone()) {
+        match run_attempt(cfg.task_timeout, bypass_cache, job_token, task.clone()) {
             Ok(value) => {
                 span.add_field("outcome", "completed");
                 span.add_field("attempts", u64::from(attempts));
                 return SupervisedOutcome::Completed { value, attempts };
             }
             Err(AttemptError::Engine(e))
-                if is_cancelled_error(&e) || cancel::shutdown_requested() =>
+                if is_cancelled_error(&e) || cancel::shutdown_requested() || job_cancelled() =>
             {
                 CANCELLED.incr();
                 span.add_field("outcome", "cancelled");
@@ -391,6 +416,45 @@ mod tests {
             out,
             SupervisedOutcome::Completed { value: "ok", .. }
         ));
+    }
+
+    #[test]
+    fn job_token_cancellation_short_circuits_without_retries() {
+        let token = CancelToken::new();
+        token.cancel();
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = calls.clone();
+        let out = run_supervised_cancellable(
+            "t",
+            &quick().with_max_retries(5),
+            Some(&token),
+            move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                Ok::<_, SecureLoopError>(1)
+            },
+        );
+        assert!(matches!(out, SupervisedOutcome::Cancelled));
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "no attempt runs");
+    }
+
+    #[test]
+    fn job_token_reaches_the_task_context() {
+        let token = CancelToken::new();
+        let out = run_supervised_cancellable(
+            "t",
+            &quick().with_max_retries(0),
+            Some(&token),
+            move || {
+                let ctx = cancel::current_context();
+                Ok::<_, SecureLoopError>(ctx.job_token.is_some())
+            },
+        );
+        match out {
+            SupervisedOutcome::Completed { value, .. } => {
+                assert!(value, "task sees its job token");
+            }
+            other => panic!("expected success, got {other:?}"),
+        }
     }
 
     #[test]

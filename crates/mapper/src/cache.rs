@@ -37,9 +37,19 @@ use crate::{cancel, fault, search, MapperError, MapperResult, SearchConfig, Sear
 
 static CACHE_HIT: Counter = Counter::new("dse.cache_hit");
 static CACHE_MISS: Counter = Counter::new("dse.cache_miss");
+static CACHE_EVICTED: Counter = Counter::new("dse.cache_evicted");
 
 /// Current cache-file schema version; bumped on incompatible changes.
 pub const CACHE_VERSION: u64 = 1;
+
+/// Approximate heap cost charged per cached candidate mapping (the
+/// mapping itself plus its evaluation). The budget accounting is an
+/// estimate — it bounds growth, it does not audit the allocator.
+const PER_CANDIDATE_BYTES: usize = 512;
+
+/// Fixed approximate overhead charged per cache entry (key, hash-map
+/// slot, bookkeeping).
+const PER_ENTRY_BYTES: usize = 256;
 
 /// A candidate list restored from disk, not yet re-evaluated.
 #[derive(Debug, Clone)]
@@ -65,14 +75,107 @@ fn tier_from_name(name: &str) -> Option<SearchTier> {
     }
 }
 
+impl Entry {
+    /// Approximate heap footprint of this entry (plus its key), used
+    /// for the eviction budget.
+    fn cost(&self, key: &str) -> usize {
+        let candidates = match self {
+            Entry::Ready(r) => r.candidates.len(),
+            Entry::Frozen(f) => f.mappings.len(),
+        };
+        PER_ENTRY_BYTES + key.len() + candidates * PER_CANDIDATE_BYTES
+    }
+}
+
+/// One stored entry plus its LRU bookkeeping.
+#[derive(Debug)]
+struct Stored {
+    entry: Entry,
+    /// Logical timestamp of the last hit (or the insert); smallest is
+    /// evicted first.
+    last_used: u64,
+    /// Approximate bytes charged against the budget.
+    cost: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Stored>,
+    /// Monotonic logical clock driving the LRU order.
+    clock: u64,
+    /// Sum of every stored entry's `cost`.
+    bytes: usize,
+}
+
+impl Inner {
+    fn touch(&mut self, key: &str) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(s) = self.map.get_mut(key) {
+            s.last_used = clock;
+        }
+    }
+
+    fn remove(&mut self, key: &str) -> Option<Stored> {
+        let removed = self.map.remove(key)?;
+        self.bytes -= removed.cost;
+        Some(removed)
+    }
+
+    fn insert(&mut self, key: String, entry: Entry) {
+        let cost = entry.cost(&key);
+        self.clock += 1;
+        if let Some(old) = self.map.insert(
+            key,
+            Stored {
+                entry,
+                last_used: self.clock,
+                cost,
+            },
+        ) {
+            self.bytes -= old.cost;
+        }
+        self.bytes += cost;
+    }
+
+    /// Evict least-recently-used entries until the budget is met,
+    /// keeping at least the most recent entry (so a single entry larger
+    /// than the budget still serves hits instead of thrashing). Returns
+    /// how many entries were evicted.
+    fn enforce(&mut self, budget: usize) -> u64 {
+        let mut evicted = 0;
+        while self.bytes > budget && self.map.len() > 1 {
+            let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.remove(&oldest);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
 /// Shared memo of per-layer mapper searches, keyed by canonical search
 /// space + budget. Thread-safe: one instance serves a whole parallel
-/// sweep.
+/// sweep — or, in service mode, every job of a long-running process,
+/// where [`CandidateCache::with_budget_bytes`] bounds its footprint
+/// with LRU eviction. Eviction never changes results: a re-computed
+/// entry is byte-identical to the evicted one (key equality pins the
+/// sample stream), it only costs the recomputation.
 #[derive(Debug, Default)]
 pub struct CandidateCache {
-    entries: Mutex<HashMap<String, Entry>>,
+    inner: Mutex<Inner>,
+    /// Approximate byte budget; `None` = unbounded (the one-shot CLI
+    /// default, where a sweep's working set is naturally bounded).
+    budget: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 fn full_key(space: &SearchSpaceKey, cfg: &SearchConfig) -> String {
@@ -89,9 +192,31 @@ fn full_key(space: &SearchSpaceKey, cfg: &SearchConfig) -> String {
 }
 
 impl CandidateCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         CandidateCache::default()
+    }
+
+    /// Bound the cache's approximate footprint. Once the budget is
+    /// exceeded, least-recently-used entries are evicted (the most
+    /// recent entry always survives). The budget is enforced
+    /// immediately, so applying it to a freshly-loaded cache trims it
+    /// right away.
+    pub fn with_budget_bytes(mut self, bytes: usize) -> Self {
+        self.budget = Some(bytes);
+        let evicted = self.inner.lock().expect("cache lock").enforce(bytes);
+        self.note_evictions(evicted);
+        self
+    }
+
+    /// The configured byte budget, if any.
+    pub fn budget_bytes(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Approximate bytes currently charged against the budget.
+    pub fn approx_bytes(&self) -> usize {
+        self.inner.lock().expect("cache lock").bytes
     }
 
     /// Searches answered from the cache by this instance.
@@ -104,9 +229,21 @@ impl CandidateCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted to stay within the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    fn note_evictions(&self, n: u64) {
+        if n > 0 {
+            self.evictions.fetch_add(n, Ordering::Relaxed);
+            CACHE_EVICTED.add(n);
+        }
+    }
+
     /// Number of cached search outcomes.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.inner.lock().expect("cache lock").map.len()
     }
 
     /// Whether the cache holds no entries.
@@ -117,11 +254,15 @@ impl CandidateCache {
     /// Look up a search outcome, thawing a frozen entry against the
     /// hitting (layer, arch) — key equality makes the re-evaluation
     /// exact. Returns `None` (a miss) when absent or when a frozen
-    /// entry fails to thaw.
+    /// entry fails to thaw. A hit refreshes the entry's LRU position.
     fn lookup(&self, key: &str, layer: &ConvLayer, arch: &Architecture) -> Option<MapperResult> {
-        let mut entries = self.entries.lock().expect("cache lock");
-        let frozen = match entries.get(key)? {
-            Entry::Ready(r) => return Some(r.clone()),
+        let mut inner = self.inner.lock().expect("cache lock");
+        let frozen = match &inner.map.get(key)?.entry {
+            Entry::Ready(r) => {
+                let hit = r.clone();
+                inner.touch(key);
+                return Some(hit);
+            }
             Entry::Frozen(f) => f.clone(),
         };
         let mut candidates: Vec<(Mapping, _)> = Vec::with_capacity(frozen.mappings.len());
@@ -129,20 +270,20 @@ impl CandidateCache {
             let mapping: Mapping = match text.parse() {
                 Ok(m) => m,
                 Err(_) => {
-                    entries.remove(key);
+                    inner.remove(key);
                     return None;
                 }
             };
             match evaluate(layer, arch, &mapping) {
                 Ok(eval) => candidates.push((mapping, eval)),
                 Err(_) => {
-                    entries.remove(key);
+                    inner.remove(key);
                     return None;
                 }
             }
         }
         if candidates.is_empty() {
-            entries.remove(key);
+            inner.remove(key);
             return None;
         }
         let result = MapperResult {
@@ -152,7 +293,7 @@ impl CandidateCache {
             tier: frozen.tier,
             truncated: false,
         };
-        entries.insert(key.to_string(), Entry::Ready(result.clone()));
+        inner.insert(key.to_string(), Entry::Ready(result.clone()));
         Some(result)
     }
 
@@ -163,21 +304,25 @@ impl CandidateCache {
         if result.truncated {
             return;
         }
-        self.entries
-            .lock()
-            .expect("cache lock")
-            .insert(key, Entry::Ready(result.clone()));
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.insert(key, Entry::Ready(result.clone()));
+        if let Some(budget) = self.budget {
+            let evicted = inner.enforce(budget);
+            drop(inner);
+            self.note_evictions(evicted);
+        }
     }
 
     /// Serialise every cached entry (mappings in compact text form).
     pub fn to_json(&self) -> Json {
-        let entries = self.entries.lock().expect("cache lock");
+        let inner = self.inner.lock().expect("cache lock");
+        let entries = &inner.map;
         let mut keys: Vec<&String> = entries.keys().collect();
         keys.sort();
         let arr = keys
             .into_iter()
             .map(|key| {
-                let (mappings, tier, valid, total) = match &entries[key] {
+                let (mappings, tier, valid, total) = match &entries[key].entry {
                     Entry::Ready(r) => (
                         r.candidates
                             .iter()
@@ -227,7 +372,7 @@ impl CandidateCache {
         if v["kind"].as_str() != Some("candidate-cache") {
             return Err("missing or invalid field 'kind'".to_string());
         }
-        let mut entries = HashMap::new();
+        let mut inner = Inner::default();
         for e in v["entries"]
             .as_array()
             .ok_or_else(|| "missing or invalid field 'entries'".to_string())?
@@ -256,7 +401,7 @@ impl CandidateCache {
                         .ok_or_else(|| "missing or invalid field 'mappings'".to_string())
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            entries.insert(
+            inner.insert(
                 key,
                 Entry::Frozen(FrozenEntry {
                     mappings,
@@ -267,9 +412,11 @@ impl CandidateCache {
             );
         }
         Ok(CandidateCache {
-            entries: Mutex::new(entries),
+            inner: Mutex::new(inner),
+            budget: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         })
     }
 
@@ -281,9 +428,15 @@ impl CandidateCache {
     /// A human-readable message on I/O failure.
     pub fn save(&self, path: &Path) -> Result<(), String> {
         let tmp = path.with_extension("tmp");
-        fs::write(&tmp, self.to_json().pretty()).map_err(|e| format!("write: {e}"))?;
-        fs::rename(&tmp, path).map_err(|e| format!("rename: {e}"))?;
-        Ok(())
+        let result = fs::write(&tmp, self.to_json().pretty())
+            .map_err(|e| format!("write: {e}"))
+            .and_then(|()| fs::rename(&tmp, path).map_err(|e| format!("rename: {e}")));
+        if result.is_err() {
+            // Never leave a `.tmp` orphan behind a failed write; the
+            // sweep startup also sweeps stale ones from crashes.
+            let _ = fs::remove_file(&tmp);
+        }
+        result
     }
 
     /// Load a cache from disk.
@@ -456,6 +609,60 @@ mod tests {
         fs::write(&path, r#"{"version": 1, "kind": "something-else"}"#).unwrap();
         assert!(CandidateCache::load(&path).unwrap_err().contains("kind"));
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used_first() {
+        let layers: Vec<ConvLayer> = zoo::alexnet_conv().layers().to_vec();
+        let arch = Architecture::eyeriss_base();
+        let cfg = SearchConfig::quick();
+        // Room for roughly two entries: each costs ~256 + key + k*512.
+        let cache = CandidateCache::new().with_budget_bytes(6 * 1024);
+        search_cached(&layers[0], &arch, &cfg, Some(&cache)).unwrap();
+        search_cached(&layers[1], &arch, &cfg, Some(&cache)).unwrap();
+        // Touch layer 0 so layer 1 is the LRU entry.
+        search_cached(&layers[0], &arch, &cfg, Some(&cache)).unwrap();
+        assert_eq!(cache.hits(), 1);
+        // Keep inserting until something is evicted.
+        for layer in &layers[2..] {
+            search_cached(layer, &arch, &cfg, Some(&cache)).unwrap();
+        }
+        assert!(cache.evictions() > 0, "budget must force evictions");
+        assert!(
+            cache.approx_bytes() <= 6 * 1024 || cache.len() == 1,
+            "budget respected (modulo the keep-one rule): {} bytes",
+            cache.approx_bytes()
+        );
+        // Re-searching an evicted key is a miss that recomputes the
+        // identical result (checked in depth by the eviction proptest).
+        let before = cache.misses();
+        search_cached(&layers[1], &arch, &cfg, Some(&cache)).unwrap();
+        assert!(cache.misses() > before || cache.hits() > 1);
+    }
+
+    #[test]
+    fn oversized_single_entry_still_serves() {
+        let cache = CandidateCache::new().with_budget_bytes(1);
+        let arch = Architecture::eyeriss_base();
+        let cfg = SearchConfig::quick();
+        search_cached(&layer(), &arch, &cfg, Some(&cache)).unwrap();
+        assert_eq!(cache.len(), 1, "most recent entry always survives");
+        search_cached(&layer(), &arch, &cfg, Some(&cache)).unwrap();
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = CandidateCache::new();
+        let arch = Architecture::eyeriss_base();
+        let cfg = SearchConfig::quick();
+        for layer in zoo::alexnet_conv().layers() {
+            search_cached(layer, &arch, &cfg, Some(&cache)).unwrap();
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), zoo::alexnet_conv().layers().len());
+        assert!(cache.approx_bytes() > 0);
+        assert_eq!(cache.budget_bytes(), None);
     }
 
     #[test]

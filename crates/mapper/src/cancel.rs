@@ -73,6 +73,10 @@ impl CancelToken {
 pub struct TaskContext {
     /// Cancellation token the watchdog may trip.
     pub token: Option<CancelToken>,
+    /// Job-level cancellation token, shared by every task a service
+    /// job runs. Tripped by a client `cancel` request; cancels all of
+    /// the job's in-flight searches without touching its siblings'.
+    pub job_token: Option<CancelToken>,
     /// Bypass the candidate cache for this attempt. Set on retries
     /// after a panic or timeout: a key whose computation just crashed
     /// must not be answered from (or written into) shared state.
@@ -117,7 +121,12 @@ pub fn cache_bypassed() -> bool {
 /// Whether `ctx`'s task should stop: either its own token was cancelled
 /// or a process-wide shutdown is in flight.
 pub fn cancelled(ctx: &TaskContext) -> bool {
-    shutdown_requested() || ctx.token.as_ref().is_some_and(CancelToken::is_cancelled)
+    shutdown_requested()
+        || ctx.token.as_ref().is_some_and(CancelToken::is_cancelled)
+        || ctx
+            .job_token
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
 }
 
 #[cfg(test)]
@@ -142,6 +151,7 @@ mod tests {
         {
             let _scope = TaskScope::enter(TaskContext {
                 token: Some(token.clone()),
+                job_token: None,
                 bypass_cache: true,
             });
             assert!(cache_bypassed());
@@ -152,6 +162,23 @@ mod tests {
         }
         assert!(!cache_bypassed(), "scope restores the previous context");
         assert!(!cancelled(&current_context()));
+    }
+
+    #[test]
+    fn job_token_cancels_every_task_in_the_job() {
+        let job = CancelToken::new();
+        let ctx = TaskContext {
+            token: Some(CancelToken::new()),
+            job_token: Some(job.clone()),
+            bypass_cache: false,
+        };
+        assert!(!cancelled(&ctx));
+        job.cancel();
+        assert!(cancelled(&ctx), "job token trips the whole job");
+        assert!(
+            !ctx.token.as_ref().unwrap().is_cancelled(),
+            "per-task token is left alone"
+        );
     }
 
     // The process-wide shutdown flag is exercised in the serialised

@@ -413,14 +413,60 @@ pub fn flush_sink() {
 /// object and runs **only** when a sink is installed and telemetry is
 /// enabled — the guard is one relaxed load, so liberally sprinkled
 /// `emit` calls cost nothing in the default (no-sink) configuration.
+///
+/// When the emitting thread is inside a [`ScopeGuard`] (see
+/// [`enter_scope`]), the event gains a `"job"` field carrying the scope
+/// label, so a multi-tenant consumer can attribute every event to the
+/// job that produced it.
 pub fn emit(build: impl FnOnce() -> Json) {
     if !SINK_ACTIVE.load(Ordering::Relaxed) || !enabled() {
         return;
     }
-    let line = build().to_string();
+    let mut event = build();
+    if let Some(job) = current_scope() {
+        event = event.field("job", job.as_str());
+    }
+    let line = event.to_string();
     if let Some(s) = lock(&SINK).as_mut() {
         s.write_line(&line);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Job scoping
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static SCOPE: std::cell::RefCell<Option<String>> = const { std::cell::RefCell::new(None) };
+}
+
+/// RAII guard installed by [`enter_scope`]; restores the previous scope
+/// (if any) on drop, so nested scopes compose.
+pub struct ScopeGuard {
+    previous: Option<String>,
+}
+
+/// Attribute every event emitted by *this thread* to `label` until the
+/// returned guard drops. The service layer enters a scope per job so
+/// concurrent tenants' events are distinguishable in one shared sink;
+/// engines that fan work out to worker threads re-enter the spawning
+/// thread's scope (see [`current_scope`]) inside each worker.
+pub fn enter_scope(label: impl Into<String>) -> ScopeGuard {
+    let previous = SCOPE.with(|s| s.borrow_mut().replace(label.into()));
+    ScopeGuard { previous }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        SCOPE.with(|s| *s.borrow_mut() = previous);
+    }
+}
+
+/// The current thread's scope label, if one is installed. Worker pools
+/// capture this before spawning and re-enter it on each worker thread.
+pub fn current_scope() -> Option<String> {
+    SCOPE.with(|s| s.borrow().clone())
 }
 
 // ---------------------------------------------------------------------------
@@ -796,5 +842,40 @@ mod tests {
             Json::obj()
         });
         assert!(!built, "closure must not run without a sink");
+    }
+
+    #[test]
+    fn scoped_events_carry_the_job_label() {
+        let _g = exclusive();
+        reset();
+        let (sink, captured) = VecSink::new();
+        install_sink(sink);
+        emit(|| Json::obj().field("event", "unscoped"));
+        {
+            let _job = enter_scope("job-7");
+            assert_eq!(current_scope().as_deref(), Some("job-7"));
+            emit(|| Json::obj().field("event", "scoped"));
+            {
+                let _inner = enter_scope("job-8");
+                emit(|| Json::obj().field("event", "nested"));
+            }
+            emit(|| Json::obj().field("event", "restored"));
+        }
+        assert_eq!(current_scope(), None);
+        drop(take_sink());
+        let lines = lock(&captured).clone();
+        assert_eq!(lines.len(), 4);
+        let jobs: Vec<Option<String>> = lines
+            .iter()
+            .map(|l| {
+                Json::parse(l).expect("valid json")["job"]
+                    .as_str()
+                    .map(str::to_string)
+            })
+            .collect();
+        assert_eq!(jobs[0], None, "no scope, no job field");
+        assert_eq!(jobs[1].as_deref(), Some("job-7"));
+        assert_eq!(jobs[2].as_deref(), Some("job-8"), "nested scope wins");
+        assert_eq!(jobs[3].as_deref(), Some("job-7"), "outer scope restored");
     }
 }
