@@ -211,6 +211,183 @@ proptest! {
     }
 }
 
+/// Attention/FC-shaped geometry: regions far from the square-ish
+/// conv-typical shapes above. Attention's token projections flatten
+/// to tall-skinny `seq x 1` planes, FC layers to flat `1 x d`
+/// vectors, and ViT patch embeddings to short-and-wide strips —
+/// extents where one axis is 1 and the congruence counter's
+/// row/column decomposition degenerates.
+fn attention_geometry(
+) -> impl proptest::strategy::Strategy<Value = (Region, TileRect, BlockAssignment)> {
+    prop_oneof![
+        // seq x 1 token plane (attention Q/K/V projections).
+        (1u64..320).prop_map(|h| (h, 1u64)),
+        // 1 x d channel vector (FC / LLM-decode GEMV).
+        (1u64..320).prop_map(|w| (1u64, w)),
+        // Short-and-wide strip (ViT patch rows, wide-and-flat FC tiles).
+        (1u64..4, 32u64..256),
+    ]
+    .prop_flat_map(|(h, w)| {
+        (
+            Just(Region::new(h, w)),
+            (0..h, 0..w).prop_flat_map(move |(r0, c0)| {
+                (1..=h - r0, 1..=w - c0)
+                    .prop_map(move |(rows, cols)| TileRect::new(r0, c0, rows, cols))
+            }),
+            (
+                1u64..=h * w + 3,
+                prop_oneof![Just(Orientation::Horizontal), Just(Orientation::Vertical)],
+            )
+                .prop_map(|(u, o)| BlockAssignment::new(o, u)),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn attention_shapes_match_brute_force((region, tile, assign) in attention_geometry()) {
+        let brute = count_blocks_brute(region, tile, assign);
+        let rows = count_blocks_rows(region, tile, assign);
+        let fast = count_blocks(region, tile, assign);
+        prop_assert_eq!(brute, rows, "rows diverge on {:?} {:?} {:?}", region, tile, assign);
+        prop_assert_eq!(brute, fast, "fast diverges on {:?} {:?} {:?}", region, tile, assign);
+    }
+
+    #[test]
+    fn extent_one_axes_are_orientation_invariant((region, tile, assign) in attention_geometry()) {
+        // On a 1-wide (or 1-tall) region both orientations walk the
+        // same flattened element order, so the counts must agree.
+        prop_assume!(region.h == 1 || region.w == 1);
+        let h = count_blocks(region, tile, BlockAssignment::new(Orientation::Horizontal, assign.size));
+        let v = count_blocks(region, tile, BlockAssignment::new(Orientation::Vertical, assign.size));
+        prop_assert_eq!(h, v);
+    }
+}
+
+/// FC-shaped assignment problems: extent-1 regions where producer and
+/// reader grids tile a flat vector (no halo — FC readers are disjoint).
+fn fc_problem() -> impl proptest::strategy::Strategy<Value = AssignmentProblem> {
+    (prop_oneof![
+        (1u64..200).prop_map(|w| (1u64, w)),
+        (1u64..200).prop_map(|h| (h, 1u64)),
+    ])
+    .prop_flat_map(|(h, w)| {
+        (1u64..=h, 1u64..=w, 1u64..=h, 1u64..=w, 1u64..4).prop_map(
+            move |(pt_h, pt_w, rt_h, rt_w, sweeps)| {
+                let region = Region::new(h, w);
+                AssignmentProblem {
+                    region,
+                    producer_grid: TileGrid::covering(region, pt_h, pt_w),
+                    producer_write_sweeps: 1,
+                    readers: vec![AccessPattern {
+                        grid: TileGrid::covering(region, rt_h, rt_w),
+                        sweeps,
+                    }],
+                    word_bits: 8,
+                    tag_bits: 64,
+                }
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fc_vectors_match_the_enumeration_oracle(p in fc_problem()) {
+        let assign = BlockAssignment::new(Orientation::Horizontal, 4);
+        let analytical = evaluate_assignment(&p, Strategy::Assigned(assign));
+        let (hash_bits, redundant_bits) = brute_consumer_overhead(&p, assign);
+        prop_assert_eq!(analytical.consumer.hash_bits, hash_bits, "on {:?}", p);
+        prop_assert_eq!(analytical.consumer.redundant_bits, redundant_bits, "on {:?}", p);
+    }
+
+    #[test]
+    fn fc_optimizer_never_worse_than_baselines(p in fc_problem()) {
+        let best = secureloop_authblock::optimize(&p);
+        let tile = evaluate_assignment(&p, Strategy::TileAsAuthBlock);
+        let rehash = evaluate_assignment(&p, Strategy::Rehash);
+        prop_assert!(best.overhead.total().total_bits() <= tile.total().total_bits());
+        prop_assert!(best.overhead.total().total_bits() <= rehash.total().total_bits());
+    }
+}
+
+/// Dilated-convolution halo geometry: reader windows built the way the
+/// loopnest footprint model builds them — `(p_t-1)*stride +
+/// (taps-1)*dilation + 1` wide, stepping by `p_t*stride` — so spaced
+/// taps stretch the window without adding rows read per tap. Regions
+/// lean tall-skinny to mirror attention-era feature maps.
+fn dilated_halo_problem(
+) -> impl proptest::strategy::Strategy<Value = (AssignmentProblem, BlockAssignment)> {
+    (8u64..40, 4u64..16).prop_flat_map(|(h, w)| {
+        (
+            (1u64..=h, 1u64..=w),
+            // (output rows per tile, stride, kernel taps, dilation)
+            (1u64..4, 1u64..4, 2u64..5, 1u64..5),
+            (1u64..4, 1u64..4, 2u64..5, 1u64..5),
+            prop_oneof![Just(Orientation::Horizontal), Just(Orientation::Vertical)],
+            (1u64..=32, 1u64..4),
+        )
+            .prop_map(
+                move |((pt_h, pt_w), row_geom, col_geom, orientation, (size, sweeps))| {
+                    let window = |(pt, s, taps, d): (u64, u64, u64, u64), extent: u64| {
+                        let win = ((pt - 1) * s + (taps - 1) * d + 1).min(extent);
+                        let step = (pt * s).min(extent);
+                        (win, step)
+                    };
+                    let (win_h, step_h) = window(row_geom, h);
+                    let (win_w, step_w) = window(col_geom, w);
+                    let region = Region::new(h, w);
+                    let problem = AssignmentProblem {
+                        region,
+                        producer_grid: TileGrid::covering(region, pt_h, pt_w),
+                        producer_write_sweeps: 1,
+                        readers: vec![AccessPattern {
+                            grid: TileGrid::covering_with_halo(
+                                region, win_h, win_w, step_h, step_w,
+                            ),
+                            sweeps,
+                        }],
+                        word_bits: 8,
+                        tag_bits: 64,
+                    };
+                    (problem, BlockAssignment::new(orientation, size))
+                },
+            )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dilated_halos_match_the_enumeration_oracle((p, assign) in dilated_halo_problem()) {
+        let analytical = evaluate_assignment(&p, Strategy::Assigned(assign));
+        let (hash_bits, redundant_bits) = brute_consumer_overhead(&p, assign);
+        prop_assert_eq!(
+            analytical.consumer.hash_bits, hash_bits,
+            "hash bits diverge on {:?} with {:?}", p, assign
+        );
+        prop_assert_eq!(
+            analytical.consumer.redundant_bits, redundant_bits,
+            "redundant bits diverge on {:?} with {:?}", p, assign
+        );
+    }
+
+    #[test]
+    fn dilated_halo_optimizer_never_worse((p, _a) in dilated_halo_problem()) {
+        let best = secureloop_authblock::optimize(&p);
+        let tile = evaluate_assignment(&p, Strategy::TileAsAuthBlock);
+        prop_assert!(
+            best.overhead.total().total_bits() <= tile.total().total_bits(),
+            "optimizer regressed below tile-as-AuthBlock on {:?}", p
+        );
+    }
+}
+
 fn channel_request(
 ) -> impl proptest::strategy::Strategy<Value = (secureloop_authblock::ChannelRequest, u64)> {
     use secureloop_authblock::ChannelRequest;
@@ -244,6 +421,55 @@ proptest! {
 
     #[test]
     fn channel_major_matches_brute_force((req, u) in channel_request()) {
+        use secureloop_authblock::channel::{count_channel_blocks, count_channel_blocks_brute};
+        let fast = count_channel_blocks(&req, u);
+        let brute = count_channel_blocks_brute(&req, u);
+        prop_assert_eq!(fast, brute, "req {:?} u {}", req, u);
+        prop_assert!(fast.fetched_elems >= req.needed_elems());
+    }
+}
+
+/// Grouped-convolution channel requests: the ifmap footprint of a
+/// grouped layer spans whole channel groups (`ifmap_tile_channels`
+/// rounds the span to group boundaries), so `chan0` and `chan_count`
+/// are always multiples of the per-group channel count. The channel
+/// dimension is large relative to the pixel plane — the ResNeXt-style
+/// regime (many channels, small spatial tiles).
+fn grouped_channel_request(
+) -> impl proptest::strategy::Strategy<Value = (secureloop_authblock::ChannelRequest, u64)> {
+    use secureloop_authblock::ChannelRequest;
+    (2u64..6, 2u64..6, 2u64..5, 1u64..8).prop_flat_map(|(rows, cols, groups, per_group)| {
+        let ch = groups * per_group;
+        (
+            (0..rows, 0..cols).prop_flat_map(move |(r0, c0)| {
+                (1..=rows - r0, 1..=cols - c0)
+                    .prop_map(move |(wr, wc)| TileRect::new(r0, c0, wr, wc))
+            }),
+            // Span one or more whole groups, starting on a group edge.
+            (0..groups).prop_flat_map(move |g0| (Just(g0), 1..=groups - g0)),
+            1u64..=rows * cols * ch + 2,
+        )
+            .prop_map(move |(window, (g0, g_count), u)| {
+                (
+                    ChannelRequest {
+                        pixel_rows: rows,
+                        pixel_cols: cols,
+                        channels: ch,
+                        window,
+                        chan0: g0 * per_group,
+                        chan_count: g_count * per_group,
+                    },
+                    u,
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn grouped_channel_spans_match_brute_force((req, u) in grouped_channel_request()) {
         use secureloop_authblock::channel::{count_channel_blocks, count_channel_blocks_brute};
         let fast = count_channel_blocks(&req, u);
         let brute = count_channel_blocks_brute(&req, u);

@@ -34,6 +34,10 @@ fn main() -> ExitCode {
                 RunStatus::Success => ExitCode::SUCCESS,
                 RunStatus::Degraded => ExitCode::from(DEGRADED),
                 RunStatus::Interrupted => ExitCode::from(INTERRUPTED),
+                // A completed run whose report records outright
+                // failures (e.g. a suite scenario out of bounds) is
+                // fatal, but its report already went to stdout.
+                RunStatus::Failed => ExitCode::from(FATAL),
             };
             match writeln!(io::stdout(), "{}", output.text) {
                 Ok(()) => code,

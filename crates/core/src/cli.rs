@@ -25,10 +25,19 @@ usage:
   secureloop dse --workload <name> [options]
   secureloop trace --workload <name> --layer <i> [options]
   secureloop serve --state-dir <dir> [options]
+  secureloop suite <dir> [--json]
   secureloop workloads
 
-workloads: alexnet | resnet18 | resnet50 | mobilenet_v2 | vgg16 | mlp
+workloads: alexnet | alexnet_grouped | resnet18 | resnet50 | mobilenet_v2 |
+           vgg16 | mlp | attention | llm_decode | vit_tiny | dilated_context |
+           resnext
 algorithms: unsecure | crypt-tile-single | crypt-opt-single | crypt-opt-cross
+
+suite: run every *.yaml scenario under <dir> (recursively) through the
+  supervised sweep path and check each scenario's expected bounds; see
+  DESIGN.md \"Scenario suites\" for the file format. A load error or a
+  violated bound exits 1 (the report still prints); a degraded-but-in-
+  bounds scenario exits 2.
 
 options:
   --engine <pipelined|parallel|serial>   crypto engine class (default parallel)
@@ -90,7 +99,8 @@ serve options (JSON-Lines requests on stdin, events on stdout):
 
 exit codes:
   0  success, full-quality results
-  1  fatal error (bad arguments, unreadable input, engine failure)
+  1  fatal error (bad arguments, unreadable input, engine failure, a
+     malformed suite scenario or a violated scenario bound)
   2  completed but degraded (a layer or design point was degraded,
      skipped or poisoned)
   3  interrupted by SIGINT/SIGTERM; checkpoint flushed, re-run with
@@ -111,6 +121,14 @@ pub enum CliError {
     /// The scheduling engine failed outright (every layer infeasible,
     /// or a checkpoint file problem).
     Engine(String),
+    /// A scenario-suite file failed to load or validate (see
+    /// [`crate::suite`]).
+    Scenario {
+        /// The offending file or directory.
+        path: String,
+        /// What is wrong with it.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -121,6 +139,9 @@ impl std::fmt::Display for CliError {
                 write!(f, "architecture file: field '{field}': {message}")
             }
             CliError::Engine(msg) => write!(f, "{msg}"),
+            CliError::Scenario { path, message } => {
+                write!(f, "scenario {path}: {message}")
+            }
         }
     }
 }
@@ -212,6 +233,8 @@ pub struct Options {
     pub admit_max_designs: Option<usize>,
     /// Admission cap on a job's per-layer deadline (seconds).
     pub admit_max_deadline_secs: Option<f64>,
+    /// Scenario directory for the `suite` command (positional).
+    pub suite_dir: Option<String>,
 }
 
 impl Default for Options {
@@ -248,6 +271,7 @@ impl Default for Options {
             admit_max_samples: None,
             admit_max_designs: None,
             admit_max_deadline_secs: None,
+            suite_dir: None,
         }
     }
 }
@@ -263,7 +287,7 @@ pub fn parse(args: &[String]) -> Result<Options, CliError> {
     opts.command = it.next().ok_or_else(|| usage("missing command"))?.clone();
     if !matches!(
         opts.command.as_str(),
-        "schedule" | "dse" | "workloads" | "trace" | "serve"
+        "schedule" | "dse" | "workloads" | "trace" | "serve" | "suite"
     ) {
         return Err(usage(format!("unknown command '{}'", opts.command)));
     }
@@ -428,20 +452,37 @@ pub fn parse(args: &[String]) -> Result<Options, CliError> {
                     .parse()
                     .map_err(|_| usage("--layer expects an index"))?
             }
+            other if !other.starts_with('-')
+                && opts.command == "suite"
+                && opts.suite_dir.is_none() =>
+            {
+                opts.suite_dir = Some(other.to_string())
+            }
             other => return Err(usage(format!("unknown flag '{other}'"))),
         }
     }
     Ok(opts)
 }
 
+/// Workload names accepted by `--workload` and scenario files, one per
+/// line — the `workloads` command prints exactly this list.
+pub(crate) const WORKLOAD_NAMES: &str = "alexnet\nalexnet_grouped\nresnet18\nresnet50\n\
+mobilenet_v2\nvgg16\nmlp\nattention\nllm_decode\nvit_tiny\ndilated_context\nresnext";
+
 pub(crate) fn workload(name: &str) -> Result<Network, CliError> {
     match name {
         "alexnet" => Ok(zoo::alexnet_conv()),
+        "alexnet_grouped" => Ok(zoo::alexnet_conv_grouped()),
         "resnet18" => Ok(zoo::resnet18()),
         "resnet50" => Ok(zoo::resnet50()),
         "mobilenet_v2" | "mobilenetv2" => Ok(zoo::mobilenet_v2()),
         "vgg16" => Ok(zoo::vgg16()),
         "mlp" => Ok(zoo::mlp(4, 4096)),
+        "attention" => Ok(zoo::attention(128, 512)),
+        "llm_decode" => Ok(zoo::llm_decode(1024)),
+        "vit_tiny" => Ok(zoo::vit_tiny(2)),
+        "dilated_context" => Ok(zoo::dilated_context(56, 64, 4)),
+        "resnext" => Ok(zoo::resnext_stage(28, 128, 32, 2)),
         other => Err(usage(format!("unknown workload '{other}'"))),
     }
 }
@@ -528,7 +569,7 @@ impl ArchFile {
         Ok(file)
     }
 
-    fn from_json(v: &Json) -> Result<ArchFile, CliError> {
+    pub(crate) fn from_json(v: &Json) -> Result<ArchFile, CliError> {
         let fields = v
             .as_object()
             .ok_or_else(|| arch_err("<root>", "expected a JSON object"))?;
@@ -756,6 +797,11 @@ pub enum RunStatus {
     /// A shutdown request stopped the run early; state was flushed and
     /// the run is resumable: exit code 3.
     Interrupted,
+    /// The command completed and produced a report, but something
+    /// failed outright (a suite scenario violated its expected bounds
+    /// or could not be scheduled): exit code 1, with the report still
+    /// printed to stdout.
+    Failed,
 }
 
 /// Stdout payload plus exit-code classification from
@@ -825,9 +871,14 @@ pub fn run_with_status(args: &[String]) -> Result<CliOutput, CliError> {
 
 fn dispatch(opts: &Options) -> Result<CliOutput, CliError> {
     match opts.command.as_str() {
-        "workloads" => Ok(CliOutput::ok(
-            "alexnet\nresnet18\nresnet50\nmobilenet_v2\nvgg16\nmlp".to_string(),
-        )),
+        "workloads" => Ok(CliOutput::ok(WORKLOAD_NAMES.to_string())),
+        "suite" => {
+            let dir = opts
+                .suite_dir
+                .as_deref()
+                .ok_or_else(|| usage("suite needs a scenario directory: secureloop suite <dir>"))?;
+            crate::suite::run_suite(std::path::Path::new(dir), opts.json)
+        }
         "serve" => {
             let state_dir = opts
                 .state_dir
@@ -1161,6 +1212,33 @@ mod tests {
         assert!(out.contains("alexnet"));
         assert!(out.contains("mobilenet_v2"));
         assert!(out.contains("vgg16"));
+        assert!(out.contains("attention"));
+        assert!(out.contains("llm_decode"));
+        assert!(out.contains("vit_tiny"));
+        // Every advertised name resolves.
+        for name in out.lines() {
+            assert!(workload(name).is_ok(), "workloads lists unknown '{name}'");
+        }
+    }
+
+    #[test]
+    fn parse_suite_positional_dir() {
+        let o = parse(&argv("suite suites/smoke --json")).unwrap();
+        assert_eq!(o.command, "suite");
+        assert_eq!(o.suite_dir.as_deref(), Some("suites/smoke"));
+        assert!(o.json);
+        // A second positional is an error, and other commands reject
+        // positionals entirely.
+        assert!(matches!(
+            parse(&argv("suite a b")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("schedule suites")),
+            Err(CliError::Usage(_))
+        ));
+        // Missing directory surfaces at dispatch.
+        assert!(matches!(run(&argv("suite")), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod scheduler;
 pub mod segment;
 pub mod service;
 pub mod shutdown;
+pub mod suite;
 pub mod supervisor;
 pub mod tensors;
 

@@ -27,6 +27,9 @@
 use std::fmt;
 use std::ops::Index;
 
+pub mod yaml;
+pub use yaml::{parse_yaml, YamlError};
+
 /// A JSON number, kept in its source form so integers survive exactly.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Number {

@@ -1,0 +1,482 @@
+//! A small YAML-subset reader producing [`Json`] values.
+//!
+//! Scenario-suite files are authored in YAML for readability, but the
+//! workspace is dependency-free, so this module parses exactly the
+//! subset those files need and nothing more:
+//!
+//! * block mappings (`key: value` / `key:` + indented block),
+//! * block sequences (`- item`, including `- key: value` map items),
+//! * flow sequences of scalars (`[3, 5, 8]`),
+//! * scalars: `null`/`~`, booleans, integers, floats, single- and
+//!   double-quoted strings, and bare strings,
+//! * `#` comments and blank lines.
+//!
+//! Out of scope (rejected with a [`YamlError`] naming the line):
+//! anchors/aliases, multi-document streams, block scalars (`|`/`>`),
+//! flow mappings, tab indentation, and duplicate keys. Errors carry
+//! 1-based line numbers so a malformed scenario file points at itself.
+
+use std::fmt;
+
+use crate::{Json, Number};
+
+/// A YAML parse error with the 1-based source line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YamlError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for YamlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "yaml line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for YamlError {}
+
+fn err(line: usize, message: impl Into<String>) -> YamlError {
+    YamlError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One significant source line: indentation, payload, 1-based number.
+struct Line<'a> {
+    indent: usize,
+    content: &'a str,
+    no: usize,
+}
+
+/// Strip a trailing `#` comment, respecting quoted strings. A `#`
+/// starts a comment only at the beginning of the payload or after
+/// whitespace (YAML's rule, which keeps `key: a#b` a bare string).
+fn strip_comment(s: &str) -> &str {
+    let bytes = s.as_bytes();
+    let mut quote: Option<u8> = None;
+    let mut prev_ws = true;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match quote {
+            Some(q) => {
+                if b == b'\\' && q == b'"' {
+                    i += 1; // skip the escaped byte
+                } else if b == q {
+                    quote = None;
+                }
+            }
+            None => {
+                if b == b'"' || b == b'\'' {
+                    quote = Some(b);
+                } else if b == b'#' && prev_ws {
+                    return s[..i].trim_end();
+                }
+            }
+        }
+        prev_ws = b == b' ' || b == b'\t';
+        i += 1;
+    }
+    s.trim_end()
+}
+
+fn significant_lines(text: &str) -> Result<Vec<Line<'_>>, YamlError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let no = idx + 1;
+        let indent = raw.len() - raw.trim_start_matches(' ').len();
+        if raw[indent..].starts_with('\t') || raw[..indent].contains('\t') {
+            return Err(err(no, "tab indentation is not supported; use spaces"));
+        }
+        let content = strip_comment(raw[indent..].trim_end());
+        if content.is_empty() {
+            continue;
+        }
+        if content == "---" {
+            if out.is_empty() {
+                continue; // leading document marker is harmless
+            }
+            return Err(err(no, "multi-document streams are not supported"));
+        }
+        out.push(Line {
+            indent,
+            content,
+            no,
+        });
+    }
+    Ok(out)
+}
+
+/// Parse a YAML document into a [`Json`] value.
+///
+/// # Errors
+///
+/// [`YamlError`] with the offending 1-based line on malformed or
+/// unsupported input; an empty document (only comments/blank lines)
+/// is an error, not `Null`, since every scenario file must carry a
+/// mapping.
+pub fn parse_yaml(text: &str) -> Result<Json, YamlError> {
+    let lines = significant_lines(text)?;
+    if lines.is_empty() {
+        return Err(err(1, "empty document"));
+    }
+    let mut pos = 0;
+    let v = parse_block(&lines, &mut pos, lines[0].indent)?;
+    if pos < lines.len() {
+        return Err(err(
+            lines[pos].no,
+            format!(
+                "unexpected de-indented content after the top-level block: '{}'",
+                lines[pos].content
+            ),
+        ));
+    }
+    Ok(v)
+}
+
+fn parse_block(lines: &[Line<'_>], pos: &mut usize, indent: usize) -> Result<Json, YamlError> {
+    let first = &lines[*pos];
+    if first.content == "-" || first.content.starts_with("- ") {
+        parse_sequence(lines, pos, indent)
+    } else if split_key(first.content).is_some() {
+        parse_mapping(lines, pos, indent)
+    } else {
+        // A lone scalar block (only valid as an entire value).
+        let v = parse_scalar(first.content, first.no)?;
+        *pos += 1;
+        Ok(v)
+    }
+}
+
+/// Split `key: value` / `key:` at the first unquoted colon followed by
+/// a space or end of line. Returns `(key, rest)` with both trimmed.
+fn split_key(content: &str) -> Option<(&str, &str)> {
+    let bytes = content.as_bytes();
+    let mut quote: Option<u8> = None;
+    for i in 0..bytes.len() {
+        let b = bytes[i];
+        match quote {
+            Some(q) => {
+                if b == q {
+                    quote = None;
+                }
+            }
+            None => {
+                if b == b'"' || b == b'\'' {
+                    quote = Some(b);
+                } else if b == b':' && (i + 1 == bytes.len() || bytes[i + 1] == b' ') {
+                    let key = content[..i].trim();
+                    if key.is_empty() {
+                        return None;
+                    }
+                    return Some((key, content[i + 1..].trim()));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn unquote_key(key: &str, no: usize) -> Result<String, YamlError> {
+    if key.starts_with('"') || key.starts_with('\'') {
+        match parse_scalar(key, no)? {
+            Json::Str(s) => Ok(s),
+            _ => Err(err(no, format!("malformed quoted key {key}"))),
+        }
+    } else {
+        Ok(key.to_string())
+    }
+}
+
+fn parse_mapping(lines: &[Line<'_>], pos: &mut usize, indent: usize) -> Result<Json, YamlError> {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    while *pos < lines.len() {
+        let line = &lines[*pos];
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent {
+            return Err(err(
+                line.no,
+                format!("unexpected indentation (expected {indent} spaces)"),
+            ));
+        }
+        let Some((raw_key, rest)) = split_key(line.content) else {
+            return Err(err(
+                line.no,
+                format!("expected 'key: value' in mapping, got '{}'", line.content),
+            ));
+        };
+        let key = unquote_key(raw_key, line.no)?;
+        if fields.iter().any(|(k, _)| *k == key) {
+            return Err(err(line.no, format!("duplicate key '{key}'")));
+        }
+        *pos += 1;
+        let value = if rest.is_empty() {
+            // Block value: anything more-indented on the next line;
+            // otherwise the key maps to null.
+            if *pos < lines.len() && lines[*pos].indent > indent {
+                parse_block(lines, pos, lines[*pos].indent)?
+            } else {
+                Json::Null
+            }
+        } else {
+            parse_scalar(rest, line.no)?
+        };
+        fields.push((key, value));
+    }
+    Ok(Json::Obj(fields))
+}
+
+fn parse_sequence(lines: &[Line<'_>], pos: &mut usize, indent: usize) -> Result<Json, YamlError> {
+    let mut items = Vec::new();
+    while *pos < lines.len() {
+        let line = &lines[*pos];
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent || !(line.content == "-" || line.content.starts_with("- ")) {
+            return Err(err(
+                line.no,
+                format!("expected '- item' at {indent} spaces, got '{}'", line.content),
+            ));
+        }
+        let rest = line.content[1..].trim_start();
+        if rest.is_empty() {
+            // `-` alone: the item is the following more-indented block.
+            *pos += 1;
+            if *pos < lines.len() && lines[*pos].indent > indent {
+                items.push(parse_block(lines, pos, lines[*pos].indent)?);
+            } else {
+                items.push(Json::Null);
+            }
+        } else if let Some((raw_key, value_rest)) = split_key(rest) {
+            // `- key: value`: a mapping item whose further keys sit at
+            // the indentation of the content after the dash.
+            let item_indent = indent + (line.content.len() - rest.len());
+            let key = unquote_key(raw_key, line.no)?;
+            let no = line.no;
+            *pos += 1;
+            let first_value = if value_rest.is_empty() {
+                if *pos < lines.len() && lines[*pos].indent > item_indent {
+                    parse_block(lines, pos, lines[*pos].indent)?
+                } else {
+                    Json::Null
+                }
+            } else {
+                parse_scalar(value_rest, no)?
+            };
+            let mut fields = vec![(key, first_value)];
+            if *pos < lines.len() && lines[*pos].indent == item_indent {
+                match parse_mapping(lines, pos, item_indent)? {
+                    Json::Obj(more) => {
+                        for (k, v) in more {
+                            if fields.iter().any(|(fk, _)| *fk == k) {
+                                return Err(err(no, format!("duplicate key '{k}'")));
+                            }
+                            fields.push((k, v));
+                        }
+                    }
+                    _ => unreachable!("parse_mapping returns Obj"),
+                }
+            }
+            items.push(Json::Obj(fields));
+        } else {
+            items.push(parse_scalar(rest, line.no)?);
+            *pos += 1;
+        }
+    }
+    Ok(Json::Arr(items))
+}
+
+fn parse_scalar(s: &str, no: usize) -> Result<Json, YamlError> {
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err(err(no, format!("unterminated flow sequence '{s}'")));
+        };
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(Json::Arr(Vec::new()));
+        }
+        if inner.contains('[') {
+            return Err(err(no, "nested flow sequences are not supported"));
+        }
+        return inner
+            .split(',')
+            .map(|item| parse_scalar(item, no))
+            .collect::<Result<Vec<_>, _>>()
+            .map(Json::Arr);
+    }
+    if s.starts_with('{') {
+        return Err(err(no, "flow mappings are not supported"));
+    }
+    if s.starts_with('|') || s.starts_with('>') {
+        return Err(err(no, "block scalars are not supported"));
+    }
+    if s.starts_with('&') || s.starts_with('*') {
+        return Err(err(no, "anchors and aliases are not supported"));
+    }
+    if let Some(q) = s.strip_prefix('"') {
+        return parse_double_quoted(q, no);
+    }
+    if let Some(q) = s.strip_prefix('\'') {
+        let Some(inner) = q.strip_suffix('\'') else {
+            return Err(err(no, format!("unterminated string {s}")));
+        };
+        if inner.contains('\'') && !inner.contains("''") {
+            return Err(err(no, format!("malformed single-quoted string {s}")));
+        }
+        return Ok(Json::Str(inner.replace("''", "'")));
+    }
+    match s {
+        "null" | "~" | "Null" | "NULL" => return Ok(Json::Null),
+        "true" | "True" => return Ok(Json::Bool(true)),
+        "false" | "False" => return Ok(Json::Bool(false)),
+        _ => {}
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        return Ok(Json::Num(Number::U(u)));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(Json::Num(Number::I(i)));
+    }
+    // Floats, but not bare words that happen to start with a digit —
+    // `f64::parse` accepts "inf"/"nan", which should stay strings.
+    if s.starts_with(|c: char| c.is_ascii_digit() || c == '-' || c == '+' || c == '.') {
+        if let Ok(f) = s.parse::<f64>() {
+            return Ok(Json::Num(Number::F(f)));
+        }
+    }
+    Ok(Json::Str(s.to_string()))
+}
+
+fn parse_double_quoted(rest: &str, no: usize) -> Result<Json, YamlError> {
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                let tail: &str = chars.as_str();
+                if !tail.trim().is_empty() {
+                    return Err(err(no, format!("trailing content after string: '{tail}'")));
+                }
+                return Ok(Json::Str(out));
+            }
+            '\\' => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    return Err(err(no, format!("unsupported escape \\{other}")));
+                }
+                None => return Err(err(no, "unterminated string")),
+            },
+            _ => out.push(c),
+        }
+    }
+    Err(err(no, "unterminated string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping_with_nesting() {
+        let v = parse_yaml(
+            "name: smoke  # trailing comment\n\
+             arch:\n\
+             \x20 pe: [14, 12]\n\
+             \x20 glb_kb: 108\n\
+             secure: true\n\
+             scale: 1.5\n\
+             note: 'it''s fine'\n",
+        )
+        .unwrap();
+        assert_eq!(v["name"].as_str(), Some("smoke"));
+        assert_eq!(v["arch"]["pe"][0].as_u64(), Some(14));
+        assert_eq!(v["arch"]["glb_kb"].as_u64(), Some(108));
+        assert_eq!(v["secure"].as_bool(), Some(true));
+        assert_eq!(v["scale"].as_f64(), Some(1.5));
+        assert_eq!(v["note"].as_str(), Some("it's fine"));
+    }
+
+    #[test]
+    fn sequences_block_and_flow() {
+        let v = parse_yaml(
+            "items:\n\
+             \x20 - 3\n\
+             \x20 - name: a\n\
+             \x20   kind: x\n\
+             \x20 - hello\n\
+             flow: [1, 2.5, 'z']\n",
+        )
+        .unwrap();
+        let items = v["items"].as_array().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].as_u64(), Some(3));
+        assert_eq!(items[1]["name"].as_str(), Some("a"));
+        assert_eq!(items[1]["kind"].as_str(), Some("x"));
+        assert_eq!(items[2].as_str(), Some("hello"));
+        assert_eq!(v["flow"][1].as_f64(), Some(2.5));
+        assert_eq!(v["flow"][2].as_str(), Some("z"));
+    }
+
+    #[test]
+    fn scalars_and_null_values() {
+        let v = parse_yaml("a: null\nb: ~\nc:\nd: -7\ne: \"x\\ny\"\n").unwrap();
+        assert!(v["a"].is_null());
+        assert!(v["b"].is_null());
+        assert!(v["c"].is_null());
+        assert_eq!(v["d"], Json::Num(Number::I(-7)));
+        assert_eq!(v["e"].as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn comments_and_document_marker() {
+        let v = parse_yaml("---\n# header\nkey: value # tail\nurl: a#b\n").unwrap();
+        assert_eq!(v["key"].as_str(), Some("value"));
+        assert_eq!(v["url"].as_str(), Some("a#b"));
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("", 1, "empty document"),
+            ("# only comments\n", 1, "empty document"),
+            ("a: 1\na: 2\n", 2, "duplicate key"),
+            ("\tkey: 1\n", 1, "tab indentation"),
+            ("a: 1\n  b: 2\n", 2, "unexpected indentation"),
+            ("a: [1, 2\n", 1, "unterminated flow sequence"),
+            ("a: \"oops\n", 1, "unterminated string"),
+            ("a: {x: 1}\n", 1, "flow mappings"),
+            ("a: |\n  text\n", 1, "block scalars"),
+            ("a: *ref\n", 1, "anchors"),
+            ("a: 1\n---\nb: 2\n", 2, "multi-document"),
+        ];
+        for (text, line, want) in cases {
+            let e = parse_yaml(text).unwrap_err();
+            assert_eq!(e.line, *line, "{text:?}: {e}");
+            assert!(e.to_string().contains(want), "{text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn top_level_sequence() {
+        let v = parse_yaml("- 1\n- 2\n").unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn never_panics_on_truncations() {
+        let doc = "name: s\narch:\n  pe: [14, 12]\nbounds:\n  - max: 1.5\n    kind: edp\n";
+        for cut in 0..doc.len() {
+            let _ = parse_yaml(&doc[..cut]); // must not panic
+        }
+    }
+}

@@ -38,30 +38,31 @@ pub fn inner_products(mapping: &Mapping, boundary: Boundary) -> DimMap<u64> {
 /// extents are `inner`.
 ///
 /// The ifmap footprint uses the sliding-window relation
-/// `h = (p − 1)·stride + r` — overlapping windows are counted once,
-/// which is what makes spatial multicast and halo reuse fall out of the
-/// footprint computation.
+/// `h = (p − 1)·stride + (r − 1)·dilation + 1` — overlapping windows are
+/// counted once, which is what makes spatial multicast and halo reuse
+/// fall out of the footprint computation. Channel counts follow the
+/// layer's grouping (see
+/// [`ConvLayer::ifmap_tile_channels`]).
 pub fn footprint_words(layer: &ConvLayer, dt: Datatype, inner: &DimMap<u64>) -> u64 {
     match dt {
         Datatype::Weight => inner[Dim::M] * inner[Dim::C] * inner[Dim::R] * inner[Dim::S],
         Datatype::Ofmap => inner[Dim::N] * inner[Dim::M] * inner[Dim::P] * inner[Dim::Q],
         Datatype::Ifmap => {
-            let h = (inner[Dim::P] - 1) * layer.stride() + inner[Dim::R];
-            let w = (inner[Dim::Q] - 1) * layer.stride() + inner[Dim::S];
-            let ch = if layer.depthwise() {
-                inner[Dim::M]
-            } else {
-                inner[Dim::C]
-            };
+            let (h, w) = ifmap_window(layer, inner[Dim::P], inner[Dim::Q], inner[Dim::R], inner[Dim::S]);
+            let ch = layer.ifmap_tile_channels(inner[Dim::M], inner[Dim::C]);
             inner[Dim::N] * ch * h * w
         }
     }
 }
 
 /// The ifmap window extent (height, width) for a tile covering
-/// `p`/`q` output positions with `r`/`s` filter taps.
+/// `p`/`q` output positions with `r`/`s` filter taps (taps spaced by the
+/// layer's dilation).
 pub fn ifmap_window(layer: &ConvLayer, p: u64, q: u64, r: u64, s: u64) -> (u64, u64) {
-    ((p - 1) * layer.stride() + r, (q - 1) * layer.stride() + s)
+    (
+        (p - 1) * layer.stride() + (r - 1) * layer.dilation() + 1,
+        (q - 1) * layer.stride() + (s - 1) * layer.dilation() + 1,
+    )
 }
 
 #[cfg(test)]
@@ -129,6 +130,52 @@ mod tests {
         assert_eq!(footprint_words(&l, Datatype::Ifmap, &inner), 16 * 9);
         // Weight tile also spans all 16 filters.
         assert_eq!(footprint_words(&l, Datatype::Weight, &inner), 16 * 9);
+    }
+
+    #[test]
+    fn dilated_window_spans_spaced_taps() {
+        let l = ConvLayer::builder("atrous")
+            .input_hw(28, 28)
+            .channels(1, 1)
+            .kernel(3, 3)
+            .pad(2)
+            .dilation(2)
+            .build()
+            .unwrap();
+        // One output position with 3 dilation-2 taps spans 5 input rows.
+        let (h, w) = ifmap_window(&l, 1, 1, 3, 3);
+        assert_eq!((h, w), (5, 5));
+        // Two adjacent outputs share the overlap: 6 rows, not 10.
+        let (h, _) = ifmap_window(&l, 2, 1, 3, 3);
+        assert_eq!(h, 6);
+    }
+
+    #[test]
+    fn grouped_ifmap_footprint_counts_spanned_groups() {
+        let l = ConvLayer::builder("g2")
+            .input_hw(12, 12)
+            .channels(8, 8)
+            .kernel(3, 3)
+            .groups(2)
+            .build()
+            .unwrap();
+        let mut inner = DimMap::splat(1u64);
+        inner[Dim::C] = 4; // the whole per-group slice
+        inner[Dim::R] = 3;
+        inner[Dim::S] = 3;
+        // One group's channels.
+        inner[Dim::M] = 4;
+        assert_eq!(footprint_words(&l, Datatype::Ifmap, &inner), 4 * 9);
+        // All output channels: both groups' slices.
+        inner[Dim::M] = 8;
+        assert_eq!(footprint_words(&l, Datatype::Ifmap, &inner), 8 * 9);
+        // Untiled covers the full stored tensor.
+        let m = Mapping::untiled(&l);
+        let full = inner_products(&m, Boundary::BelowDram);
+        assert_eq!(
+            footprint_words(&l, Datatype::Ifmap, &full),
+            l.tensor_elems(Datatype::Ifmap)
+        );
     }
 
     #[test]

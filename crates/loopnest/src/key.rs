@@ -47,7 +47,7 @@ impl SearchSpaceKey {
         use Dim::*;
         let b = layer.bounds();
         let layer_part = format!(
-            "L[{},{},{},{},{},{},{},s{},p{},dw{},w{}]",
+            "L[{},{},{},{},{},{},{},s{},p{},dw{},g{},dl{},w{}]",
             b[N],
             b[M],
             b[C],
@@ -58,6 +58,8 @@ impl SearchSpaceKey {
             layer.stride(),
             layer.pad(),
             layer.depthwise() as u8,
+            layer.groups(),
+            layer.dilation(),
             layer.word_bits(),
         );
         let rf_part = match arch.rf_partition() {
@@ -209,6 +211,50 @@ mod tests {
         let hbm = Architecture::eyeriss_base().with_dram(DramSpec::hbm2_64());
         let base = Architecture::eyeriss_base();
         assert_ne!(SearchSpaceKey::of(&l, &hbm), SearchSpaceKey::of(&l, &base));
+    }
+
+    #[test]
+    fn grouping_dilation_and_word_width_change_the_key() {
+        let a = Architecture::eyeriss_base();
+        let base = ConvLayer::builder("l")
+            .input_hw(28, 28)
+            .channels(64, 64)
+            .kernel(3, 3)
+            .pad(2)
+            .build()
+            .unwrap();
+        let dilated = ConvLayer::builder("l")
+            .input_hw(28, 28)
+            .channels(64, 64)
+            .kernel(3, 3)
+            .pad(2)
+            .dilation(2)
+            .build()
+            .unwrap();
+        assert_ne!(SearchSpaceKey::of(&base, &a), SearchSpaceKey::of(&dilated, &a));
+        let fp16 = base.with_word_bits(16);
+        assert_ne!(SearchSpaceKey::of(&base, &a), SearchSpaceKey::of(&fp16, &a));
+        let grouped = ConvLayer::builder("l")
+            .input_hw(28, 28)
+            .channels(64, 32)
+            .kernel(3, 3)
+            .pad(2)
+            .groups(2)
+            .build()
+            .unwrap();
+        let dense_half_c = ConvLayer::builder("l")
+            .input_hw(28, 28)
+            .channels(32, 32)
+            .kernel(3, 3)
+            .pad(2)
+            .build()
+            .unwrap();
+        // Grouped C=32 must not alias a dense layer with cin=32.
+        assert_eq!(grouped.bounds()[Dim::C], dense_half_c.bounds()[Dim::C]);
+        assert_ne!(
+            SearchSpaceKey::of(&grouped, &a),
+            SearchSpaceKey::of(&dense_half_c, &a)
+        );
     }
 
     #[test]

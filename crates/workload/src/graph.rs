@@ -31,6 +31,14 @@ pub enum PostOp {
     AvgPool,
     /// Residual (skip-connection) addition — segment boundary.
     ResidualAdd,
+    /// Attention-score softmax (the `QKᵀ`/softmax/mix pass between a
+    /// projection and its consumer) — a separate pass over the data,
+    /// so a segment boundary.
+    Softmax,
+    /// Layer normalisation — needs the full token vector (a reduction
+    /// across channels) before any output can stream, so a segment
+    /// boundary, unlike the per-element BatchNorm.
+    LayerNorm,
 }
 
 impl PostOp {
@@ -50,6 +58,8 @@ impl fmt::Display for PostOp {
             PostOp::MaxPool => "maxpool",
             PostOp::AvgPool => "avgpool",
             PostOp::ResidualAdd => "add",
+            PostOp::Softmax => "softmax",
+            PostOp::LayerNorm => "ln",
         };
         f.write_str(s)
     }
@@ -174,6 +184,16 @@ impl Network {
             post_ops: self.post_ops.clone(),
         }
     }
+
+    /// A copy of the network with every layer at word width `bits`
+    /// (e.g. 16 for an fp16 variant of an int8-quantised zoo entry).
+    pub fn with_word_bits(&self, bits: u32) -> Network {
+        Network {
+            name: format!("{}@w{bits}", self.name),
+            layers: self.layers.iter().map(|l| l.with_word_bits(bits)).collect(),
+            post_ops: self.post_ops.clone(),
+        }
+    }
 }
 
 impl fmt::Display for Network {
@@ -215,6 +235,22 @@ mod tests {
         assert!(PostOp::ZeroPad.is_fusable());
         assert!(!PostOp::MaxPool.is_fusable());
         assert!(!PostOp::ResidualAdd.is_fusable());
+        assert!(!PostOp::Softmax.is_fusable());
+        assert!(!PostOp::LayerNorm.is_fusable());
+    }
+
+    #[test]
+    fn with_word_bits_scales_tensor_bits() {
+        let mut net = Network::new("t");
+        net.push(tiny("a"), &[PostOp::Relu]);
+        let fp16 = net.with_word_bits(16);
+        assert!(fp16.name().contains("@w16"));
+        assert_eq!(fp16.layers()[0].word_bits(), 16);
+        assert_eq!(fp16.total_macs(), net.total_macs());
+        assert_eq!(
+            fp16.layers()[0].tensor_bits(crate::Datatype::Weight),
+            2 * net.layers()[0].tensor_bits(crate::Datatype::Weight)
+        );
     }
 
     #[test]

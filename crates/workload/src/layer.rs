@@ -30,6 +30,20 @@ impl std::error::Error for LayerShapeError {}
 /// Depthwise layers (MobileNetV2) are marked with [`ConvLayer::depthwise`]:
 /// the loop bounds carry `C = 1` and `M` = channel count, and the ifmap is
 /// indexed by `M` instead of `C`.
+///
+/// Grouped convolutions (AlexNet's original conv2/4/5, ResNeXt) carry
+/// [`ConvLayer::groups`] `> 1`: the loop bound `C` is the *per-group*
+/// input channel count `C_in / g`, the ifmap holds all `C_in` channels,
+/// and each output channel reads only its own group's slice — so `M`
+/// becomes relevant to ifmap indexing, like the depthwise special case
+/// (`g = C_in`). MACs and weight footprints shrink by `g` automatically
+/// because they are products over the loop bounds.
+///
+/// Dilated convolutions (DeepLab-style context modules) carry
+/// [`ConvLayer::dilation`] `> 1`: the filter taps are spaced `dilation`
+/// elements apart, so the effective receptive extent is
+/// `(R − 1)·dilation + 1` and every input-geometry relation uses that in
+/// place of `R`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ConvLayer {
     name: String,
@@ -37,6 +51,11 @@ pub struct ConvLayer {
     stride: u64,
     pad: u64,
     depthwise: bool,
+    /// Convolution groups (1 = dense). `C` holds the per-group input
+    /// channel count.
+    groups: u64,
+    /// Filter-tap spacing (1 = ordinary convolution).
+    dilation: u64,
     /// Bits per data word (paper evaluation uses 8-bit words).
     word_bits: u32,
 }
@@ -78,31 +97,74 @@ impl ConvLayer {
         self.depthwise
     }
 
+    /// Number of convolution groups (1 = dense, ungrouped).
+    pub fn groups(&self) -> u64 {
+        self.groups
+    }
+
+    /// Filter-tap spacing (1 = ordinary convolution).
+    pub fn dilation(&self) -> u64 {
+        self.dilation
+    }
+
     /// Bits per data word.
     pub fn word_bits(&self) -> u32 {
         self.word_bits
     }
 
-    /// Input feature-map height `H_in = (P−1)·stride + R − 2·pad`.
-    pub fn ifmap_height(&self) -> u64 {
-        (self.dim(Dim::P) - 1) * self.stride + self.dim(Dim::R) - 2 * self.pad
+    /// Effective filter row extent `(R − 1)·dilation + 1`: the input
+    /// rows a single filter application spans.
+    pub fn kernel_extent_h(&self) -> u64 {
+        (self.dim(Dim::R) - 1) * self.dilation + 1
     }
 
-    /// Input feature-map width `W_in = (Q−1)·stride + S − 2·pad`.
+    /// Effective filter column extent `(S − 1)·dilation + 1`.
+    pub fn kernel_extent_w(&self) -> u64 {
+        (self.dim(Dim::S) - 1) * self.dilation + 1
+    }
+
+    /// Input feature-map height `H_in = (P−1)·stride + (R−1)·dilation + 1 − 2·pad`.
+    pub fn ifmap_height(&self) -> u64 {
+        (self.dim(Dim::P) - 1) * self.stride + self.kernel_extent_h() - 2 * self.pad
+    }
+
+    /// Input feature-map width `W_in = (Q−1)·stride + (S−1)·dilation + 1 − 2·pad`.
     pub fn ifmap_width(&self) -> u64 {
-        (self.dim(Dim::Q) - 1) * self.stride + self.dim(Dim::S) - 2 * self.pad
+        (self.dim(Dim::Q) - 1) * self.stride + self.kernel_extent_w() - 2 * self.pad
     }
 
     /// Number of input channels as seen by the ifmap tensor.
     ///
     /// For depthwise layers the loop-bound `C` is 1 but the ifmap actually
-    /// has `M` channels (one per group).
+    /// has `M` channels (one per group); for grouped layers it has
+    /// `groups·C` channels.
     pub fn ifmap_channels(&self) -> u64 {
         if self.depthwise {
             self.dim(Dim::M)
         } else {
-            self.dim(Dim::C)
+            self.groups * self.dim(Dim::C)
         }
+    }
+
+    /// Input channels touched by a tile covering `m_tile` output
+    /// channels and `c_tile` loop-bound-`C` values.
+    ///
+    /// Dense layers touch `c_tile` channels regardless of `m_tile`;
+    /// depthwise layers touch `m_tile` (one per output channel). Grouped
+    /// layers touch `c_tile` per intersected group, assuming group-aligned
+    /// output-channel tiling (tiles either stay inside one group or span
+    /// whole groups — how schedulers tile grouped convolutions in
+    /// practice).
+    pub fn ifmap_tile_channels(&self, m_tile: u64, c_tile: u64) -> u64 {
+        if self.depthwise {
+            return m_tile;
+        }
+        if self.groups == 1 {
+            return c_tile;
+        }
+        let per_group_m = self.dim(Dim::M) / self.groups;
+        let spanned = m_tile.div_ceil(per_group_m).min(self.groups);
+        (spanned * c_tile).min(self.ifmap_channels())
     }
 
     /// Total multiply-accumulate operations.
@@ -111,10 +173,10 @@ impl ConvLayer {
     }
 
     /// Dimensions relevant to `dt` for *this* layer (accounts for
-    /// depthwise ifmap indexing).
+    /// depthwise and grouped ifmap indexing: `M` selects the group).
     pub fn relevant_dims(&self, dt: Datatype) -> Vec<Dim> {
         let mut dims: Vec<Dim> = dt.relevant_dims().to_vec();
-        if self.depthwise && dt == Datatype::Ifmap {
+        if (self.depthwise || self.groups > 1) && dt == Datatype::Ifmap {
             dims.push(Dim::M);
         }
         dims
@@ -122,7 +184,7 @@ impl ConvLayer {
 
     /// Whether `dim` indexes a distinct element of `dt` in this layer.
     pub fn is_relevant(&self, dt: Datatype, dim: Dim) -> bool {
-        if self.depthwise && dt == Datatype::Ifmap && dim == Dim::M {
+        if (self.depthwise || self.groups > 1) && dt == Datatype::Ifmap && dim == Dim::M {
             return true;
         }
         dt.is_relevant(dim)
@@ -155,6 +217,16 @@ impl ConvLayer {
         assert!(n > 0, "batch must be positive");
         let mut out = self.clone();
         out.bounds[Dim::N] = n;
+        out
+    }
+
+    /// A copy of this layer with a different word width (int8 vs fp16
+    /// precision sweeps: word width scales every tensor and crypto bit
+    /// count).
+    pub fn with_word_bits(&self, bits: u32) -> ConvLayer {
+        assert!(bits > 0, "word width must be positive");
+        let mut out = self.clone();
+        out.word_bits = bits;
         out
     }
 
@@ -206,7 +278,14 @@ impl fmt::Display for ConvLayer {
             self.stride,
             self.pad,
             if self.depthwise { " (dw)" } else { "" },
-        )
+        )?;
+        if self.groups > 1 {
+            write!(f, " g{}", self.groups)?;
+        }
+        if self.dilation > 1 {
+            write!(f, " d{}", self.dilation)?;
+        }
+        Ok(())
     }
 }
 
@@ -225,6 +304,8 @@ pub struct ConvLayerBuilder {
     pad: u64,
     batch: u64,
     depthwise: bool,
+    groups: u64,
+    dilation: u64,
     word_bits: u32,
 }
 
@@ -242,6 +323,8 @@ impl ConvLayerBuilder {
             pad: 0,
             batch: 1,
             depthwise: false,
+            groups: 1,
+            dilation: 1,
             word_bits: 8,
         }
     }
@@ -292,6 +375,24 @@ impl ConvLayerBuilder {
         self
     }
 
+    /// Split the convolution into `g` groups: each output channel reads
+    /// only the `cin/g` input channels of its group (AlexNet's original
+    /// conv2/4/5, ResNeXt). `g = 1` is the dense default; depthwise is
+    /// the `g = cin` extreme and keeps its dedicated
+    /// [`ConvLayerBuilder::depthwise`] encoding.
+    pub fn groups(mut self, g: u64) -> Self {
+        self.groups = g;
+        self
+    }
+
+    /// Space the filter taps `d` elements apart (dilated / atrous
+    /// convolution); the effective receptive extent becomes
+    /// `(R − 1)·d + 1`.
+    pub fn dilation(mut self, d: u64) -> Self {
+        self.dilation = d;
+        self
+    }
+
     /// Bits per data word (default 8).
     pub fn word_bits(mut self, bits: u32) -> Self {
         self.word_bits = bits;
@@ -318,12 +419,20 @@ impl ConvLayerBuilder {
         if self.stride == 0 {
             return Err(LayerShapeError("stride must be positive".into()));
         }
+        if self.dilation == 0 {
+            return Err(LayerShapeError("dilation must be positive".into()));
+        }
+        if self.groups == 0 {
+            return Err(LayerShapeError("groups must be positive".into()));
+        }
+        // Effective (dilated) filter extent.
+        let r_eff = (self.r - 1) * self.dilation + 1;
+        let s_eff = (self.s - 1) * self.dilation + 1;
         let padded_h = self.input_h + 2 * self.pad;
         let padded_w = self.input_w + 2 * self.pad;
-        if padded_h < self.r || padded_w < self.s {
+        if padded_h < r_eff || padded_w < s_eff {
             return Err(LayerShapeError(format!(
-                "kernel {}x{} larger than padded input {}x{}",
-                self.r, self.s, padded_h, padded_w
+                "effective kernel {r_eff}x{s_eff} larger than padded input {padded_h}x{padded_w}"
             )));
         }
         // Output size uses floor division, as in real frameworks; when the
@@ -336,12 +445,29 @@ impl ConvLayerBuilder {
                 self.in_channels, self.out_channels
             )));
         }
-        let p = (padded_h - self.r) / self.stride + 1;
-        let q = (padded_w - self.s) / self.stride + 1;
+        if self.depthwise && self.groups > 1 {
+            return Err(LayerShapeError(
+                "depthwise layers already group per channel; use one of \
+                 depthwise() or groups(g)"
+                    .into(),
+            ));
+        }
+        if self.in_channels % self.groups != 0 || self.out_channels % self.groups != 0 {
+            return Err(LayerShapeError(format!(
+                "groups {} must divide both cin {} and cout {}",
+                self.groups, self.in_channels, self.out_channels
+            )));
+        }
+        let p = (padded_h - r_eff) / self.stride + 1;
+        let q = (padded_w - s_eff) / self.stride + 1;
         let mut bounds = DimMap::splat(1u64);
         bounds[Dim::N] = self.batch;
         bounds[Dim::M] = self.out_channels;
-        bounds[Dim::C] = if self.depthwise { 1 } else { self.in_channels };
+        bounds[Dim::C] = if self.depthwise {
+            1
+        } else {
+            self.in_channels / self.groups
+        };
         bounds[Dim::P] = p;
         bounds[Dim::Q] = q;
         bounds[Dim::R] = self.r;
@@ -355,6 +481,8 @@ impl ConvLayerBuilder {
             stride: self.stride,
             pad: self.pad,
             depthwise: self.depthwise,
+            groups: self.groups,
+            dilation: self.dilation,
             word_bits: self.word_bits,
         })
     }
@@ -449,6 +577,148 @@ mod tests {
             .build()
             .is_err());
         assert!(ConvLayer::builder("bad").stride(0).build().is_err());
+    }
+
+    #[test]
+    fn grouped_conv_shrinks_weights_and_macs() {
+        // AlexNet conv2 in its original two-tower (grouped) form.
+        let dense = ConvLayer::builder("conv2")
+            .input_hw(27, 27)
+            .channels(96, 256)
+            .kernel(5, 5)
+            .pad(2)
+            .build()
+            .unwrap();
+        let grouped = ConvLayer::builder("conv2g")
+            .input_hw(27, 27)
+            .channels(96, 256)
+            .kernel(5, 5)
+            .pad(2)
+            .groups(2)
+            .build()
+            .unwrap();
+        assert_eq!(grouped.dim(Dim::C), 48);
+        assert_eq!(grouped.groups(), 2);
+        assert_eq!(grouped.macs() * 2, dense.macs());
+        assert_eq!(
+            grouped.tensor_elems(Datatype::Weight) * 2,
+            dense.tensor_elems(Datatype::Weight)
+        );
+        // The ifmap still stores all 96 channels.
+        assert_eq!(grouped.ifmap_channels(), 96);
+        assert_eq!(
+            grouped.tensor_elems(Datatype::Ifmap),
+            dense.tensor_elems(Datatype::Ifmap)
+        );
+        // M selects the group, so it is ifmap-relevant.
+        assert!(grouped.is_relevant(Datatype::Ifmap, Dim::M));
+        assert!(!dense.is_relevant(Datatype::Ifmap, Dim::M));
+    }
+
+    #[test]
+    fn grouped_tile_channels_span_groups() {
+        let l = ConvLayer::builder("g4")
+            .input_hw(14, 14)
+            .channels(64, 128)
+            .kernel(3, 3)
+            .pad(1)
+            .groups(4)
+            .build()
+            .unwrap();
+        // 32 output channels per group, 16 in-group input channels each.
+        assert_eq!(l.ifmap_tile_channels(32, 16), 16);
+        assert_eq!(l.ifmap_tile_channels(64, 16), 32);
+        assert_eq!(l.ifmap_tile_channels(128, 16), 64);
+        // Clamped to the stored channel count.
+        assert_eq!(l.ifmap_tile_channels(128, 16), l.ifmap_channels());
+        // Dense and depthwise behave as before.
+        let dense = ConvLayer::builder("d")
+            .input_hw(14, 14)
+            .channels(64, 128)
+            .kernel(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        assert_eq!(dense.ifmap_tile_channels(128, 16), 16);
+        let dw = ConvLayer::builder("dw")
+            .input_hw(14, 14)
+            .channels(64, 64)
+            .kernel(3, 3)
+            .pad(1)
+            .depthwise()
+            .build()
+            .unwrap();
+        assert_eq!(dw.ifmap_tile_channels(8, 1), 8);
+    }
+
+    #[test]
+    fn dilated_conv_geometry() {
+        // 3x3 dilation-2 conv with pad 2 keeps spatial size (effective
+        // 5x5 kernel).
+        let l = ConvLayer::builder("atrous")
+            .input_hw(28, 28)
+            .channels(32, 32)
+            .kernel(3, 3)
+            .pad(2)
+            .dilation(2)
+            .build()
+            .unwrap();
+        assert_eq!(l.kernel_extent_h(), 5);
+        assert_eq!(l.dim(Dim::P), 28);
+        assert_eq!(l.ifmap_height(), 28);
+        // MACs unchanged by dilation (still 9 taps).
+        assert_eq!(l.macs(), 32 * 32 * 28 * 28 * 9);
+        // Effective kernel larger than the padded input is rejected.
+        assert!(ConvLayer::builder("bad")
+            .input_hw(5, 5)
+            .kernel(3, 3)
+            .dilation(4)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_group_and_dilation_configs_rejected() {
+        assert!(ConvLayer::builder("g0")
+            .input_hw(8, 8)
+            .channels(4, 4)
+            .groups(0)
+            .build()
+            .is_err());
+        assert!(ConvLayer::builder("d0")
+            .input_hw(8, 8)
+            .channels(4, 4)
+            .dilation(0)
+            .build()
+            .is_err());
+        // groups must divide both channel counts.
+        assert!(ConvLayer::builder("g3")
+            .input_hw(8, 8)
+            .channels(4, 8)
+            .groups(3)
+            .build()
+            .is_err());
+        // depthwise + groups is contradictory.
+        assert!(ConvLayer::builder("dwg")
+            .input_hw(8, 8)
+            .channels(4, 4)
+            .kernel(3, 3)
+            .depthwise()
+            .groups(2)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn word_width_variant_scales_tensor_bits() {
+        let l = alexnet_conv1();
+        let fp16 = l.with_word_bits(16);
+        assert_eq!(fp16.word_bits(), 16);
+        assert_eq!(
+            fp16.tensor_bits(Datatype::Weight),
+            2 * l.tensor_bits(Datatype::Weight)
+        );
+        assert_eq!(fp16.macs(), l.macs());
     }
 
     #[test]

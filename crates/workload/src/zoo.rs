@@ -1,12 +1,18 @@
 //! The evaluation workloads of the paper (§5.1) — AlexNet's
 //! convolutional front, ResNet-18, and MobileNetV2 — plus ResNet-50,
-//! VGG-16 and parametric MLP chains. All ImageNet-resolution, batch 1
-//! (see [`Network::with_batch`]), 8-bit words.
+//! VGG-16, parametric MLP chains, and a modern zoo: transformer
+//! attention blocks ([`attention`]), LLM-decode FC stacks
+//! ([`llm_decode`]), ViT patch embedding ([`vit_tiny`]), dilated
+//! context aggregation ([`dilated_context`]) and grouped ResNeXt
+//! bottlenecks ([`resnext_stage`]). All batch 1 (see
+//! [`Network::with_batch`]), 8-bit words (see
+//! [`Network::with_word_bits`] for fp16 variants).
 //!
-//! Grouped convolutions in the original AlexNet are modelled ungrouped, as
-//! is conventional in Timeloop-based evaluations. Residual branches are
-//! represented by [`PostOp::ResidualAdd`] boundaries (see
-//! [`crate::graph`]).
+//! [`alexnet_conv`] models the grouped convolutions of the original
+//! AlexNet ungrouped, as is conventional in Timeloop-based
+//! evaluations; [`alexnet_conv_grouped`] keeps the historical 2-way
+//! grouping explicit. Residual branches are represented by
+//! [`PostOp::ResidualAdd`] boundaries (see [`crate::graph`]).
 
 use crate::graph::{Network, PostOp};
 use crate::layer::ConvLayer;
@@ -300,6 +306,208 @@ pub fn mlp(depth: usize, width: u64) -> Network {
     net
 }
 
+/// A token-wise projection (`d_in → d_out` applied at every one of
+/// `seq` positions), expressed as a 1×1 convolution over a `seq × 1`
+/// feature map: the token axis becomes the spatial `P` dimension, so
+/// off-chip AuthBlock regions are tall-and-skinny `seq × 1` planes —
+/// the attention-shaped geometry the congruence solver must handle.
+fn token_proj(name: &str, seq: u64, d_in: u64, d_out: u64) -> ConvLayer {
+    ConvLayer::builder(name)
+        .input_hw(seq, 1)
+        .channels(d_in, d_out)
+        .kernel(1, 1)
+        .build()
+        .unwrap_or_else(|e| panic!("zoo layer {name}: {e}"))
+}
+
+/// Push one transformer encoder block onto `net`: Q/K/V projections
+/// (each feeding the attention matmul — a separate pass, so a
+/// [`PostOp::Softmax`] boundary), the output projection
+/// ([`PostOp::LayerNorm`] boundary, which also stands in for the
+/// residual add), and the two feed-forward projections (`d → 4d → d`)
+/// whose activation keeps them a coupled FC pair.
+fn push_attention_block(net: &mut Network, prefix: &str, seq: u64, d_model: u64) {
+    for proj in ["q", "k", "v"] {
+        net.push(
+            token_proj(&format!("{prefix}{proj}_proj"), seq, d_model, d_model),
+            &[PostOp::Softmax],
+        );
+    }
+    net.push(
+        token_proj(&format!("{prefix}out_proj"), seq, d_model, d_model),
+        &[PostOp::LayerNorm],
+    );
+    net.push(
+        token_proj(&format!("{prefix}ffn_up"), seq, d_model, 4 * d_model),
+        &[PostOp::Relu],
+    );
+    net.push(
+        token_proj(&format!("{prefix}ffn_down"), seq, 4 * d_model, d_model),
+        &[PostOp::LayerNorm],
+    );
+}
+
+/// One transformer encoder block over `seq` tokens of width `d_model`
+/// (six projection layers; see [`push_attention_block`] for the
+/// boundary structure). `attention(128, 512)` is a BERT-base-shaped
+/// block at half width.
+pub fn attention(seq: u64, d_model: u64) -> Network {
+    assert!(
+        seq > 0 && d_model > 0,
+        "attention needs positive seq and d_model"
+    );
+    let mut net = Network::new(format!("Attention-{seq}x{d_model}"));
+    push_attention_block(&mut net, "", seq, d_model);
+    net
+}
+
+/// Single-token LLM decode: the same six projections as [`attention`]
+/// but with `seq = 1`, i.e. pure GEMV FC layers (`P = Q = R = S = 1`,
+/// the paper's §2.1 FC encoding). The weight tensors dominate every
+/// tile — the bandwidth-bound regime of autoregressive decoding.
+pub fn llm_decode(d_model: u64) -> Network {
+    assert!(d_model > 0, "llm_decode needs positive d_model");
+    let fc = |name: &str, cin: u64, cout: u64| {
+        ConvLayer::builder(name)
+            .channels(cin, cout)
+            .build()
+            .unwrap_or_else(|e| panic!("zoo layer {name}: {e}"))
+    };
+    let mut net = Network::new(format!("LLMDecode-{d_model}"));
+    for proj in ["q", "k", "v"] {
+        net.push(
+            fc(&format!("{proj}_proj"), d_model, d_model),
+            &[PostOp::Softmax],
+        );
+    }
+    net.push(fc("out_proj", d_model, d_model), &[PostOp::LayerNorm]);
+    net.push(fc("ffn_up", d_model, 4 * d_model), &[PostOp::Relu]);
+    net.push(fc("ffn_down", 4 * d_model, d_model), &[PostOp::LayerNorm]);
+    net
+}
+
+/// ViT-Tiny front: 16×16 patch embedding of a 224×224 RGB image into
+/// 192 channels (a stride-16 conv producing a 14×14 token grid),
+/// followed by `blocks` encoder blocks over the 196-token sequence.
+pub fn vit_tiny(blocks: u32) -> Network {
+    assert!(blocks > 0, "vit_tiny needs at least one encoder block");
+    let d = 192;
+    let mut net = Network::new(format!("ViT-Tiny-{blocks}b"));
+    net.push(
+        ConvLayer::builder("patch_embed")
+            .input_hw(224, 224)
+            .channels(3, d)
+            .kernel(16, 16)
+            .stride(16)
+            .build()
+            .expect("patch_embed"),
+        &[PostOp::LayerNorm],
+    );
+    let seq = 14 * 14;
+    for b in 1..=blocks {
+        push_attention_block(&mut net, &format!("b{b}_"), seq, d);
+    }
+    net
+}
+
+/// A DeepLab-style context-aggregation head: a stack of 3×3
+/// convolutions at exponentially growing dilation (1, 2, 4, …), each
+/// padded to preserve resolution. Dilation spreads every tile's halo
+/// across `2·dilation` extra rows, stressing the overlap counting.
+pub fn dilated_context(hw: u64, channels: u64, depth: u32) -> Network {
+    assert!(
+        hw > 0 && channels > 0 && depth > 0,
+        "dilated_context needs positive hw, channels and depth"
+    );
+    let mut net = Network::new(format!("DilatedCtx-{hw}x{channels}x{depth}"));
+    let mut cin = 3;
+    for i in 0..depth {
+        let dilation = 1u64 << i.min(4);
+        net.push(
+            ConvLayer::builder(format!("ctx{i}_d{dilation}"))
+                .input_hw(hw, hw)
+                .channels(cin, channels)
+                .kernel(3, 3)
+                .pad(dilation)
+                .dilation(dilation)
+                .build()
+                .unwrap_or_else(|e| panic!("zoo layer ctx{i}: {e}")),
+            &[PostOp::BatchNorm, PostOp::Relu],
+        );
+        cin = channels;
+    }
+    net
+}
+
+/// One ResNeXt stage: `blocks` bottlenecks of 1×1 reduce → grouped
+/// 3×3 (cardinality `groups`) → 1×1 expand, at resolution `hw` with
+/// bottleneck width `width` and output width `4·width`.
+pub fn resnext_stage(hw: u64, width: u64, groups: u64, blocks: u32) -> Network {
+    assert!(
+        hw > 0 && width > 0 && groups > 0 && blocks > 0,
+        "resnext_stage needs positive parameters"
+    );
+    let cout = 4 * width;
+    let mut net = Network::new(format!("ResNeXtStage-{hw}x{width}g{groups}"));
+    let mut cin = width * 2;
+    for b in 1..=blocks {
+        net.push(
+            conv(&format!("b{b}c1"), hw, cin, width, 1, 1, 0),
+            &[PostOp::BatchNorm, PostOp::Relu],
+        );
+        net.push(
+            ConvLayer::builder(format!("b{b}c2"))
+                .input_hw(hw, hw)
+                .channels(width, width)
+                .kernel(3, 3)
+                .pad(1)
+                .groups(groups)
+                .build()
+                .unwrap_or_else(|e| panic!("zoo layer b{b}c2: {e}")),
+            &[PostOp::BatchNorm, PostOp::Relu],
+        );
+        net.push(
+            conv(&format!("b{b}c3"), hw, width, cout, 1, 1, 0),
+            &[PostOp::BatchNorm, PostOp::ResidualAdd],
+        );
+        cin = cout;
+    }
+    net
+}
+
+/// The first five layers of AlexNet with the *historical* 2-way
+/// grouping on conv2/conv4/conv5 (the dual-GPU split of the original
+/// network), in contrast to [`alexnet_conv`]'s conventional ungrouped
+/// modelling. Grouping halves those layers' weights and MACs.
+pub fn alexnet_conv_grouped() -> Network {
+    let grouped = |name: &str, hw: u64, cin: u64, cout: u64, k: u64, pad: u64| {
+        ConvLayer::builder(name)
+            .input_hw(hw, hw)
+            .channels(cin, cout)
+            .kernel(k, k)
+            .pad(pad)
+            .groups(2)
+            .build()
+            .unwrap_or_else(|e| panic!("zoo layer {name}: {e}"))
+    };
+    let mut net = Network::new("AlexNet-grouped");
+    net.push(
+        conv("conv1", 227, 3, 96, 11, 4, 0),
+        &[PostOp::Relu, PostOp::MaxPool],
+    );
+    net.push(
+        grouped("conv2", 27, 96, 256, 5, 2),
+        &[PostOp::Relu, PostOp::MaxPool],
+    );
+    net.push(conv("conv3", 13, 256, 384, 3, 1, 1), &[PostOp::Relu]);
+    net.push(grouped("conv4", 13, 384, 384, 3, 1), &[PostOp::Relu]);
+    net.push(
+        grouped("conv5", 13, 384, 256, 3, 1),
+        &[PostOp::Relu, PostOp::MaxPool],
+    );
+    net
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,13 +656,143 @@ mod tests {
     }
 
     #[test]
+    fn attention_block_structure() {
+        let net = attention(128, 512);
+        assert_eq!(net.len(), 6);
+        // q/k/v/out each end a segment; ffn_up+ffn_down stay coupled.
+        let segs = net.segments();
+        assert_eq!(segs.len(), 5);
+        assert_eq!(segs[4].layers, vec![4, 5]);
+        // Token axis is spatial: tall-and-skinny off-chip planes.
+        let q = &net.layers()[0];
+        assert_eq!(q.dim(Dim::P), 128);
+        assert_eq!(q.dim(Dim::Q), 1);
+        assert_eq!(q.dim(Dim::C), 512);
+        assert_eq!(q.ifmap_height(), 128);
+        // 6 projections: 4 of d·d + up/down of 4d² each = 12·d² weights.
+        let w: u64 = net
+            .layers()
+            .iter()
+            .map(|l| l.tensor_elems(Datatype::Weight))
+            .sum();
+        assert_eq!(w, 12 * 512 * 512);
+        assert_eq!(net.total_macs(), 128 * w);
+    }
+
+    #[test]
+    fn llm_decode_is_pure_fc() {
+        let net = llm_decode(1024);
+        assert_eq!(net.len(), 6);
+        for l in net.layers() {
+            assert_eq!(l.dim(Dim::P), 1);
+            assert_eq!(l.dim(Dim::Q), 1);
+            assert_eq!(l.dim(Dim::R), 1);
+            // GEMV: one MAC per weight.
+            assert_eq!(l.macs(), l.tensor_elems(Datatype::Weight));
+        }
+        // fp16 variant doubles the weight bits, not the MACs.
+        let fp16 = net.with_word_bits(16);
+        assert_eq!(fp16.total_macs(), net.total_macs());
+        assert_eq!(
+            fp16.layers()[0].tensor_bits(Datatype::Weight),
+            2 * net.layers()[0].tensor_bits(Datatype::Weight)
+        );
+    }
+
+    #[test]
+    fn vit_tiny_patch_embedding_makes_tokens() {
+        let net = vit_tiny(2);
+        assert_eq!(net.len(), 1 + 2 * 6);
+        let patch = &net.layers()[0];
+        // 224/16 = 14×14 token grid, 192 channels.
+        assert_eq!(patch.dim(Dim::P), 14);
+        assert_eq!(patch.dim(Dim::Q), 14);
+        assert_eq!(patch.dim(Dim::M), 192);
+        assert_eq!(patch.dim(Dim::R), 16);
+        assert_eq!(patch.stride(), 16);
+        // Patch embedding is a boundary (LayerNorm): its own segment.
+        assert_eq!(net.segments()[0].layers, vec![0]);
+        // Encoder projections run over the 196-token sequence.
+        let q = &net.layers()[1];
+        assert_eq!(q.dim(Dim::P), 196);
+        assert_eq!(q.dim(Dim::Q), 1);
+    }
+
+    #[test]
+    fn dilated_context_preserves_resolution() {
+        let net = dilated_context(56, 64, 4);
+        assert_eq!(net.len(), 4);
+        for (i, l) in net.layers().iter().enumerate() {
+            assert_eq!(l.dilation(), 1 << i, "{}", l.name());
+            assert_eq!(l.dim(Dim::P), 56, "{}", l.name());
+            assert_eq!(l.dim(Dim::Q), 56, "{}", l.name());
+        }
+        // One fully-fusable chain: BatchNorm/ReLU throughout.
+        assert_eq!(net.segments().len(), 1);
+    }
+
+    #[test]
+    fn resnext_stage_grouping() {
+        let net = resnext_stage(28, 128, 32, 2);
+        assert_eq!(net.len(), 6);
+        let g = net.layers().iter().find(|l| l.name() == "b1c2").unwrap();
+        assert_eq!(g.groups(), 32);
+        assert_eq!(g.dim(Dim::C), 128 / 32);
+        assert_eq!(g.ifmap_channels(), 128);
+        // Grouped 3×3 has 32× fewer weights than its dense equivalent.
+        assert_eq!(g.tensor_elems(Datatype::Weight), 128 * 4 * 9);
+        // Residual adds split each block.
+        assert_eq!(net.segments().len(), 2);
+    }
+
+    #[test]
+    fn grouped_alexnet_halves_grouped_layer_macs() {
+        let dense = alexnet_conv();
+        let grouped = alexnet_conv_grouped();
+        assert_eq!(grouped.len(), dense.len());
+        for (d, g) in dense.layers().iter().zip(grouped.layers()) {
+            match g.name() {
+                "conv2" | "conv4" | "conv5" => {
+                    assert_eq!(g.groups(), 2);
+                    assert_eq!(2 * g.macs(), d.macs(), "{}", g.name());
+                    assert_eq!(
+                        2 * g.tensor_elems(Datatype::Weight),
+                        d.tensor_elems(Datatype::Weight)
+                    );
+                    // Same activations either way.
+                    assert_eq!(
+                        g.tensor_elems(Datatype::Ifmap),
+                        d.tensor_elems(Datatype::Ifmap)
+                    );
+                    assert_eq!(
+                        g.tensor_elems(Datatype::Ofmap),
+                        d.tensor_elems(Datatype::Ofmap)
+                    );
+                }
+                _ => {
+                    assert_eq!(g.groups(), 1);
+                    assert_eq!(g.macs(), d.macs());
+                }
+            }
+        }
+        // Historical grouped AlexNet: ~0.58 of the ungrouped MACs.
+        assert!(grouped.total_macs() < dense.total_macs());
+    }
+
+    #[test]
     fn all_zoo_layers_have_positive_dims() {
         for net in [
             alexnet_conv(),
+            alexnet_conv_grouped(),
             resnet18(),
             mobilenet_v2(),
             vgg16(),
             mlp(3, 256),
+            attention(64, 256),
+            llm_decode(512),
+            vit_tiny(1),
+            dilated_context(28, 32, 3),
+            resnext_stage(14, 64, 16, 1),
         ] {
             for l in net.layers() {
                 assert!(l.macs() > 0, "{}", l.name());

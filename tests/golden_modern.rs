@@ -1,0 +1,186 @@
+//! Golden snapshots of the full scheduler on the modern-zoo
+//! workloads: a transformer attention block (tall-skinny seq x 1
+//! token planes, softmax/layer-norm segment boundaries) and a ViT
+//! patch embedding (stride-16 non-overlapping conv feeding token
+//! projections). Pinned against `tests/goldens/*.json` with the same
+//! budget and tolerances as `tests/golden_alexnet.rs`.
+//!
+//! To re-bless after an intentional model change:
+//!
+//! ```sh
+//! SECURELOOP_BLESS=1 cargo test --test golden_modern
+//! git diff tests/goldens/   # review before committing
+//! ```
+
+use std::path::PathBuf;
+
+use secureloop::{Algorithm, AnnealingConfig, NetworkSchedule, Scheduler};
+use secureloop_arch::Architecture;
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_json::Json;
+use secureloop_mapper::SearchConfig;
+use secureloop_workload::graph::Network;
+use secureloop_workload::zoo;
+
+const LATENCY_TOL: f64 = 0.10;
+const ENERGY_TOL: f64 = 0.10;
+const BITS_TOL: f64 = 0.15;
+
+fn golden_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/goldens/{file}"))
+}
+
+/// The paper-shape search budget (keep in sync with
+/// `tests/golden_alexnet.rs` / `tests/paper_shapes.rs`).
+fn schedule(net: &Network) -> NetworkSchedule {
+    let arch =
+        Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    Scheduler::new(arch)
+        .with_search(SearchConfig {
+            samples: 800,
+            top_k: 4,
+            seed: 0xf16,
+            threads: 4,
+            deadline: None,
+        })
+        .with_annealing(AnnealingConfig::quick())
+        .schedule(net, Algorithm::CryptOptCross)
+        .expect("network schedules")
+}
+
+fn snapshot_json(s: &NetworkSchedule) -> Json {
+    Json::obj()
+        .field("network", s.network.as_str())
+        .field("algorithm", s.algorithm.name())
+        .field("total_latency_cycles", s.total_latency_cycles)
+        .field("total_energy_pj", s.total_energy_pj)
+        .field("overhead_bits", s.overhead.total_bits())
+        .field(
+            "layers",
+            Json::Arr(
+                s.layers
+                    .iter()
+                    .map(|l| {
+                        Json::obj()
+                            .field("name", l.name.as_str())
+                            .field("latency_cycles", l.latency_cycles)
+                            .field("energy_pj", l.energy_pj)
+                            .field("extra_bits", l.extra_bits)
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+fn within(actual: f64, expected: f64, tol: f64) -> bool {
+    if expected == 0.0 {
+        return actual == 0.0;
+    }
+    (actual - expected).abs() / expected <= tol
+}
+
+fn check_against_golden(net: &Network, file: &str) {
+    let s = schedule(net);
+    let path = golden_path(file);
+
+    if std::env::var_os("SECURELOOP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("goldens dir");
+        std::fs::write(&path, snapshot_json(&s).pretty()).expect("write golden");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {} ({e}); run with SECURELOOP_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    let g = Json::parse(&text).expect("golden parses");
+
+    assert_eq!(g["network"].as_str(), Some(s.network.as_str()));
+    assert_eq!(g["algorithm"].as_str(), Some(s.algorithm.name()));
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |what: String, actual: f64, expected: f64, tol: f64| {
+        if !within(actual, expected, tol) {
+            failures.push(format!(
+                "{what}: {actual:.0} vs golden {expected:.0} (tol {:.0}%)",
+                tol * 100.0
+            ));
+        }
+    };
+
+    check(
+        "total latency".into(),
+        s.total_latency_cycles as f64,
+        g["total_latency_cycles"].as_u64().expect("golden field") as f64,
+        LATENCY_TOL,
+    );
+    check(
+        "total energy".into(),
+        s.total_energy_pj,
+        g["total_energy_pj"].as_f64().expect("golden field"),
+        ENERGY_TOL,
+    );
+    check(
+        "overhead bits".into(),
+        s.overhead.total_bits() as f64,
+        g["overhead_bits"].as_u64().expect("golden field") as f64,
+        BITS_TOL,
+    );
+
+    let layers = g["layers"].as_array().expect("golden layers");
+    assert_eq!(layers.len(), s.layers.len(), "layer count changed");
+    for (gl, l) in layers.iter().zip(&s.layers) {
+        let name = gl["name"].as_str().expect("layer name");
+        assert_eq!(name, l.name, "layer order changed");
+        check(
+            format!("{name} latency"),
+            l.latency_cycles as f64,
+            gl["latency_cycles"].as_u64().expect("golden field") as f64,
+            LATENCY_TOL,
+        );
+        check(
+            format!("{name} energy"),
+            l.energy_pj,
+            gl["energy_pj"].as_f64().expect("golden field"),
+            ENERGY_TOL,
+        );
+        check(
+            format!("{name} auth bits"),
+            l.extra_bits as f64,
+            gl["extra_bits"].as_u64().expect("golden field") as f64,
+            BITS_TOL,
+        );
+    }
+
+    assert!(
+        failures.is_empty(),
+        "schedule drifted from golden (re-bless with SECURELOOP_BLESS=1 \
+         if the change is intentional):\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn attention_crypt_opt_cross_matches_golden() {
+    check_against_golden(&zoo::attention(128, 512), "attention_crypt_opt_cross.json");
+}
+
+#[test]
+fn vit_patch_embed_crypt_opt_cross_matches_golden() {
+    check_against_golden(&zoo::vit_tiny(1), "vit_tiny_crypt_opt_cross.json");
+}
+
+/// Snapshot runs are reproducible: scheduling twice with the same
+/// seeded config gives identical totals.
+#[test]
+fn modern_golden_config_is_deterministic() {
+    let net = zoo::attention(128, 512);
+    let a = schedule(&net);
+    let b = schedule(&net);
+    assert_eq!(a.total_latency_cycles, b.total_latency_cycles);
+    assert_eq!(a.total_energy_pj.to_bits(), b.total_energy_pj.to_bits());
+    assert_eq!(a.overhead.total_bits(), b.overhead.total_bits());
+}
