@@ -19,7 +19,7 @@ fn primitives(c: &mut Criterion) {
         let data = vec![0xa5u8; size];
         let mut g = c.benchmark_group("aes_gcm_encrypt");
         g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("{size}B"), |b| {
+        g.bench_function(&format!("{size}B"), |b| {
             b.iter(|| gcm.encrypt(black_box(&iv), black_box(&data), b""))
         });
         g.finish();

@@ -8,7 +8,7 @@ use secureloop::segment::{evaluate_segment, OverheadCache, StrategyMode};
 use secureloop::AnnealingConfig;
 use secureloop_arch::Architecture;
 use secureloop_crypto::{CryptoConfig, EngineClass};
-use secureloop_mapper::SearchConfig;
+use secureloop_mapper::{SearchConfig, SearchMode};
 use secureloop_workload::zoo;
 
 fn annealing(c: &mut Criterion) {
@@ -21,6 +21,7 @@ fn annealing(c: &mut Criterion) {
         seed: 2,
         threads: 1,
         deadline: None,
+        mode: SearchMode::Random,
     };
     let cands = find_candidates(&net, &arch, &cfg);
     let segs = net.segments();

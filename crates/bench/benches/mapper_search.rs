@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use secureloop_arch::Architecture;
 use secureloop_loopnest::evaluate;
-use secureloop_mapper::{search, MappingSampler, SearchConfig};
+use secureloop_mapper::{search, MappingSampler, SearchConfig, SearchMode};
 use secureloop_workload::zoo;
 
 fn evaluation(c: &mut Criterion) {
@@ -35,6 +35,7 @@ fn layer_search(c: &mut Criterion) {
         seed: 9,
         threads: 1,
         deadline: None,
+        mode: SearchMode::Random,
     };
     c.bench_function("mapper_search_1k_samples", |b| {
         b.iter(|| search(black_box(&layer), black_box(&arch), black_box(&cfg)))

@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use secureloop_arch::Architecture;
-use secureloop_mapper::{search, SearchConfig};
+use secureloop_mapper::{search, SearchConfig, SearchMode};
 use secureloop_telemetry as telemetry;
 use secureloop_workload::zoo;
 
@@ -22,6 +22,7 @@ fn cfg() -> SearchConfig {
         seed: 9,
         threads: 1,
         deadline: None,
+        mode: SearchMode::Random,
     }
 }
 

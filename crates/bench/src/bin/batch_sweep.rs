@@ -4,7 +4,7 @@
 
 use secureloop::{Algorithm, Scheduler};
 use secureloop_bench::{base_secure_arch, paper_annealing, write_results};
-use secureloop_mapper::SearchConfig;
+use secureloop_mapper::{SearchConfig, SearchMode};
 use secureloop_workload::zoo;
 
 fn main() {
@@ -17,6 +17,7 @@ fn main() {
         seed: 21,
         threads: 8,
         deadline: None,
+        mode: SearchMode::Random,
     };
     let base_net = zoo::mobilenet_v2();
 

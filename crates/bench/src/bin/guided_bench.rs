@@ -1,0 +1,361 @@
+//! Benchmark-regression harness for the guided (Pareto-driven) mapper
+//! search: the evidence behind making `--search-mode guided` the CLI
+//! default.
+//!
+//! For every *distinct* per-layer search space in AlexNet conv1–conv5
+//! plus the attention block, runs the step-1 mapper search twice with
+//! the same seed and sample budget — once in random mode (which always
+//! draws the full budget) and once in guided mode (where the budget is
+//! only a cap and the search stops once its Pareto front goes stale) —
+//! and writes `BENCH_guided.json` with per-space sample counts, best
+//! points, front hypervolumes, and wall times.
+//!
+//! `--check` enforces the two claims the guided default rests on:
+//! samples shrink by at least `--min-sample-reduction` (default 5×) in
+//! aggregate, and quality holds — per space, guided's best (latency,
+//! energy) and front hypervolume are equal-or-better than random's,
+//! within a small tolerance.
+//!
+//! ```text
+//! cargo run --release -p secureloop-bench --bin guided_bench -- [options]
+//!   --samples <n>              sample budget / cap     (default 4096)
+//!   --out <path>               output JSON             (default BENCH_guided.json)
+//!   --check                    exit 1 unless reduction and quality gates pass
+//!   --min-sample-reduction <x> threshold for --check   (default 5.0)
+//!   --diff-against <p>         exit 1 if any deterministic field (sample
+//!                              counts, best points, hypervolumes) differs
+//!                              from the committed baseline; wall times are
+//!                              machine-dependent and excluded
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use secureloop_arch::Architecture;
+use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_json::Json;
+use secureloop_loopnest::SearchSpaceKey;
+use secureloop_mapper::{hypervolume, search, ParetoPoint, SearchConfig, SearchMode};
+use secureloop_workload::{zoo, ConvLayer};
+
+/// Guided must lose no more than this fraction of random's quality on
+/// any gated metric (it usually *wins*; the slack absorbs discrete
+/// latency plateaus where the two modes pick different corners).
+const QUALITY_TOL: f64 = 0.02;
+
+struct Args {
+    samples: usize,
+    out: PathBuf,
+    check: bool,
+    min_sample_reduction: f64,
+    diff_against: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        samples: 4096,
+        out: PathBuf::from("BENCH_guided.json"),
+        check: false,
+        min_sample_reduction: 5.0,
+        diff_against: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--samples" => args.samples = value("--samples").parse().expect("--samples"),
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--check" => args.check = true,
+            "--min-sample-reduction" => {
+                args.min_sample_reduction = value("--min-sample-reduction")
+                    .parse()
+                    .expect("--min-sample-reduction")
+            }
+            "--diff-against" => args.diff_against = Some(PathBuf::from(value("--diff-against"))),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+/// One mode's search outcome on one space.
+struct ModeRun {
+    samples: u64,
+    best_latency: u64,
+    best_energy: f64,
+    hypervolume: f64,
+    wall_ms: f64,
+    points: Vec<ParetoPoint>,
+}
+
+fn run_mode(layer: &ConvLayer, arch: &Architecture, samples: usize, mode: SearchMode) -> ModeRun {
+    let cfg = SearchConfig {
+        samples,
+        top_k: 4,
+        seed: 0x6d1d_ed00,
+        threads: 4,
+        deadline: None,
+        mode,
+    };
+    let start = Instant::now();
+    let r = search(layer, arch, &cfg).expect("search succeeds");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (_, best) = r.best().expect("nonempty candidates");
+    let points: Vec<ParetoPoint> = r
+        .candidates
+        .iter()
+        .map(|(_, e)| ParetoPoint::of(e))
+        .collect();
+    ModeRun {
+        samples: r.total_samples as u64,
+        best_latency: best.latency_cycles,
+        best_energy: best.energy_pj,
+        hypervolume: 0.0, // filled in once the shared reference is known
+        wall_ms,
+        points,
+    }
+}
+
+/// Shared hypervolume reference for one space: strictly beyond every
+/// point either mode retained, so both fronts are measured against the
+/// same corner.
+fn reference(runs: &[&ModeRun]) -> ParetoPoint {
+    let all = runs.iter().flat_map(|r| r.points.iter());
+    let mut latency = 0u64;
+    let (mut energy, mut crypto) = (0.0f64, 0.0f64);
+    for p in all {
+        latency = latency.max(p.latency_cycles);
+        energy = energy.max(p.energy_pj);
+        crypto = crypto.max(p.crypto_pj);
+    }
+    ParetoPoint {
+        latency_cycles: latency.saturating_mul(2).max(1),
+        energy_pj: (energy * 2.0).max(1.0),
+        crypto_pj: (crypto * 2.0).max(1.0),
+    }
+}
+
+struct SpaceResult {
+    name: String,
+    random: ModeRun,
+    guided: ModeRun,
+}
+
+/// The benched workload: every distinct search space in AlexNet
+/// conv1–conv5 + attention(128, 512), deduplicated by canonical key.
+fn distinct_layers(arch: &Architecture) -> Vec<ConvLayer> {
+    let mut seen = Vec::new();
+    let mut layers = Vec::new();
+    for net in [zoo::alexnet_conv(), zoo::attention(128, 512)] {
+        for layer in net.layers() {
+            let key = SearchSpaceKey::of(layer, arch);
+            if !seen.contains(&key) {
+                seen.push(key);
+                layers.push(layer.clone());
+            }
+        }
+    }
+    layers
+}
+
+fn space_json(s: &SpaceResult) -> Json {
+    let mode = |r: &ModeRun| {
+        Json::obj()
+            .field("samples", r.samples)
+            .field("best_latency_cycles", r.best_latency)
+            .field("best_energy_pj", r.best_energy)
+            .field("hypervolume", r.hypervolume)
+            .field("wall_ms", r.wall_ms)
+    };
+    Json::obj()
+        .field("layer", s.name.as_str())
+        .field("random", mode(&s.random))
+        .field("guided", mode(&s.guided))
+        .field(
+            "sample_reduction",
+            s.random.samples as f64 / s.guided.samples.max(1) as f64,
+        )
+}
+
+/// Compare the deterministic fields against a committed baseline.
+/// Sample counts, best points and hypervolumes are seeded and
+/// single-valued; wall times are machine-dependent and ignored.
+fn diff_against_baseline(baseline_path: &std::path::Path, fresh: &Json) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+    let baseline =
+        Json::parse(&text).map_err(|e| format!("parse {}: {e:?}", baseline_path.display()))?;
+
+    let mut drift = Vec::new();
+    let mut check = |field: String, a: &Json, b: &Json| {
+        if a != b {
+            drift.push(format!("  {field}: baseline {a} != fresh {b}"));
+        }
+    };
+    for field in ["bench", "workload", "samples_cap", "spaces"] {
+        check(field.into(), &baseline[field], &fresh[field]);
+    }
+    for field in [
+        "total_random_samples",
+        "total_guided_samples",
+        "sample_reduction",
+    ] {
+        check(field.into(), &baseline[field], &fresh[field]);
+    }
+    let b_spaces = baseline["per_space"].as_array();
+    let f_spaces = fresh["per_space"].as_array();
+    match (b_spaces, f_spaces) {
+        (Some(bs), Some(fs)) if bs.len() == fs.len() => {
+            for (b, f) in bs.iter().zip(fs) {
+                let layer = f["layer"].as_str().unwrap_or("?");
+                check(format!("{layer}.layer"), &b["layer"], &f["layer"]);
+                for mode in ["random", "guided"] {
+                    for field in [
+                        "samples",
+                        "best_latency_cycles",
+                        "best_energy_pj",
+                        "hypervolume",
+                    ] {
+                        check(
+                            format!("{layer}.{mode}.{field}"),
+                            &b[mode][field],
+                            &f[mode][field],
+                        );
+                    }
+                }
+            }
+        }
+        _ => drift.push("  per_space: shape differs".into()),
+    }
+    if drift.is_empty() {
+        Ok(())
+    } else {
+        Err(drift.join("\n"))
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let arch =
+        Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let layers = distinct_layers(&arch);
+
+    println!(
+        "guided bench: {} distinct spaces (AlexNet conv + attention), cap {} samples/search\n",
+        layers.len(),
+        args.samples
+    );
+    println!(
+        "{:<12} {:>8} {:>8} {:>6}  {:>12} {:>12}  {:>9}",
+        "layer", "rand", "guided", "redux", "rand best", "guided best", "hv ratio"
+    );
+
+    let mut results: Vec<SpaceResult> = Vec::new();
+    for layer in &layers {
+        let mut random = run_mode(layer, &arch, args.samples, SearchMode::Random);
+        let mut guided = run_mode(layer, &arch, args.samples, SearchMode::Guided);
+        let reference = reference(&[&random, &guided]);
+        random.hypervolume = hypervolume(&random.points, &reference);
+        guided.hypervolume = hypervolume(&guided.points, &reference);
+        println!(
+            "{:<12} {:>8} {:>8} {:>5.1}x  {:>12} {:>12}  {:>8.3}",
+            layer.name(),
+            random.samples,
+            guided.samples,
+            random.samples as f64 / guided.samples.max(1) as f64,
+            random.best_latency,
+            guided.best_latency,
+            guided.hypervolume / random.hypervolume.max(f64::MIN_POSITIVE),
+        );
+        results.push(SpaceResult {
+            name: layer.name().to_string(),
+            random,
+            guided,
+        });
+    }
+
+    let total_random: u64 = results.iter().map(|r| r.random.samples).sum();
+    let total_guided: u64 = results.iter().map(|r| r.guided.samples).sum();
+    let reduction = total_random as f64 / total_guided.max(1) as f64;
+    let random_wall: f64 = results.iter().map(|r| r.random.wall_ms).sum();
+    let guided_wall: f64 = results.iter().map(|r| r.guided.wall_ms).sum();
+    println!(
+        "\ntotal samples: {total_random} random vs {total_guided} guided ({reduction:.1}x reduction)"
+    );
+    println!("wall: {random_wall:.0} ms random vs {guided_wall:.0} ms guided");
+
+    let json = Json::obj()
+        .field("bench", "guided")
+        .field("workload", "alexnet_conv+attention")
+        .field("samples_cap", args.samples as u64)
+        .field("spaces", results.len() as u64)
+        .field(
+            "per_space",
+            Json::Arr(results.iter().map(space_json).collect()),
+        )
+        .field("total_random_samples", total_random)
+        .field("total_guided_samples", total_guided)
+        .field("sample_reduction", reduction)
+        .field("random_wall_ms", random_wall)
+        .field("guided_wall_ms", guided_wall);
+    std::fs::write(&args.out, json.pretty()).expect("write BENCH_guided.json");
+    println!("[wrote {}]", args.out.display());
+
+    if let Some(baseline) = &args.diff_against {
+        match diff_against_baseline(baseline, &json) {
+            Ok(()) => println!(
+                "PASS: deterministic fields match the committed {}",
+                baseline.display()
+            ),
+            Err(drift) => {
+                eprintln!(
+                    "FAIL: drift vs the committed {} (if intentional, regenerate it \
+                     with `cargo run --release -p secureloop-bench --bin guided_bench`):\n{drift}",
+                    baseline.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if args.check {
+        let mut failures = Vec::new();
+        if reduction < args.min_sample_reduction {
+            failures.push(format!(
+                "sample reduction {reduction:.2}x below the {:.2}x threshold",
+                args.min_sample_reduction
+            ));
+        }
+        for r in &results {
+            if (r.guided.best_latency as f64) > r.random.best_latency as f64 * (1.0 + QUALITY_TOL) {
+                failures.push(format!(
+                    "{}: guided best latency {} worse than random {} (tol {:.0}%)",
+                    r.name,
+                    r.guided.best_latency,
+                    r.random.best_latency,
+                    QUALITY_TOL * 100.0
+                ));
+            }
+            if r.guided.hypervolume < r.random.hypervolume * (1.0 - QUALITY_TOL) {
+                failures.push(format!(
+                    "{}: guided hypervolume {:.3e} below random {:.3e} (tol {:.0}%)",
+                    r.name,
+                    r.guided.hypervolume,
+                    r.random.hypervolume,
+                    QUALITY_TOL * 100.0
+                ));
+            }
+        }
+        if failures.is_empty() {
+            println!(
+                "PASS: {reduction:.1}x sample reduction (>= {:.1}x) at equal-or-better fronts",
+                args.min_sample_reduction
+            );
+        } else {
+            for f in &failures {
+                eprintln!("FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

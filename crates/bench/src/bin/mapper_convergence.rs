@@ -9,7 +9,7 @@ use secureloop_arch::Architecture;
 use secureloop_bench::plot::{Plot, Series};
 use secureloop_bench::write_results;
 use secureloop_crypto::{CryptoConfig, EngineClass};
-use secureloop_mapper::{greedy_mapping, search, SearchConfig};
+use secureloop_mapper::{greedy_mapping, search, SearchConfig, SearchMode};
 use secureloop_workload::zoo;
 
 fn main() {
@@ -47,6 +47,7 @@ fn main() {
                     seed: 1,
                     threads: 4,
                     deadline: None,
+                    mode: SearchMode::Random,
                 },
             );
             let best = r

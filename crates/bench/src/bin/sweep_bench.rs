@@ -30,7 +30,7 @@ use std::time::Instant;
 use secureloop::dse::{evaluate_designs_sweep, fig16_design_space, SweepOptions, SweepRun};
 use secureloop::{Algorithm, AnnealingConfig};
 use secureloop_json::Json;
-use secureloop_mapper::SearchConfig;
+use secureloop_mapper::{SearchConfig, SearchMode};
 use secureloop_telemetry as telemetry;
 use secureloop_workload::zoo;
 
@@ -129,6 +129,7 @@ fn run_phase(label: &'static str, args: &Args, opts: &SweepOptions) -> (Phase, S
         seed: 0x5ec0_4e10,
         threads: 1,
         deadline: None,
+        mode: SearchMode::Random,
     };
     telemetry::reset();
     let start = Instant::now();

@@ -37,7 +37,7 @@ use std::path::PathBuf;
 use secureloop::{AnnealingConfig, Scheduler};
 use secureloop_arch::Architecture;
 use secureloop_crypto::{CryptoConfig, EngineClass};
-use secureloop_mapper::SearchConfig;
+use secureloop_mapper::{SearchConfig, SearchMode};
 use secureloop_workload::{zoo, Network};
 
 /// Mapper budget used by the experiment binaries: the paper's top-k = 6
@@ -49,6 +49,7 @@ pub fn paper_search() -> SearchConfig {
         seed: 0x5ec0_4e10,
         threads: 8,
         deadline: None,
+        mode: SearchMode::Random,
     }
 }
 

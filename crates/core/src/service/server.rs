@@ -23,7 +23,9 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use secureloop_json::Json;
-use secureloop_mapper::{cancel, CancelToken, CandidateCache, FaultScope, SearchConfig};
+use secureloop_mapper::{
+    cancel, CancelToken, CandidateCache, FaultScope, SearchConfig, SearchMode,
+};
 use secureloop_telemetry::{self as telemetry, Sink};
 
 use crate::annealing::AnnealingConfig;
@@ -55,6 +57,10 @@ pub struct ServiceConfig {
     pub admission: AdmissionPolicy,
     /// Panic/timeout/retry policy handed to every job's sweep.
     pub supervisor: SupervisorConfig,
+    /// Mapper exploration strategy for every job (server-level, so all
+    /// jobs of one process share cache entries; mirrors the CLI's
+    /// `--search-mode`).
+    pub search_mode: SearchMode,
 }
 
 impl ServiceConfig {
@@ -69,6 +75,7 @@ impl ServiceConfig {
             cache_budget_bytes: None,
             admission: AdmissionPolicy::default(),
             supervisor: SupervisorConfig::default(),
+            search_mode: SearchMode::Guided,
         }
     }
 
@@ -105,6 +112,12 @@ impl ServiceConfig {
     /// Replace the supervisor policy.
     pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> Self {
         self.supervisor = supervisor;
+        self
+    }
+
+    /// Replace the mapper exploration strategy.
+    pub fn with_search_mode(mut self, mode: SearchMode) -> Self {
+        self.search_mode = mode;
         self
     }
 }
@@ -609,6 +622,7 @@ impl Server {
             seed: spec.seed,
             threads: 4,
             deadline,
+            mode: self.cfg.search_mode,
         };
         let ckpt_path = persist::job_checkpoint_path(&self.cfg.state_dir, id);
         let opts = SweepOptions::new()

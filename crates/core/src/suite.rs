@@ -23,7 +23,7 @@
 //!   engine: parallel
 //!   engines: 3
 //! search:                      # optional budgets
-//!   samples: 400               # mapper samples per layer (default 400)
+//!   samples: 1024              # mapper sample cap per layer (default 1024)
 //!   iterations: 60             # SA iterations (default 60)
 //!   seed: 1                    # RNG seed (default 1)
 //!   deadline_secs: 30          # per-layer/per-segment wall budget
@@ -57,7 +57,7 @@ use std::time::Duration;
 
 use secureloop_arch::Architecture;
 use secureloop_json::{parse_yaml, Json};
-use secureloop_mapper::{CandidateCache, SearchConfig};
+use secureloop_mapper::{CandidateCache, SearchConfig, SearchMode};
 use secureloop_workload::Network;
 
 use crate::annealing::AnnealingConfig;
@@ -65,10 +65,12 @@ use crate::cli::{arch_from_file, ArchFile, CliError, CliOutput, RunStatus};
 use crate::dse::{evaluate_designs_sweep, SweepOptions};
 use crate::scheduler::{Algorithm, NetworkSchedule};
 
-/// Default mapper samples per layer for suite runs — scenarios are
-/// regression checks, not full searches, so the default budget is
-/// small; raise it per scenario via `search: samples:`.
-pub const DEFAULT_SAMPLES: usize = 400;
+/// Default mapper sample *cap* per layer for suite runs. Under the
+/// guided default this is a ceiling, not a budget — searches stop when
+/// the Pareto front stops improving, typically well under the cap — so
+/// it is set high enough that convergence, not truncation, decides
+/// where each search ends. Override per scenario via `search: samples:`.
+pub const DEFAULT_SAMPLES: usize = 1024;
 /// Default simulated-annealing iterations for suite runs.
 pub const DEFAULT_ITERATIONS: usize = 60;
 
@@ -479,7 +481,7 @@ pub struct ScenarioResult {
 /// [`CliError::Scenario`] for discovery/load problems. Bound
 /// violations are *not* errors: they produce a report with
 /// [`RunStatus::Failed`] so the caller still prints the table.
-pub fn run_suite(dir: &Path, json: bool) -> Result<CliOutput, CliError> {
+pub fn run_suite(dir: &Path, json: bool, mode: SearchMode) -> Result<CliOutput, CliError> {
     let files = discover(dir)?;
     let scenarios = files
         .iter()
@@ -497,6 +499,7 @@ pub fn run_suite(dir: &Path, json: bool) -> Result<CliOutput, CliError> {
             seed: sc.seed,
             threads: 4,
             deadline: sc.deadline,
+            mode,
         };
         let annealing = {
             let a = AnnealingConfig::quick()
@@ -613,12 +616,18 @@ pub fn run_suite(dir: &Path, json: bool) -> Result<CliOutput, CliError> {
         Json::obj()
             .field("suite", Json::Str(dir.display().to_string()))
             .field("scenarios", Json::Arr(arr))
-            .field("passed", Json::Num(secureloop_json::Number::U(passed as u64)))
+            .field(
+                "passed",
+                Json::Num(secureloop_json::Number::U(passed as u64)),
+            )
             .field(
                 "degraded",
                 Json::Num(secureloop_json::Number::U(degraded as u64)),
             )
-            .field("failed", Json::Num(secureloop_json::Number::U(failed as u64)))
+            .field(
+                "failed",
+                Json::Num(secureloop_json::Number::U(failed as u64)),
+            )
             .field("interrupted", Json::Bool(interrupted))
             .pretty()
     } else {
@@ -656,10 +665,7 @@ pub fn run_suite(dir: &Path, json: bool) -> Result<CliOutput, CliError> {
                 scenarios.len()
             );
         }
-        let _ = writeln!(
-            out,
-            "passed {passed}, degraded {degraded}, failed {failed}"
-        );
+        let _ = writeln!(out, "passed {passed}, degraded {degraded}, failed {failed}");
         out
     };
     Ok(CliOutput { text, status })

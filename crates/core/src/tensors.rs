@@ -148,12 +148,12 @@ fn ifmap_reader(layer: &ConvLayer, stats: &DramTileStats, region: Region) -> Acc
     }
     let p_t = stats.tile_dims[Dim::P];
     let q_t = stats.tile_dims[Dim::Q];
-    let window_h = ((p_t - 1) * layer.stride() + (stats.tile_dims[Dim::R] - 1) * layer.dilation()
-        + 1)
-    .min(region.h);
-    let window_w = ((q_t - 1) * layer.stride() + (stats.tile_dims[Dim::S] - 1) * layer.dilation()
-        + 1)
-    .min(region.w);
+    let window_h =
+        ((p_t - 1) * layer.stride() + (stats.tile_dims[Dim::R] - 1) * layer.dilation() + 1)
+            .min(region.h);
+    let window_w =
+        ((q_t - 1) * layer.stride() + (stats.tile_dims[Dim::S] - 1) * layer.dilation() + 1)
+            .min(region.w);
     // Padding shifts the first window to -pad (clipped): the real
     // phase of the window lattice relative to the stored tensor.
     let pad = i64::try_from(layer.pad()).expect("pad fits i64");

@@ -9,7 +9,7 @@ use secureloop::cli;
 use secureloop::{Algorithm, LayerOutcome, Scheduler, SecureLoopError};
 use secureloop_arch::Architecture;
 use secureloop_crypto::{CryptoConfig, EngineClass};
-use secureloop_mapper::{FaultPlan, FaultScope, SearchConfig};
+use secureloop_mapper::{FaultPlan, FaultScope, SearchConfig, SearchMode};
 use secureloop_workload::zoo;
 
 fn secure_scheduler() -> Scheduler {
@@ -101,6 +101,7 @@ fn expired_deadline_degrades_instead_of_hanging() {
             seed: 1,
             threads: 1,
             deadline: Some(Duration::ZERO),
+            mode: SearchMode::Random,
         })
         .with_annealing(secureloop::AnnealingConfig::quick().with_deadline(Duration::ZERO))
         .schedule(&zoo::alexnet_conv(), Algorithm::CryptOptSingle)

@@ -26,7 +26,7 @@ use secureloop::report;
 use secureloop::service::{AdmissionPolicy, Server, ServiceConfig};
 use secureloop::{shutdown, Algorithm, AnnealingConfig, SupervisorConfig};
 use secureloop_json::Json;
-use secureloop_mapper::SearchConfig;
+use secureloop_mapper::{SearchConfig, SearchMode};
 use secureloop_telemetry as telemetry;
 use secureloop_workload::zoo;
 
@@ -261,6 +261,7 @@ fn reference_designs_json(designs: &[&str]) -> String {
             seed: SEED,
             threads: 4,
             deadline: None,
+            mode: SearchMode::Guided,
         },
         &AnnealingConfig::paper_default().with_iterations(ITERATIONS.min(300)),
         &SweepOptions::new(),

@@ -7,10 +7,14 @@ use std::path::{Path, PathBuf};
 
 use secureloop::cli::{CliError, RunStatus};
 use secureloop::suite::{discover, load_scenario, run_suite};
+use secureloop_mapper::SearchMode;
 
 /// A fresh scratch directory per test, cleaned of prior leftovers.
 fn scratch(test: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("secureloop-suite-neg-{}-{test}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!(
+        "secureloop-suite-neg-{}-{test}",
+        std::process::id()
+    ));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create scratch dir");
     dir
@@ -40,7 +44,11 @@ fn assert_scenario_err(result: Result<secureloop::suite::Scenario, CliError>, ne
 #[test]
 fn malformed_yaml_is_a_typed_error() {
     let dir = scratch("malformed");
-    let p = write(&dir, "bad.yaml", "name: x\nexpect: {max_latency_cycles: 1}\n");
+    let p = write(
+        &dir,
+        "bad.yaml",
+        "name: x\nexpect: {max_latency_cycles: 1}\n",
+    );
     assert_scenario_err(load_scenario(&p), "flow mappings");
 
     let p = write(&dir, "tabs.yaml", "name: x\n\texpect:\n");
@@ -64,7 +72,11 @@ fn unknown_workload_is_a_typed_error() {
 #[test]
 fn missing_workload_and_missing_expect_are_typed_errors() {
     let dir = scratch("missing-fields");
-    let p = write(&dir, "no-workload.yaml", "expect:\n  max_latency_cycles: 1\n");
+    let p = write(
+        &dir,
+        "no-workload.yaml",
+        "expect:\n  max_latency_cycles: 1\n",
+    );
     assert_scenario_err(load_scenario(&p), "missing required field 'workload'");
 
     let p = write(&dir, "no-expect.yaml", "workload: llm_decode\n");
@@ -135,15 +147,12 @@ fn empty_suite_dir_is_an_error_not_a_pass() {
     let dir = scratch("empty");
     match discover(&dir) {
         Err(CliError::Scenario { message, .. }) => {
-            assert!(
-                message.contains("no scenario files"),
-                "got: {message}"
-            );
+            assert!(message.contains("no scenario files"), "got: {message}");
         }
         other => panic!("expected CliError::Scenario for empty dir, got: {other:?}"),
     }
     // And via the runner: same typed error, so the CLI exits 1.
-    assert!(run_suite(&dir, false).is_err());
+    assert!(run_suite(&dir, false, SearchMode::Guided).is_err());
 }
 
 #[test]
@@ -161,9 +170,12 @@ fn one_bad_file_fails_the_whole_suite_before_any_run() {
         "workload: llm_decode\nexpect:\n  max_latency_cycles: 99999999\n",
     );
     write(&dir, "bad.yaml", "workload: llm_decode\nexpect: nothing\n");
-    match run_suite(&dir, false) {
+    match run_suite(&dir, false, SearchMode::Guided) {
         Err(CliError::Scenario { path, .. }) => {
-            assert!(path.ends_with("bad.yaml"), "error names the bad file: {path}")
+            assert!(
+                path.ends_with("bad.yaml"),
+                "error names the bad file: {path}"
+            )
         }
         other => panic!("expected load failure, got: {other:?}"),
     }
@@ -179,9 +191,18 @@ fn violated_bound_reports_fail_and_failed_status() {
          search:\n  samples: 120\n  iterations: 5\n\
          expect:\n  max_latency_cycles: 10\n",
     );
-    let out = run_suite(&dir, false).expect("suite runs to completion");
-    assert_eq!(out.status, RunStatus::Failed, "bound violation is Failed:\n{}", out.text);
-    assert!(out.text.contains("FAIL"), "report has a FAIL row:\n{}", out.text);
+    let out = run_suite(&dir, false, SearchMode::Guided).expect("suite runs to completion");
+    assert_eq!(
+        out.status,
+        RunStatus::Failed,
+        "bound violation is Failed:\n{}",
+        out.text
+    );
+    assert!(
+        out.text.contains("FAIL"),
+        "report has a FAIL row:\n{}",
+        out.text
+    );
     assert!(
         out.text.contains("max_latency_cycles 10"),
         "report names the violated bound:\n{}",
@@ -204,7 +225,7 @@ fn in_bounds_scenario_passes() {
          search:\n  samples: 120\n  iterations: 5\n\
          expect:\n  max_latency_cycles: 99999999999\n",
     );
-    let out = run_suite(&dir, false).expect("suite runs");
+    let out = run_suite(&dir, false, SearchMode::Guided).expect("suite runs");
     assert_eq!(out.status, RunStatus::Success, "{}", out.text);
     assert!(out.text.contains("passed 1"), "{}", out.text);
 }

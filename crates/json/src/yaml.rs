@@ -241,7 +241,10 @@ fn parse_sequence(lines: &[Line<'_>], pos: &mut usize, indent: usize) -> Result<
         if line.indent > indent || !(line.content == "-" || line.content.starts_with("- ")) {
             return Err(err(
                 line.no,
-                format!("expected '- item' at {indent} spaces, got '{}'", line.content),
+                format!(
+                    "expected '- item' at {indent} spaces, got '{}'",
+                    line.content
+                ),
             ));
         }
         let rest = line.content[1..].trim_start();

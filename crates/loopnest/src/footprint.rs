@@ -48,7 +48,13 @@ pub fn footprint_words(layer: &ConvLayer, dt: Datatype, inner: &DimMap<u64>) -> 
         Datatype::Weight => inner[Dim::M] * inner[Dim::C] * inner[Dim::R] * inner[Dim::S],
         Datatype::Ofmap => inner[Dim::N] * inner[Dim::M] * inner[Dim::P] * inner[Dim::Q],
         Datatype::Ifmap => {
-            let (h, w) = ifmap_window(layer, inner[Dim::P], inner[Dim::Q], inner[Dim::R], inner[Dim::S]);
+            let (h, w) = ifmap_window(
+                layer,
+                inner[Dim::P],
+                inner[Dim::Q],
+                inner[Dim::R],
+                inner[Dim::S],
+            );
             let ch = layer.ifmap_tile_channels(inner[Dim::M], inner[Dim::C]);
             inner[Dim::N] * ch * h * w
         }

@@ -15,7 +15,12 @@
 //! the sampler): the architecture and layer *names*, the clock frequency
 //! (scales wall time, not cycles), the AuthBlock tag size (a step-2
 //! concern), the crypto engine's identity beyond its derived bandwidth
-//! and energy numbers, and all area parameters.
+//! and energy numbers, and all area parameters. The mapper's *search
+//! mode* (random vs guided) is likewise not part of the space identity —
+//! it changes which samples are drawn, not which are drawable — so the
+//! candidate cache appends it to its budget suffix instead (see
+//! `secureloop_mapper::cache_key`), keeping the two modes' entries
+//! distinct without forking the space key.
 //!
 //! [`Evaluation`]: crate::Evaluation
 
@@ -231,7 +236,10 @@ mod tests {
             .dilation(2)
             .build()
             .unwrap();
-        assert_ne!(SearchSpaceKey::of(&base, &a), SearchSpaceKey::of(&dilated, &a));
+        assert_ne!(
+            SearchSpaceKey::of(&base, &a),
+            SearchSpaceKey::of(&dilated, &a)
+        );
         let fp16 = base.with_word_bits(16);
         assert_ne!(SearchSpaceKey::of(&base, &a), SearchSpaceKey::of(&fp16, &a));
         let grouped = ConvLayer::builder("l")

@@ -40,7 +40,10 @@ static CACHE_MISS: Counter = Counter::new("dse.cache_miss");
 static CACHE_EVICTED: Counter = Counter::new("dse.cache_evicted");
 
 /// Current cache-file schema version; bumped on incompatible changes.
-pub const CACHE_VERSION: u64 = 1;
+/// Version 2 added the search-mode component to entry keys, so version-1
+/// files (whose keys would silently alias guided and random results) are
+/// rejected with a clear message instead of serving stale entries.
+pub const CACHE_VERSION: u64 = 2;
 
 /// Approximate heap cost charged per cached candidate mapping (the
 /// mapping itself plus its evaluation). The budget accounting is an
@@ -178,16 +181,26 @@ pub struct CandidateCache {
     evictions: AtomicU64,
 }
 
+/// The exact cache key a `(layer, arch, cfg)` triple resolves to:
+/// canonical search-space key plus the budget fields that change the
+/// sample stream — including the search mode, so guided and random
+/// results can never alias. Public so tests (and diagnostics) can
+/// assert on key structure.
+pub fn cache_key(layer: &ConvLayer, arch: &Architecture, cfg: &SearchConfig) -> String {
+    full_key(&SearchSpaceKey::of(layer, arch), cfg)
+}
+
 fn full_key(space: &SearchSpaceKey, cfg: &SearchConfig) -> String {
     // `threads` is deliberately absent: the chunked search is
     // byte-identical for any worker count. `deadline` never reaches a
     // cache lookup (bypassed in `search_cached`).
     format!(
-        "{}|cfg[s{},k{},seed{}]",
+        "{}|cfg[s{},k{},seed{},m{}]",
         space.as_str(),
         cfg.samples,
         cfg.top_k,
-        cfg.seed
+        cfg.seed,
+        cfg.mode.key_component()
     )
 }
 
@@ -546,6 +559,29 @@ mod tests {
     }
 
     #[test]
+    fn guided_and_random_never_share_an_entry() {
+        let cache = CandidateCache::new();
+        let arch = Architecture::eyeriss_base();
+        let random = SearchConfig::quick();
+        let guided = SearchConfig::quick().with_mode(crate::SearchMode::Guided);
+        // The key structure itself must keep the modes apart.
+        let rk = cache_key(&layer(), &arch, &random);
+        let gk = cache_key(&layer(), &arch, &guided);
+        assert_ne!(rk, gk);
+        assert!(rk.ends_with(",mr]"), "random key component: {rk}");
+        assert!(gk.ends_with(",mg]"), "guided key component: {gk}");
+        // And the runtime behaviour must follow: two distinct entries,
+        // no cross-mode hit in either direction.
+        search_cached(&layer(), &arch, &random, Some(&cache)).unwrap();
+        search_cached(&layer(), &arch, &guided, Some(&cache)).unwrap();
+        assert_eq!(cache.hits(), 0, "modes must not alias");
+        assert_eq!(cache.len(), 2);
+        search_cached(&layer(), &arch, &random, Some(&cache)).unwrap();
+        search_cached(&layer(), &arch, &guided, Some(&cache)).unwrap();
+        assert_eq!(cache.hits(), 2, "same-mode lookups still hit");
+    }
+
+    #[test]
     fn deadline_and_faults_bypass_the_cache() {
         let cache = CandidateCache::new();
         let arch = Architecture::eyeriss_base();
@@ -606,7 +642,7 @@ mod tests {
             .unwrap_err()
             .contains("version 99"));
 
-        fs::write(&path, r#"{"version": 1, "kind": "something-else"}"#).unwrap();
+        fs::write(&path, r#"{"version": 2, "kind": "something-else"}"#).unwrap();
         assert!(CandidateCache::load(&path).unwrap_err().contains("kind"));
         let _ = fs::remove_file(&path);
     }
@@ -668,7 +704,7 @@ mod tests {
     #[test]
     fn unparseable_frozen_mapping_demotes_to_a_miss() {
         let v = Json::parse(
-            r#"{"version": 1, "kind": "candidate-cache", "entries": [
+            r#"{"version": 2, "kind": "candidate-cache", "entries": [
                 {"key": "k", "tier": "sampled", "valid_samples": 1,
                  "total_samples": 1, "mappings": ["not a mapping"]}
             ]}"#,

@@ -279,6 +279,7 @@ mod tests {
                 seed: 3,
                 threads: 2,
                 deadline: None,
+                mode: crate::SearchMode::Random,
             },
         )
         .expect("search succeeds");

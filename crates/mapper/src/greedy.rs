@@ -203,6 +203,7 @@ mod tests {
                 seed: 5,
                 threads: 2,
                 deadline: None,
+                mode: crate::SearchMode::Random,
             },
         )
         .expect("search succeeds");

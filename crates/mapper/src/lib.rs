@@ -57,7 +57,7 @@
 //!
 //! ```
 //! use secureloop_arch::Architecture;
-//! use secureloop_mapper::{search, SearchConfig};
+//! use secureloop_mapper::{search, SearchConfig, SearchMode};
 //! use secureloop_workload::zoo;
 //!
 //! let net = zoo::alexnet_conv();
@@ -78,6 +78,7 @@ pub mod exhaustive;
 pub mod factors;
 pub mod fault;
 pub mod greedy;
+pub mod pareto;
 pub mod sampler;
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -89,13 +90,65 @@ use secureloop_loopnest::{evaluate, Evaluation, Mapping};
 use secureloop_telemetry::{self as telemetry, Counter, Histogram, Timer};
 use secureloop_workload::ConvLayer;
 
-pub use cache::{search_cached, CandidateCache};
+pub use cache::{cache_key, search_cached, CandidateCache};
 pub use cancel::{CancelToken, TaskContext, TaskScope};
 pub use error::MapperError;
 pub use exhaustive::{exhaustive_search, space_upper_bound, ExhaustiveResult};
 pub use fault::{FaultPlan, FaultScope};
 pub use greedy::greedy_mapping;
-pub use sampler::MappingSampler;
+pub use pareto::{dominates, hypervolume, FeedbackStore, FrontInsert, ParetoFront, ParetoPoint};
+pub use sampler::{GuidedSampler, MappingSampler};
+
+/// How the sampled rung explores the factorisation space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SearchMode {
+    /// Timeloop-style random pruning: every chunk draws independently
+    /// from the uniform sampler. The library default, and the mode all
+    /// committed random-search artifacts (goldens, `BENCH_sweep.json`)
+    /// were measured under.
+    #[default]
+    Random,
+    /// Pareto-guided exploration: rounds of chunks biased toward the
+    /// neighbourhood of the current per-space Pareto front, with
+    /// patience-based early stopping. Reaches comparable fronts with
+    /// far fewer samples (gated ≥5× by `guided_bench --check`).
+    Guided,
+}
+
+impl SearchMode {
+    /// Human-readable mode name (matches the `--search-mode` CLI
+    /// values).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchMode::Random => "random",
+            SearchMode::Guided => "guided",
+        }
+    }
+
+    /// Parse a `--search-mode` value.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "random" => Some(SearchMode::Random),
+            "guided" => Some(SearchMode::Guided),
+            _ => None,
+        }
+    }
+
+    /// One-character component embedded in [`cache_key`] so guided and
+    /// random results never alias in the [`CandidateCache`].
+    pub fn key_component(&self) -> char {
+        match self {
+            SearchMode::Random => 'r',
+            SearchMode::Guided => 'g',
+        }
+    }
+}
+
+impl std::fmt::Display for SearchMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Search-budget knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +165,10 @@ pub struct SearchConfig {
     /// expires the search returns whatever it has (flagged
     /// [`MapperResult::truncated`]) instead of running to completion.
     pub deadline: Option<Duration>,
+    /// How the sampled rung explores the space. In [`SearchMode::Guided`]
+    /// mode `samples` becomes a *cap*: rounds stop early once the top-k
+    /// stops improving, which is where the ≥5× sample savings come from.
+    pub mode: SearchMode,
 }
 
 impl SearchConfig {
@@ -123,6 +180,7 @@ impl SearchConfig {
             seed: 0x5ec0_4e10,
             threads: 4,
             deadline: None,
+            mode: SearchMode::Random,
         }
     }
 
@@ -134,6 +192,7 @@ impl SearchConfig {
             seed: 7,
             threads: 1,
             deadline: None,
+            mode: SearchMode::Random,
         }
     }
 
@@ -164,6 +223,12 @@ impl SearchConfig {
     /// Set a wall-clock budget for each search call.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Replace the search mode.
+    pub fn with_mode(mut self, mode: SearchMode) -> Self {
+        self.mode = mode;
         self
     }
 }
@@ -289,6 +354,30 @@ pub(crate) fn insert_candidate(
     }
 }
 
+/// [`insert_candidate`] with cost-level deduplication, used by the
+/// guided rung: neighbourhood mutations produce many cost-equivalent
+/// variants of the same guide (e.g. order permutations the cost model
+/// is invariant to), and letting them flood the top-k would collapse it
+/// onto one objective point. Random mode keeps the plain mapping-level
+/// dedup — independent draws rarely collide, and its semantics predate
+/// guided search.
+pub(crate) fn insert_candidate_distinct(
+    keep: &mut Vec<(Mapping, Evaluation)>,
+    top_k: usize,
+    mapping: Mapping,
+    eval: Evaluation,
+) -> InsertOutcome {
+    let same_cost = |e: &Evaluation| {
+        e.latency_cycles == eval.latency_cycles
+            && e.energy_pj.to_bits() == eval.energy_pj.to_bits()
+            && e.energy.crypto_pj.to_bits() == eval.energy.crypto_pj.to_bits()
+    };
+    if keep.iter().any(|(_, e)| same_cost(e)) {
+        return InsertOutcome::RejectedDuplicate;
+    }
+    insert_candidate(keep, top_k, mapping, eval)
+}
+
 /// How often the sampling loops poll the wall clock.
 const DEADLINE_STRIDE: usize = 32;
 
@@ -302,6 +391,38 @@ pub const CHUNK_SAMPLES: usize = 256;
 fn chunk_seed(base: u64, chunk: usize) -> u64 {
     base.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(chunk as u64 + 1))
 }
+
+// --- guided-mode knobs ----------------------------------------------------
+//
+// Guided search runs in *rounds* of a few chunks each. Between rounds the
+// Pareto front is re-snapshotted (a sequential barrier, so the guides any
+// chunk sees are a pure function of the chunk indices that came before it
+// — never of thread interleaving), and the whole search stops once the
+// merged top-k goes stale for a couple of rounds.
+
+/// Chunks per guided round. Small enough that early rounds converge on a
+/// useful front quickly; the per-round barrier costs at most this many
+/// chunks of parallelism.
+const GUIDED_ROUND_CHUNKS: usize = 1;
+
+/// Consecutive rounds without a top-k insertion before guided search
+/// stops drawing (the budget's `samples` is only a cap).
+const GUIDED_STALL_ROUNDS: usize = 2;
+
+/// Consecutive draws without a chunk-local top-k insertion before a
+/// guided chunk stops early.
+const GUIDED_CHUNK_PATIENCE: usize = 32;
+
+/// Maximum front members handed to [`GuidedSampler`] as neighbourhood
+/// seeds (evenly spread across the front when it is larger).
+const GUIDED_MAX_GUIDES: usize = 12;
+
+/// Sample caps at or below this many chunks get a pure-uniform round-0
+/// burn-in (full chunk, no guides, no patience): tiny budgets don't
+/// leave enough uniform draws for basin coverage, so the first chunk
+/// buys it outright. Larger budgets get that coverage from
+/// `EXPLORE_PROB` spread across many chunks.
+const GUIDED_BURNIN_MAX_CHUNKS: usize = 4;
 
 // --- telemetry wiring (names documented in DESIGN.md) ---------------------
 
@@ -320,6 +441,9 @@ static TRUNCATED: Counter = Counter::new("mapper.truncated");
 static SEARCH_TIMER: Timer = Timer::new("mapper.search");
 static CHUNK_TIMER: Timer = Timer::new("mapper.chunk");
 static CHUNK_US: Histogram = Histogram::new("mapper.chunk_us");
+static GUIDED_ROUNDS: Counter = Counter::new("mapper.guided_rounds");
+static GUIDED_NEIGHBOURHOOD_HITS: Counter = Counter::new("mapper.guided_neighbourhood_hits");
+static SAMPLES_TO_BEST: Histogram = Histogram::new("mapper.samples_to_best");
 
 /// Per-chunk reject tallies, accumulated on the stack and flushed to
 /// the global counters once per chunk (hot-path discipline: the sample
@@ -470,10 +594,31 @@ pub fn search(
         // through to the cheaper rungs.
     }
 
-    // Ladder rung 2: random-pruned sampling over fixed-size logical
-    // chunks. Seeds derive from the chunk index — never from the worker
-    // that happens to run the chunk — and results merge in chunk order,
-    // so any thread count reproduces the same result.
+    // Ladder rung 2: sampling over fixed-size logical chunks. Seeds
+    // derive from the chunk index — never from the worker that happens
+    // to run the chunk — and results merge in chunk order, so any
+    // thread count reproduces the same result. Guided mode adds
+    // sequential round barriers on top of the same contract (see
+    // `run_guided_rung`).
+    if cfg.mode == SearchMode::Guided {
+        let rung = run_guided_rung(layer, arch, cfg, deadline, &ctx, nan);
+        if rung.cancelled {
+            search_span.add_field("error", "cancelled");
+            return Err(cancelled_err());
+        }
+        let mut merged = rung.merged;
+        finish_sampled(&mut merged, rung.sampled_any, layer, arch, cfg, &poison);
+        if merged.candidates.is_empty() {
+            search_span.add_field("error", "no_valid_mapping");
+            return Err(MapperError::NoValidMapping {
+                layer: layer.name().to_string(),
+                samples: merged.total_samples,
+            });
+        }
+        record_outcome(&mut search_span, &merged);
+        return Ok(merged);
+    }
+
     let threads = cfg.threads.max(1);
     let n_chunks = cfg.samples.div_ceil(CHUNK_SAMPLES);
 
@@ -594,10 +739,32 @@ pub fn search(
         }
     }
 
-    // Ladder rung 3: the deterministic greedy construction — guarantees
-    // a candidate exists (when one does) and anchors quality independent
-    // of the sample budget. Its own failure is not fatal if sampling
-    // found candidates.
+    finish_sampled(&mut merged, sampled_any, layer, arch, cfg, &poison);
+
+    if merged.candidates.is_empty() {
+        search_span.add_field("error", "no_valid_mapping");
+        return Err(MapperError::NoValidMapping {
+            layer: layer.name().to_string(),
+            samples: merged.total_samples,
+        });
+    }
+    record_outcome(&mut search_span, &merged);
+    Ok(merged)
+}
+
+/// Ladder rung 3, shared by both sampling modes: merge the
+/// deterministic greedy construction in as a floor — guarantees a
+/// candidate exists (when one does) and anchors quality independent of
+/// the sample budget — and settle the result's tier. Greedy's own
+/// failure is not fatal if sampling found candidates.
+fn finish_sampled(
+    merged: &mut MapperResult,
+    sampled_any: bool,
+    layer: &ConvLayer,
+    arch: &Architecture,
+    cfg: &SearchConfig,
+    poison: &impl Fn(Evaluation) -> Evaluation,
+) {
     if let Ok((m, e)) = greedy::greedy_mapping(layer, arch) {
         let e = poison(e);
         if e.energy_pj.is_finite() {
@@ -611,16 +778,392 @@ pub fn search(
     } else {
         SearchTier::Greedy
     };
+}
 
-    if merged.candidates.is_empty() {
-        search_span.add_field("error", "no_valid_mapping");
-        return Err(MapperError::NoValidMapping {
-            layer: layer.name().to_string(),
-            samples: merged.total_samples,
-        });
+/// What the guided sampling rung produced (before the shared greedy
+/// floor and tier settlement).
+struct GuidedRung {
+    merged: MapperResult,
+    sampled_any: bool,
+    cancelled: bool,
+}
+
+/// One guided chunk's harvest, merged at the round barrier in
+/// chunk-index order.
+struct GuidedChunkResult {
+    /// Chunk-local top-k by (latency, energy).
+    keep: Vec<(Mapping, Evaluation)>,
+    /// Chunk-local Pareto front — multi-objective progress the top-k
+    /// ranking would discard (e.g. low-energy points off the latency
+    /// floor), fed into the global front so guides stay diverse.
+    front: Vec<(pareto::ParetoPoint, Mapping)>,
+    valid: usize,
+    drawn: usize,
+    /// Cut short by deadline or cancellation.
+    cut: bool,
+    /// Top-k insertions that came from a neighbourhood draw.
+    hits: u64,
+    /// Chunk-local best among *uniform* draws only. Neighbourhood
+    /// exploitation converges onto one structural family; downstream
+    /// consumers (cross-layer AuthBlock optimisation) need at least one
+    /// candidate whose loop structure was drawn unbiased.
+    explore: Vec<(Mapping, Evaluation)>,
+}
+
+/// How many uniform-draw candidates the final selection guarantees a
+/// slot (when `top_k` has room beyond the latency-best survivor).
+const GUIDED_EXPLORE_SLOTS: usize = 1;
+
+/// The guided replacement for the random rung: rounds of
+/// [`GUIDED_ROUND_CHUNKS`] chunks, each biased toward the neighbourhood
+/// of the current Pareto front.
+///
+/// Determinism argument: the front is only mutated at the sequential
+/// per-round barrier, and chunk results merge into it in chunk-index
+/// order, so the guides any chunk sees are a pure function of the chunk
+/// indices that came before its round — never of thread interleaving.
+/// Within a round, chunk seeds derive from the chunk index via
+/// [`chunk_seed`], exactly like random mode. Early stopping decisions
+/// (per-chunk patience, round-level stall) depend only on those same
+/// deterministic streams. Pinned by `tests/determinism.rs`.
+fn run_guided_rung(
+    layer: &ConvLayer,
+    arch: &Architecture,
+    cfg: &SearchConfig,
+    deadline: Option<Instant>,
+    ctx: &TaskContext,
+    nan: bool,
+) -> GuidedRung {
+    let threads = cfg.threads.max(1);
+    let max_chunks = cfg.samples.div_ceil(CHUNK_SAMPLES);
+    let poison = |mut e: Evaluation| {
+        if nan {
+            e.energy_pj = f64::NAN;
+        }
+        e
+    };
+
+    // Seed the front with the greedy construction: a zero-sample-cost
+    // anchor so even round 0 has a neighbourhood to explore.
+    let mut front = pareto::ParetoFront::new();
+    if let Ok((m, e)) = greedy::greedy_mapping(layer, arch) {
+        let e = poison(e);
+        if e.energy_pj.is_finite() && e.latency_cycles < SATURATED_LATENCY {
+            front.insert(m, pareto::ParetoPoint::of(&e));
+        }
     }
-    record_outcome(&mut search_span, &merged);
-    Ok(merged)
+
+    let mut rung = GuidedRung {
+        merged: MapperResult::default(),
+        sampled_any: false,
+        cancelled: false,
+    };
+    let was_cancelled = AtomicBool::new(false);
+    let mut explore_best: Vec<(Mapping, Evaluation)> = Vec::new();
+    let mut stall = 0usize;
+    let mut round_start = 0usize;
+    let mut rounds = 0u64;
+    let mut neigh_hits = 0u64;
+    // (latency, energy bits) of the best candidate, to date the round
+    // where the optimum last improved.
+    let mut best_key: Option<(u64, u64)> = None;
+    let mut samples_to_best = 0usize;
+
+    while round_start < max_chunks && stall < GUIDED_STALL_ROUNDS {
+        let round_end = round_start + GUIDED_ROUND_CHUNKS.min(max_chunks - round_start);
+        // At small sample caps, round 0 is a pure-uniform burn-in: full
+        // chunk, no guides, no patience. With only a couple of chunks
+        // to spend there aren't enough uniform draws (EXPLORE_PROB of a
+        // few hundred) to cover the basins, and exploitation from the
+        // single greedy anchor converges onto whatever temporal family
+        // the constructor happens to sit in — so guided at a tiny cap
+        // degrades to random-plus-polish instead. At larger caps the
+        // uniform share spread across many chunks already supplies that
+        // unbiased coverage, and spending a full chunk on it first only
+        // starves the exploitation rounds.
+        let burnin = round_start == 0 && max_chunks <= GUIDED_BURNIN_MAX_CHUNKS;
+        let guides = if burnin {
+            Vec::new()
+        } else {
+            front.guides(GUIDED_MAX_GUIDES)
+        };
+        let guides = &guides;
+        let was_cancelled = &was_cancelled;
+
+        let run_chunk = |worker: usize, chunk: usize| -> GuidedChunkResult {
+            let start = Instant::now();
+            let samples = CHUNK_SAMPLES.min(cfg.samples - chunk * CHUNK_SAMPLES);
+            let mut sampler = GuidedSampler::new(layer, arch, chunk_seed(cfg.seed, chunk), guides);
+            let mut keep: Vec<(Mapping, Evaluation)> = Vec::new();
+            let mut explore: Vec<(Mapping, Evaluation)> = Vec::new();
+            let mut local_front = pareto::ParetoFront::new();
+            let mut tally = ChunkTally::default();
+            let mut cut = false;
+            let mut hits = 0u64;
+            let mut patience = 0usize;
+            for i in 0..samples {
+                if i % DEADLINE_STRIDE == 0 {
+                    if cancel::cancelled(ctx) {
+                        was_cancelled.store(true, Ordering::Relaxed);
+                        cut = true;
+                        break;
+                    }
+                    if let Some(dl) = deadline {
+                        if Instant::now() >= dl {
+                            cut = true;
+                            break;
+                        }
+                    }
+                }
+                if !burnin && patience >= GUIDED_CHUNK_PATIENCE {
+                    break;
+                }
+                tally.drawn += 1;
+                let (mapping, from_neighbourhood) = sampler.sample();
+                match evaluate(layer, arch, &mapping) {
+                    Ok(eval) => {
+                        let eval = poison(eval);
+                        if eval.energy_pj.is_finite() {
+                            tally.valid += 1;
+                        }
+                        let point = pareto::ParetoPoint::of(&eval);
+                        // Multi-objective progress counts as progress:
+                        // a low-energy point off the latency floor
+                        // would never enter the top-k, but it keeps the
+                        // chunk alive and feeds the global front.
+                        let front_added = eval.latency_cycles < SATURATED_LATENCY
+                            && local_front.insert(mapping.clone(), point)
+                                == pareto::FrontInsert::Added;
+                        // Feed the discovery back as a live anchor: the
+                        // chunk hill-climbs its own front instead of
+                        // orbiting the round's static guide snapshot.
+                        if front_added && !burnin {
+                            sampler.add_anchor(mapping.clone());
+                        }
+                        if !from_neighbourhood {
+                            insert_candidate_distinct(
+                                &mut explore,
+                                GUIDED_EXPLORE_SLOTS,
+                                mapping.clone(),
+                                eval.clone(),
+                            );
+                        }
+                        match insert_candidate_distinct(&mut keep, cfg.top_k, mapping, eval) {
+                            InsertOutcome::Inserted => {
+                                patience = 0;
+                                if from_neighbourhood {
+                                    hits += 1;
+                                }
+                            }
+                            InsertOutcome::RejectedNonFinite => {
+                                tally.nonfinite += 1;
+                                patience += 1;
+                            }
+                            InsertOutcome::RejectedSaturated => {
+                                tally.saturated += 1;
+                                patience += 1;
+                            }
+                            InsertOutcome::RejectedDuplicate => {
+                                tally.duplicate += 1;
+                                patience += 1;
+                            }
+                            InsertOutcome::RejectedBelowCutoff => {
+                                tally.below_cutoff += 1;
+                                patience += 1;
+                            }
+                        }
+                        if front_added {
+                            patience = 0;
+                        }
+                    }
+                    Err(_) => {
+                        tally.eval_error += 1;
+                        patience += 1;
+                    }
+                }
+            }
+            tally.flush();
+            let elapsed = start.elapsed();
+            CHUNK_TIMER.record(elapsed);
+            CHUNK_US.record(elapsed.as_micros() as u64);
+            telemetry::emit(|| {
+                Json::obj()
+                    .field("event", "chunk")
+                    .field("phase", "mapper")
+                    .field("name", layer.name())
+                    .field("chunk", chunk as u64)
+                    .field("worker", worker as u64)
+                    .field("samples", tally.drawn)
+                    .field("valid", tally.valid)
+                    .field("us", elapsed.as_micros() as u64)
+            });
+            GuidedChunkResult {
+                keep,
+                front: local_front.entries().to_vec(),
+                valid: tally.valid as usize,
+                drawn: tally.drawn as usize,
+                cut,
+                hits,
+                explore,
+            }
+        };
+
+        let next_chunk = AtomicUsize::new(round_start);
+        let next_chunk = &next_chunk;
+        let worker_loop = |worker: usize| -> Vec<(usize, GuidedChunkResult)> {
+            let mut out = Vec::new();
+            loop {
+                let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if chunk >= round_end {
+                    break;
+                }
+                let result = run_chunk(worker, chunk);
+                let cut = result.cut;
+                out.push((chunk, result));
+                if cut {
+                    break;
+                }
+            }
+            out
+        };
+
+        let round_chunks = round_end - round_start;
+        let mut round_results: Vec<(usize, GuidedChunkResult)> =
+            if threads == 1 || round_chunks <= 1 {
+                worker_loop(0)
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads.min(round_chunks))
+                        .map(|worker| scope.spawn(move || worker_loop(worker)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("worker panicked"))
+                        .collect()
+                })
+            };
+        round_results.sort_by_key(|&(chunk, _)| chunk);
+
+        if was_cancelled.load(Ordering::Relaxed) {
+            rung.cancelled = true;
+            return rung;
+        }
+
+        let mut round_inserted = false;
+        for (_, chunk_result) in round_results {
+            rung.merged.valid_samples += chunk_result.valid;
+            rung.merged.total_samples += chunk_result.drawn;
+            rung.merged.truncated |= chunk_result.cut;
+            rung.sampled_any |= !chunk_result.keep.is_empty();
+            neigh_hits += chunk_result.hits;
+            for (m, e) in chunk_result.keep {
+                if insert_candidate_distinct(&mut rung.merged.candidates, cfg.top_k, m, e)
+                    == InsertOutcome::Inserted
+                {
+                    round_inserted = true;
+                }
+            }
+            // The chunk-local fronts carry the multi-objective points
+            // the top-k ranking discards; merging them (still in
+            // chunk-index order) is what keeps the guides diverse.
+            for (p, m) in chunk_result.front {
+                if front.insert(m, p) == pareto::FrontInsert::Added {
+                    round_inserted = true;
+                }
+            }
+            for (m, e) in chunk_result.explore {
+                insert_candidate_distinct(&mut explore_best, GUIDED_EXPLORE_SLOTS, m, e);
+            }
+        }
+        rounds += 1;
+        let key = rung
+            .merged
+            .candidates
+            .first()
+            .map(|(_, e)| (e.latency_cycles, e.energy_pj.to_bits()));
+        if key.is_some() && key != best_key {
+            best_key = key;
+            samples_to_best = rung.merged.total_samples;
+        }
+        stall = if round_inserted { 0 } else { stall + 1 };
+        if rung.merged.truncated {
+            break;
+        }
+        round_start = round_end;
+    }
+
+    // Final selection: a guided search's value is its *front*, not just
+    // the k lowest-latency points. Downstream cross-layer optimisation
+    // trades latency against energy and crypto overhead, and a
+    // latency-clustered top-k starves it of options. Keep the
+    // latency-best survivor in slot 0, then backfill with front members
+    // evenly spaced along the latency axis (on a front, the far end is
+    // the energy-lean extreme), then the remaining latency-sorted
+    // survivors. Pure function of the merged state, so determinism is
+    // unaffected.
+    let slots = cfg.top_k.max(1);
+    if !front.is_empty() && !rung.merged.candidates.is_empty() {
+        let mut fr: Vec<(pareto::ParetoPoint, Mapping)> = front.entries().to_vec();
+        fr.sort_by(|a, b| {
+            (a.0.latency_cycles, a.0.energy_pj.to_bits())
+                .cmp(&(b.0.latency_cycles, b.0.energy_pj.to_bits()))
+        });
+        let mut fin: Vec<(Mapping, Evaluation)> = Vec::new();
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        fn push(
+            fin: &mut Vec<(Mapping, Evaluation)>,
+            seen: &mut Vec<(u64, u64)>,
+            slots: usize,
+            m: Mapping,
+            e: Evaluation,
+        ) {
+            let key = (e.latency_cycles, e.energy_pj.to_bits());
+            if fin.len() < slots && !seen.contains(&key) {
+                seen.push(key);
+                fin.push((m, e));
+            }
+        }
+        let (m0, e0) = rung.merged.candidates[0].clone();
+        push(&mut fin, &mut seen, slots, m0, e0);
+        // Guaranteed slot for the best unbiased draw: exploitation
+        // converges onto one structural family, and downstream
+        // consumers (cross-layer AuthBlock optimisation, which scores
+        // loop structure the search objective can't see) need at least
+        // one candidate outside it.
+        for (m, e) in &explore_best {
+            push(&mut fin, &mut seen, slots, m.clone(), e.clone());
+        }
+        let picks = slots.min(fr.len());
+        for i in 0..picks {
+            let idx = if picks <= 1 {
+                0
+            } else {
+                i * (fr.len() - 1) / (picks - 1)
+            };
+            let m = &fr[idx].1;
+            if let Ok(e) = evaluate(layer, arch, m) {
+                let e = poison(e);
+                if e.energy_pj.is_finite() && e.latency_cycles < SATURATED_LATENCY {
+                    push(&mut fin, &mut seen, slots, m.clone(), e);
+                }
+            }
+        }
+        for (m, e) in rung.merged.candidates.iter().skip(1) {
+            push(&mut fin, &mut seen, slots, m.clone(), e.clone());
+        }
+        fin.sort_by(|a, b| {
+            (a.1.latency_cycles, a.1.energy_pj.to_bits())
+                .cmp(&(b.1.latency_cycles, b.1.energy_pj.to_bits()))
+        });
+        rung.merged.candidates = fin;
+    }
+
+    GUIDED_ROUNDS.add(rounds);
+    GUIDED_NEIGHBOURHOOD_HITS.add(neigh_hits);
+    if best_key.is_some() {
+        SAMPLES_TO_BEST.record(samples_to_best as u64);
+    }
+    rung
 }
 
 #[cfg(test)]
@@ -700,6 +1243,7 @@ mod tests {
                 seed: 1,
                 threads: 1,
                 deadline: None,
+                mode: SearchMode::Random,
             },
         )
         .unwrap();
@@ -712,6 +1256,7 @@ mod tests {
                 seed: 1,
                 threads: 1,
                 deadline: None,
+                mode: SearchMode::Random,
             },
         )
         .unwrap();
@@ -747,6 +1292,7 @@ mod tests {
                 seed: 3,
                 threads: 1,
                 deadline: None,
+                mode: SearchMode::Random,
             },
         )
         .unwrap();
@@ -759,6 +1305,7 @@ mod tests {
                 seed: 3,
                 threads: 4,
                 deadline: None,
+                mode: SearchMode::Random,
             },
         )
         .unwrap();
@@ -799,6 +1346,7 @@ mod tests {
                 seed: 1,
                 threads: 1,
                 deadline: None,
+                mode: SearchMode::Random,
             },
         )
         .unwrap();

@@ -3,10 +3,21 @@
 //! any worker-thread count. Chunk seeds derive from chunk indices and
 //! chunk results merge in index order, so the thread count only decides
 //! who runs a chunk, never what the chunk computes.
+//!
+//! Guided mode carries the same contract with a stronger argument to
+//! check: the Pareto front that steers sampling is only mutated at
+//! sequential round barriers, so the guides any chunk sees are a pure
+//! function of prior chunk *indices*, never of thread interleaving.
+//! The guided tests below pin that, plus cache hygiene: a warm
+//! [`CandidateCache`] must return exactly what the cold search
+//! computed, and guided and random results must never alias one
+//! another's cache entries.
 
 use secureloop_arch::Architecture;
 use secureloop_crypto::{CryptoConfig, EngineClass};
-use secureloop_mapper::{search, MapperResult, SearchConfig};
+use secureloop_mapper::{
+    cache_key, search, search_cached, CandidateCache, MapperResult, SearchConfig, SearchMode,
+};
 use secureloop_workload::{zoo, ConvLayer};
 
 fn cfg(threads: usize) -> SearchConfig {
@@ -16,6 +27,14 @@ fn cfg(threads: usize) -> SearchConfig {
         seed: 0xdead_beef,
         threads,
         deadline: None,
+        mode: SearchMode::Random,
+    }
+}
+
+fn guided_cfg(threads: usize) -> SearchConfig {
+    SearchConfig {
+        mode: SearchMode::Guided,
+        ..cfg(threads)
     }
 }
 
@@ -81,4 +100,94 @@ fn oversubscribed_thread_counts_are_harmless() {
     let seq = fingerprint(&search(layer, &arch, &cfg(1)).expect("search succeeds"));
     let wide = fingerprint(&search(layer, &arch, &cfg(16)).expect("search succeeds"));
     assert_eq!(seq, wide);
+}
+
+#[test]
+fn guided_search_is_thread_invariant() {
+    // The Pareto front is mutated only at sequential round barriers,
+    // so guided results must be byte-identical for any thread count —
+    // including oversubscription far past the chunk count.
+    let net = zoo::alexnet_conv();
+    let arch =
+        Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    for layer in [&net.layers()[0], &net.layers()[2]] {
+        let baseline = fingerprint(&search(layer, &arch, &guided_cfg(1)).expect("search succeeds"));
+        for threads in [2usize, 4, 16] {
+            let got =
+                fingerprint(&search(layer, &arch, &guided_cfg(threads)).expect("search succeeds"));
+            assert_eq!(
+                baseline,
+                got,
+                "guided threads={threads} diverged on layer {}",
+                layer.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn guided_repeated_runs_are_identical() {
+    let net = zoo::alexnet_conv();
+    let arch = Architecture::eyeriss_base();
+    let layer = &net.layers()[1];
+    let a = fingerprint(&search(layer, &arch, &guided_cfg(4)).expect("search succeeds"));
+    let b = fingerprint(&search(layer, &arch, &guided_cfg(4)).expect("search succeeds"));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn guided_cold_and_warm_cache_agree() {
+    // A warm CandidateCache must hand back exactly what the cold
+    // search computed — same candidates, same tier, same counters.
+    let net = zoo::alexnet_conv();
+    let arch = Architecture::eyeriss_base();
+    let layer = &net.layers()[3];
+    let cache = CandidateCache::new();
+    let uncached = fingerprint(&search(layer, &arch, &guided_cfg(2)).expect("search succeeds"));
+    let cold = fingerprint(
+        &search_cached(layer, &arch, &guided_cfg(2), Some(&cache)).expect("search succeeds"),
+    );
+    assert_eq!(cache.misses(), 1);
+    let warm = fingerprint(
+        &search_cached(layer, &arch, &guided_cfg(2), Some(&cache)).expect("search succeeds"),
+    );
+    assert_eq!(cache.hits(), 1, "second lookup must hit");
+    assert_eq!(cold, warm, "warm hit must replay the cold result");
+    assert_eq!(uncached, cold, "caching must not perturb the search");
+}
+
+#[test]
+fn guided_and_random_never_poison_each_others_cache() {
+    // The two modes explore the same space differently; their cache
+    // keys carry a distinct mode component so a guided run can never
+    // serve (or be served) a random result.
+    let net = zoo::alexnet_conv();
+    let arch = Architecture::eyeriss_base();
+    let layer = &net.layers()[2];
+    let random = cfg(2);
+    let guided = guided_cfg(2);
+    assert!(cache_key(layer, &arch, &random).ends_with(",mr]"));
+    assert!(cache_key(layer, &arch, &guided).ends_with(",mg]"));
+    assert_ne!(
+        cache_key(layer, &arch, &random),
+        cache_key(layer, &arch, &guided),
+        "modes must key distinct cache entries"
+    );
+
+    let cache = CandidateCache::new();
+    let g_cold =
+        fingerprint(&search_cached(layer, &arch, &guided, Some(&cache)).expect("search succeeds"));
+    let r_cold =
+        fingerprint(&search_cached(layer, &arch, &random, Some(&cache)).expect("search succeeds"));
+    assert_eq!(cache.misses(), 2, "each mode computes its own entry");
+    assert_eq!(cache.hits(), 0);
+    // Replaying either mode hits its own entry and reproduces its own
+    // cold result — not the other mode's.
+    let g_warm =
+        fingerprint(&search_cached(layer, &arch, &guided, Some(&cache)).expect("search succeeds"));
+    let r_warm =
+        fingerprint(&search_cached(layer, &arch, &random, Some(&cache)).expect("search succeeds"));
+    assert_eq!(cache.hits(), 2);
+    assert_eq!(g_cold, g_warm);
+    assert_eq!(r_cold, r_warm);
 }

@@ -1,0 +1,175 @@
+//! Property tests for the guided search's Pareto machinery: dominance
+//! must be a strict partial order, and [`ParetoFront`] must behave as a
+//! *set* of non-dominated points — insertion idempotent, the surviving
+//! point set independent of insertion order, no retained point
+//! dominating another, and pruning never dropping a point a brute-force
+//! oracle would keep.
+
+use proptest::prelude::*;
+
+use secureloop_arch::Architecture;
+use secureloop_loopnest::Mapping;
+use secureloop_mapper::{dominates, FrontInsert, MappingSampler, ParetoFront, ParetoPoint};
+use secureloop_workload::ConvLayer;
+
+fn pt(latency: u64, energy: f64, crypto: f64) -> ParetoPoint {
+    ParetoPoint {
+        latency_cycles: latency,
+        energy_pj: energy,
+        crypto_pj: crypto,
+    }
+}
+
+/// Finite points from a small grid so duplicates and dominance chains
+/// actually occur (a continuous space would almost never collide).
+fn point() -> impl Strategy<Value = ParetoPoint> {
+    (0u64..6, 0u32..6, 0u32..6).prop_map(|(l, e, c)| pt(l * 10, f64::from(e) * 2.0, f64::from(c)))
+}
+
+fn points(max: usize) -> impl Strategy<Value = Vec<ParetoPoint>> {
+    prop::collection::vec(point(), 1..max)
+}
+
+/// A mapping to pair with the points; the front stores one per entry
+/// but the set-like properties concern only the points.
+fn any_mapping() -> Mapping {
+    let layer = ConvLayer::builder("pareto-prop")
+        .input_hw(8, 8)
+        .channels(4, 4)
+        .kernel(3, 3)
+        .pad(1)
+        .build()
+        .expect("valid layer");
+    MappingSampler::new(&layer, &Architecture::eyeriss_base(), 1).sample()
+}
+
+/// Brute-force oracle: the non-dominated subset of `all`, deduplicated.
+fn oracle_front(all: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut keep: Vec<ParetoPoint> = Vec::new();
+    for p in all {
+        if all.iter().any(|q| dominates(q, p)) {
+            continue;
+        }
+        if keep.iter().any(|q| q == p) {
+            continue;
+        }
+        keep.push(*p);
+    }
+    keep
+}
+
+/// Canonicalise a point set for order-insensitive comparison.
+fn sorted(mut pts: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
+    pts.sort_by_key(|p| {
+        (
+            p.latency_cycles,
+            p.energy_pj.to_bits(),
+            p.crypto_pj.to_bits(),
+        )
+    });
+    pts
+}
+
+fn build_front(pts: &[ParetoPoint]) -> ParetoFront {
+    let m = any_mapping();
+    let mut f = ParetoFront::new();
+    for p in pts {
+        f.insert(m.clone(), *p);
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dominance_is_irreflexive_and_asymmetric((a, b) in (point(), point())) {
+        prop_assert!(!dominates(&a, &a), "irreflexive");
+        prop_assert!(!dominates(&b, &b), "irreflexive");
+        prop_assert!(
+            !(dominates(&a, &b) && dominates(&b, &a)),
+            "asymmetric: {a:?} vs {b:?}"
+        );
+    }
+
+    #[test]
+    fn dominance_is_transitive((a, b, c) in (point(), point(), point())) {
+        if dominates(&a, &b) && dominates(&b, &c) {
+            prop_assert!(dominates(&a, &c), "transitivity: {a:?} > {b:?} > {c:?}");
+        }
+    }
+
+    #[test]
+    fn front_members_are_mutually_non_dominated(pts in points(24)) {
+        let f = build_front(&pts);
+        let members = f.points();
+        for (i, p) in members.iter().enumerate() {
+            for (j, q) in members.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!dominates(p, q), "{p:?} dominates fellow member {q:?}");
+                    prop_assert!(p != q, "duplicate member {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn front_matches_brute_force_oracle(pts in points(24)) {
+        // Pruning never drops a point the oracle keeps, and never keeps
+        // one the oracle drops.
+        let f = build_front(&pts);
+        prop_assert_eq!(sorted(f.points()), sorted(oracle_front(&pts)));
+    }
+
+    #[test]
+    fn insertion_is_idempotent(pts in points(16)) {
+        let m = any_mapping();
+        let mut f = build_front(&pts);
+        let before = f.points();
+        for p in &pts {
+            let r = f.insert(m.clone(), *p);
+            prop_assert!(
+                matches!(r, FrontInsert::Duplicate | FrontInsert::Dominated),
+                "re-inserting a seen point must be a no-op, got {r:?} for {p:?}"
+            );
+        }
+        prop_assert_eq!(f.points(), before);
+    }
+
+    #[test]
+    fn surviving_point_set_is_order_independent(
+        (pts, rot) in points(16).prop_flat_map(|v| {
+            let n = v.len();
+            (Just(v), 0..n)
+        })
+    ) {
+        // Any rotation of the insertion order yields the same point set
+        // (full permutation coverage comes from many cases × rotations).
+        let forward = build_front(&pts);
+        let mut rotated = pts.clone();
+        rotated.rotate_left(rot);
+        let rot_front = build_front(&rotated);
+        prop_assert_eq!(sorted(forward.points()), sorted(rot_front.points()));
+        let mut reversed = pts.clone();
+        reversed.reverse();
+        prop_assert_eq!(sorted(forward.points()), sorted(build_front(&reversed).points()));
+    }
+
+    #[test]
+    fn non_finite_points_are_always_rejected(
+        (pts, latency) in (points(8), 0u64..100)
+    ) {
+        let m = any_mapping();
+        let mut f = build_front(&pts);
+        let before = f.points();
+        for bad in [
+            pt(latency, f64::NAN, 0.0),
+            pt(latency, 1.0, f64::NAN),
+            pt(latency, f64::INFINITY, 0.0),
+            pt(latency, 1.0, f64::NEG_INFINITY),
+        ] {
+            prop_assert_eq!(f.insert(m.clone(), bad), FrontInsert::NonFinite);
+        }
+        prop_assert_eq!(f.points(), before);
+    }
+}

@@ -10,7 +10,7 @@
 use secureloop::{Algorithm, AnnealingConfig, Scheduler};
 use secureloop_arch::Architecture;
 use secureloop_crypto::{CryptoConfig, EngineClass};
-use secureloop_mapper::SearchConfig;
+use secureloop_mapper::{SearchConfig, SearchMode};
 use secureloop_workload::zoo;
 
 fn main() {
@@ -34,6 +34,9 @@ fn main() {
             seed: 1,
             threads: 4,
             deadline: None,
+            // Pareto-guided search: comparable schedules with a
+            // fraction of the sample budget (see DESIGN.md).
+            mode: SearchMode::Guided,
         })
         .with_annealing(AnnealingConfig::paper_default().with_iterations(400));
 

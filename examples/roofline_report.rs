@@ -10,7 +10,7 @@ use secureloop::roofline::{schedule_point, RooflineModel};
 use secureloop::{Algorithm, AnnealingConfig, Scheduler};
 use secureloop_arch::Architecture;
 use secureloop_crypto::{CryptoConfig, EngineClass};
-use secureloop_mapper::SearchConfig;
+use secureloop_mapper::{SearchConfig, SearchMode};
 use secureloop_workload::zoo;
 
 fn main() {
@@ -36,6 +36,7 @@ fn main() {
             seed: 3,
             threads: 4,
             deadline: None,
+            mode: SearchMode::Random,
         })
         .with_annealing(AnnealingConfig::paper_default().with_iterations(300));
 

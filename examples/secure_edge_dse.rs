@@ -12,7 +12,7 @@
 
 use secureloop::dse::{evaluate_designs, fig16_design_space, pareto_front};
 use secureloop::{Algorithm, AnnealingConfig};
-use secureloop_mapper::SearchConfig;
+use secureloop_mapper::{SearchConfig, SearchMode};
 use secureloop_workload::zoo;
 
 fn main() {
@@ -30,6 +30,7 @@ fn main() {
         seed: 11,
         threads: 4,
         deadline: None,
+        mode: SearchMode::Random,
     };
     let annealing = AnnealingConfig::paper_default().with_iterations(200);
     let results = evaluate_designs(

@@ -10,7 +10,7 @@
 
 use secureloop_arch::Architecture;
 use secureloop_crypto::{AesGcm, CounterTracker, CryptoConfig, EngineClass};
-use secureloop_mapper::{search, SearchConfig};
+use secureloop_mapper::{search, SearchConfig, SearchMode};
 use secureloop_sim::{generate_trace, replay};
 use secureloop_workload::zoo;
 
@@ -31,6 +31,7 @@ fn main() {
             seed: 42,
             threads: 4,
             deadline: None,
+            mode: SearchMode::Random,
         },
     )
     .expect("search succeeds")

@@ -5,7 +5,7 @@ use secureloop::report;
 use secureloop::{Algorithm, AnnealingConfig, Scheduler};
 use secureloop_arch::Architecture;
 use secureloop_crypto::{CryptoConfig, EngineClass};
-use secureloop_mapper::SearchConfig;
+use secureloop_mapper::{SearchConfig, SearchMode};
 use secureloop_workload::zoo;
 
 fn quick_scheduler(arch: Architecture) -> Scheduler {
@@ -16,6 +16,7 @@ fn quick_scheduler(arch: Architecture) -> Scheduler {
             seed: 77,
             threads: 2,
             deadline: None,
+            mode: SearchMode::Random,
         })
         .with_annealing(AnnealingConfig::quick())
 }

@@ -23,7 +23,7 @@ use secureloop::{Algorithm, AnnealingConfig, NetworkSchedule, Scheduler};
 use secureloop_arch::Architecture;
 use secureloop_crypto::{CryptoConfig, EngineClass};
 use secureloop_json::Json;
-use secureloop_mapper::SearchConfig;
+use secureloop_mapper::{SearchConfig, SearchMode};
 use secureloop_workload::zoo;
 
 const LATENCY_TOL: f64 = 0.10;
@@ -46,6 +46,7 @@ fn schedule() -> NetworkSchedule {
             seed: 0xf16,
             threads: 4,
             deadline: None,
+            mode: SearchMode::Random,
         })
         .with_annealing(AnnealingConfig::quick())
         .schedule(&zoo::alexnet_conv(), Algorithm::CryptOptCross)

@@ -7,7 +7,7 @@ use secureloop::dse::{evaluate_designs, fig16_design_space, pareto_front};
 use secureloop::{Algorithm, AnnealingConfig, Scheduler};
 use secureloop_arch::{Architecture, DramSpec};
 use secureloop_crypto::{CryptoConfig, EngineClass};
-use secureloop_mapper::SearchConfig;
+use secureloop_mapper::{SearchConfig, SearchMode};
 use secureloop_workload::zoo;
 
 fn search() -> SearchConfig {
@@ -17,6 +17,7 @@ fn search() -> SearchConfig {
         seed: 0xf16,
         threads: 4,
         deadline: None,
+        mode: SearchMode::Random,
     }
 }
 

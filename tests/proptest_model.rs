@@ -146,3 +146,128 @@ proptest! {
         }
     }
 }
+
+/// Regressions proptest shrank in the past, promoted to named
+/// deterministic tests (the `.proptest-regressions` side file is gone):
+/// a degenerate 1×1-kernel layer whose stride (2) *exceeds* the kernel,
+/// so some input pixels are never read and the compulsory-traffic bound
+/// must use the covered window area, not the full derived extent.
+mod regressions {
+    use super::*;
+
+    /// The shrunk counterexample: bounds [N,M,C,P,Q,R,S] =
+    /// [1,1,1,2,2,1,1], stride 2, pad 0, 8-bit words.
+    const SHRUNK_SEED: u64 = 211_403_808_112_686_754;
+
+    fn covered_window_layer() -> ConvLayer {
+        let layer = ConvLayer::builder("prop")
+            .input_hw(3, 3)
+            .channels(1, 1)
+            .kernel(1, 1)
+            .stride(2)
+            .pad(0)
+            .build()
+            .expect("valid geometry");
+        use secureloop_workload::Dim::*;
+        let b = layer.bounds();
+        assert_eq!(
+            [b[N], b[M], b[C], b[P], b[Q], b[R], b[S]],
+            [1, 1, 1, 2, 2, 1, 1],
+            "regression layer must reproduce the shrunk bounds"
+        );
+        layer
+    }
+
+    #[test]
+    fn covered_window_macs_are_conserved() {
+        let layer = covered_window_layer();
+        let arch = Architecture::eyeriss_base();
+        let mappings = valid_mappings(&layer, &arch, SHRUNK_SEED);
+        assert!(!mappings.is_empty(), "seed must yield valid mappings");
+        for (m, e) in mappings {
+            assert_eq!(e.counts.macs, layer.macs());
+            assert_eq!(e.compute_cycles * m.pes_used(), layer.macs());
+        }
+    }
+
+    #[test]
+    fn covered_window_dram_traffic_covers_compulsory() {
+        // The original failure: with stride 2 > kernel 1 only a 2×2
+        // subgrid of the 3×3 input is ever touched, so the compulsory
+        // ifmap bound is 4 words, not 9.
+        let layer = covered_window_layer();
+        use secureloop_workload::Dim::*;
+        let b = layer.bounds();
+        let covered = b[N]
+            * layer.ifmap_channels()
+            * layer.ifmap_height().min(b[P] * b[R])
+            * layer.ifmap_width().min(b[Q] * b[S]);
+        assert!(covered < layer.tensor_elems(Datatype::Ifmap));
+        let arch = Architecture::eyeriss_base();
+        for (_, e) in valid_mappings(&layer, &arch, SHRUNK_SEED) {
+            assert!(e.counts.dram_read_words[0] >= layer.tensor_elems(Datatype::Weight));
+            assert!(e.counts.dram_read_words[1] >= covered);
+            assert!(e.counts.dram_write_words[2] >= layer.tensor_elems(Datatype::Ofmap));
+        }
+    }
+
+    #[test]
+    fn covered_window_latency_is_max_of_bottlenecks() {
+        let layer = covered_window_layer();
+        let arch = Architecture::eyeriss_base();
+        for (_, e) in valid_mappings(&layer, &arch, SHRUNK_SEED) {
+            assert_eq!(
+                e.latency_cycles,
+                e.compute_cycles
+                    .max(e.dram_cycles)
+                    .max(e.glb_cycles)
+                    .max(e.noc_cycles)
+            );
+            assert!(e.energy_pj > 0.0);
+            assert!(e.utilization > 0.0 && e.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn covered_window_crypto_never_speeds_things_up() {
+        let layer = covered_window_layer();
+        let base = Architecture::eyeriss_base();
+        let secure = base
+            .clone()
+            .with_crypto(CryptoConfig::new(EngineClass::Serial, 3));
+        for (m, e) in valid_mappings(&layer, &base, SHRUNK_SEED) {
+            let es = evaluate(&layer, &secure, &m).unwrap();
+            assert!(es.latency_cycles >= e.latency_cycles);
+            assert!(es.energy_pj >= e.energy_pj);
+            assert_eq!(es.dram_total_bits, e.dram_total_bits);
+        }
+    }
+
+    #[test]
+    fn covered_window_extra_bits_monotone() {
+        let layer = covered_window_layer();
+        let arch =
+            Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+        for (_, e) in valid_mappings(&layer, &arch, SHRUNK_SEED) {
+            let e1 = e.with_extra_dram_bits(&arch, [1000, 0, 0]);
+            let e2 = e.with_extra_dram_bits(&arch, [1000, 50_000, 0]);
+            assert!(e1.latency_cycles >= e.latency_cycles);
+            assert!(e2.latency_cycles >= e1.latency_cycles);
+            assert!(e2.energy_pj > e1.energy_pj);
+        }
+    }
+
+    #[test]
+    fn covered_window_compact_mapping_roundtrips() {
+        use secureloop_loopnest::CompactMapping;
+        let layer = covered_window_layer();
+        let arch = Architecture::eyeriss_base();
+        let mut sampler = MappingSampler::new(&layer, &arch, SHRUNK_SEED);
+        for _ in 0..10 {
+            let m = sampler.sample();
+            let text = CompactMapping(&m).to_string();
+            let parsed: Mapping = text.parse().expect("print always parses");
+            assert_eq!(parsed, m, "roundtrip failed for '{text}'");
+        }
+    }
+}

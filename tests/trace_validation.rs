@@ -6,7 +6,7 @@
 use secureloop_arch::Architecture;
 use secureloop_crypto::{CryptoConfig, EngineClass};
 use secureloop_loopnest::evaluate;
-use secureloop_mapper::{search, SearchConfig};
+use secureloop_mapper::{search, SearchConfig, SearchMode};
 use secureloop_sim::{generate_trace, replay, TraceError};
 use secureloop_workload::zoo;
 
@@ -20,6 +20,7 @@ fn traces_match_analytical_counts_on_real_schedules() {
         seed: 13,
         threads: 1,
         deadline: None,
+        mode: SearchMode::Random,
     };
     let mut validated = 0;
     for net in [zoo::alexnet_conv(), zoo::mobilenet_v2()] {
@@ -72,6 +73,7 @@ fn pipelining_assumption_is_reasonable_for_best_schedules() {
             seed: 4,
             threads: 2,
             deadline: None,
+            mode: SearchMode::Random,
         },
     )
     .expect("search succeeds")
