@@ -7,13 +7,13 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use secureloop_arch::{Architecture, Dataflow, DramSpec};
-use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_crypto::{CryptoConfig, EngineClass, SchemeId};
 use secureloop_json::Json;
 use secureloop_mapper::{SearchConfig, SearchMode};
 use secureloop_workload::{zoo, Network};
 
 use crate::annealing::AnnealingConfig;
-use crate::dse::{evaluate_designs_sweep, fig16_design_space, pareto_front};
+use crate::dse::{apply_scheme, evaluate_designs_sweep, fig16_design_space, pareto_front};
 use crate::error::SecureLoopError;
 use crate::report;
 use crate::scheduler::{Algorithm, LayerOutcome, Scheduler};
@@ -26,6 +26,7 @@ usage:
   secureloop trace --workload <name> --layer <i> [options]
   secureloop serve --state-dir <dir> [options]
   secureloop suite <dir> [--json]
+  secureloop compare-schemes --workload <name> [options]
   secureloop workloads
 
 workloads: alexnet | alexnet_grouped | resnet18 | resnet50 | mobilenet_v2 |
@@ -39,9 +40,20 @@ suite: run every *.yaml scenario under <dir> (recursively) through the
   violated bound exits 1 (the report still prints); a degraded-but-in-
   bounds scenario exits 2.
 
+compare-schemes: run one design under every protection scheme and
+  tabulate latency/energy/overhead deltas against the unprotected
+  baseline; combinations a scheme cannot realise on the chosen engine
+  class are reported as unsupported.
+
 options:
   --engine <pipelined|parallel|serial>   crypto engine class (default parallel)
   --engines <n>                          engine count (default 3; 0 = unsecure)
+  --scheme <none|aes-gcm|seculator|seda> protection-scheme cost model (default
+                                         aes-gcm, the paper's Table 2; none
+                                         strips the crypto engines; on suite it
+                                         overrides every scenario, on serve it
+                                         is the default for jobs that do not
+                                         choose their own)
   --pe <XxY>                             PE array (default 14x12)
   --glb-kb <n>                           global buffer in kB (default 131)
   --dram <lpddr4|lpddr4-128|hbm2>        DRAM interface (default lpddr4)
@@ -185,6 +197,9 @@ pub struct Options {
     pub engine: EngineClass,
     /// Engine count (0 = no crypto).
     pub engines: usize,
+    /// Protection scheme (`--scheme`): `None` keeps the default
+    /// AES-GCM pricing from the arch file / engine flags.
+    pub scheme: Option<SchemeId>,
     /// PE array.
     pub pe: (usize, usize),
     /// GLB capacity in kB.
@@ -254,6 +269,7 @@ impl Default for Options {
             algorithm: Algorithm::CryptOptCross,
             engine: EngineClass::Parallel,
             engines: 3,
+            scheme: None,
             pe: (14, 12),
             glb_kb: 131,
             dram: "lpddr4".into(),
@@ -297,7 +313,7 @@ pub fn parse(args: &[String]) -> Result<Options, CliError> {
     opts.command = it.next().ok_or_else(|| usage("missing command"))?.clone();
     if !matches!(
         opts.command.as_str(),
-        "schedule" | "dse" | "workloads" | "trace" | "serve" | "suite"
+        "schedule" | "dse" | "workloads" | "trace" | "serve" | "suite" | "compare-schemes"
     ) {
         return Err(usage(format!("unknown command '{}'", opts.command)));
     }
@@ -330,6 +346,14 @@ pub fn parse(args: &[String]) -> Result<Options, CliError> {
                 opts.engines = value()?
                     .parse()
                     .map_err(|_| usage("--engines expects an integer"))?
+            }
+            "--scheme" => {
+                let v = value()?;
+                opts.scheme = Some(SchemeId::from_name(&v).ok_or_else(|| {
+                    usage(format!(
+                        "unknown scheme '{v}' (expected none | aes-gcm | seculator | seda)"
+                    ))
+                })?);
             }
             "--pe" => {
                 let v = value()?;
@@ -545,11 +569,13 @@ pub struct ArchFile {
     pub engines: Option<usize>,
     /// Truncated tag bits.
     pub tag_bits: Option<u32>,
+    /// Protection-scheme name (`none`, `aes-gcm`, `seculator`, `seda`).
+    pub scheme: Option<String>,
 }
 
 /// Fields accepted by [`ArchFile::parse`], for the unknown-field error.
 const ARCH_FIELDS: &str =
-    "name, pe, glb_kb, noc_bytes_per_cycle, dram, dataflow, engine, engines, tag_bits";
+    "name, pe, glb_kb, noc_bytes_per_cycle, dram, dataflow, engine, engines, tag_bits, scheme";
 
 /// Engine counts beyond this are treated as input errors: the crypto
 /// datapath models a handful of AES-GCM engines, not thousands.
@@ -616,6 +642,7 @@ impl ArchFile {
                             arch_err("tag_bits", "expected a small integer bit width")
                         })?);
                 }
+                "scheme" => f.scheme = Some(field_str(key, value)?),
                 other => {
                     return Err(arch_err(
                         other,
@@ -670,6 +697,14 @@ impl ArchFile {
                 ));
             }
         }
+        if let Some(s) = &self.scheme {
+            if SchemeId::from_name(s).is_none() {
+                return Err(arch_err(
+                    "scheme",
+                    format!("unknown scheme '{s}' (expected none | aes-gcm | seculator | seda)"),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -721,11 +756,38 @@ pub fn arch_from_file(f: &ArchFile) -> Result<Architecture, CliError> {
             other => return Err(arch_err("dataflow", format!("unknown dataflow '{other}'"))),
         });
     }
+    let scheme = match f.scheme.as_deref() {
+        None => None,
+        Some(s) => Some(
+            SchemeId::from_name(s)
+                .ok_or_else(|| arch_err("scheme", format!("unknown scheme '{s}'")))?,
+        ),
+    };
     let count = f.engines.unwrap_or(if f.engine.is_some() { 3 } else { 0 });
-    if count > 0 {
+    if count == 0 && scheme.is_some_and(|s| s != SchemeId::None) {
+        return Err(arch_err(
+            "scheme",
+            format!(
+                "scheme '{}' needs a crypto engine configuration (engines > 0)",
+                scheme.unwrap()
+            ),
+        ));
+    }
+    if count > 0 && scheme != Some(SchemeId::None) {
         let class = engine_by_name(f.engine.as_deref().unwrap_or("parallel"))
             .map_err(|_| arch_err("engine", "expected pipelined | parallel | serial"))?;
         let mut cfg = CryptoConfig::new(class, count);
+        if let Some(s) = scheme {
+            if !s.model().supports(class) {
+                return Err(arch_err(
+                    "scheme",
+                    format!("scheme '{s}' does not support the {class} engine class"),
+                ));
+            }
+            // `with_scheme` adopts the scheme's default tag width; an
+            // explicit `tag_bits` below still overrides it.
+            cfg = cfg.with_scheme(s);
+        }
         if let Some(tag) = f.tag_bits {
             cfg.tag_bits = tag;
         }
@@ -734,7 +796,10 @@ pub fn arch_from_file(f: &ArchFile) -> Result<Architecture, CliError> {
     Ok(arch)
 }
 
-fn architecture(opts: &Options) -> Result<Architecture, CliError> {
+/// Build the architecture from the arch file / engine flags, before
+/// any `--scheme` override (the `compare-schemes` command needs the
+/// scheme-agnostic base to re-price under every backend).
+fn architecture_base(opts: &Options) -> Result<Architecture, CliError> {
     if let Some(path) = &opts.arch_file {
         let text =
             std::fs::read_to_string(path).map_err(|e| usage(format!("cannot read {path}: {e}")))?;
@@ -752,6 +817,14 @@ fn architecture(opts: &Options) -> Result<Architecture, CliError> {
         arch = arch.with_crypto(CryptoConfig::new(opts.engine, opts.engines));
     }
     Ok(arch)
+}
+
+fn architecture(opts: &Options) -> Result<Architecture, CliError> {
+    let arch = architecture_base(opts)?;
+    match opts.scheme {
+        None => Ok(arch),
+        Some(s) => apply_scheme(&arch, s).map_err(usage),
+    }
 }
 
 fn scheduler(opts: &Options, arch: Architecture) -> Scheduler {
@@ -894,7 +967,12 @@ fn dispatch(opts: &Options) -> Result<CliOutput, CliError> {
                 .suite_dir
                 .as_deref()
                 .ok_or_else(|| usage("suite needs a scenario directory: secureloop suite <dir>"))?;
-            crate::suite::run_suite(std::path::Path::new(dir), opts.json, opts.search_mode)
+            crate::suite::run_suite(
+                std::path::Path::new(dir),
+                opts.json,
+                opts.search_mode,
+                opts.scheme,
+            )
         }
         "serve" => {
             let state_dir = opts
@@ -905,7 +983,8 @@ fn dispatch(opts: &Options) -> Result<CliOutput, CliError> {
                 .with_queue_depth(opts.queue_depth)
                 .with_workers(opts.service_workers)
                 .with_job_workers(opts.job_workers)
-                .with_search_mode(opts.search_mode);
+                .with_search_mode(opts.search_mode)
+                .with_default_scheme(opts.scheme);
             if let Some(mb) = opts.cache_budget_mb {
                 cfg = cfg.with_cache_budget_bytes(mb.saturating_mul(1024 * 1024));
             }
@@ -1056,7 +1135,29 @@ fn dispatch(opts: &Options) -> Result<CliOutput, CliError> {
                 .as_deref()
                 .ok_or_else(|| usage("dse needs --workload"))?;
             let net = workload(name)?;
-            let designs = fig16_design_space();
+            let space = fig16_design_space();
+            let mut scheme_note = None;
+            let designs = match opts.scheme {
+                None => space,
+                Some(s) => {
+                    let kept: Vec<_> = space
+                        .iter()
+                        .filter_map(|a| apply_scheme(a, s).ok())
+                        .collect();
+                    if kept.is_empty() {
+                        return Err(usage(format!(
+                            "scheme '{s}' supports no design in the space"
+                        )));
+                    }
+                    if kept.len() < space.len() {
+                        scheme_note = Some(format!(
+                            "scheme '{s}': {} design(s) excluded (engine class unsupported)",
+                            space.len() - kept.len()
+                        ));
+                    }
+                    kept
+                }
+            };
             let deadline = opts.deadline_secs.map(Duration::from_secs_f64);
             let annealing = {
                 let a = AnnealingConfig::paper_default().with_iterations(opts.iterations.min(300));
@@ -1081,7 +1182,7 @@ fn dispatch(opts: &Options) -> Result<CliOutput, CliError> {
             if let Some(path) = &opts.cache_file {
                 sweep_opts = sweep_opts.with_cache_path(path);
             }
-            let sweep = evaluate_designs_sweep(
+            let mut sweep = evaluate_designs_sweep(
                 &net,
                 &designs,
                 opts.algorithm,
@@ -1096,6 +1197,9 @@ fn dispatch(opts: &Options) -> Result<CliOutput, CliError> {
                 &annealing,
                 &sweep_opts,
             )?;
+            if let Some(note) = scheme_note {
+                sweep.warnings.push(note);
+            }
             let results = &sweep.results;
             let front = pareto_front(results);
             let status = if sweep.interrupted {
@@ -1170,6 +1274,150 @@ fn dispatch(opts: &Options) -> Result<CliOutput, CliError> {
             out.push_str(&report::telemetry_summary_text(
                 &secureloop_telemetry::snapshot(),
             ));
+            Ok(CliOutput { text: out, status })
+        }
+        "compare-schemes" => {
+            let name = opts
+                .workload
+                .as_deref()
+                .ok_or_else(|| usage("compare-schemes needs --workload"))?;
+            if opts.algorithm == Algorithm::Unsecure {
+                return Err(usage(
+                    "compare-schemes runs the unprotected baseline itself; \
+                     pick a secure --algorithm for the protected rows",
+                ));
+            }
+            let net = workload(name)?;
+            let base = architecture_base(opts)?;
+            if base.crypto().is_none() {
+                return Err(usage(
+                    "compare-schemes needs a crypto engine configuration (--engines > 0)",
+                ));
+            }
+            struct RowData {
+                latency: u64,
+                energy_pj: f64,
+                overhead_mbit: f64,
+                edp: f64,
+                crypto_mm2: f64,
+            }
+            let mut degraded_any = false;
+            let mut rows: Vec<(SchemeId, Result<RowData, String>)> = Vec::new();
+            for id in SchemeId::ALL {
+                match apply_scheme(&base, id) {
+                    Err(reason) => rows.push((id, Err(reason))),
+                    Ok(arch) => {
+                        let _scope =
+                            secureloop_telemetry::enter_scope(format!("scheme:{}", id.name()));
+                        let algorithm = if id == SchemeId::None {
+                            Algorithm::Unsecure
+                        } else {
+                            opts.algorithm
+                        };
+                        let area = secureloop_energy::AreaModel::of(&arch);
+                        let sched = scheduler(opts, arch).schedule(&net, algorithm)?;
+                        degraded_any |= sched.degraded_count() + sched.failed_count() > 0;
+                        rows.push((
+                            id,
+                            Ok(RowData {
+                                latency: sched.total_latency_cycles,
+                                energy_pj: sched.total_energy_pj,
+                                overhead_mbit: sched.overhead.total_bits() as f64 / 1e6,
+                                edp: sched.edp(),
+                                crypto_mm2: area.crypto_mm2,
+                            }),
+                        ));
+                    }
+                }
+            }
+            let baseline = rows
+                .iter()
+                .find(|(id, _)| *id == SchemeId::None)
+                .and_then(|(_, r)| r.as_ref().ok())
+                .map(|r| (r.latency, r.energy_pj));
+            let status = if degraded_any {
+                RunStatus::Degraded
+            } else {
+                RunStatus::Success
+            };
+            if opts.json {
+                let arr: Vec<Json> = rows
+                    .iter()
+                    .map(|(id, r)| match r {
+                        Ok(d) => {
+                            let mut v = Json::obj()
+                                .field("scheme", id.name())
+                                .field("supported", true)
+                                .field("latency_cycles", d.latency)
+                                .field("energy_pj", d.energy_pj)
+                                .field("overhead_mbit", d.overhead_mbit)
+                                .field("edp", d.edp)
+                                .field("crypto_mm2", d.crypto_mm2);
+                            if let Some((bl, be)) = baseline {
+                                v = v
+                                    .field("latency_vs_unprotected", d.latency as f64 / bl as f64)
+                                    .field("energy_vs_unprotected", d.energy_pj / be);
+                            }
+                            v
+                        }
+                        Err(reason) => Json::obj()
+                            .field("scheme", id.name())
+                            .field("supported", false)
+                            .field("reason", reason.as_str()),
+                    })
+                    .collect();
+                let v = Json::obj()
+                    .field("workload", name)
+                    .field(
+                        "engine",
+                        base.crypto().map(|c| c.class.name()).unwrap_or("-"),
+                    )
+                    .field("schemes", Json::Arr(arr));
+                return Ok(CliOutput {
+                    text: v.pretty(),
+                    status,
+                });
+            }
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{name} on {} ({} engine class)",
+                base.name(),
+                base.crypto().map(|c| c.class.name()).unwrap_or("-"),
+            );
+            let _ = writeln!(
+                out,
+                "{:<12} {:>14} {:>8} {:>12} {:>8} {:>14} {:>11}",
+                "scheme", "cycles", "lat", "energy(uJ)", "energy", "overhead(Mb)", "crypto(mm2)"
+            );
+            for (id, r) in &rows {
+                match r {
+                    Ok(d) => {
+                        let (lat_x, en_x) = baseline
+                            .map(|(bl, be)| {
+                                (
+                                    format!("{:.2}x", d.latency as f64 / bl as f64),
+                                    format!("{:.2}x", d.energy_pj / be),
+                                )
+                            })
+                            .unwrap_or_else(|| ("-".into(), "-".into()));
+                        let _ = writeln!(
+                            out,
+                            "{:<12} {:>14} {:>8} {:>12.1} {:>8} {:>14.2} {:>11.3}",
+                            id.display_name(),
+                            d.latency,
+                            lat_x,
+                            d.energy_pj / 1e6,
+                            en_x,
+                            d.overhead_mbit,
+                            d.crypto_mm2,
+                        );
+                    }
+                    Err(reason) => {
+                        let _ = writeln!(out, "{:<12} unsupported: {reason}", id.display_name());
+                    }
+                }
+            }
             Ok(CliOutput { text: out, status })
         }
         // `parse` validated the command already, but keep this path an
@@ -1256,6 +1504,128 @@ mod tests {
         ));
         // Missing directory surfaces at dispatch.
         assert!(matches!(run(&argv("suite")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parse_scheme_flag() {
+        let o = parse(&argv("dse --workload alexnet --scheme seculator")).unwrap();
+        assert_eq!(o.scheme, Some(SchemeId::Seculator));
+        let o = parse(&argv("suite suites/smoke --scheme none")).unwrap();
+        assert_eq!(o.scheme, Some(SchemeId::None));
+        let o = parse(&argv("compare-schemes --workload alexnet")).unwrap();
+        assert_eq!(o.command, "compare-schemes");
+        assert_eq!(o.scheme, None, "default is the architecture's scheme");
+        let e = parse(&argv("dse --workload alexnet --scheme rot13")).unwrap_err();
+        assert!(
+            e.to_string().contains("none | aes-gcm | seculator | seda"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn arch_file_scheme_field_selects_the_backend() {
+        let f =
+            ArchFile::parse(r#"{"engine":"parallel","engines":3,"scheme":"seculator"}"#).unwrap();
+        let arch = arch_from_file(&f).unwrap();
+        let cc = arch.crypto().unwrap();
+        assert_eq!(cc.scheme, SchemeId::Seculator);
+        assert_eq!(cc.tag_bits, 32, "scheme default tag adopted");
+
+        // An explicit tag_bits wins over the scheme default.
+        let f = ArchFile::parse(
+            r#"{"engine":"parallel","engines":3,"scheme":"seculator","tag_bits":128}"#,
+        )
+        .unwrap();
+        assert_eq!(arch_from_file(&f).unwrap().crypto().unwrap().tag_bits, 128);
+
+        // `"scheme":"none"` strips the crypto config entirely.
+        let f = ArchFile::parse(r#"{"engine":"parallel","engines":3,"scheme":"none"}"#).unwrap();
+        assert!(arch_from_file(&f).unwrap().crypto().is_none());
+    }
+
+    #[test]
+    fn arch_file_scheme_field_rejects_bad_combos() {
+        let e = ArchFile::parse(r#"{"scheme":"rot13"}"#).unwrap_err();
+        assert!(
+            matches!(&e, CliError::Arch { field, .. } if field == "scheme"),
+            "{e}"
+        );
+        // A protected scheme with no engines is impossible.
+        let f = ArchFile::parse(r#"{"engines":0,"scheme":"seculator"}"#).unwrap();
+        let e = arch_from_file(&f).unwrap_err();
+        assert!(
+            e.to_string()
+                .contains("needs a crypto engine configuration"),
+            "{e}"
+        );
+        // SeDA has no pipelined design point.
+        let f = ArchFile::parse(r#"{"engine":"pipelined","engines":2,"scheme":"seda"}"#).unwrap();
+        let e = arch_from_file(&f).unwrap_err();
+        assert!(
+            e.to_string()
+                .contains("does not support the Pipelined engine class"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn compare_schemes_runs_end_to_end() {
+        let out = run(&argv(
+            "compare-schemes --workload llm_decode --samples 100 --iterations 5",
+        ))
+        .unwrap();
+        assert!(out.contains("Unprotected"), "{out}");
+        assert!(out.contains("AES-GCM"), "{out}");
+        assert!(out.contains("Seculator"), "{out}");
+        assert!(out.contains("SeDA"), "{out}");
+        assert!(out.contains("1.00x"), "baseline ratios present: {out}");
+    }
+
+    #[test]
+    fn compare_schemes_json_marks_unsupported_rows() {
+        let out = run(&argv(
+            "compare-schemes --workload llm_decode --engine pipelined \
+             --samples 100 --iterations 5 --json",
+        ))
+        .unwrap();
+        let v = Json::parse(&out).unwrap();
+        let rows = v["schemes"].as_array().unwrap();
+        assert_eq!(rows.len(), 4, "one row per scheme");
+        let seda = rows
+            .iter()
+            .find(|r| r["scheme"].as_str() == Some("seda"))
+            .unwrap();
+        assert_eq!(seda["supported"].as_bool(), Some(false));
+        assert!(seda["reason"]
+            .as_str()
+            .unwrap()
+            .contains("Pipelined engine class"));
+        // The unprotected baseline dominates every protected row.
+        let base = rows
+            .iter()
+            .find(|r| r["scheme"].as_str() == Some("none"))
+            .unwrap();
+        let base_lat = base["latency_cycles"].as_u64().unwrap();
+        let base_en = base["energy_pj"].as_f64().unwrap();
+        for r in rows {
+            if r["supported"].as_bool() == Some(true) && r["scheme"].as_str() != Some("none") {
+                assert!(r["latency_cycles"].as_u64().unwrap() >= base_lat);
+                assert!(r["energy_pj"].as_f64().unwrap() >= base_en);
+            }
+        }
+    }
+
+    #[test]
+    fn compare_schemes_requires_workload_and_a_secure_algorithm() {
+        let e = run(&argv("compare-schemes")).unwrap_err();
+        assert!(e.to_string().contains("--workload"), "{e}");
+        let e = run(&argv(
+            "compare-schemes --workload llm_decode --algorithm unsecure",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("unprotected baseline"), "{e}");
+        let e = run(&argv("compare-schemes --workload llm_decode --engines 0")).unwrap_err();
+        assert!(e.to_string().contains("crypto engine"), "{e}");
     }
 
     #[test]

@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use secureloop_arch::{Architecture, DramSpec};
-use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_crypto::{CryptoConfig, EngineClass, SchemeId};
 use secureloop_energy::AreaModel;
 use secureloop_mapper::{cancel, CancelToken, CandidateCache, SearchConfig};
 use secureloop_telemetry::{self as telemetry, Counter, Timer};
@@ -126,6 +126,38 @@ pub fn fig16_design_space() -> Vec<Architecture> {
         }
     }
     designs
+}
+
+/// Re-price one design under a protection scheme.
+///
+/// `none` strips the crypto configuration (the unprotected baseline);
+/// any other scheme re-prices the existing engine configuration via
+/// [`CryptoConfig::with_scheme`], adopting the scheme's default tag
+/// width. The design's name is kept: a scheme selection applies to a
+/// whole run, so labels stay comparable across schemes.
+///
+/// # Errors
+///
+/// A client-facing reason when the design has no engine configuration
+/// to re-price, or when the scheme cannot be realised on the design's
+/// engine class (e.g. `seculator` on `Serial`).
+pub fn apply_scheme(arch: &Architecture, scheme: SchemeId) -> Result<Architecture, String> {
+    match scheme {
+        SchemeId::None => Ok(arch.clone().without_crypto()),
+        s => {
+            let cc = arch.crypto().ok_or_else(|| {
+                format!("scheme '{s}' needs a crypto engine configuration (engines > 0)")
+            })?;
+            if !s.model().supports(cc.class) {
+                return Err(format!(
+                    "scheme '{s}' does not support the {} engine class",
+                    cc.class
+                ));
+            }
+            let repriced = cc.clone().with_scheme(s);
+            Ok(arch.clone().with_crypto(repriced))
+        }
+    }
 }
 
 /// One completed sweep (possibly resumed from a checkpoint).
@@ -492,6 +524,13 @@ pub fn evaluate_designs_sweep(
         let arch = &designs[idx];
         let label = arch.name().to_string();
         let mut span = telemetry::span("dse", label.clone()).with_timer(&DESIGN_TIMER);
+        // Tag every search with its protection scheme so traces from a
+        // scheme-matrix run can be sliced per backend.
+        let scheme = arch
+            .crypto()
+            .map(|c| c.scheme.name())
+            .unwrap_or(SchemeId::None.name());
+        span.add_field("scheme", scheme);
         // The supervisor may run the attempt on a watchdog thread, so
         // the task must own (`'static`) everything it touches; it must
         // also be `Clone` so a panicking attempt can be retried.

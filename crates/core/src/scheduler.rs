@@ -387,6 +387,12 @@ impl Scheduler {
         )
         .with_timer(&SCHEDULE_TIMER);
         let arch = self.arch_for(algorithm);
+        // Tag the schedule (and thus every search under it) with its
+        // protection scheme so traces can be sliced per backend.
+        span.add_field(
+            "scheme",
+            arch.crypto().map(|c| c.scheme.name()).unwrap_or("none"),
+        );
         let mut layers: Vec<Option<LayerResult>> = vec![None; network.len()];
         let mut outcomes: Vec<(String, LayerOutcome)> = network
             .layers()

@@ -4,11 +4,12 @@
 use std::time::Duration;
 
 use secureloop_arch::Architecture;
+use secureloop_crypto::SchemeId;
 use secureloop_json::Json;
 use secureloop_mapper::FaultPlan;
 use secureloop_workload::Network;
 
-use crate::dse::fig16_design_space;
+use crate::dse::{apply_scheme, fig16_design_space};
 use crate::scheduler::Algorithm;
 
 /// Job ids become file names (`<state_dir>/<id>.ckpt.json`), so they
@@ -124,32 +125,63 @@ pub struct JobSpec {
     /// Optional per-layer wall-clock deadline in seconds. A deadline
     /// trades determinism for latency exactly as in the one-shot CLI.
     pub deadline_secs: Option<f64>,
+    /// Optional protection scheme re-pricing the resolved designs
+    /// (`None` keeps the space's default AES-GCM pricing; mirrors the
+    /// CLI's `--scheme`).
+    pub scheme: Option<SchemeId>,
     /// Optional injected fault (chaos-test hook).
     pub fault: Option<FaultSpec>,
 }
 
 impl JobSpec {
     /// Resolve the design labels against the Fig. 16 space, in space
-    /// order (empty = the whole space, exactly like `secureloop dse`).
+    /// order (empty = the whole space, exactly like `secureloop dse`),
+    /// then re-price under the job's protection scheme if one was
+    /// requested.
+    ///
+    /// With an explicit design list, a scheme that cannot be realised
+    /// on a named design's engine class is an error (the client asked
+    /// for a contradiction). With the full space, unsupported designs
+    /// are filtered out instead — "the whole space under scheme S"
+    /// means the supported part of it.
     ///
     /// # Errors
     ///
-    /// Names the first unknown label.
+    /// Names the first unknown label or invalid scheme/class pairing.
     pub fn resolve_designs(&self) -> Result<Vec<Architecture>, String> {
         let space = fig16_design_space();
+        let resolved: Vec<Architecture> = if self.designs.is_empty() {
+            space
+        } else {
+            self.designs
+                .iter()
+                .map(|want| {
+                    space
+                        .iter()
+                        .find(|a| a.name() == want)
+                        .cloned()
+                        .ok_or_else(|| format!("unknown design '{want}'"))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let Some(scheme) = self.scheme else {
+            return Ok(resolved);
+        };
         if self.designs.is_empty() {
-            return Ok(space);
+            let kept: Vec<Architecture> = resolved
+                .iter()
+                .filter_map(|a| apply_scheme(a, scheme).ok())
+                .collect();
+            if kept.is_empty() {
+                return Err(format!("scheme '{scheme}' supports no design in the space"));
+            }
+            Ok(kept)
+        } else {
+            resolved
+                .iter()
+                .map(|a| apply_scheme(a, scheme).map_err(|e| format!("design '{}': {e}", a.name())))
+                .collect()
         }
-        self.designs
-            .iter()
-            .map(|want| {
-                space
-                    .iter()
-                    .find(|a| a.name() == want)
-                    .cloned()
-                    .ok_or_else(|| format!("unknown design '{want}'"))
-            })
-            .collect()
     }
 
     /// Resolve the workload name against the model zoo.
@@ -181,6 +213,9 @@ impl JobSpec {
             .field("seed", self.seed);
         if let Some(d) = self.deadline_secs {
             v = v.field("deadline_secs", d);
+        }
+        if let Some(s) = self.scheme {
+            v = v.field("scheme", s.name());
         }
         if let Some(f) = &self.fault {
             v = v.field("fault", f.to_json());
@@ -243,6 +278,15 @@ impl JobSpec {
                 Some(secs)
             }
         };
+        let scheme = match &v["scheme"] {
+            Json::Null => None,
+            s => {
+                let name = s.as_str().ok_or("'scheme' must be a string")?;
+                Some(SchemeId::from_name(name).ok_or_else(|| {
+                    format!("unknown scheme '{name}' (expected none | aes-gcm | seculator | seda)")
+                })?)
+            }
+        };
         let fault = match &v["fault"] {
             Json::Null => None,
             f => Some(FaultSpec::from_json(f)?),
@@ -256,6 +300,7 @@ impl JobSpec {
             iterations: v["iterations"].as_usize().unwrap_or(1000),
             seed: v["seed"].as_u64().unwrap_or(1),
             deadline_secs,
+            scheme,
             fault,
         })
     }
@@ -469,6 +514,7 @@ mod tests {
             iterations: 20,
             seed: 7,
             deadline_secs: None,
+            scheme: None,
             fault: None,
         }
     }
@@ -483,8 +529,57 @@ mod tests {
             stall_ms: 50,
         });
         s.deadline_secs = Some(2.5);
+        s.scheme = Some(SchemeId::Seculator);
         let back = JobSpec::from_json(&s.to_json()).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn unknown_scheme_names_are_rejected_at_parse() {
+        let v = spec().to_json().field("scheme", "rot13");
+        let err = JobSpec::from_json(&v).unwrap_err();
+        assert!(err.contains("unknown scheme 'rot13'"), "got: {err}");
+    }
+
+    #[test]
+    fn schemes_reprice_resolved_designs() {
+        use secureloop_crypto::EngineClass;
+        // Explicit design + supported scheme: re-priced in place.
+        let mut s = spec();
+        s.scheme = Some(SchemeId::Seculator);
+        let designs = s.resolve_designs().unwrap();
+        let cc = designs[0].crypto().unwrap();
+        assert_eq!(cc.scheme, SchemeId::Seculator);
+        assert_eq!(cc.tag_bits, 32);
+        // `none` strips crypto entirely.
+        s.scheme = Some(SchemeId::None);
+        assert!(s.resolve_designs().unwrap()[0].crypto().is_none());
+        // Full space under SeDA keeps only the Parallel designs.
+        s.designs.clear();
+        s.scheme = Some(SchemeId::Seda);
+        let seda = s.resolve_designs().unwrap();
+        assert!(!seda.is_empty());
+        assert!(seda
+            .iter()
+            .all(|a| a.crypto().unwrap().class == EngineClass::Parallel));
+    }
+
+    #[test]
+    fn admission_rejects_invalid_scheme_class_pairings() {
+        let policy = AdmissionPolicy::default();
+        // The explicitly named design is Pipelined; SeDA cannot be
+        // realised on a fully-pipelined core.
+        let mut s = spec();
+        s.scheme = Some(SchemeId::Seda);
+        let err = policy.admit(&s).unwrap_err();
+        assert!(
+            err.contains("does not support the Pipelined engine class"),
+            "got: {err}"
+        );
+        // The same scheme over the whole space is admissible (the
+        // unsupported half is filtered).
+        s.designs.clear();
+        assert!(policy.admit(&s).is_ok());
     }
 
     #[test]

@@ -165,6 +165,7 @@ mod tests {
                 iterations: 10,
                 seed: 1,
                 deadline_secs: None,
+                scheme: None,
                 fault: None,
             },
             state,

@@ -61,6 +61,10 @@ pub struct ServiceConfig {
     /// jobs of one process share cache entries; mirrors the CLI's
     /// `--search-mode`).
     pub search_mode: SearchMode,
+    /// Protection scheme applied to jobs that do not choose their own
+    /// (mirrors the CLI's `--scheme` on `serve`). `None` keeps each
+    /// job's default AES-GCM pricing.
+    pub default_scheme: Option<secureloop_crypto::SchemeId>,
 }
 
 impl ServiceConfig {
@@ -76,6 +80,7 @@ impl ServiceConfig {
             admission: AdmissionPolicy::default(),
             supervisor: SupervisorConfig::default(),
             search_mode: SearchMode::Guided,
+            default_scheme: None,
         }
     }
 
@@ -118,6 +123,12 @@ impl ServiceConfig {
     /// Replace the mapper exploration strategy.
     pub fn with_search_mode(mut self, mode: SearchMode) -> Self {
         self.search_mode = mode;
+        self
+    }
+
+    /// Set the protection scheme for jobs that do not choose their own.
+    pub fn with_default_scheme(mut self, scheme: Option<secureloop_crypto::SchemeId>) -> Self {
+        self.default_scheme = scheme;
         self
     }
 }
@@ -438,7 +449,7 @@ impl Server {
         true
     }
 
-    fn submit_job<W: Write>(&self, spec: JobSpec, out: &SharedWriter<W>) {
+    fn submit_job<W: Write>(&self, mut spec: JobSpec, out: &SharedWriter<W>) {
         let id = spec.id.clone();
         // A shed id may retry later (that is the point of shedding);
         // any other reuse is a client bug.
@@ -450,6 +461,12 @@ impl Server {
         {
             out.send(protocol::rejected(&id, "duplicate job id"));
             return;
+        }
+        // Fill in the server-level default scheme *before* admission so
+        // the scheme/engine-class validation applies to what will run,
+        // and the journalled spec records the effective scheme.
+        if spec.scheme.is_none() {
+            spec.scheme = self.cfg.default_scheme;
         }
         if let Err(reason) = self.cfg.admission.admit(&spec) {
             out.send(protocol::rejected(&id, &reason));

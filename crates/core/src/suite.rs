@@ -22,6 +22,8 @@
 //!   glb_kb: 131
 //!   engine: parallel
 //!   engines: 3
+//! crypto:                      # optional protection-scheme selection
+//!   scheme: seculator          # none | aes-gcm | seculator | seda
 //! search:                      # optional budgets
 //!   samples: 1024              # mapper sample cap per layer (default 1024)
 //!   iterations: 60             # SA iterations (default 60)
@@ -56,13 +58,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use secureloop_arch::Architecture;
+use secureloop_crypto::SchemeId;
 use secureloop_json::{parse_yaml, Json};
 use secureloop_mapper::{CandidateCache, SearchConfig, SearchMode};
 use secureloop_workload::Network;
 
 use crate::annealing::AnnealingConfig;
 use crate::cli::{arch_from_file, ArchFile, CliError, CliOutput, RunStatus};
-use crate::dse::{evaluate_designs_sweep, SweepOptions};
+use crate::dse::{apply_scheme, evaluate_designs_sweep, SweepOptions};
 use crate::scheduler::{Algorithm, NetworkSchedule};
 
 /// Default mapper sample *cap* per layer for suite runs. Under the
@@ -182,8 +185,29 @@ pub struct Scenario {
     pub seed: u64,
     /// Optional wall-clock budget per layer search / annealed segment.
     pub deadline: Option<Duration>,
+    /// Protection scheme declared by the scenario's `crypto:` block.
+    /// `None` means "whatever the architecture says" (AES-GCM when the
+    /// arch carries a crypto config) — a CLI `--scheme` still overrides.
+    pub scheme: Option<SchemeId>,
     /// Expected-result bounds.
     pub expect: Bounds,
+}
+
+/// 1-based line number of the first line whose content starts with
+/// `needle`, so scenario errors can point at the offending key.
+fn line_of(text: &str, needle: &str) -> Option<usize> {
+    text.lines()
+        .position(|l| l.trim_start().starts_with(needle))
+        .map(|i| i + 1)
+}
+
+/// Prefix `message` with `line N:` when the key can be located in the
+/// raw scenario text.
+fn at_line(text: &str, needle: &str, message: String) -> String {
+    match line_of(text, needle) {
+        Some(n) => format!("line {n}: {message}"),
+        None => message,
+    }
 }
 
 fn want_u64(path: &Path, key: &str, v: &Json) -> Result<u64, CliError> {
@@ -270,6 +294,7 @@ pub fn load_scenario(path: &Path) -> Result<Scenario, CliError> {
     let mut iterations = DEFAULT_ITERATIONS;
     let mut seed = 1u64;
     let mut deadline = None;
+    let mut scheme: Option<SchemeId> = None;
     let mut expect: Option<Bounds> = None;
 
     for (key, value) in fields {
@@ -347,16 +372,74 @@ pub fn load_scenario(path: &Path) -> Result<Scenario, CliError> {
                     }
                 }
             }
+            "crypto" => {
+                let block = value.as_object().ok_or_else(|| {
+                    scenario_err(
+                        path,
+                        at_line(&text, "crypto", "'crypto' must be a mapping".into()),
+                    )
+                })?;
+                for (ck, cv) in block {
+                    match ck.as_str() {
+                        "scheme" => {
+                            let s = cv.as_str().ok_or_else(|| {
+                                scenario_err(
+                                    path,
+                                    at_line(&text, "scheme", "'scheme' expects a string".into()),
+                                )
+                            })?;
+                            let parsed = SchemeId::from_name(s).ok_or_else(|| {
+                                scenario_err(
+                                    path,
+                                    at_line(
+                                        &text,
+                                        "scheme",
+                                        format!(
+                                            "unknown crypto scheme '{s}' (expected none | \
+                                             aes-gcm | seculator | seda)"
+                                        ),
+                                    ),
+                                )
+                            })?;
+                            scheme = Some(parsed);
+                        }
+                        other => {
+                            return Err(scenario_err(
+                                path,
+                                at_line(
+                                    &text,
+                                    other,
+                                    format!("unknown crypto field '{other}' (expected scheme)"),
+                                ),
+                            ))
+                        }
+                    }
+                }
+            }
             "expect" => expect = Some(parse_bounds(path, value)?),
             other => {
                 return Err(scenario_err(
                     path,
                     format!(
                         "unknown field '{other}' (expected name, workload, batch, word_bits, \
-                         algorithm, arch, search, expect)"
+                         algorithm, arch, crypto, search, expect)"
                     ),
                 ))
             }
+        }
+    }
+
+    // Validate the declared scheme against the *final* architecture here
+    // at load time — `arch:` and `crypto:` can appear in either order,
+    // so the combo check has to wait until both are parsed. A suite
+    // with an impossible pairing fails in milliseconds, before any
+    // sweep runs, with the offending line called out.
+    if let Some(s) = scheme {
+        if let Err(e) = apply_scheme(&arch, s) {
+            return Err(scenario_err(
+                path,
+                at_line(&text, "scheme", format!("crypto scheme: {e}")),
+            ));
         }
     }
 
@@ -391,6 +474,7 @@ pub fn load_scenario(path: &Path) -> Result<Scenario, CliError> {
         iterations,
         seed,
         deadline,
+        scheme,
         expect,
     })
 }
@@ -476,17 +560,45 @@ pub struct ScenarioResult {
 /// sharing one in-memory candidate cache, with telemetry scoped per
 /// scenario (`suite:<name>`).
 ///
+/// `scheme_override` (the CLI `--scheme` flag) re-prices *every*
+/// scenario's architecture under that protection scheme, taking
+/// precedence over any per-scenario `crypto: scheme:` declaration.
+/// An override that a scenario's engine class cannot satisfy fails
+/// that suite up front, same as a load error.
+///
 /// # Errors
 ///
-/// [`CliError::Scenario`] for discovery/load problems. Bound
-/// violations are *not* errors: they produce a report with
+/// [`CliError::Scenario`] for discovery/load problems, including a
+/// `scheme_override` incompatible with a scenario's architecture.
+/// Bound violations are *not* errors: they produce a report with
 /// [`RunStatus::Failed`] so the caller still prints the table.
-pub fn run_suite(dir: &Path, json: bool, mode: SearchMode) -> Result<CliOutput, CliError> {
+pub fn run_suite(
+    dir: &Path,
+    json: bool,
+    mode: SearchMode,
+    scheme_override: Option<SchemeId>,
+) -> Result<CliOutput, CliError> {
     let files = discover(dir)?;
-    let scenarios = files
+    let mut scenarios = files
         .iter()
         .map(|p| load_scenario(p))
         .collect::<Result<Vec<_>, _>>()?;
+
+    // Re-price each scenario under its effective scheme before anything
+    // runs: the CLI override wins over the scenario's own `crypto:`
+    // block; an unprotected run also drops to the unsecure algorithm so
+    // the schedule carries no phantom crypto passes.
+    for sc in &mut scenarios {
+        let Some(effective) = scheme_override.or(sc.scheme) else {
+            continue;
+        };
+        sc.arch = apply_scheme(&sc.arch, effective)
+            .map_err(|e| scenario_err(&sc.path, format!("crypto scheme: {e}")))?;
+        if effective == SchemeId::None {
+            sc.algorithm = Algorithm::Unsecure;
+        }
+    }
+    let scenarios = scenarios;
 
     let cache = Arc::new(CandidateCache::new());
     let mut results: Vec<ScenarioResult> = Vec::new();

@@ -143,6 +143,121 @@ fn out_of_range_values_are_typed_errors() {
 }
 
 #[test]
+fn unknown_crypto_scheme_is_a_line_numbered_error() {
+    let dir = scratch("crypto-scheme-unknown");
+    let p = write(
+        &dir,
+        "s.yaml",
+        "workload: llm_decode\ncrypto:\n  scheme: rot13\nexpect:\n  max_latency_cycles: 1\n",
+    );
+    let result = load_scenario(&p);
+    assert_scenario_err(result, "unknown crypto scheme 'rot13'");
+    // The message points at the offending line: `scheme:` is line 3.
+    match load_scenario(&p) {
+        Err(CliError::Scenario { message, .. }) => {
+            assert!(
+                message.contains("line 3:"),
+                "error carries the line number, got: {message}"
+            );
+            assert!(
+                message.contains("none | aes-gcm | seculator | seda"),
+                "error lists the valid schemes, got: {message}"
+            );
+        }
+        other => panic!("expected CliError::Scenario, got: {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_crypto_field_is_a_line_numbered_error() {
+    let dir = scratch("crypto-field-unknown");
+    let p = write(
+        &dir,
+        "s.yaml",
+        "workload: llm_decode\ncrypto:\n  cipher: aes\nexpect:\n  max_latency_cycles: 1\n",
+    );
+    match load_scenario(&p) {
+        Err(CliError::Scenario { message, .. }) => {
+            assert!(
+                message.contains("unknown crypto field 'cipher'") && message.contains("line 3:"),
+                "got: {message}"
+            );
+        }
+        other => panic!("expected CliError::Scenario, got: {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_scheme_engine_class_combo_fails_at_load_with_line_number() {
+    let dir = scratch("crypto-combo");
+    // SeDA supports Parallel and Serial only; the scenario pins a
+    // pipelined engine, so the pairing is impossible.
+    let p = write(
+        &dir,
+        "s.yaml",
+        "workload: llm_decode\narch:\n  engine: pipelined\n  engines: 2\n\
+         crypto:\n  scheme: seda\nexpect:\n  max_latency_cycles: 1\n",
+    );
+    match load_scenario(&p) {
+        Err(CliError::Scenario { message, .. }) => {
+            assert!(
+                message.contains("does not support the Pipelined engine class")
+                    && message.contains("line 6:"),
+                "got: {message}"
+            );
+        }
+        other => panic!("expected CliError::Scenario, got: {other:?}"),
+    }
+}
+
+#[test]
+fn scheme_on_cryptoless_arch_fails_at_load() {
+    let dir = scratch("crypto-no-engines");
+    let p = write(
+        &dir,
+        "s.yaml",
+        "workload: llm_decode\narch:\n  engines: 0\n\
+         crypto:\n  scheme: seculator\nexpect:\n  max_latency_cycles: 1\n",
+    );
+    match load_scenario(&p) {
+        Err(CliError::Scenario { message, .. }) => {
+            assert!(
+                message.contains("needs a crypto engine configuration"),
+                "got: {message}"
+            );
+        }
+        other => panic!("expected CliError::Scenario, got: {other:?}"),
+    }
+}
+
+#[test]
+fn cli_scheme_override_incompatible_with_a_scenario_fails_the_suite() {
+    let dir = scratch("override-combo");
+    write(
+        &dir,
+        "pipelined.yaml",
+        "workload: llm_decode\narch:\n  engine: pipelined\n  engines: 2\n\
+         search:\n  samples: 120\n  iterations: 5\n\
+         expect:\n  max_latency_cycles: 99999999999\n",
+    );
+    match run_suite(
+        &dir,
+        false,
+        SearchMode::Guided,
+        Some(secureloop_crypto::SchemeId::Seda),
+    ) {
+        Err(CliError::Scenario { path, message }) => {
+            assert!(path.ends_with("pipelined.yaml"), "names the file: {path}");
+            assert!(
+                message.contains("does not support the Pipelined engine class"),
+                "got: {message}"
+            );
+        }
+        other => panic!("expected CliError::Scenario, got: {other:?}"),
+    }
+}
+
+#[test]
 fn empty_suite_dir_is_an_error_not_a_pass() {
     let dir = scratch("empty");
     match discover(&dir) {
@@ -152,7 +267,7 @@ fn empty_suite_dir_is_an_error_not_a_pass() {
         other => panic!("expected CliError::Scenario for empty dir, got: {other:?}"),
     }
     // And via the runner: same typed error, so the CLI exits 1.
-    assert!(run_suite(&dir, false, SearchMode::Guided).is_err());
+    assert!(run_suite(&dir, false, SearchMode::Guided, None).is_err());
 }
 
 #[test]
@@ -170,7 +285,7 @@ fn one_bad_file_fails_the_whole_suite_before_any_run() {
         "workload: llm_decode\nexpect:\n  max_latency_cycles: 99999999\n",
     );
     write(&dir, "bad.yaml", "workload: llm_decode\nexpect: nothing\n");
-    match run_suite(&dir, false, SearchMode::Guided) {
+    match run_suite(&dir, false, SearchMode::Guided, None) {
         Err(CliError::Scenario { path, .. }) => {
             assert!(
                 path.ends_with("bad.yaml"),
@@ -191,7 +306,7 @@ fn violated_bound_reports_fail_and_failed_status() {
          search:\n  samples: 120\n  iterations: 5\n\
          expect:\n  max_latency_cycles: 10\n",
     );
-    let out = run_suite(&dir, false, SearchMode::Guided).expect("suite runs to completion");
+    let out = run_suite(&dir, false, SearchMode::Guided, None).expect("suite runs to completion");
     assert_eq!(
         out.status,
         RunStatus::Failed,
@@ -225,7 +340,7 @@ fn in_bounds_scenario_passes() {
          search:\n  samples: 120\n  iterations: 5\n\
          expect:\n  max_latency_cycles: 99999999999\n",
     );
-    let out = run_suite(&dir, false, SearchMode::Guided).expect("suite runs");
+    let out = run_suite(&dir, false, SearchMode::Guided, None).expect("suite runs");
     assert_eq!(out.status, RunStatus::Success, "{}", out.text);
     assert!(out.text.contains("passed 1"), "{}", out.text);
 }

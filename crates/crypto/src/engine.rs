@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use crate::scheme::{ProtectionScheme, SchemeId};
+
 /// Bytes in one AES-GCM block (128 bits).
 pub const BLOCK_BYTES: u64 = 16;
 
@@ -187,21 +189,45 @@ pub struct CryptoConfig {
     pub count: usize,
     /// Truncated authentication-tag size stored per AuthBlock, in bits.
     pub tag_bits: u32,
+    /// Protection-scheme backend pricing the engines. Defaults to the
+    /// paper's AES-GCM Table-2 model; all derived cost quantities
+    /// delegate to this backend's [`ProtectionScheme`] implementation.
+    pub scheme: SchemeId,
 }
 
 impl CryptoConfig {
-    /// `count` engines of the given class with the default 64-bit tag.
+    /// `count` engines of the given class with the default 64-bit tag,
+    /// priced by the paper's AES-GCM Table-2 scheme.
     pub fn new(class: EngineClass, count: usize) -> Self {
         CryptoConfig {
             class,
             count,
             tag_bits: 64,
+            scheme: SchemeId::AesGcm,
         }
+    }
+
+    /// Re-price this configuration under a different protection scheme,
+    /// adopting the scheme's default authentication-tag width.
+    ///
+    /// Callers are expected to have checked
+    /// [`ProtectionScheme::supports`] for the engine class first; an
+    /// unsupported combination yields infinite costs rather than a
+    /// panic.
+    pub fn with_scheme(mut self, scheme: SchemeId) -> Self {
+        self.scheme = scheme;
+        self.tag_bits = scheme.model().default_tag_bits();
+        self
+    }
+
+    /// The cost model behind [`CryptoConfig::scheme`].
+    pub fn model(&self) -> &'static dyn ProtectionScheme {
+        self.scheme.model()
     }
 
     /// Aggregate engine throughput in bytes per cycle.
     pub fn total_bytes_per_cycle(&self) -> f64 {
-        self.class.engine().bytes_per_cycle() * self.count as f64
+        self.model().bytes_per_cycle(self.class) * self.count as f64
     }
 
     /// Per-datatype-stream throughput, when the engines are statically
@@ -215,7 +241,7 @@ impl CryptoConfig {
     /// `None` is returned.
     pub fn per_stream_bytes_per_cycle(&self) -> Option<f64> {
         if self.count == 3 {
-            Some(self.class.engine().bytes_per_cycle())
+            Some(self.model().bytes_per_cycle(self.class))
         } else {
             None
         }
@@ -223,17 +249,24 @@ impl CryptoConfig {
 
     /// Aggregate area in kGates.
     pub fn total_area_kgates(&self) -> f64 {
-        self.class.engine().area_kgates() * self.count as f64
+        self.model().area_kgates(self.class) * self.count as f64
     }
 
     /// Energy per bit of protected traffic (independent of `count`).
     pub fn energy_per_bit_pj(&self) -> f64 {
-        self.class.engine().energy_per_bit_pj()
+        self.model().energy_per_bit_pj(self.class)
     }
 
     /// Short label like `"Parallel x5"` used by the Fig. 13 harness.
+    /// Non-default schemes are suffixed (`"Parallel x3 [seculator]"`)
+    /// so report rows never alias across schemes; the default AES-GCM
+    /// label is unchanged from the pre-trait model, keeping committed
+    /// goldens stable.
     pub fn label(&self) -> String {
-        format!("{} x{}", self.class, self.count)
+        match self.scheme {
+            SchemeId::AesGcm => format!("{} x{}", self.class, self.count),
+            s => format!("{} x{} [{}]", self.class, self.count, s.name()),
+        }
     }
 }
 

@@ -15,7 +15,10 @@
 //! 2. **Engine cost models** ([`engine`]): the three AES-GCM hardware
 //!    design points of Table 2 (fully-pipelined, parallel, serial), their
 //!    bandwidth, per-block energy and area, and the Fig. 3 survey of
-//!    published AES implementations ([`survey`]).
+//!    published AES implementations ([`survey`]). The Table-2 numbers are
+//!    one backend of the pluggable [`scheme::ProtectionScheme`] trait,
+//!    alongside an unprotected baseline and Seculator/SeDA-style
+//!    alternatives ([`scheme`]).
 //! 3. **A cycle-approximate engine simulator** ([`sim`]) that replays a
 //!    stream of block requests through an initiation-interval pipeline
 //!    model and validates the closed-form bandwidth used by the scheduler
@@ -42,6 +45,7 @@ pub mod engine;
 pub mod gcm;
 pub mod ghash;
 pub mod merkle;
+pub mod scheme;
 pub mod seed;
 pub mod sim;
 pub mod survey;
@@ -50,4 +54,5 @@ pub use aes::{Aes128, Aes256};
 pub use engine::{AesGcmEngine, CryptoConfig, EngineClass, StageSpec};
 pub use gcm::{AesGcm, GcmError, Tag};
 pub use merkle::{IntegrityError, MerkleTree};
+pub use scheme::{ProtectionScheme, SchemeId};
 pub use seed::{CounterTracker, SeedGenerator};

@@ -1,0 +1,442 @@
+//! Pluggable protection-scheme cost models.
+//!
+//! The paper hardwires AES-GCM per Table 2; ROADMAP item 3 lifts that
+//! choice behind a trait so the DSE can also answer *which protection
+//! scheme* is cheapest for a given network/accelerator, not just which
+//! schedule. Four backends ship:
+//!
+//! * [`SchemeId::AesGcm`] — the paper's Table-2 model, and the default.
+//!   Its arithmetic delegates to the same [`StageSpec`] numbers as
+//!   [`AesGcmEngine`], so the refactor is bit-exact for every existing
+//!   golden.
+//! * [`SchemeId::None`] — the unprotected baseline: zero cycles, energy
+//!   and area. Selecting it strips the crypto configuration entirely, so
+//!   this model mostly documents the degenerate costs.
+//! * [`SchemeId::Seculator`] — a Seculator-style low-latency secure-NPU
+//!   pipeline (see PAPERS.md): version lookahead plus counter prefetch
+//!   hide MAC latency, trading a truncated 32-bit tag and a leaner
+//!   datapath for throughput close to the pipelined AES-GCM point at a
+//!   fraction of its area.
+//! * [`SchemeId::Seda`] — a SeDA-style HW/SW-synergy model (see
+//!   PAPERS.md): bulk 64-byte authentication blocks amortise a software
+//!   handshake, so per-block costs are high but per-byte costs remain
+//!   competitive for streaming traffic.
+//!
+//! Each backend also carries *authentication-granularity rules*: its
+//! native block size (cost rounding granularity) and default truncated
+//! tag width, which feed the AuthBlock assignment via
+//! [`CryptoConfig::tag_bits`].
+//!
+//! [`AesGcmEngine`]: crate::engine::AesGcmEngine
+//! [`StageSpec`]: crate::engine::StageSpec
+//! [`CryptoConfig::tag_bits`]: crate::engine::CryptoConfig
+
+use std::fmt;
+
+use crate::engine::EngineClass;
+
+/// Identifier for one protection-scheme backend.
+///
+/// The canonical names (`none`, `aes-gcm`, `seculator`, `seda`) are what
+/// the CLI `--scheme` flag, suite `crypto.scheme` fields, service job
+/// specs and cache keys all use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SchemeId {
+    /// Unprotected baseline — no off-chip protection at all.
+    None,
+    /// AES-GCM per paper Table 2 (the default).
+    AesGcm,
+    /// Seculator-style low-latency secure pipeline.
+    Seculator,
+    /// SeDA-style HW/SW-synergy bulk protection.
+    Seda,
+}
+
+impl SchemeId {
+    /// Every backend, in report order (baseline first).
+    pub const ALL: [SchemeId; 4] = [
+        SchemeId::None,
+        SchemeId::AesGcm,
+        SchemeId::Seculator,
+        SchemeId::Seda,
+    ];
+
+    /// Canonical lower-case name used by CLI flags, suite YAML, job
+    /// specs and cache keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeId::None => "none",
+            SchemeId::AesGcm => "aes-gcm",
+            SchemeId::Seculator => "seculator",
+            SchemeId::Seda => "seda",
+        }
+    }
+
+    /// Human-facing display name for report tables.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            SchemeId::None => "Unprotected",
+            SchemeId::AesGcm => "AES-GCM",
+            SchemeId::Seculator => "Seculator",
+            SchemeId::Seda => "SeDA",
+        }
+    }
+
+    /// Parse a canonical name (the inverse of [`SchemeId::name`]).
+    pub fn from_name(name: &str) -> Option<SchemeId> {
+        match name {
+            "none" => Some(SchemeId::None),
+            "aes-gcm" => Some(SchemeId::AesGcm),
+            "seculator" => Some(SchemeId::Seculator),
+            "seda" => Some(SchemeId::Seda),
+            _ => None,
+        }
+    }
+
+    /// The cost model behind this identifier.
+    pub fn model(self) -> &'static dyn ProtectionScheme {
+        match self {
+            SchemeId::None => &Unprotected,
+            SchemeId::AesGcm => &AesGcmTable2,
+            SchemeId::Seculator => &SeculatorPipeline,
+            SchemeId::Seda => &SedaSynergy,
+        }
+    }
+}
+
+impl fmt::Display for SchemeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Cost model of one protection-scheme backend.
+///
+/// A scheme prices protected off-chip traffic per *block* (its native
+/// authentication granularity) for each supported [`EngineClass`] design
+/// point, and exposes the same derived quantities the scheduler consumed
+/// from the hardwired AES-GCM engine: sustained bytes/cycle, pJ/bit and
+/// kGates. Implementations must keep the derived default methods intact
+/// for the default scheme — they reproduce the historical
+/// `AesGcmEngine` arithmetic operation-for-operation, which is what
+/// keeps the committed goldens bit-identical.
+pub trait ProtectionScheme: Sync {
+    /// This backend's identifier.
+    fn id(&self) -> SchemeId;
+
+    /// Canonical name (delegates to the identifier).
+    fn name(&self) -> &'static str {
+        self.id().name()
+    }
+
+    /// Whether the backend can be realised on the given engine design
+    /// point. Unsupported combinations are rejected at configuration
+    /// time (CLI, suite loader, service admission) rather than priced.
+    fn supports(&self, class: EngineClass) -> bool;
+
+    /// Native authentication-block granularity in bytes. Costs round
+    /// partial blocks up to this boundary. Must be non-zero.
+    fn block_bytes(&self) -> u64;
+
+    /// Initiation interval: cycles between consecutive blocks on the
+    /// given engine class. Zero means traffic is never throttled.
+    fn cycles_per_block(&self, class: EngineClass) -> u64;
+
+    /// Energy to protect one block, in pJ.
+    fn energy_per_block_pj(&self, class: EngineClass) -> f64;
+
+    /// Area of one engine instance, in kGates (40 nm-normalised).
+    fn area_kgates(&self, class: EngineClass) -> f64;
+
+    /// Default truncated authentication-tag width in bits, stored per
+    /// AuthBlock.
+    fn default_tag_bits(&self) -> u32;
+
+    /// Sustained throughput in bytes per cycle (infinite when the
+    /// scheme never throttles).
+    fn bytes_per_cycle(&self, class: EngineClass) -> f64 {
+        let cpb = self.cycles_per_block(class);
+        if cpb == 0 {
+            f64::INFINITY
+        } else {
+            self.block_bytes() as f64 / cpb as f64
+        }
+    }
+
+    /// Energy per bit of protected traffic, in pJ.
+    fn energy_per_bit_pj(&self, class: EngineClass) -> f64 {
+        self.energy_per_block_pj(class) / (self.block_bytes() as f64 * 8.0)
+    }
+
+    /// Cycles to process `bytes` of traffic (partial blocks round up —
+    /// authentication always covers whole blocks).
+    fn cycles_for_bytes(&self, class: EngineClass, bytes: u64) -> u64 {
+        bytes.div_ceil(self.block_bytes()) * self.cycles_per_block(class)
+    }
+}
+
+/// The unprotected baseline: no engine, no throttling, no energy, no
+/// area, no tags.
+///
+/// Selecting `--scheme none` strips the crypto configuration from the
+/// architecture, so in practice the cost paths see `crypto() == None`;
+/// this model documents the degenerate costs and anchors the
+/// `compare-schemes` report's baseline row.
+pub struct Unprotected;
+
+impl ProtectionScheme for Unprotected {
+    fn id(&self) -> SchemeId {
+        SchemeId::None
+    }
+    fn supports(&self, _class: EngineClass) -> bool {
+        false
+    }
+    fn block_bytes(&self) -> u64 {
+        16
+    }
+    fn cycles_per_block(&self, _class: EngineClass) -> u64 {
+        0
+    }
+    fn energy_per_block_pj(&self, _class: EngineClass) -> f64 {
+        0.0
+    }
+    fn area_kgates(&self, _class: EngineClass) -> f64 {
+        0.0
+    }
+    fn default_tag_bits(&self) -> u32 {
+        0
+    }
+}
+
+/// The paper's Table-2 AES-GCM model — the default scheme.
+///
+/// All numbers come from the same [`StageSpec`]s as
+/// [`AesGcmEngine`](crate::engine::AesGcmEngine), combined with the same
+/// arithmetic (slower stage sets the initiation interval; stage energies
+/// and areas add), so every derived quantity is bit-identical to the
+/// pre-trait engine model.
+///
+/// [`StageSpec`]: crate::engine::StageSpec
+pub struct AesGcmTable2;
+
+impl ProtectionScheme for AesGcmTable2 {
+    fn id(&self) -> SchemeId {
+        SchemeId::AesGcm
+    }
+    fn supports(&self, _class: EngineClass) -> bool {
+        true
+    }
+    fn block_bytes(&self) -> u64 {
+        crate::engine::BLOCK_BYTES
+    }
+    fn cycles_per_block(&self, class: EngineClass) -> u64 {
+        class
+            .aes()
+            .cycles_per_block
+            .max(class.gf_mult().cycles_per_block)
+    }
+    fn energy_per_block_pj(&self, class: EngineClass) -> f64 {
+        class.aes().energy_pj + class.gf_mult().energy_pj
+    }
+    fn area_kgates(&self, class: EngineClass) -> f64 {
+        class.aes().area_kgates + class.gf_mult().area_kgates
+    }
+    fn default_tag_bits(&self) -> u32 {
+        64
+    }
+}
+
+/// Seculator-style low-latency secure pipeline (PAPERS.md).
+///
+/// Models a secure-NPU datapath where version lookahead and counter
+/// prefetch overlap MAC generation with transfer: the fast design point
+/// sustains one 16-byte block per cycle like the pipelined AES-GCM
+/// engine but at well under half its area, and a 4-cycle round-parallel
+/// point sits between the paper's Pipelined and Parallel corners. The
+/// scheme truncates tags to 32 bits. A bit-serial realisation would
+/// forfeit exactly the latency-hiding that defines the scheme, so
+/// `Serial` is unsupported.
+pub struct SeculatorPipeline;
+
+impl ProtectionScheme for SeculatorPipeline {
+    fn id(&self) -> SchemeId {
+        SchemeId::Seculator
+    }
+    fn supports(&self, class: EngineClass) -> bool {
+        matches!(class, EngineClass::Pipelined | EngineClass::Parallel)
+    }
+    fn block_bytes(&self) -> u64 {
+        16
+    }
+    fn cycles_per_block(&self, class: EngineClass) -> u64 {
+        match class {
+            EngineClass::Pipelined => 1,
+            EngineClass::Parallel => 4,
+            EngineClass::Serial => u64::MAX,
+        }
+    }
+    fn energy_per_block_pj(&self, class: EngineClass) -> f64 {
+        match class {
+            EngineClass::Pipelined => 96.4,
+            EngineClass::Parallel => 121.7,
+            EngineClass::Serial => f64::INFINITY,
+        }
+    }
+    fn area_kgates(&self, class: EngineClass) -> f64 {
+        match class {
+            EngineClass::Pipelined => 34.2,
+            EngineClass::Parallel => 11.8,
+            EngineClass::Serial => f64::INFINITY,
+        }
+    }
+    fn default_tag_bits(&self) -> u32 {
+        32
+    }
+}
+
+/// SeDA-style HW/SW-synergy bulk protection (PAPERS.md).
+///
+/// Protection is amortised over 64-byte authentication blocks with a
+/// software-visible handshake: the per-block initiation interval is
+/// long (the handshake dominates), but each block carries four times
+/// the payload, so streaming traffic pays a competitive per-byte cost
+/// with very little dedicated hardware. A fully-pipelined core cannot
+/// be fed through the handshake, so `Pipelined` is unsupported.
+pub struct SedaSynergy;
+
+impl ProtectionScheme for SedaSynergy {
+    fn id(&self) -> SchemeId {
+        SchemeId::Seda
+    }
+    fn supports(&self, class: EngineClass) -> bool {
+        matches!(class, EngineClass::Parallel | EngineClass::Serial)
+    }
+    fn block_bytes(&self) -> u64 {
+        64
+    }
+    fn cycles_per_block(&self, class: EngineClass) -> u64 {
+        match class {
+            EngineClass::Pipelined => u64::MAX,
+            EngineClass::Parallel => 48,
+            EngineClass::Serial => 1280,
+        }
+    }
+    fn energy_per_block_pj(&self, class: EngineClass) -> f64 {
+        match class {
+            EngineClass::Pipelined => f64::INFINITY,
+            EngineClass::Parallel => 838.0,
+            EngineClass::Serial => 3158.4,
+        }
+    }
+    fn area_kgates(&self, class: EngineClass) -> f64 {
+        match class {
+            EngineClass::Pipelined => f64::INFINITY,
+            EngineClass::Parallel => 10.4,
+            EngineClass::Serial => 3.4,
+        }
+    }
+    fn default_tag_bits(&self) -> u32 {
+        64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{AesGcmEngine, CryptoConfig};
+
+    #[test]
+    fn names_round_trip() {
+        for id in SchemeId::ALL {
+            assert_eq!(SchemeId::from_name(id.name()), Some(id));
+            assert_eq!(id.model().id(), id);
+        }
+        assert_eq!(SchemeId::from_name("rot13"), None);
+    }
+
+    #[test]
+    fn aes_gcm_model_matches_engine_bit_for_bit() {
+        let m = SchemeId::AesGcm.model();
+        for class in EngineClass::ALL {
+            let e: AesGcmEngine = class.engine();
+            assert_eq!(m.cycles_per_block(class), e.cycles_per_block());
+            assert_eq!(
+                m.bytes_per_cycle(class).to_bits(),
+                e.bytes_per_cycle().to_bits()
+            );
+            assert_eq!(
+                m.energy_per_bit_pj(class).to_bits(),
+                e.energy_per_bit_pj().to_bits()
+            );
+            assert_eq!(m.area_kgates(class).to_bits(), e.area_kgates().to_bits());
+            for bytes in [0, 1, 15, 16, 17, 4096, 4097] {
+                assert_eq!(m.cycles_for_bytes(class, bytes), e.cycles_for_bytes(bytes));
+            }
+        }
+    }
+
+    #[test]
+    fn support_matrix() {
+        use EngineClass::*;
+        let cases = [
+            (SchemeId::None, [false, false, false]),
+            (SchemeId::AesGcm, [true, true, true]),
+            (SchemeId::Seculator, [true, true, false]),
+            (SchemeId::Seda, [false, true, true]),
+        ];
+        for (id, expect) in cases {
+            for (class, ok) in [Pipelined, Parallel, Serial].into_iter().zip(expect) {
+                assert_eq!(id.model().supports(class), ok, "{id} on {class}");
+            }
+        }
+    }
+
+    #[test]
+    fn unprotected_is_free_and_unthrottled() {
+        let m = SchemeId::None.model();
+        for class in EngineClass::ALL {
+            assert_eq!(m.cycles_for_bytes(class, 1 << 20), 0);
+            assert!(m.bytes_per_cycle(class).is_infinite());
+            assert_eq!(m.energy_per_bit_pj(class), 0.0);
+            assert_eq!(m.area_kgates(class), 0.0);
+        }
+        assert_eq!(m.default_tag_bits(), 0);
+    }
+
+    #[test]
+    fn seculator_undercuts_pipelined_aes_gcm_area() {
+        let secu = SchemeId::Seculator.model();
+        let aes = SchemeId::AesGcm.model();
+        let class = EngineClass::Pipelined;
+        assert_eq!(
+            secu.cycles_per_block(class),
+            aes.cycles_per_block(class),
+            "same throughput"
+        );
+        assert!(secu.area_kgates(class) < 0.5 * aes.area_kgates(class));
+        assert!(secu.energy_per_bit_pj(class) < aes.energy_per_bit_pj(class));
+    }
+
+    #[test]
+    fn seda_amortises_bulk_blocks() {
+        let seda = SchemeId::Seda.model();
+        let aes = SchemeId::AesGcm.model();
+        let class = EngineClass::Serial;
+        // Per-block cost is much higher, but per-byte cost is lower:
+        // the 64-byte block amortises the handshake.
+        assert!(seda.energy_per_block_pj(class) > aes.energy_per_block_pj(class));
+        assert!(seda.energy_per_bit_pj(class) < aes.energy_per_bit_pj(class));
+        assert!(seda.bytes_per_cycle(class) > aes.bytes_per_cycle(class));
+    }
+
+    #[test]
+    fn config_with_scheme_adopts_granularity_rules() {
+        let cfg = CryptoConfig::new(EngineClass::Parallel, 3).with_scheme(SchemeId::Seculator);
+        assert_eq!(cfg.scheme, SchemeId::Seculator);
+        assert_eq!(cfg.tag_bits, 32);
+        // Default construction stays on the paper's scheme and tag.
+        let d = CryptoConfig::new(EngineClass::Parallel, 3);
+        assert_eq!(d.scheme, SchemeId::AesGcm);
+        assert_eq!(d.tag_bits, 64);
+    }
+}

@@ -14,8 +14,12 @@
 //! Fields deliberately **excluded** (they never reach the cost model or
 //! the sampler): the architecture and layer *names*, the clock frequency
 //! (scales wall time, not cycles), the AuthBlock tag size (a step-2
-//! concern), the crypto engine's identity beyond its derived bandwidth
-//! and energy numbers, and all area parameters. The mapper's *search
+//! concern), the engine *count* beyond its canonicalised bandwidth, and
+//! all area parameters. The protection *scheme* identity is **included**
+//! (as `sch:` in the crypto component): schemes carry
+//! authentication-granularity rules that bind downstream of the mapper,
+//! so candidates computed under one scheme must never be served to
+//! another even when their derived bandwidth/energy coincide. The mapper's *search
 //! mode* (random vs guided) is likewise not part of the space identity —
 //! it changes which samples are drawn, not which are drawable — so the
 //! candidate cache appends it to its budget suffix instead (see
@@ -97,23 +101,33 @@ impl SearchSpaceKey {
             f64_bits(dram_bw),
             f64_bits(arch.dram().pj_per_bit()),
         );
-        // Canonical crypto interface. Only two numbers of the engine
-        // configuration reach the cost model: its throughput (clamped by
+        // Canonical crypto interface. Two numbers of the engine
+        // configuration reach the cost model — its throughput (clamped by
         // the DRAM interface it feeds — a faster engine can never matter)
-        // and its per-bit energy. Per-stream throttling whose streams are
-        // at least as fast as DRAM is indistinguishable from the pooled
-        // DRAM-bound interface, so it canonicalises to pooled.
+        // and its per-bit energy — plus the protection scheme's identity,
+        // which governs authentication granularity (block size, default
+        // tag width) downstream of the mapper. Two schemes that happen to
+        // share derived bandwidth/energy numbers must therefore never
+        // alias, so the scheme name is a key component in its own right.
+        // Per-stream throttling whose streams are at least as fast as
+        // DRAM is indistinguishable from the pooled DRAM-bound interface,
+        // so it canonicalises to pooled.
         let crypto_part = match arch.crypto() {
-            None => format!("X[pool:{},pj:{}]", f64_bits(dram_bw), f64_bits(0.0)),
+            None => format!(
+                "X[sch:none,pool:{},pj:{}]",
+                f64_bits(dram_bw),
+                f64_bits(0.0)
+            ),
             Some(cc) => {
+                let sch = cc.scheme.name();
                 let pj = f64_bits(cc.energy_per_bit_pj());
                 match cc.per_stream_bytes_per_cycle() {
                     Some(ps) if ps < dram_bw => {
-                        format!("X[ps:{},pj:{pj}]", f64_bits(ps))
+                        format!("X[sch:{sch},ps:{},pj:{pj}]", f64_bits(ps))
                     }
                     _ => {
                         let pooled = dram_bw.min(cc.total_bytes_per_cycle());
-                        format!("X[pool:{},pj:{pj}]", f64_bits(pooled))
+                        format!("X[sch:{sch},pool:{},pj:{pj}]", f64_bits(pooled))
                     }
                 }
             }
@@ -263,6 +277,36 @@ mod tests {
             SearchSpaceKey::of(&grouped, &a),
             SearchSpaceKey::of(&dense_half_c, &a)
         );
+    }
+
+    #[test]
+    fn distinct_schemes_never_alias() {
+        use secureloop_crypto::SchemeId;
+        let l = layer();
+        let base = CryptoConfig::new(EngineClass::Parallel, 3);
+        let mk = |s| {
+            Architecture::eyeriss_base().with_crypto(CryptoConfig {
+                scheme: s,
+                ..base.clone()
+            })
+        };
+        // Same class/count/tag under every protected scheme: all keys
+        // pairwise distinct, and distinct from the unprotected arch.
+        let schemes = [SchemeId::AesGcm, SchemeId::Seculator, SchemeId::Seda];
+        let keys: Vec<_> = schemes
+            .iter()
+            .map(|&s| SearchSpaceKey::of(&l, &mk(s)))
+            .collect();
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "{} vs {}", schemes[i], schemes[j]);
+            }
+        }
+        let unprotected = SearchSpaceKey::of(&l, &Architecture::eyeriss_base().without_crypto());
+        for k in &keys {
+            assert_ne!(*k, unprotected);
+        }
+        assert!(unprotected.as_str().contains("sch:none"));
     }
 
     #[test]

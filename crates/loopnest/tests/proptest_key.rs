@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 
 use secureloop_arch::{Architecture, Dataflow, DramSpec};
-use secureloop_crypto::{CryptoConfig, EngineClass};
+use secureloop_crypto::{CryptoConfig, EngineClass, SchemeId};
 use secureloop_loopnest::SearchSpaceKey;
 use secureloop_workload::ConvLayer;
 
@@ -164,6 +164,46 @@ proptest! {
                 .with_crypto(CryptoConfig::new(EngineClass::Serial, 3)),
         };
         prop_assert_ne!(key(&l, &base), key(&l, &perturbed));
+    }
+
+    #[test]
+    fn distinct_schemes_never_alias(
+        p in arb_params(),
+        count in 1usize..6,
+        class_ix in 0usize..3,
+        a in 0usize..3,
+        b in 0usize..3,
+    ) {
+        // Two *distinct* protection schemes on otherwise identical
+        // hardware must never produce aliasing keys — even when their
+        // derived bandwidth/energy numbers happen to coincide, the
+        // authentication-granularity rules downstream differ. This is
+        // the soundness property behind the cache schema v3 bump.
+        prop_assume!(a != b);
+        let schemes = [SchemeId::AesGcm, SchemeId::Seculator, SchemeId::Seda];
+        let class = EngineClass::ALL[class_ix];
+        let l = build_layer("l", p);
+        let mk = |s: SchemeId| {
+            Architecture::eyeriss_base()
+                .with_crypto(CryptoConfig::new(class, count).with_scheme(s))
+        };
+        prop_assert_ne!(key(&l, &mk(schemes[a])), key(&l, &mk(schemes[b])));
+    }
+
+    #[test]
+    fn protected_schemes_never_alias_the_unprotected_arch(
+        p in arb_params(),
+        which in 0usize..3,
+    ) {
+        let schemes = [SchemeId::AesGcm, SchemeId::Seculator, SchemeId::Seda];
+        let l = build_layer("l", p);
+        // Even a DRAM-bound pool (effective interface identical to the
+        // bare DRAM) must not alias the unprotected design.
+        let protected = Architecture::eyeriss_base().with_crypto(
+            CryptoConfig::new(EngineClass::Pipelined, 8).with_scheme(schemes[which]),
+        );
+        let bare = Architecture::eyeriss_base().without_crypto();
+        prop_assert_ne!(key(&l, &protected), key(&l, &bare));
     }
 
     #[test]

@@ -43,7 +43,11 @@ static CACHE_EVICTED: Counter = Counter::new("dse.cache_evicted");
 /// Version 2 added the search-mode component to entry keys, so version-1
 /// files (whose keys would silently alias guided and random results) are
 /// rejected with a clear message instead of serving stale entries.
-pub const CACHE_VERSION: u64 = 2;
+/// Version 3 added the protection-scheme component (`sch:`) to the
+/// canonical [`SearchSpaceKey`], so version-2 files — whose entries
+/// could alias candidates across schemes that share derived
+/// bandwidth/energy numbers — are likewise rejected.
+pub const CACHE_VERSION: u64 = 3;
 
 /// Approximate heap cost charged per cached candidate mapping (the
 /// mapping itself plus its evaluation). The budget accounting is an
@@ -642,9 +646,64 @@ mod tests {
             .unwrap_err()
             .contains("version 99"));
 
-        fs::write(&path, r#"{"version": 2, "kind": "something-else"}"#).unwrap();
+        fs::write(&path, r#"{"version": 3, "kind": "something-else"}"#).unwrap();
         assert!(CandidateCache::load(&path).unwrap_err().contains("kind"));
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v2_cache_files_are_rejected_cleanly_by_the_v3_loader() {
+        // A perfectly well-formed version-2 file (pre-scheme keys) must
+        // be refused outright — its entries could alias candidates
+        // across protection schemes — and the refusal must be a clean
+        // recoverable error, not a panic or a silent partial load.
+        let dir = std::env::temp_dir().join("secureloop-cache-v2");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        fs::write(
+            &path,
+            r#"{"version": 2, "kind": "candidate-cache", "entries": [
+                {"key": "L[...]X[pool:deadbeef,pj:0]|cfg[s64,k5,seed1,mr]",
+                 "tier": "sampled", "valid_samples": 1, "total_samples": 1,
+                 "mappings": []}
+            ]}"#,
+        )
+        .unwrap();
+        let err = CandidateCache::load(&path).unwrap_err();
+        assert!(
+            err.contains("unsupported cache version 2 (expected 3)"),
+            "got: {err}"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn schemes_never_share_an_entry() {
+        use secureloop_crypto::{CryptoConfig, EngineClass, SchemeId};
+        let cache = CandidateCache::new();
+        let cfg = SearchConfig::quick();
+        let base = CryptoConfig::new(EngineClass::Parallel, 3);
+        let aes = Architecture::eyeriss_base().with_crypto(base.clone());
+        let secu =
+            Architecture::eyeriss_base().with_crypto(base.clone().with_scheme(SchemeId::Seculator));
+        // The key structure itself must keep schemes apart...
+        let ka = cache_key(&layer(), &aes, &cfg);
+        let ks = cache_key(&layer(), &secu, &cfg);
+        assert_ne!(ka, ks);
+        assert!(ka.contains("sch:aes-gcm"), "aes key component: {ka}");
+        assert!(
+            ks.contains("sch:seculator"),
+            "seculator key component: {ks}"
+        );
+        // ...and the runtime behaviour must follow: two entries, no
+        // cross-scheme hit, same-scheme lookups still hit.
+        search_cached(&layer(), &aes, &cfg, Some(&cache)).unwrap();
+        search_cached(&layer(), &secu, &cfg, Some(&cache)).unwrap();
+        assert_eq!(cache.hits(), 0, "schemes must not alias");
+        assert_eq!(cache.len(), 2);
+        search_cached(&layer(), &aes, &cfg, Some(&cache)).unwrap();
+        search_cached(&layer(), &secu, &cfg, Some(&cache)).unwrap();
+        assert_eq!(cache.hits(), 2, "same-scheme lookups still hit");
     }
 
     #[test]
@@ -704,7 +763,7 @@ mod tests {
     #[test]
     fn unparseable_frozen_mapping_demotes_to_a_miss() {
         let v = Json::parse(
-            r#"{"version": 2, "kind": "candidate-cache", "entries": [
+            r#"{"version": 3, "kind": "candidate-cache", "entries": [
                 {"key": "k", "tier": "sampled", "valid_samples": 1,
                  "total_samples": 1, "mappings": ["not a mapping"]}
             ]}"#,

@@ -1,0 +1,203 @@
+//! Differential proof harness for the pluggable protection-scheme
+//! backends: the default AES-GCM scheme must be *bit-identical* to the
+//! pre-scheme pricing path, so every committed golden stays valid with
+//! zero re-blessing.
+//!
+//! Three layers of evidence:
+//!
+//! 1. `CryptoConfig` pricing delegates through the [`ProtectionScheme`]
+//!    trait, and the AES-GCM backend reproduces the raw Table-2 stage
+//!    arithmetic to the last mantissa bit.
+//! 2. A full scheduler run under an *explicitly selected* `aes-gcm`
+//!    scheme (the `--scheme aes-gcm` path) is bit-for-bit identical to
+//!    the default-constructed config, totals and per-layer.
+//! 3. The committed golden snapshot (`tests/goldens/
+//!    alexnet_crypt_opt_cross.json`) is reproduced **byte-identically**
+//!    by today's pipeline — not merely within tolerance — which is the
+//!    strongest possible statement that the scheme refactor changed no
+//!    number anywhere.
+
+use std::path::PathBuf;
+
+use secureloop::dse::apply_scheme;
+use secureloop::{Algorithm, AnnealingConfig, NetworkSchedule, Scheduler};
+use secureloop_arch::Architecture;
+use secureloop_crypto::{CryptoConfig, EngineClass, SchemeId};
+use secureloop_json::Json;
+use secureloop_mapper::{SearchConfig, SearchMode};
+use secureloop_workload::zoo;
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+/// The committed golden's exact budget (keep in sync with
+/// `tests/golden_alexnet.rs`).
+fn golden_schedule(arch: Architecture) -> NetworkSchedule {
+    Scheduler::new(arch)
+        .with_search(SearchConfig {
+            samples: 800,
+            top_k: 4,
+            seed: 0xf16,
+            threads: 4,
+            deadline: None,
+            mode: SearchMode::Random,
+        })
+        .with_annealing(AnnealingConfig::quick())
+        .schedule(&zoo::alexnet_conv(), Algorithm::CryptOptCross)
+        .expect("AlexNet schedules")
+}
+
+fn assert_bit_identical(a: &NetworkSchedule, b: &NetworkSchedule, what: &str) {
+    assert_eq!(
+        a.total_latency_cycles, b.total_latency_cycles,
+        "{what}: total latency diverged"
+    );
+    assert_eq!(
+        a.total_energy_pj.to_bits(),
+        b.total_energy_pj.to_bits(),
+        "{what}: total energy diverged at the bit level"
+    );
+    assert_eq!(
+        a.overhead.total_bits(),
+        b.overhead.total_bits(),
+        "{what}: auth overhead diverged"
+    );
+    assert_eq!(a.layers.len(), b.layers.len(), "{what}: layer count");
+    for (la, lb) in a.layers.iter().zip(&b.layers) {
+        assert_eq!(la.name, lb.name, "{what}: layer order");
+        assert_eq!(
+            la.latency_cycles, lb.latency_cycles,
+            "{what}: {} latency",
+            la.name
+        );
+        assert_eq!(
+            la.energy_pj.to_bits(),
+            lb.energy_pj.to_bits(),
+            "{what}: {} energy",
+            la.name
+        );
+        assert_eq!(
+            la.extra_bits, lb.extra_bits,
+            "{what}: {} auth bits",
+            la.name
+        );
+    }
+}
+
+/// Layer 1: `CryptoConfig` pricing is the AES-GCM trait object's
+/// pricing, bit for bit, for every engine class and count.
+#[test]
+fn config_pricing_delegates_to_the_aes_gcm_backend() {
+    let model = SchemeId::AesGcm.model();
+    for class in [
+        EngineClass::Pipelined,
+        EngineClass::Parallel,
+        EngineClass::Serial,
+    ] {
+        for count in [1usize, 3, 8] {
+            let cfg = CryptoConfig::new(class, count);
+            assert_eq!(cfg.scheme, SchemeId::AesGcm, "default scheme");
+            // Per-stream throughput only exists for the paper's
+            // one-engine-per-datatype base design (`count == 3`).
+            if count == 3 {
+                assert_eq!(
+                    cfg.per_stream_bytes_per_cycle()
+                        .expect("count == 3 partitions per stream")
+                        .to_bits(),
+                    model.bytes_per_cycle(class).to_bits(),
+                    "{class:?} per-stream throughput"
+                );
+            }
+            assert_eq!(
+                cfg.total_bytes_per_cycle().to_bits(),
+                (model.bytes_per_cycle(class) * count as f64).to_bits(),
+                "{class:?} x{count} total throughput"
+            );
+            assert_eq!(
+                cfg.energy_per_bit_pj().to_bits(),
+                model.energy_per_bit_pj(class).to_bits(),
+                "{class:?} energy per bit"
+            );
+            assert_eq!(
+                cfg.total_area_kgates().to_bits(),
+                (model.area_kgates(class) * count as f64).to_bits(),
+                "{class:?} x{count} area"
+            );
+        }
+    }
+}
+
+/// Layer 2: selecting `aes-gcm` explicitly (the `--scheme aes-gcm`
+/// path, via both `with_scheme` and `apply_scheme`) yields a schedule
+/// bit-identical to the default-constructed config.
+#[test]
+fn explicit_aes_gcm_is_bit_identical_to_the_default() {
+    let base =
+        Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3));
+    let explicit = Architecture::eyeriss_base()
+        .with_crypto(CryptoConfig::new(EngineClass::Parallel, 3).with_scheme(SchemeId::AesGcm));
+    let applied = apply_scheme(&base, SchemeId::AesGcm).expect("aes-gcm applies");
+
+    let quick = |arch: Architecture| {
+        Scheduler::new(arch)
+            .with_search(SearchConfig {
+                samples: 200,
+                top_k: 4,
+                seed: 0xf16,
+                threads: 4,
+                deadline: None,
+                mode: SearchMode::Random,
+            })
+            .with_annealing(AnnealingConfig::quick())
+            .schedule(&zoo::alexnet_conv(), Algorithm::CryptOptCross)
+            .expect("AlexNet schedules")
+    };
+    let a = quick(base);
+    let b = quick(explicit);
+    let c = quick(applied);
+    assert_bit_identical(&a, &b, "with_scheme(AesGcm) vs default");
+    assert_bit_identical(&a, &c, "apply_scheme(AesGcm) vs default");
+}
+
+/// Layer 3: the committed golden file is reproduced byte-identically by
+/// the post-refactor pipeline — zero re-blessing, zero drift, down to
+/// the JSON serialisation of every f64.
+#[test]
+fn committed_alexnet_golden_is_reproduced_byte_identically() {
+    let path = goldens_dir().join("alexnet_crypt_opt_cross.json");
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden {}: {e}", path.display()));
+
+    let s = golden_schedule(
+        Architecture::eyeriss_base().with_crypto(CryptoConfig::new(EngineClass::Parallel, 3)),
+    );
+    let snapshot = Json::obj()
+        .field("network", s.network.as_str())
+        .field("algorithm", s.algorithm.name())
+        .field("total_latency_cycles", s.total_latency_cycles)
+        .field("total_energy_pj", s.total_energy_pj)
+        .field("overhead_bits", s.overhead.total_bits())
+        .field(
+            "layers",
+            Json::Arr(
+                s.layers
+                    .iter()
+                    .map(|l| {
+                        Json::obj()
+                            .field("name", l.name.as_str())
+                            .field("latency_cycles", l.latency_cycles)
+                            .field("energy_pj", l.energy_pj)
+                            .field("extra_bits", l.extra_bits)
+                    })
+                    .collect(),
+            ),
+        )
+        .pretty();
+
+    assert_eq!(
+        snapshot, committed,
+        "regenerated snapshot differs from the committed golden — the \
+         scheme refactor must not change any number"
+    );
+}
