@@ -183,8 +183,15 @@ fn space_json(s: &SpaceResult) -> Json {
 fn diff_against_baseline(baseline_path: &std::path::Path, fresh: &Json) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+    // Baselines may carry the artifact-envelope footer (fresh runs
+    // write one) or not (committed goldens predate it); `open` hands
+    // back the payload either way and flags real damage.
+    let (payload, integrity) = secureloop::artifact::open(&text);
+    if let secureloop::artifact::Integrity::Damaged(reason) = integrity {
+        return Err(format!("damaged {}: {reason}", baseline_path.display()));
+    }
     let baseline =
-        Json::parse(&text).map_err(|e| format!("parse {}: {e:?}", baseline_path.display()))?;
+        Json::parse(payload).map_err(|e| format!("parse {}: {e:?}", baseline_path.display()))?;
 
     let mut drift = Vec::new();
     let mut check = |field: String, a: &Json, b: &Json| {
@@ -298,7 +305,12 @@ fn main() {
         .field("sample_reduction", reduction)
         .field("random_wall_ms", random_wall)
         .field("guided_wall_ms", guided_wall);
-    std::fs::write(&args.out, json.pretty()).expect("write BENCH_guided.json");
+    secureloop::artifact::write_durable(
+        &args.out,
+        &json.pretty(),
+        &secureloop::artifact::DurabilityPolicy::default(),
+    )
+    .expect("write BENCH_guided.json");
     println!("[wrote {}]", args.out.display());
 
     if let Some(baseline) = &args.diff_against {

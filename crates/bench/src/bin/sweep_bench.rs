@@ -78,8 +78,15 @@ fn parse_args() -> Args {
 fn diff_against_baseline(baseline_path: &std::path::Path, fresh: &Json) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+    // Baselines may carry the artifact-envelope footer (fresh runs
+    // write one) or not (committed goldens predate it); `open` hands
+    // back the payload either way and flags real damage.
+    let (payload, integrity) = secureloop::artifact::open(&text);
+    if let secureloop::artifact::Integrity::Damaged(reason) = integrity {
+        return Err(format!("damaged {}: {reason}", baseline_path.display()));
+    }
     let baseline =
-        Json::parse(&text).map_err(|e| format!("parse {}: {e:?}", baseline_path.display()))?;
+        Json::parse(payload).map_err(|e| format!("parse {}: {e:?}", baseline_path.display()))?;
 
     let mut drift = Vec::new();
     let mut check = |field: &str, a: &Json, b: &Json| {
@@ -237,7 +244,12 @@ fn main() {
         .field("warm_wall_ms", warm.wall_ms)
         .field("cache_hit_rate", warm.hit_rate)
         .field("warm_speedup", speedup);
-    std::fs::write(&args.out, json.pretty()).expect("write BENCH_sweep.json");
+    secureloop::artifact::write_durable(
+        &args.out,
+        &json.pretty(),
+        &secureloop::artifact::DurabilityPolicy::default(),
+    )
+    .expect("write BENCH_sweep.json");
     println!("[wrote {}]", args.out.display());
 
     if let Some(baseline) = &args.diff_against {

@@ -22,6 +22,7 @@
 use std::fs;
 use std::path::Path;
 
+use secureloop_artifact::{self as artifact, DurabilityPolicy, Recovered};
 use secureloop_authblock::OverheadBreakdown;
 use secureloop_json::Json;
 use secureloop_loopnest::{CompactMapping, EnergyBreakdown};
@@ -409,30 +410,24 @@ impl SweepCheckpoint {
         })
     }
 
-    /// Write the checkpoint atomically: the JSON goes to a sibling
-    /// `.tmp` file which is then renamed over `path`, so an interrupted
-    /// write can never leave a torn checkpoint behind.
+    /// Write the checkpoint durably with the default
+    /// [`DurabilityPolicy`]: sealed in a checksummed envelope, written
+    /// to a sibling `.tmp`, fsynced, rotated over the previous
+    /// generation (kept as `.bak`) and renamed into place, so an
+    /// interrupted write can never leave a torn checkpoint behind.
     ///
     /// # Errors
     ///
-    /// [`SecureLoopError::Checkpoint`] on I/O failure.
+    /// [`SecureLoopError::Artifact`] on I/O failure (after retries).
     pub fn save(&self, path: &Path) -> Result<(), SecureLoopError> {
-        let err = |message: String| SecureLoopError::Checkpoint {
-            path: path.display().to_string(),
-            message,
-        };
+        self.save_with(path, &DurabilityPolicy::default())
+    }
+
+    /// [`SweepCheckpoint::save`] with an explicit [`DurabilityPolicy`].
+    pub fn save_with(&self, path: &Path, policy: &DurabilityPolicy) -> Result<(), SecureLoopError> {
         SAVE_TIMER.time(|| {
-            let tmp = path.with_extension("tmp");
-            let result = fs::write(&tmp, self.to_json().pretty())
-                .map_err(|e| err(format!("write: {e}")))
-                .and_then(|()| fs::rename(&tmp, path).map_err(|e| err(format!("rename: {e}"))));
-            if result.is_err() {
-                // A failed write or rename must not strand the temp
-                // file: a later `remove_stale_tmp` would also catch it,
-                // but cleaning up here keeps the failure self-contained.
-                let _ = fs::remove_file(&tmp);
-            }
-            result
+            artifact::write_durable(path, &self.to_json().pretty(), policy)
+                .map_err(SecureLoopError::Artifact)
         })
     }
 
@@ -446,22 +441,113 @@ impl SweepCheckpoint {
         tmp.exists() && fs::remove_file(&tmp).is_ok()
     }
 
-    /// Load a checkpoint from disk.
+    /// Load a checkpoint from disk, strictly: the envelope (if present)
+    /// must verify and the payload must parse whole. Use
+    /// [`SweepCheckpoint::load_recovering`] to additionally walk the
+    /// salvage ladder.
     ///
     /// # Errors
     ///
-    /// [`SecureLoopError::Checkpoint`] when the file cannot be read,
-    /// parsed, or validated.
+    /// [`SecureLoopError::Checkpoint`] when the file fails validation;
+    /// [`SecureLoopError::Artifact`] with
+    /// [`ArtifactError::Empty`] for a 0-byte file (a crash between
+    /// create and write — callers treat it as absent-with-warning) and
+    /// [`ArtifactError::Io`] when it cannot be read.
     pub fn load(path: &Path) -> Result<Self, SecureLoopError> {
         let err = |message: String| SecureLoopError::Checkpoint {
             path: path.display().to_string(),
             message,
         };
         LOAD_TIMER.time(|| {
-            let text = fs::read_to_string(path).map_err(|e| err(format!("read: {e}")))?;
-            let v = Json::parse(&text).map_err(|e| err(format!("parse: {e}")))?;
+            let (payload, integrity) =
+                artifact::read_verified(path).map_err(SecureLoopError::Artifact)?;
+            if let artifact::Integrity::Damaged(reason) = integrity {
+                return Err(err(format!("envelope damaged: {reason}")));
+            }
+            let v = Json::parse(&payload).map_err(|e| err(format!("parse: {e}")))?;
             SweepCheckpoint::from_json(&v).map_err(err)
         })
+    }
+
+    /// Load a checkpoint through the salvage ladder: strict parse of
+    /// the primary, record-by-record salvage of a damaged primary
+    /// (intact designs kept, the corrupt tail quarantined), then the
+    /// `.bak` last-known-good generation. Warnings describe anything
+    /// lossy that happened.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepCheckpoint::load`], when every rung fails.
+    pub fn load_recovering(path: &Path) -> Result<Recovered<Self>, SecureLoopError> {
+        LOAD_TIMER.time(|| {
+            artifact::load_recoverable(
+                path,
+                |payload| {
+                    let v = Json::parse(payload).map_err(|e| format!("parse: {e}"))?;
+                    SweepCheckpoint::from_json(&v)
+                },
+                Self::salvage,
+            )
+            .map_err(SecureLoopError::Artifact)
+        })
+    }
+
+    /// Recover intact records from a damaged checkpoint payload. The
+    /// header (version, kind, workload, algorithm) must still be
+    /// readable — a wrong-schema file is never record-mined into the
+    /// current schema — but the designs/poisoned arrays are taken
+    /// record-by-record, dropping whatever the torn tail corrupted.
+    fn salvage(payload: &str) -> Option<(Self, String)> {
+        let version = artifact::salvage_u64_field(payload, "version")?;
+        if !(CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION).contains(&version) {
+            return None;
+        }
+        if artifact::salvage_string_field(payload, "kind").as_deref() != Some("dse-sweep") {
+            return None;
+        }
+        let workload = artifact::salvage_string_field(payload, "workload")?;
+        let algorithm = Algorithm::from_name(&artifact::salvage_string_field(payload, "algorithm")?)?;
+        let mut ckpt = SweepCheckpoint::new(workload, algorithm);
+        let mut dropped = 0usize;
+        for item in artifact::salvage_array_items(payload, "designs") {
+            let parsed = match Json::parse(&item) {
+                Ok(v) => v,
+                Err(_) => {
+                    dropped += 1;
+                    continue;
+                }
+            };
+            match (
+                parsed["label"].as_str(),
+                schedule_from_json(&parsed["schedule"]),
+            ) {
+                (Some(label), Ok(schedule)) => ckpt.entries.push((label.to_string(), schedule)),
+                _ => dropped += 1,
+            }
+        }
+        for item in artifact::salvage_array_items(payload, "poisoned") {
+            let parsed = match Json::parse(&item) {
+                Ok(v) => v,
+                Err(_) => {
+                    dropped += 1;
+                    continue;
+                }
+            };
+            match (parsed["label"].as_str(), parsed["cause"].as_str()) {
+                (Some(label), Some(cause)) => {
+                    ckpt.poisoned.push((label.to_string(), cause.to_string()))
+                }
+                _ => dropped += 1,
+            }
+        }
+        if ckpt.entries.is_empty() && ckpt.poisoned.is_empty() {
+            return None;
+        }
+        let kept = ckpt.entries.len() + ckpt.poisoned.len();
+        Some((
+            ckpt,
+            format!("kept {kept} intact record(s), dropped {dropped} damaged"),
+        ))
     }
 }
 
@@ -622,13 +708,81 @@ mod tests {
         let path = dir.join("target-is-a-dir.json");
         fs::create_dir_all(&path).unwrap();
         let ckpt = SweepCheckpoint::new("AlexNet", Algorithm::CryptOptSingle);
-        let err = ckpt.save(&path).unwrap_err();
-        assert!(matches!(err, SecureLoopError::Checkpoint { .. }));
+        let fast = DurabilityPolicy {
+            retries: 0,
+            ..DurabilityPolicy::fast()
+        };
+        let err = ckpt.save_with(&path, &fast).unwrap_err();
+        assert!(matches!(err, SecureLoopError::Artifact(_)));
+        assert!(err.to_string().contains("target-is-a-dir"));
         assert!(
             !path.with_extension("tmp").exists(),
             "failed save cleans up its temp file"
         );
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_checkpoint_file_is_typed_as_empty() {
+        let dir = std::env::temp_dir().join("secureloop-ckpt-empty");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.json");
+        fs::write(&path, "").unwrap();
+        let err = SweepCheckpoint::load(&path).unwrap_err();
+        assert!(
+            matches!(err, SecureLoopError::Artifact(ref a) if a.is_empty()),
+            "got {err:?}"
+        );
+        let err = SweepCheckpoint::load_recovering(&path).unwrap_err();
+        assert!(matches!(err, SecureLoopError::Artifact(ref a) if a.is_empty()));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_checkpoint_salvages_intact_records() {
+        let dir = std::env::temp_dir().join("secureloop-ckpt-salvage");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.json");
+        let mut ckpt = SweepCheckpoint::new("AlexNet", Algorithm::CryptOptSingle);
+        ckpt.insert("design-a", sample_schedule());
+        ckpt.insert("design-b", sample_schedule());
+        ckpt.insert_poisoned("design-p", "panicked: chaos");
+        let text = ckpt.to_json().pretty();
+        // Tear the file inside the second design record; the footer is
+        // lost along with the tail.
+        let cut = text.find("design-b").unwrap() + 30;
+        fs::write(&path, &text[..cut]).unwrap();
+        // Make sure a stale backup cannot mask the salvage path.
+        let _ = fs::remove_file(path.with_extension("bak"));
+
+        assert!(SweepCheckpoint::load(&path).is_err(), "strict load rejects");
+        let rec = SweepCheckpoint::load_recovering(&path).unwrap();
+        assert!(rec.value.get("design-a").is_some());
+        assert!(rec.value.get("design-b").is_none(), "torn record dropped");
+        assert!(!rec.warnings.is_empty());
+        assert!(rec.warnings[0].contains("salvaged"), "{:?}", rec.warnings);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_checkpoint_falls_back_to_backup_generation() {
+        let dir = std::env::temp_dir().join("secureloop-ckpt-bakgen");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.json");
+        let _ = fs::remove_file(path.with_extension("bak"));
+        let mut ckpt = SweepCheckpoint::new("AlexNet", Algorithm::CryptOptSingle);
+        ckpt.insert("design-a", sample_schedule());
+        ckpt.save(&path).unwrap();
+        ckpt.insert("design-b", sample_schedule());
+        ckpt.save(&path).unwrap();
+        // Obliterate the primary beyond salvage (header unreadable).
+        fs::write(&path, "\u{0}\u{0}garbage\u{0}").unwrap();
+        let rec = SweepCheckpoint::load_recovering(&path).unwrap();
+        assert_eq!(rec.value.len(), 1, "previous generation had one design");
+        assert!(rec.value.get("design-a").is_some());
+        assert!(rec.warnings[0].contains("backup"), "{:?}", rec.warnings);
+        fs::remove_file(&path).unwrap();
+        fs::remove_file(path.with_extension("bak")).unwrap();
     }
 
     #[test]

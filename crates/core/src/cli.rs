@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use secureloop_arch::{Architecture, Dataflow, DramSpec};
+use secureloop_artifact::DurabilityPolicy;
 use secureloop_crypto::{CryptoConfig, EngineClass, SchemeId};
 use secureloop_json::Json;
 use secureloop_mapper::{SearchConfig, SearchMode};
@@ -96,6 +97,18 @@ options:
   --trace-out <path.jsonl>               stream telemetry events (mapper,
                                          authblock, annealing, dse spans) to
                                          this file as JSON Lines
+  --durability <full|fast>               artifact write discipline for
+                                         checkpoints, caches and journals
+                                         (default full: fsync file and parent
+                                         dir around the atomic rename; fast
+                                         keeps the checksum, .bak generation
+                                         and atomic rename but skips fsyncs)
+  --io-retries <n>                       retries per artifact write before
+                                         persistence degrades to in-memory
+                                         mode (default 3)
+  --io-backoff-ms <ms>                   base backoff between artifact write
+                                         retries; attempt n waits 2^n times
+                                         this long (default 10)
   --json                                 emit JSON instead of a table
 
 serve options (JSON-Lines requests on stdin, events on stdout):
@@ -121,7 +134,9 @@ exit codes:
   1  fatal error (bad arguments, unreadable input, engine failure, a
      malformed suite scenario or a violated scenario bound)
   2  completed but degraded (a layer or design point was degraded,
-     skipped or poisoned)
+     skipped or poisoned, or persistence degraded: artifact writes
+     kept failing after retries — e.g. a full disk — so results were
+     computed in memory but checkpoints/journals were not saved)
   3  interrupted by SIGINT/SIGTERM; checkpoint flushed, re-run with
      --resume to continue";
 
@@ -240,6 +255,10 @@ pub struct Options {
     pub task_timeout_secs: Option<f64>,
     /// Stream telemetry events to this file as JSON Lines.
     pub trace_out: Option<String>,
+    /// Artifact write discipline and retry budget (`--durability`,
+    /// `--io-retries`, `--io-backoff-ms`), for every checkpoint,
+    /// cache and journal the run persists.
+    pub durability: DurabilityPolicy,
     /// State dir for the `serve` command (journal, shared cache,
     /// per-job checkpoints).
     pub state_dir: Option<String>,
@@ -289,6 +308,7 @@ impl Default for Options {
             max_retries: None,
             task_timeout_secs: None,
             trace_out: None,
+            durability: DurabilityPolicy::default(),
             state_dir: None,
             queue_depth: 8,
             service_workers: 2,
@@ -431,6 +451,29 @@ pub fn parse(args: &[String]) -> Result<Options, CliError> {
                 opts.task_timeout_secs = Some(secs);
             }
             "--trace-out" => opts.trace_out = Some(value()?),
+            "--durability" => {
+                let v = value()?;
+                opts.durability.fsync = match v.as_str() {
+                    "full" => true,
+                    "fast" => false,
+                    other => {
+                        return Err(usage(format!(
+                            "unknown durability '{other}' (expected full | fast)"
+                        )))
+                    }
+                };
+            }
+            "--io-retries" => {
+                opts.durability.retries = value()?
+                    .parse()
+                    .map_err(|_| usage("--io-retries expects an integer"))?
+            }
+            "--io-backoff-ms" => {
+                let ms: u64 = value()?
+                    .parse()
+                    .map_err(|_| usage("--io-backoff-ms expects an integer (milliseconds)"))?;
+                opts.durability.backoff = Duration::from_millis(ms);
+            }
             "--state-dir" => opts.state_dir = Some(value()?),
             "--queue-depth" => {
                 opts.queue_depth = value()?
@@ -984,7 +1027,8 @@ fn dispatch(opts: &Options) -> Result<CliOutput, CliError> {
                 .with_workers(opts.service_workers)
                 .with_job_workers(opts.job_workers)
                 .with_search_mode(opts.search_mode)
-                .with_default_scheme(opts.scheme);
+                .with_default_scheme(opts.scheme)
+                .with_durability(opts.durability);
             if let Some(mb) = opts.cache_budget_mb {
                 cfg = cfg.with_cache_budget_bytes(mb.saturating_mul(1024 * 1024));
             }
@@ -1169,7 +1213,8 @@ fn dispatch(opts: &Options) -> Result<CliOutput, CliError> {
             let mut sweep_opts = crate::dse::SweepOptions::new()
                 .with_cache(opts.cache)
                 .with_resume(opts.resume)
-                .with_workers(opts.workers);
+                .with_workers(opts.workers)
+                .with_durability(opts.durability);
             if let Some(retries) = opts.max_retries {
                 sweep_opts = sweep_opts.with_max_retries(retries);
             }
@@ -1204,7 +1249,8 @@ fn dispatch(opts: &Options) -> Result<CliOutput, CliError> {
             let front = pareto_front(results);
             let status = if sweep.interrupted {
                 RunStatus::Interrupted
-            } else if !sweep.skipped.is_empty()
+            } else if sweep.degraded_persistence
+                || !sweep.skipped.is_empty()
                 || !sweep.poisoned.is_empty()
                 || results
                     .iter()

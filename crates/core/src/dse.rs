@@ -39,6 +39,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use secureloop_arch::{Architecture, DramSpec};
+use secureloop_artifact::DurabilityPolicy;
 use secureloop_crypto::{CryptoConfig, EngineClass, SchemeId};
 use secureloop_energy::AreaModel;
 use secureloop_mapper::{cancel, CancelToken, CandidateCache, SearchConfig};
@@ -191,6 +192,12 @@ pub struct SweepRun {
     /// point resolved. The checkpoint and candidate cache were flushed;
     /// re-running with resume completes the remainder.
     pub interrupted: bool,
+    /// Whether persistence failed mid-run (disk full, read-only
+    /// filesystem) and the sweep fell back to degraded in-memory mode:
+    /// results are complete and correct, but checkpoint/cache state may
+    /// not have reached disk. Maps to the "completed with degradations"
+    /// exit code. Details are in [`SweepRun::warnings`].
+    pub degraded_persistence: bool,
 }
 
 impl SweepRun {
@@ -241,6 +248,11 @@ pub struct SweepOptions {
     /// scoped to this sweep. The run comes back
     /// [`SweepRun::interrupted`].
     pub cancel: Option<CancelToken>,
+    /// How hard checkpoint/cache writes try to make it to disk (fsync,
+    /// retries, backoff). When retries are exhausted the sweep keeps
+    /// computing in degraded in-memory mode instead of aborting — see
+    /// [`SweepRun::degraded_persistence`].
+    pub durability: DurabilityPolicy,
 }
 
 impl SweepOptions {
@@ -312,6 +324,12 @@ impl SweepOptions {
     /// Attach a job-level cancellation token.
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Replace the durability policy for checkpoint/cache writes.
+    pub fn with_durability(mut self, durability: DurabilityPolicy) -> Self {
+        self.durability = durability;
         self
     }
 
@@ -415,11 +433,15 @@ pub enum DesignOutcome {
 ///
 /// # Errors
 ///
-/// [`SecureLoopError::Checkpoint`] when a checkpoint write fails. A
-/// corrupted checkpoint under `resume` degrades to a cold start with a
+/// Persistence failures never error: a checkpoint or cache write that
+/// exhausts its [`SweepOptions::durability`] retries flips the run into
+/// degraded in-memory mode ([`SweepRun::degraded_persistence`]) and the
+/// sweep keeps computing. A corrupted checkpoint under `resume` is
+/// salvaged record-by-record or recovered from its `.bak` generation
+/// where possible, else degrades to a cold start — each with a
 /// [`SweepRun::warnings`] entry (losing a checkpoint only costs
-/// recomputation), and individual design-point failures do *not* error
-/// — they land in [`SweepRun::skipped`] or [`SweepRun::poisoned`].
+/// recomputation). Individual design-point failures do *not* error —
+/// they land in [`SweepRun::skipped`] or [`SweepRun::poisoned`].
 pub fn evaluate_designs_sweep(
     network: &Network,
     designs: &[Architecture],
@@ -444,9 +466,28 @@ pub fn evaluate_designs_sweep(
     }
 
     let ckpt = match (&opts.checkpoint_path, opts.resume) {
-        (Some(path), true) if path.exists() => match SweepCheckpoint::load(path) {
-            Ok(loaded) if loaded.matches(network.name(), algorithm) => loaded,
-            Ok(_) => SweepCheckpoint::new(network.name(), algorithm),
+        (Some(path), true) if path.exists() => match SweepCheckpoint::load_recovering(path) {
+            Ok(rec) => {
+                // Salvage or `.bak`-fallback notes ride along as
+                // warnings; a clean strict load contributes none.
+                run.warnings
+                    .extend(rec.warnings.into_iter().map(|w| format!("checkpoint: {w}")));
+                if rec.value.matches(network.name(), algorithm) {
+                    rec.value
+                } else {
+                    SweepCheckpoint::new(network.name(), algorithm)
+                }
+            }
+            Err(SecureLoopError::Artifact(ref a)) if a.is_empty() => {
+                // A crash between create and write leaves a 0-byte
+                // file: absent-with-warning, not corruption.
+                run.warnings.push(format!(
+                    "checkpoint '{}' is empty (crash between create and write); \
+                     treating it as absent",
+                    path.display()
+                ));
+                SweepCheckpoint::new(network.name(), algorithm)
+            }
             Err(e) => {
                 // The load error already names the file.
                 run.warnings
@@ -469,8 +510,23 @@ pub fn evaluate_designs_sweep(
         Some(Arc::clone(shared))
     } else if opts.use_cache {
         let loaded = match &cache_path {
-            Some(path) if path.exists() => match CandidateCache::load(path) {
-                Ok(c) => c,
+            Some(path) if path.exists() => match CandidateCache::load_recovering(path) {
+                Ok(rec) => {
+                    run.warnings.extend(
+                        rec.warnings
+                            .into_iter()
+                            .map(|w| format!("candidate cache: {w}")),
+                    );
+                    rec.value
+                }
+                Err(e) if e.is_empty() => {
+                    run.warnings.push(format!(
+                        "candidate cache '{}' is empty (crash between create and write); \
+                         treating it as absent",
+                        path.display()
+                    ));
+                    CandidateCache::new()
+                }
                 Err(e) => {
                     run.warnings.push(format!(
                         "ignoring candidate cache '{}': {e}",
@@ -565,8 +621,14 @@ pub fn evaluate_designs_sweep(
                 let mut state = ckpt_state.lock().expect("checkpoint lock");
                 state.0.insert(label, s.clone());
                 if let Some(path) = &opts.checkpoint_path {
-                    if let Err(e) = state.0.save(path) {
-                        state.1.get_or_insert(e);
+                    // After the first exhausted-retries failure the disk
+                    // is presumed gone (full, read-only): stop paying
+                    // retry backoff per design and keep computing
+                    // in-memory. The run is reported degraded.
+                    if state.1.is_none() {
+                        if let Err(e) = state.0.save_with(path, &opts.durability) {
+                            state.1.get_or_insert(e);
+                        }
                     }
                 }
                 (idx, Some(DesignOutcome::Evaluated(s)))
@@ -582,8 +644,10 @@ pub fn evaluate_designs_sweep(
                 let mut state = ckpt_state.lock().expect("checkpoint lock");
                 state.0.insert_poisoned(label, cause.clone());
                 if let Some(path) = &opts.checkpoint_path {
-                    if let Err(e) = state.0.save(path) {
-                        state.1.get_or_insert(e);
+                    if state.1.is_none() {
+                        if let Err(e) = state.0.save_with(path, &opts.durability) {
+                            state.1.get_or_insert(e);
+                        }
                     }
                 }
                 (idx, Some(DesignOutcome::Poisoned { cause, attempts }))
@@ -633,7 +697,14 @@ pub fn evaluate_designs_sweep(
         slots[idx] = outcome;
     }
     if let Some(e) = ckpt_state.into_inner().expect("checkpoint lock").1 {
-        return Err(e);
+        // Persistent I/O failure (ENOSPC, EROFS) must never abort a
+        // sweep: the results above are complete and correct, only the
+        // on-disk state is behind. Degrade instead of erroring.
+        run.degraded_persistence = true;
+        run.warnings.push(format!(
+            "persistence degraded: {e}; checkpoint writes suspended, \
+             continuing in-memory"
+        ));
     }
 
     // Merge in design order — the determinism contract. An unfilled
@@ -666,7 +737,8 @@ pub fn evaluate_designs_sweep(
         run.cache_hits = cache.hits().saturating_sub(h0);
         run.cache_misses = cache.misses().saturating_sub(m0);
         if let Some(path) = &cache_path {
-            if let Err(e) = cache.save(path) {
+            if let Err(e) = cache.save_with(path, &opts.durability) {
+                run.degraded_persistence = true;
                 run.warnings.push(format!(
                     "could not save candidate cache '{}': {e}",
                     path.display()

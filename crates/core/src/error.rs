@@ -6,6 +6,7 @@
 
 use std::fmt;
 
+use secureloop_artifact::ArtifactError;
 use secureloop_mapper::MapperError;
 
 /// Any failure the scheduling engine can surface to callers.
@@ -23,6 +24,9 @@ pub enum SecureLoopError {
         /// What went wrong.
         message: String,
     },
+    /// A persisted artifact failed at the durable-I/O layer (the path
+    /// it concerns is inside the [`ArtifactError`]).
+    Artifact(ArtifactError),
 }
 
 impl SecureLoopError {
@@ -43,6 +47,7 @@ impl fmt::Display for SecureLoopError {
             SecureLoopError::Checkpoint { path, message } => {
                 write!(f, "checkpoint {path}: {message}")
             }
+            SecureLoopError::Artifact(e) => write!(f, "{e}"),
         }
     }
 }
@@ -59,6 +64,12 @@ impl std::error::Error for SecureLoopError {
 impl From<MapperError> for SecureLoopError {
     fn from(e: MapperError) -> Self {
         SecureLoopError::Mapper(e)
+    }
+}
+
+impl From<ArtifactError> for SecureLoopError {
+    fn from(e: ArtifactError) -> Self {
+        SecureLoopError::Artifact(e)
     }
 }
 

@@ -66,6 +66,7 @@ pub mod supervisor;
 pub mod tensors;
 
 pub use annealing::{AnnealState, AnnealingConfig, Cooling};
+pub use secureloop_artifact as artifact;
 pub use candidates::{CandidateSet, LayerCandidates};
 pub use checkpoint::SweepCheckpoint;
 pub use error::SecureLoopError;

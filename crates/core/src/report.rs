@@ -223,6 +223,7 @@ pub fn sweep_to_json_value(sweep: &SweepRun, front: &[usize]) -> Json {
         .field("skipped", Json::Arr(skipped))
         .field("poisoned", Json::Arr(poisoned))
         .field("interrupted", sweep.interrupted)
+        .field("degraded_persistence", sweep.degraded_persistence)
         .field("evaluated", sweep.evaluated)
         .field("reused", sweep.reused)
         .field("cache_hits", sweep.cache_hits)

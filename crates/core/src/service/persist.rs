@@ -19,6 +19,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use secureloop_artifact::{self as artifact, DurabilityPolicy, Recovered};
 use secureloop_json::Json;
 
 use crate::error::SecureLoopError;
@@ -110,41 +111,94 @@ impl ServiceJournal {
         Ok(ServiceJournal { jobs })
     }
 
-    /// Write the journal atomically (temp + rename; a failed write
-    /// cleans up its temp file).
+    /// Write the journal durably with the default [`DurabilityPolicy`]
+    /// (checksummed envelope, temp + fsync + `.bak` rotation + rename;
+    /// a failed write cleans up its temp file).
     ///
     /// # Errors
     ///
-    /// [`SecureLoopError::Checkpoint`] on I/O failure.
+    /// [`SecureLoopError::Artifact`] on I/O failure (after retries).
     pub fn save(&self, path: &Path) -> Result<(), SecureLoopError> {
-        let err = |message: String| SecureLoopError::Checkpoint {
-            path: path.display().to_string(),
-            message,
-        };
-        let tmp = path.with_extension("tmp");
-        let result = fs::write(&tmp, self.to_json().pretty())
-            .map_err(|e| err(format!("write: {e}")))
-            .and_then(|()| fs::rename(&tmp, path).map_err(|e| err(format!("rename: {e}"))));
-        if result.is_err() {
-            let _ = fs::remove_file(&tmp);
-        }
-        result
+        self.save_with(path, &DurabilityPolicy::default())
     }
 
-    /// Load a journal from disk.
+    /// [`ServiceJournal::save`] with an explicit [`DurabilityPolicy`].
+    pub fn save_with(&self, path: &Path, policy: &DurabilityPolicy) -> Result<(), SecureLoopError> {
+        artifact::write_durable(path, &self.to_json().pretty(), policy)
+            .map_err(SecureLoopError::Artifact)
+    }
+
+    /// Load a journal from disk, strictly.
     ///
     /// # Errors
     ///
-    /// [`SecureLoopError::Checkpoint`] when the file cannot be read,
-    /// parsed, or validated.
+    /// [`SecureLoopError::Checkpoint`] when the contents fail
+    /// validation; [`SecureLoopError::Artifact`] with a typed `Empty`
+    /// for a 0-byte file (crash between create and write — callers
+    /// treat it as absent-with-warning) or `Io` when it cannot be read.
     pub fn load(path: &Path) -> Result<ServiceJournal, SecureLoopError> {
         let err = |message: String| SecureLoopError::Checkpoint {
             path: path.display().to_string(),
             message,
         };
-        let text = fs::read_to_string(path).map_err(|e| err(format!("read: {e}")))?;
-        let v = Json::parse(&text).map_err(|e| err(format!("parse: {e}")))?;
+        let (payload, integrity) =
+            artifact::read_verified(path).map_err(SecureLoopError::Artifact)?;
+        if let artifact::Integrity::Damaged(reason) = integrity {
+            return Err(err(format!("envelope damaged: {reason}")));
+        }
+        let v = Json::parse(&payload).map_err(|e| err(format!("parse: {e}")))?;
         ServiceJournal::from_json(&v).map_err(err)
+    }
+
+    /// Load a journal through the salvage ladder: strict parse, then
+    /// record-by-record recovery of a damaged file (intact job records
+    /// kept, the corrupt tail dropped), then the `.bak` last-known-good
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceJournal::load`], when every rung fails.
+    pub fn load_recovering(path: &Path) -> Result<Recovered<ServiceJournal>, SecureLoopError> {
+        artifact::load_recoverable(
+            path,
+            |payload| {
+                let v = Json::parse(payload).map_err(|e| format!("parse: {e}"))?;
+                ServiceJournal::from_json(&v)
+            },
+            Self::salvage,
+        )
+        .map_err(SecureLoopError::Artifact)
+    }
+
+    /// Recover intact job records from a damaged journal payload. The
+    /// header (version, kind) must still be readable so a wrong-schema
+    /// file is never record-mined into the current schema.
+    fn salvage(payload: &str) -> Option<(ServiceJournal, String)> {
+        if artifact::salvage_u64_field(payload, "version") != Some(JOURNAL_VERSION) {
+            return None;
+        }
+        if artifact::salvage_string_field(payload, "kind").as_deref() != Some("service-journal") {
+            return None;
+        }
+        let mut jobs = Vec::new();
+        let mut dropped = 0usize;
+        for item in artifact::salvage_array_items(payload, "jobs") {
+            match Json::parse(&item)
+                .map_err(|e| e.to_string())
+                .and_then(|v| JobRecord::from_json(&v))
+            {
+                Ok(job) => jobs.push(job),
+                Err(_) => dropped += 1,
+            }
+        }
+        if jobs.is_empty() {
+            return None;
+        }
+        let kept = jobs.len();
+        Some((
+            ServiceJournal { jobs },
+            format!("kept {kept} intact job record(s), dropped {dropped} damaged"),
+        ))
     }
 }
 
@@ -203,6 +257,68 @@ mod tests {
         assert_eq!(remove_stale_tmps(&dir), 2);
         assert!(path.exists(), "the journal survives the sweep");
         assert_eq!(remove_stale_tmps(&dir), 0, "idempotent");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_journal_salvages_intact_job_records() {
+        let dir = std::env::temp_dir().join(format!("sl-journal-salvage-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = journal_path(&dir);
+        let journal = ServiceJournal {
+            jobs: vec![
+                record("a", JobState::Completed),
+                record("b", JobState::Running),
+            ],
+        };
+        // Tear mid-way through the second job record; footer lost.
+        let text = journal.to_json().pretty();
+        let cut = text.rfind("\"b\"").unwrap() + 6;
+        fs::write(&path, &text[..cut]).unwrap();
+
+        assert!(ServiceJournal::load(&path).is_err(), "strict load rejects");
+        let rec = ServiceJournal::load_recovering(&path).unwrap();
+        assert_eq!(rec.value.jobs.len(), 1);
+        assert_eq!(rec.value.jobs[0].spec.id, "a");
+        assert!(rec.warnings[0].contains("salvaged"), "{:?}", rec.warnings);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_journal_falls_back_to_backup_generation() {
+        let dir = std::env::temp_dir().join(format!("sl-journal-bak-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = journal_path(&dir);
+        let gen1 = ServiceJournal {
+            jobs: vec![record("a", JobState::Completed)],
+        };
+        gen1.save(&path).unwrap();
+        let gen2 = ServiceJournal {
+            jobs: vec![
+                record("a", JobState::Completed),
+                record("b", JobState::Running),
+            ],
+        };
+        gen2.save(&path).unwrap();
+        // Obliterate the primary beyond salvage (header unreadable).
+        fs::write(&path, "\u{0}garbage").unwrap();
+        let rec = ServiceJournal::load_recovering(&path).unwrap();
+        assert_eq!(rec.value, gen1, "previous generation recovered");
+        assert!(rec.warnings[0].contains("backup"), "{:?}", rec.warnings);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_journal_file_is_typed_as_empty() {
+        let dir = std::env::temp_dir().join(format!("sl-journal-empty-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = journal_path(&dir);
+        fs::write(&path, "").unwrap();
+        let err = ServiceJournal::load(&path).unwrap_err();
+        assert!(
+            matches!(err, SecureLoopError::Artifact(ref a) if a.is_empty()),
+            "got {err:?}"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -18,9 +18,12 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::{BufRead as _, BufReader, Read, Write};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
+
+use secureloop_artifact::DurabilityPolicy;
 
 use secureloop_json::Json;
 use secureloop_mapper::{
@@ -65,6 +68,10 @@ pub struct ServiceConfig {
     /// (mirrors the CLI's `--scheme` on `serve`). `None` keeps each
     /// job's default AES-GCM pricing.
     pub default_scheme: Option<secureloop_crypto::SchemeId>,
+    /// Durability policy for every artifact the server persists
+    /// (journal, shared cache, per-job checkpoints): fsync discipline
+    /// and the retry/backoff budget for transient write errors.
+    pub durability: DurabilityPolicy,
 }
 
 impl ServiceConfig {
@@ -81,6 +88,7 @@ impl ServiceConfig {
             supervisor: SupervisorConfig::default(),
             search_mode: SearchMode::Guided,
             default_scheme: None,
+            durability: DurabilityPolicy::default(),
         }
     }
 
@@ -129,6 +137,12 @@ impl ServiceConfig {
     /// Set the protection scheme for jobs that do not choose their own.
     pub fn with_default_scheme(mut self, scheme: Option<secureloop_crypto::SchemeId>) -> Self {
         self.default_scheme = scheme;
+        self
+    }
+
+    /// Replace the artifact durability policy.
+    pub fn with_durability(mut self, durability: DurabilityPolicy) -> Self {
+        self.durability = durability;
         self
     }
 }
@@ -234,6 +248,13 @@ pub struct Server {
     jobs: Mutex<JobTable>,
     queue: JobQueue,
     resumed: usize,
+    /// What state restoration had to work around (empty artifacts,
+    /// salvaged journals, backup-generation fallbacks) — emitted as
+    /// `warning` events when `serve` starts.
+    recovery_warnings: Vec<String>,
+    /// Trips when a journal or cache write exhausts its durability
+    /// retries: the server keeps running in-memory but exits 2.
+    degraded: AtomicBool,
 }
 
 impl Server {
@@ -245,10 +266,13 @@ impl Server {
     /// # Errors
     ///
     /// [`SecureLoopError::Checkpoint`] when the state dir cannot be
-    /// created or an existing journal cannot be parsed (an unreadable
-    /// journal needs operator attention — silently dropping admitted
-    /// jobs would be worse). A corrupted cache file is *not* an error:
-    /// losing it only costs recomputation.
+    /// created, or a typed error when an existing journal cannot be
+    /// recovered even after record salvage and the `.bak` generation
+    /// (an unreadable journal needs operator attention — silently
+    /// dropping admitted jobs would be worse). A 0-byte journal (a
+    /// crash between create and write) and a corrupted cache file are
+    /// *not* errors: the first holds no jobs, the second only costs
+    /// recomputation; both leave a recovery warning.
     pub fn new(cfg: ServiceConfig) -> Result<Server, SecureLoopError> {
         fs::create_dir_all(&cfg.state_dir).map_err(|e| SecureLoopError::Checkpoint {
             path: cfg.state_dir.display().to_string(),
@@ -259,9 +283,25 @@ impl Server {
         let queue = JobQueue::new(cfg.queue_depth);
         let mut table = JobTable::default();
         let mut resumed = 0;
+        let mut recovery_warnings = Vec::new();
         let journal_path = persist::journal_path(&cfg.state_dir);
         if journal_path.exists() {
-            for mut record in ServiceJournal::load(&journal_path)?.jobs {
+            let journal = match ServiceJournal::load_recovering(&journal_path) {
+                Ok(rec) => {
+                    recovery_warnings.extend(rec.warnings);
+                    rec.value
+                }
+                Err(SecureLoopError::Artifact(ref a)) if a.is_empty() => {
+                    recovery_warnings.push(format!(
+                        "journal '{}' is empty (crash between create and write); \
+                         treating it as absent",
+                        journal_path.display()
+                    ));
+                    ServiceJournal::default()
+                }
+                Err(e) => return Err(e),
+            };
+            for mut record in journal.jobs {
                 if record.state.is_resumable() {
                     // `restore`, not `submit`: these jobs were already
                     // admitted by the previous incarnation; shedding
@@ -284,7 +324,24 @@ impl Server {
 
         let cache_path = persist::cache_path(&cfg.state_dir);
         let mut cache = if cache_path.exists() {
-            CandidateCache::load(&cache_path).unwrap_or_default()
+            match CandidateCache::load_recovering(&cache_path) {
+                Ok(rec) => {
+                    recovery_warnings.extend(rec.warnings);
+                    rec.value
+                }
+                Err(e) => {
+                    recovery_warnings.push(if e.is_empty() {
+                        format!(
+                            "candidate cache '{}' is empty (crash between create and \
+                             write); treating it as absent",
+                            cache_path.display()
+                        )
+                    } else {
+                        format!("ignoring candidate cache '{}': {e}", cache_path.display())
+                    });
+                    CandidateCache::new()
+                }
+            }
         } else {
             CandidateCache::new()
         };
@@ -298,6 +355,8 @@ impl Server {
             jobs: Mutex::new(table),
             queue,
             resumed,
+            recovery_warnings,
+            degraded: AtomicBool::new(false),
         })
     }
 
@@ -328,9 +387,15 @@ impl Server {
                 .map(|e| e.record.clone())
                 .collect(),
         };
-        if let Err(e) = journal.save(&persist::journal_path(&self.cfg.state_dir)) {
+        if let Err(e) = journal.save_with(
+            &persist::journal_path(&self.cfg.state_dir),
+            &self.cfg.durability,
+        ) {
             drop(t);
-            out.send(warning(format!("journal save failed: {e}")));
+            self.degraded.store(true, Ordering::Relaxed);
+            out.send(warning(format!(
+                "journal save failed: {e}; continuing in-memory (state will not survive a crash)"
+            )));
         }
     }
 
@@ -376,6 +441,9 @@ impl Server {
             self.queue.limit(),
             self.cfg.workers,
         ));
+        for w in &self.recovery_warnings {
+            out.send(warning(w.clone()));
+        }
 
         std::thread::scope(|s| {
             for _ in 0..self.cfg.workers.max(1) {
@@ -410,7 +478,11 @@ impl Server {
         });
 
         self.save_journal(&out);
-        if let Err(e) = self.cache.save(&persist::cache_path(&self.cfg.state_dir)) {
+        if let Err(e) = self
+            .cache
+            .save_with(&persist::cache_path(&self.cfg.state_dir), &self.cfg.durability)
+        {
+            self.degraded.store(true, Ordering::Relaxed);
             out.send(warning(format!("cache save failed: {e}")));
         }
         let resumable = {
@@ -430,6 +502,10 @@ impl Server {
 
         if cancel::shutdown_requested() {
             RunStatus::Interrupted
+        } else if self.degraded.load(Ordering::Relaxed) {
+            // Jobs all ran to completion, but some state never reached
+            // disk — exit 2 so operators notice the journal/cache gap.
+            RunStatus::Degraded
         } else {
             RunStatus::Success
         }
@@ -648,7 +724,8 @@ impl Server {
             .with_workers(self.cfg.job_workers)
             .with_supervisor(self.cfg.supervisor)
             .with_shared_cache(Arc::clone(&self.cache))
-            .with_cancel(token.clone());
+            .with_cancel(token.clone())
+            .with_durability(self.cfg.durability);
 
         // Chaos hook: a planned fault stays scoped to this job's
         // designated architecture; while armed, other jobs bypass the
@@ -672,6 +749,13 @@ impl Server {
             Ok(sweep) => sweep,
             Err(e) => return fail(e.to_string()),
         };
+        if sweep.degraded_persistence {
+            // The job itself ran fine; its checkpoint writes did not.
+            self.degraded.store(true, Ordering::Relaxed);
+            for w in &sweep.warnings {
+                out.send(warning(format!("{id}: {w}")));
+            }
+        }
         if sweep.interrupted {
             if token.is_cancelled() {
                 let cause = "cancelled by client".to_string();

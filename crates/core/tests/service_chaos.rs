@@ -389,7 +389,10 @@ fn overload_is_shed_with_a_typed_response_and_cancel_frees_slots() {
     // The lifecycle survives in the journal: shed and cancelled states
     // are first-class, persisted records.
     let journal = std::fs::read_to_string(dir.join("service.json")).unwrap();
-    let journal = Json::parse(&journal).unwrap();
+    // Journals carry the artifact-envelope footer; parse the payload.
+    let (payload, integrity) = secureloop::artifact::open(&journal);
+    assert_eq!(integrity, secureloop::artifact::Integrity::Verified);
+    let journal = Json::parse(payload).unwrap();
     let state_of = |id: &str| {
         journal["jobs"]
             .as_array()

@@ -96,6 +96,7 @@ fn resume_with_warm_cache_never_reevaluates_completed_work() {
 fn corrupted_cache_file_degrades_to_cold_with_a_warning() {
     let dir = tmp_dir("secureloop-sweep-bad-cache");
     let cache = dir.join("bad.cache.json");
+    let bak = secureloop::artifact::backup_path(&cache);
     let all = designs(1);
 
     for garbage in [
@@ -103,6 +104,12 @@ fn corrupted_cache_file_degrades_to_cold_with_a_warning() {
         r#"{"version": 99, "kind": "candidate-cache", "entries": []}"#, // future version
         r#"{"version": 1, "kind": "sweep-checkpoint"}"#,                // wrong kind
     ] {
+        // No backup generation on disk: recovery has nothing to fall
+        // back to and must degrade to a cold start. (Each sweep below
+        // rewrites a valid cache, which the next write rotates to
+        // `.bak` — exactly the last-known-good the backup test at the
+        // end relies on.)
+        let _ = std::fs::remove_file(&bak);
         std::fs::write(&cache, garbage).unwrap();
         let run = sweep(&all, &SweepOptions::new().with_cache_path(&cache));
         assert_eq!(run.results.len(), 1, "sweep must still complete");
@@ -120,10 +127,32 @@ fn corrupted_cache_file_degrades_to_cold_with_a_warning() {
 
     // A truncated (torn mid-write) previously-valid file behaves the
     // same way.
+    let _ = std::fs::remove_file(&bak);
     let valid = std::fs::read_to_string(&cache).unwrap();
     std::fs::write(&cache, &valid[..valid.len() / 2]).unwrap();
     let run = sweep(&all, &SweepOptions::new().with_cache_path(&cache));
     assert_eq!(run.results.len(), 1);
     assert!(!run.warnings.is_empty());
+
+    // One more clean sweep: its load hits the valid primary and its
+    // final rewrite rotates that primary out, so *both* generations now
+    // hold a full cache.
+    let run = sweep(&all, &SweepOptions::new().with_cache_path(&cache));
+    assert_eq!(run.cache_hits, 5, "rewritten cache is warm");
+    assert!(bak.exists(), "the durable rewrite keeps a .bak generation");
+
+    // With a last-known-good `.bak` on disk, garbage in the primary is
+    // *recovered*, not discarded: the warm searches all hit and the
+    // warning names the backup.
+    std::fs::write(&cache, "{torn wri").unwrap();
+    let run = sweep(&all, &SweepOptions::new().with_cache_path(&cache));
+    assert_eq!(run.results.len(), 1);
+    assert!(
+        run.warnings.iter().any(|w| w.contains("backup")),
+        "recovery must credit the backup generation: {:?}",
+        run.warnings
+    );
+    assert_eq!(run.cache_hits, 5, "recovered cache answers every search");
     let _ = std::fs::remove_file(&cache);
+    let _ = std::fs::remove_file(&bak);
 }

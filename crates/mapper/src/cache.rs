@@ -22,12 +22,12 @@
 //! layer *names*, which the canonical key deliberately omits).
 
 use std::collections::HashMap;
-use std::fs;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use secureloop_arch::Architecture;
+use secureloop_artifact::{self as artifact, ArtifactError, DurabilityPolicy, Recovered};
 use secureloop_json::Json;
 use secureloop_loopnest::{evaluate, CompactMapping, Mapping, SearchSpaceKey};
 use secureloop_telemetry::Counter;
@@ -394,39 +394,8 @@ impl CandidateCache {
             .as_array()
             .ok_or_else(|| "missing or invalid field 'entries'".to_string())?
         {
-            let key = e["key"]
-                .as_str()
-                .ok_or_else(|| "missing or invalid field 'key'".to_string())?
-                .to_string();
-            let tier = e["tier"]
-                .as_str()
-                .and_then(tier_from_name)
-                .ok_or_else(|| "missing or invalid field 'tier'".to_string())?;
-            let valid_samples = e["valid_samples"]
-                .as_usize()
-                .ok_or_else(|| "missing or invalid field 'valid_samples'".to_string())?;
-            let total_samples = e["total_samples"]
-                .as_usize()
-                .ok_or_else(|| "missing or invalid field 'total_samples'".to_string())?;
-            let mappings = e["mappings"]
-                .as_array()
-                .ok_or_else(|| "missing or invalid field 'mappings'".to_string())?
-                .iter()
-                .map(|m| {
-                    m.as_str()
-                        .map(str::to_string)
-                        .ok_or_else(|| "missing or invalid field 'mappings'".to_string())
-                })
-                .collect::<Result<Vec<_>, _>>()?;
-            inner.insert(
-                key,
-                Entry::Frozen(FrozenEntry {
-                    mappings,
-                    tier,
-                    valid_samples,
-                    total_samples,
-                }),
-            );
+            let (key, frozen) = entry_from_json(e)?;
+            inner.insert(key, Entry::Frozen(frozen));
         }
         Ok(CandidateCache {
             inner: Mutex::new(inner),
@@ -437,37 +406,133 @@ impl CandidateCache {
         })
     }
 
-    /// Write the cache atomically (temp file + rename, like the sweep
-    /// checkpoint): an interrupted write can never leave a torn file.
+    /// Write the cache durably with the default [`DurabilityPolicy`]:
+    /// sealed in a checksummed envelope, temp file + fsync + `.bak`
+    /// generation rotation + rename, like the sweep checkpoint.
     ///
     /// # Errors
     ///
-    /// A human-readable message on I/O failure.
-    pub fn save(&self, path: &Path) -> Result<(), String> {
-        let tmp = path.with_extension("tmp");
-        let result = fs::write(&tmp, self.to_json().pretty())
-            .map_err(|e| format!("write: {e}"))
-            .and_then(|()| fs::rename(&tmp, path).map_err(|e| format!("rename: {e}")));
-        if result.is_err() {
-            // Never leave a `.tmp` orphan behind a failed write; the
-            // sweep startup also sweeps stale ones from crashes.
-            let _ = fs::remove_file(&tmp);
-        }
-        result
+    /// A typed [`ArtifactError`] carrying the path, on I/O failure
+    /// (after the policy's retries).
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        self.save_with(path, &DurabilityPolicy::default())
     }
 
-    /// Load a cache from disk.
+    /// [`CandidateCache::save`] with an explicit [`DurabilityPolicy`].
+    pub fn save_with(&self, path: &Path, policy: &DurabilityPolicy) -> Result<(), ArtifactError> {
+        artifact::write_durable(path, &self.to_json().pretty(), policy)
+    }
+
+    /// Load a cache from disk, strictly.
     ///
     /// # Errors
     ///
-    /// A human-readable message when the file cannot be read, parsed,
-    /// or validated. Callers treat this as "start cold with a warning",
-    /// never as fatal: a corrupted cache only costs recomputation.
-    pub fn load(path: &Path) -> Result<Self, String> {
-        let text = fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
-        let v = Json::parse(&text).map_err(|e| format!("parse: {e}"))?;
-        CandidateCache::from_json(&v)
+    /// A typed [`ArtifactError`] carrying the path: `Empty` for a
+    /// 0-byte file (crash between create and write — treat as absent),
+    /// `Corrupt` when the file cannot be parsed or validated. Callers
+    /// treat either as "start cold with a warning", never as fatal: a
+    /// corrupted cache only costs recomputation.
+    pub fn load(path: &Path) -> Result<Self, ArtifactError> {
+        let (payload, integrity) = artifact::read_verified(path)?;
+        let corrupt = |message: String| ArtifactError::Corrupt {
+            path: path.display().to_string(),
+            message,
+        };
+        if let artifact::Integrity::Damaged(reason) = integrity {
+            return Err(corrupt(format!("envelope damaged: {reason}")));
+        }
+        let v = Json::parse(&payload).map_err(|e| corrupt(format!("parse: {e}")))?;
+        CandidateCache::from_json(&v).map_err(corrupt)
     }
+
+    /// Load a cache through the salvage ladder: strict parse, then
+    /// entry-by-entry salvage of a damaged file (intact entries kept,
+    /// the corrupt tail dropped), then the `.bak` last-known-good
+    /// generation. The salvage gate checks the schema version first, so
+    /// a v2 file is never entry-mined into a v3 cache (its keys could
+    /// alias candidates across protection schemes).
+    ///
+    /// # Errors
+    ///
+    /// As [`CandidateCache::load`], when every rung fails.
+    pub fn load_recovering(path: &Path) -> Result<Recovered<Self>, ArtifactError> {
+        artifact::load_recoverable(
+            path,
+            |payload| {
+                let v = Json::parse(payload).map_err(|e| format!("parse: {e}"))?;
+                CandidateCache::from_json(&v)
+            },
+            Self::salvage,
+        )
+    }
+
+    fn salvage(payload: &str) -> Option<(Self, String)> {
+        if artifact::salvage_u64_field(payload, "version") != Some(CACHE_VERSION) {
+            return None;
+        }
+        if artifact::salvage_string_field(payload, "kind").as_deref() != Some("candidate-cache") {
+            return None;
+        }
+        let mut inner = Inner::default();
+        let mut dropped = 0usize;
+        for item in artifact::salvage_array_items(payload, "entries") {
+            match Json::parse(&item).map_err(|e| e.to_string()).and_then(|v| entry_from_json(&v)) {
+                Ok((key, frozen)) => inner.insert(key, Entry::Frozen(frozen)),
+                Err(_) => dropped += 1,
+            }
+        }
+        if inner.map.is_empty() {
+            return None;
+        }
+        let kept = inner.map.len();
+        Some((
+            CandidateCache {
+                inner: Mutex::new(inner),
+                budget: None,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            },
+            format!("kept {kept} intact entr(ies), dropped {dropped} damaged"),
+        ))
+    }
+}
+
+/// Parse one on-disk cache entry into its key and frozen form.
+fn entry_from_json(e: &Json) -> Result<(String, FrozenEntry), String> {
+    let key = e["key"]
+        .as_str()
+        .ok_or_else(|| "missing or invalid field 'key'".to_string())?
+        .to_string();
+    let tier = e["tier"]
+        .as_str()
+        .and_then(tier_from_name)
+        .ok_or_else(|| "missing or invalid field 'tier'".to_string())?;
+    let valid_samples = e["valid_samples"]
+        .as_usize()
+        .ok_or_else(|| "missing or invalid field 'valid_samples'".to_string())?;
+    let total_samples = e["total_samples"]
+        .as_usize()
+        .ok_or_else(|| "missing or invalid field 'total_samples'".to_string())?;
+    let mappings = e["mappings"]
+        .as_array()
+        .ok_or_else(|| "missing or invalid field 'mappings'".to_string())?
+        .iter()
+        .map(|m| {
+            m.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "missing or invalid field 'mappings'".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((
+        key,
+        FrozenEntry {
+            mappings,
+            tier,
+            valid_samples,
+            total_samples,
+        },
+    ))
 }
 
 /// [`search`] with a shared memo: consult `cache` first, populate it on
@@ -511,6 +576,7 @@ mod tests {
     use super::*;
     use crate::{FaultPlan, FaultScope};
     use secureloop_workload::zoo;
+    use std::fs;
     use std::time::Duration;
 
     fn layer() -> ConvLayer {
@@ -635,7 +701,9 @@ mod tests {
         let path = dir.join("cache.json");
 
         fs::write(&path, "{torn write").unwrap();
-        assert!(CandidateCache::load(&path).unwrap_err().contains("parse"));
+        let err = CandidateCache::load(&path).unwrap_err();
+        assert!(err.to_string().contains("parse"), "{err}");
+        assert!(err.path().contains("cache.json"), "typed error names path");
 
         fs::write(
             &path,
@@ -644,10 +712,52 @@ mod tests {
         .unwrap();
         assert!(CandidateCache::load(&path)
             .unwrap_err()
+            .to_string()
             .contains("version 99"));
 
         fs::write(&path, r#"{"version": 3, "kind": "something-else"}"#).unwrap();
-        assert!(CandidateCache::load(&path).unwrap_err().contains("kind"));
+        assert!(CandidateCache::load(&path)
+            .unwrap_err()
+            .to_string()
+            .contains("kind"));
+
+        fs::write(&path, "").unwrap();
+        let err = CandidateCache::load(&path).unwrap_err();
+        assert!(err.is_empty(), "0-byte cache is typed Empty, got {err:?}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_cache_salvages_intact_entries_and_never_crosses_versions() {
+        let dir = std::env::temp_dir().join("secureloop-cache-salvage");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        let _ = fs::remove_file(path.with_extension("bak"));
+        let layers: Vec<ConvLayer> = zoo::alexnet_conv().layers().to_vec();
+        let arch = Architecture::eyeriss_base();
+        let cfg = SearchConfig::quick();
+        let cache = CandidateCache::new();
+        search_cached(&layers[0], &arch, &cfg, Some(&cache)).unwrap();
+        search_cached(&layers[1], &arch, &cfg, Some(&cache)).unwrap();
+        let text = cache.to_json().pretty();
+        // Tear inside the second entry (mid-way through its "mappings"
+        // key, the last field of the last entry); the footer is lost.
+        let cut = text.rfind("mappings").unwrap() + 4;
+        fs::write(&path, &text[..cut]).unwrap();
+
+        assert!(CandidateCache::load(&path).is_err(), "strict load rejects");
+        let rec = CandidateCache::load_recovering(&path).unwrap();
+        assert_eq!(rec.value.len(), 1, "one intact entry survives the tear");
+        assert!(rec.warnings[0].contains("salvaged"), "{:?}", rec.warnings);
+
+        // A v2 file must never be entry-mined into a v3 cache.
+        let v2 = text.replacen("\"version\": 3", "\"version\": 2", 1);
+        fs::write(&path, &v2[..v2.len() - 2]).unwrap();
+        let err = CandidateCache::load_recovering(&path).unwrap_err();
+        assert!(
+            !err.is_empty(),
+            "wrong-version salvage must fail typed, got {err:?}"
+        );
         let _ = fs::remove_file(&path);
     }
 
@@ -671,7 +781,8 @@ mod tests {
         .unwrap();
         let err = CandidateCache::load(&path).unwrap_err();
         assert!(
-            err.contains("unsupported cache version 2 (expected 3)"),
+            err.to_string()
+                .contains("unsupported cache version 2 (expected 3)"),
             "got: {err}"
         );
         let _ = fs::remove_file(&path);

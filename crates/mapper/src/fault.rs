@@ -42,6 +42,13 @@ pub struct FaultPlan {
     /// architecture (design label). `None` applies everywhere; a sweep
     /// test uses this to sabotage exactly one design point of many.
     pub arch: Option<String>,
+    /// Budget of *artifact* write failures to inject into the durable
+    /// persistence layer (`secureloop_artifact`) while this plan is
+    /// armed: each durable-write attempt consumes one failure until the
+    /// budget is spent (transient-error model). `0` injects nothing;
+    /// [`FaultPlan::ARTIFACT_IO_ALL`] never clears (a persistently full
+    /// or read-only disk).
+    pub artifact_io_budget: u64,
 }
 
 fn names<I: IntoIterator<Item = S>, S: Into<String>>(layers: I) -> BTreeSet<String> {
@@ -99,6 +106,20 @@ impl FaultPlan {
     pub fn for_arch(mut self, arch: impl Into<String>) -> Self {
         self.arch = Some(arch.into());
         self
+    }
+
+    /// Sentinel budget meaning "every artifact write fails" — the
+    /// persistent ENOSPC/EROFS model, as opposed to a finite transient
+    /// budget that retries eventually outlast.
+    pub const ARTIFACT_IO_ALL: u64 = u64::MAX;
+
+    /// A plan injecting `budget` artifact-write failures into the
+    /// durable persistence layer (no layer searches are sabotaged).
+    pub fn artifact_io(budget: u64) -> Self {
+        FaultPlan {
+            artifact_io_budget: budget,
+            ..FaultPlan::default()
+        }
     }
 }
 
@@ -185,10 +206,18 @@ pub struct FaultScope {
 }
 
 impl FaultScope {
-    /// Arm `plan` until the returned scope drops.
+    /// Arm `plan` until the returned scope drops. A plan carrying an
+    /// `artifact_io_budget` also arms the durable persistence layer's
+    /// fault hook; the scope's process-wide lock keeps that global
+    /// state exclusive too.
     pub fn inject(plan: FaultPlan) -> FaultScope {
         let guard = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         io_fired().clear();
+        match plan.artifact_io_budget {
+            0 => secureloop_artifact::fault::disarm(),
+            FaultPlan::ARTIFACT_IO_ALL => secureloop_artifact::fault::arm_all(),
+            n => secureloop_artifact::fault::arm(n),
+        }
         *plan_slot() = Some(plan);
         FaultScope { _serialise: guard }
     }
@@ -198,6 +227,7 @@ impl Drop for FaultScope {
     fn drop(&mut self) {
         *plan_slot() = None;
         io_fired().clear();
+        secureloop_artifact::fault::disarm();
     }
 }
 

@@ -374,7 +374,13 @@ impl Sink for JsonLinesSink {
     }
 
     fn flush(&mut self) {
+        // Flush is called at drain points (end of a run, sink swap),
+        // not per event, so an fsync here is cheap — and it makes the
+        // trace survive the power loss the rest of the artifact layer
+        // guards against. Still best-effort: a full disk must not kill
+        // the schedule that is being traced.
         let _ = self.w.flush();
+        let _ = self.w.get_ref().sync_data();
     }
 }
 

@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# Kill-injection soak for the durable artifact layer: SIGKILL (-9, no
+# handlers, no drain) `secureloop serve` at random points while it works
+# through a reference sweep job, restarting it on the same state dir
+# after every kill, then assert:
+#
+#   - every restart reaches a consistent state (a `ready` event, even
+#     when the kill tore the journal or a checkpoint mid-write),
+#   - completed design points are never recomputed: each design's
+#     `evaluated` progress event appears at most once across every
+#     phase log (the event is emitted only after the durable
+#     checkpoint save landed),
+#   - the job's final results are byte-identical to an uninterrupted
+#     one-shot `secureloop dse` run of the same sweep,
+#   - the ENOSPC leg: a sweep whose every artifact write fails
+#     (SECURELOOP_ARTIFACT_IO_FAIL=all) still completes all designs,
+#     reports degraded persistence, and exits 2.
+#
+# Run from the repo root: scripts/crash_soak.sh
+set -euo pipefail
+
+BIN=${BIN:-./target/release/secureloop}
+KILLS=${KILLS:-20}
+WORK=$(mktemp -d)
+SERVER_PID=""
+trap 'kill -9 "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+STATE="$WORK/state"
+
+say() { echo "[crash-soak] $*"; }
+
+[ -x "$BIN" ] || { echo "missing $BIN (cargo build --release first)"; exit 1; }
+
+# The reference sweep: the full 18-design Fig. 16 space, exactly what
+# the one-shot `dse` command runs with the same budgets and seed.
+BUDGET='"workload":"mlp","samples":40,"iterations":5,"seed":1'
+
+say "one-shot reference run"
+"$BIN" dse --workload mlp --samples 40 --iterations 5 --seed 1 --no-cache --json \
+    > "$WORK/oneshot.json"
+
+start_server() { # $1 = fifo, $2 = log
+    mkfifo "$1"
+    "$BIN" serve --state-dir "$STATE" --service-workers 1 < "$1" > "$2" &
+    SERVER_PID=$!
+}
+
+wait_for() { # $1 = pattern, $2 = file, $3 = timeout secs
+    for _ in $(seq 1 $(( $3 * 10 ))); do
+        grep -q "$1" "$2" 2>/dev/null && return 0
+        kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died"; cat "$2"; exit 1; }
+        sleep 0.1
+    done
+    echo "timeout waiting for $1 in $2"; cat "$2"; exit 1
+}
+
+say "phase 0: submit the reference job"
+start_server "$WORK/in0" "$WORK/phase-00.log"
+exec 3>"$WORK/in0"
+wait_for '"event":"ready"' "$WORK/phase-00.log" 30
+echo "{\"op\":\"submit\",\"id\":\"ref\",$BUDGET}" >&3
+wait_for '"event":"started"' "$WORK/phase-00.log" 30
+
+done_log=""
+for phase in $(seq 0 $(( KILLS - 1 ))); do
+    log=$(printf '%s/phase-%02d.log' "$WORK" "$phase")
+    # Kill at a random point: anywhere in a design evaluation,
+    # including mid-checkpoint-write and mid-journal-write.
+    sleep "0.$(( (RANDOM % 9) + 1 ))"; sleep "$(( RANDOM % 2 ))"
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    exec 3>&- 2>/dev/null || true
+    if grep -q '"event":"result"' "$log"; then done_log="$log"; fi
+
+    next=$(( phase + 1 ))
+    fifo=$(printf '%s/in%d' "$WORK" "$next")
+    nextlog=$(printf '%s/phase-%02d.log' "$WORK" "$next")
+    start_server "$fifo" "$nextlog"
+    exec 3>"$fifo"
+    # The consistency assertion: a restart on a state dir torn by
+    # SIGKILL must always come up (salvage, .bak fallback, or a
+    # tolerated empty/stale artifact — never a refusal to start).
+    wait_for '"event":"ready"' "$nextlog" 30
+done
+say "survived $KILLS SIGKILL/restart cycles"
+
+finallog=$(printf '%s/phase-%02d.log' "$WORK" "$KILLS")
+if [ -z "$done_log" ]; then
+    say "waiting for the resumed job to finish"
+    wait_for '"event":"result"' "$finallog" 600
+    done_log="$finallog"
+fi
+echo '{"op":"shutdown"}' >&3
+rc=0; wait "$SERVER_PID" || rc=$?
+SERVER_PID=""
+exec 3>&-
+[ "$rc" -eq 0 ] || { echo "expected clean exit 0 after drain, got $rc"; exit 1; }
+
+say "checking the transcripts"
+python3 - "$WORK" "$done_log" <<'EOF'
+import glob, json, sys
+
+work, done_log = sys.argv[1], sys.argv[2]
+events = []
+for log in sorted(glob.glob(f"{work}/phase-*.log")):
+    with open(log) as f:
+        events += [json.loads(l) for l in f if l.strip()]
+
+# Zero recomputation: the `evaluated` progress event is emitted after
+# the durable checkpoint save, so a design seen here is on disk — it
+# must never be evaluated again by any later incarnation.
+evaluated = {}
+for e in events:
+    if e.get("event") == "progress" and e.get("outcome") == "evaluated":
+        evaluated[e["design"]] = evaluated.get(e["design"], 0) + 1
+recomputed = {d: n for d, n in evaluated.items() if n > 1}
+assert not recomputed, f"completed designs recomputed: {recomputed}"
+
+# The job finished covering the whole space exactly once.
+result = next(e for l in [done_log] for e in
+              (json.loads(x) for x in open(l) if x.strip())
+              if e.get("event") == "result" and e.get("id") == "ref")
+assert result["status"] == "completed", result["status"]
+report = result["report"]
+assert report["reused"] + report["evaluated"] == 18, (
+    report["reused"], report["evaluated"])
+
+# Byte-identical to the uninterrupted one-shot run.
+oneshot = json.load(open(f"{work}/oneshot.json"))
+assert report["designs"] == oneshot["designs"], (
+    "crash-recovered results diverge from the one-shot CLI:\n"
+    f"  service: {json.dumps(report['designs'])[:400]}\n"
+    f"  oneshot: {json.dumps(oneshot['designs'])[:400]}")
+
+print(f"crash-soak OK: {len(evaluated)} designs evaluated exactly once, "
+      f"{report['reused']} restored in the final run")
+EOF
+
+say "ENOSPC leg: every artifact write fails, sweep must finish with exit 2"
+rc=0
+SECURELOOP_ARTIFACT_IO_FAIL=all "$BIN" dse --workload mlp \
+    --samples 20 --iterations 3 --seed 1 --no-cache \
+    --checkpoint "$WORK/enospc.ckpt.json" \
+    --io-retries 0 --durability fast --json > "$WORK/enospc.json" || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 under persistent write failure, got $rc"; exit 1; }
+python3 - "$WORK" <<'EOF'
+import json, sys
+r = json.load(open(f"{sys.argv[1]}/enospc.json"))
+assert r["degraded_persistence"] is True
+assert len(r["designs"]) == 18, "a full disk must never cost results"
+print("ENOSPC leg OK: 18 designs computed in degraded in-memory mode")
+EOF
+[ ! -e "$WORK/enospc.ckpt.json" ] || { echo "no checkpoint must land"; exit 1; }
+
+say "PASS"
