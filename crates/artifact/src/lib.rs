@@ -1104,3 +1104,16 @@ mod tests {
         assert!(!truncated);
     }
 }
+
+#[cfg(test)]
+mod review_probe {
+    use super::*;
+    #[test]
+    fn open_with_len_mid_utf8_char() {
+        // payload contains a multibyte char; footer claims a len that
+        // lands mid-char (as corruption could produce)
+        let text = format!("é\n{FOOTER_PREFIX} v1 len=1 fnv1a=0000000000000000\n");
+        let (_, integrity) = open(&text);
+        assert!(matches!(integrity, Integrity::Damaged(_)));
+    }
+}
